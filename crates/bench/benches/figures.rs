@@ -1,0 +1,23 @@
+//! `cargo bench --bench figures`: regenerates every paper table and figure
+//! at quick scale and prints the result tables. This is a measurement
+//! harness (simulation metrics, not wall-clock), hence `harness = false`.
+
+use std::time::Instant;
+
+use cbps_bench::experiments::run_all;
+use cbps_bench::Scale;
+
+fn main() {
+    // Under `cargo test --benches` just smoke-run nothing (the figures are
+    // exercised by the harness itself when invoked via `cargo bench`).
+    if std::env::args().any(|a| a == "--test") {
+        println!("figures harness: skipped under --test (run `cargo bench` instead)");
+        return;
+    }
+    let started = Instant::now();
+    println!("Reproducing all tables/figures at quick scale (see EXPERIMENTS.md for paper-scale numbers)\n");
+    for table in run_all(Scale::Quick) {
+        println!("{}", table.render());
+    }
+    println!("total: {:.1}s", started.elapsed().as_secs_f64());
+}

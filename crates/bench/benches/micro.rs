@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the system's hot components: the three
+//! ak-mappings, the matching index vs brute force, the m-cast split,
+//! greedy routing, and SHA-1 hashing.
+
+use cbps::{
+    AkMapping, Event, EventSpace, MappingKind, MatchIndex, SubId, Subscription,
+};
+use cbps_overlay::{hash::sha1, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState};
+use cbps_workload::{WorkloadConfig, WorkloadGen};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn workload(n_subs: usize) -> (EventSpace, Vec<Subscription>, Vec<Event>) {
+    let space = EventSpace::paper_default();
+    let cfg = WorkloadConfig::paper_default(100, 4).with_counts(n_subs, n_subs);
+    let mut gen = WorkloadGen::new(space.clone(), cfg, 7);
+    let subs: Vec<Subscription> = (0..n_subs).map(|_| gen.gen_subscription()).collect();
+    let events: Vec<Event> = subs.iter().map(|s| gen.gen_matching_event(s)).collect();
+    (space, subs, events)
+}
+
+fn bench_mappings(c: &mut Criterion) {
+    let (space, subs, events) = workload(256);
+    let keys = KeySpace::new(13);
+    let mut group = c.benchmark_group("mapping");
+    for kind in [
+        MappingKind::AttributeSplit,
+        MappingKind::KeySpaceSplit,
+        MappingKind::SelectiveAttribute,
+    ] {
+        let mapping = AkMapping::new(kind, &space, keys);
+        group.bench_function(format!("sk/{kind}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let s = &subs[i % subs.len()];
+                i += 1;
+                std::hint::black_box(mapping.sk(s))
+            })
+        });
+        group.bench_function(format!("ek/{kind}"), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                let e = &events[i % events.len()];
+                i += 1;
+                std::hint::black_box(mapping.ek(e))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (space, subs, events) = workload(2000);
+    let mut index = MatchIndex::new(&space);
+    for (i, s) in subs.iter().enumerate() {
+        index.insert(SubId(i as u64), s.clone());
+    }
+    let mut group = c.benchmark_group("matching-2000-subs");
+    group.bench_function("counting-index", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let e = &events[i % events.len()];
+            i += 1;
+            std::hint::black_box(index.matches(e))
+        })
+    });
+    group.bench_function("brute-force", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let e = &events[i % events.len()];
+            i += 1;
+            std::hint::black_box(index.matches_brute_force(e))
+        })
+    });
+    group.finish();
+}
+
+fn converged_state(n: usize) -> RoutingState {
+    let cfg = OverlayConfig::paper_default();
+    let peers: Vec<Peer> = (0..n)
+        .map(|i| Peer {
+            idx: i,
+            key: cbps_overlay::hash::key_of_bytes(cfg.space, format!("n{i}").as_bytes()),
+        })
+        .collect();
+    // Deduplicate keys for the view.
+    let mut seen = std::collections::HashSet::new();
+    let peers: Vec<Peer> = peers.into_iter().filter(|p| seen.insert(p.key)).collect();
+    let ring = RingView::new(cfg.space, peers.clone());
+    let me = peers[0];
+    let mut st = RoutingState::new(cfg, me);
+    st.set_predecessor(Some(ring.predecessor(me.key)));
+    st.set_successors(ring.successors_of(me.key, cfg.succ_list_len));
+    for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
+        st.set_finger(i, f);
+    }
+    st
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let st = converged_state(500);
+    let space = OverlayConfig::paper_default().space;
+    let full = KeyRangeSet::full(space);
+    c.bench_function("mcast-split-full-ring", |b| {
+        b.iter(|| std::hint::black_box(st.mcast_split(&full)))
+    });
+    c.bench_function("next-hop", |b| {
+        b.iter_batched(
+            || st.clone(),
+            |mut st| {
+                for k in (0..8192u64).step_by(257) {
+                    std::hint::black_box(st.next_hop(space.key(k)));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pastry(c: &mut Criterion) {
+    use cbps_pastry::{PastryConfig, PastryState};
+    let cfg = PastryConfig::paper_default();
+    let overlay_like = OverlayConfig::paper_default();
+    let keys = cbps_overlay::assign_node_keys(&overlay_like, 500);
+    let peers: Vec<Peer> = keys
+        .iter()
+        .enumerate()
+        .map(|(idx, &key)| Peer { idx, key })
+        .collect();
+    let ring = RingView::new(cfg.space, peers.clone());
+    let st = PastryState::converged(cfg, peers[0], &ring);
+    let space = cfg.space;
+    c.bench_function("pastry-next-hop", |b| {
+        b.iter(|| {
+            for k in (0..8192u64).step_by(257) {
+                std::hint::black_box(st.next_hop(space.key(k)));
+            }
+        })
+    });
+    let full = KeyRangeSet::full(space);
+    c.bench_function("pastry-mcast-split-full-ring", |b| {
+        b.iter(|| std::hint::black_box(st.mcast_split(&full)))
+    });
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let data = vec![0xA5u8; 64];
+    c.bench_function("sha1-64B", |b| b.iter(|| std::hint::black_box(sha1(&data))));
+}
+
+criterion_group!(benches, bench_mappings, bench_matching, bench_overlay, bench_pastry, bench_sha1);
+criterion_main!(benches);

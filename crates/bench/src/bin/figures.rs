@@ -1,0 +1,86 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! figures [--scale quick|paper] [--csv DIR] [EXPERIMENT...]
+//! ```
+//!
+//! With no experiment names, runs everything. Names: route, keys, fig5,
+//! fig6, fig7, fig8, fig9a, fig9b, mcast, churn, all.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
+use cbps_bench::Scale;
+
+fn main() {
+    let mut scale = Scale::Quick;
+    let mut csv_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("quick") => scale = Scale::Quick,
+                Some("paper") => scale = Scale::Paper,
+                other => {
+                    eprintln!("--scale expects quick|paper, got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            "--csv" => match args.next() {
+                Some(dir) => csv_dir = Some(dir),
+                None => {
+                    eprintln!("--csv expects a directory");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [--scale quick|paper] [--csv DIR] [EXPERIMENT...]\n\
+                     experiments: {} (default: all)",
+                    EXPERIMENT_NAMES.join(", ")
+                );
+                return;
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        names.push("all".to_owned());
+    }
+
+    for name in &names {
+        let started = Instant::now();
+        let Some(tables) = run_named(name, scale) else {
+            eprintln!(
+                "unknown experiment {name:?}; known: {}",
+                EXPERIMENT_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        };
+        for table in &tables {
+            println!("{}", table.render());
+            if let Some(dir) = &csv_dir {
+                let slug = table
+                    .title()
+                    .chars()
+                    .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                    .collect::<String>()
+                    .split('_')
+                    .filter(|s| !s.is_empty())
+                    .collect::<Vec<_>>()
+                    .join("_");
+                let path = format!("{dir}/{slug}.csv");
+                match std::fs::File::create(&path) {
+                    Ok(mut f) => {
+                        let _ = f.write_all(table.to_csv().as_bytes());
+                    }
+                    Err(e) => eprintln!("cannot write {path}: {e}"),
+                }
+            }
+        }
+        eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,48 @@
+//! **Figure 7 — Scalability of bandwidth consumption.**
+//!
+//! Hops per publication as a function of the network size `n`, for
+//! mapping 3 (Selective-Attribute) with unicast.
+//!
+//! Paper shape: logarithmic growth in `n` — the overlay's basic
+//! scalability property. Publications map to 4 keys under mapping 3, so
+//! hops/publication ≈ 4 × (average route length).
+
+use cbps::{MappingKind, Primitive};
+
+use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::table::{fmt_f, Table};
+
+fn node_counts(scale: Scale) -> Vec<usize> {
+    match scale {
+        Scale::Quick => vec![50, 100, 200, 400],
+        Scale::Paper => vec![100, 250, 500, 1000, 2500],
+    }
+}
+
+/// Runs the experiment and returns its table.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 7: hops per publication vs n (mapping 3, unicast)",
+        &["n", "hops/pub", "hops/pub/key", "log2(n)"],
+    );
+    let pubs = scale.ops(1000);
+    for n in node_counts(scale) {
+        let mut deployment = Deployment::new(n, 701);
+        deployment.mapping = MappingKind::SelectiveAttribute;
+        deployment.primitive = Primitive::Unicast;
+        let mut net = deployment.build();
+        let cfg = paper_workload(n, 0)
+            .with_counts(0, pubs)
+            .with_matching_probability(0.0);
+        let mut gen = workload_gen(cfg, 701);
+        let trace = gen.gen_trace();
+        let stats = run_trace(&mut net, &trace, 60);
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(stats.hops_per_pub),
+            fmt_f(stats.hops_per_pub / stats.keys_per_pub.max(1.0)),
+            fmt_f((n as f64).log2()),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,121 @@
+//! **Extension — overlay portability (§3.1 footnote 1).**
+//!
+//! The same pub/sub configuration and workload over the Chord substrate
+//! and over the Pastry substrate: logical deliveries must be identical;
+//! message counts differ only by the overlays' routing structure.
+
+use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork};
+use cbps_pastry::PastryPubSubNetwork;
+use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
+
+use crate::runner::Scale;
+use crate::table::{fmt_f, Table};
+
+struct Outcome {
+    hops_per_sub: f64,
+    hops_per_pub: f64,
+    hops_per_notify: f64,
+    delivered: u64,
+}
+
+fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome {
+    let nodes = match scale {
+        Scale::Quick => 100,
+        Scale::Paper => 500,
+    };
+    let subs = scale.ops(400);
+    let pubs = scale.ops(800);
+    let pubsub = PubSubConfig::paper_default()
+        .with_mapping(kind)
+        .with_primitive(Primitive::MCast);
+    let wl = WorkloadConfig::paper_default(nodes, 4)
+        .with_counts(subs, pubs)
+        .with_matching_probability(0.7);
+
+    enum Net {
+        Chord(PubSubNetwork),
+        Pastry(PastryPubSubNetwork),
+    }
+    let mut net = match overlay {
+        "chord" => Net::Chord(
+            PubSubNetwork::builder()
+                .nodes(nodes)
+                .net_config(NetConfig::new(seed))
+                .pubsub(pubsub)
+                .build(),
+        ),
+        _ => Net::Pastry(
+            PastryPubSubNetwork::builder().nodes(nodes).seed(seed).pubsub(pubsub).build(),
+        ),
+    };
+    let space = cbps::EventSpace::paper_default();
+    let mut gen = WorkloadGen::new(space, wl, seed);
+    let trace = gen.gen_trace();
+    for op in trace.ops() {
+        match (&mut net, &op.kind) {
+            (Net::Chord(n), OpKind::Subscribe { sub, ttl }) => {
+                n.run_until(op.at);
+                n.subscribe(op.node, sub.clone(), *ttl);
+            }
+            (Net::Chord(n), OpKind::Publish { event }) => {
+                n.run_until(op.at);
+                n.publish(op.node, event.clone());
+            }
+            (Net::Pastry(n), OpKind::Subscribe { sub, ttl }) => {
+                n.run_until(op.at);
+                n.subscribe(op.node, sub.clone(), *ttl);
+            }
+            (Net::Pastry(n), OpKind::Publish { event }) => {
+                n.run_until(op.at);
+                n.publish(op.node, event.clone());
+            }
+        }
+    }
+    let end = trace.end_time() + SimDuration::from_secs(300);
+    let metrics = match &mut net {
+        Net::Chord(n) => {
+            n.run_until(end);
+            n.metrics().clone()
+        }
+        Net::Pastry(n) => {
+            n.run_until(end);
+            n.metrics().clone()
+        }
+    };
+    Outcome {
+        hops_per_sub: metrics.messages(TrafficClass::SUBSCRIPTION) as f64 / subs as f64,
+        hops_per_pub: metrics.messages(TrafficClass::PUBLICATION) as f64 / pubs as f64,
+        hops_per_notify: metrics.messages(TrafficClass::NOTIFICATION) as f64
+            / metrics.counter("matches").max(1) as f64,
+        delivered: metrics.counter("notifications.delivered"),
+    }
+}
+
+/// Runs the comparison and returns its table.
+pub fn run(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Extension: the same pub/sub layer over Chord vs Pastry (m-cast)",
+        &["mapping", "overlay", "hops/sub", "hops/pub", "hops/notify", "delivered"],
+    );
+    for kind in [MappingKind::KeySpaceSplit, MappingKind::SelectiveAttribute] {
+        let mut delivered = Vec::new();
+        for overlay in ["chord", "pastry"] {
+            let o = run_on(overlay, kind, scale, 991);
+            delivered.push(o.delivered);
+            table.push_row(vec![
+                crate::experiments::fig5::short_name(kind).to_owned(),
+                overlay.to_owned(),
+                fmt_f(o.hops_per_sub),
+                fmt_f(o.hops_per_pub),
+                fmt_f(o.hops_per_notify),
+                o.delivered.to_string(),
+            ]);
+        }
+        assert_eq!(
+            delivered[0], delivered[1],
+            "overlays delivered different notification counts for {kind}"
+        );
+    }
+    table
+}

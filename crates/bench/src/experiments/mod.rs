@@ -1,0 +1,71 @@
+//! One module per reproduced table/figure; see DESIGN.md §5 for the index.
+
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9a;
+pub mod fig9b;
+pub mod fig_churn;
+pub mod fig_hotspot;
+pub mod fig_keys;
+pub mod fig_latency;
+pub mod fig_mcast;
+pub mod fig_overlay;
+pub mod fig_partial;
+pub mod fig_route;
+pub mod fig_vnodes;
+
+use crate::runner::Scale;
+use crate::table::Table;
+
+/// Runs every experiment at the given scale, returning all tables in
+/// figure order.
+pub fn run_all(scale: Scale) -> Vec<Table> {
+    let mut tables = Vec::new();
+    tables.push(fig_route::run(scale));
+    tables.extend(fig_keys::run(scale));
+    tables.push(fig5::run(scale));
+    tables.extend(fig6::run(scale));
+    tables.push(fig7::run(scale));
+    tables.extend(fig8::run(scale));
+    tables.push(fig9a::run(scale));
+    tables.push(fig_latency::run(scale));
+    tables.push(fig9b::run(scale));
+    tables.push(fig_mcast::run(scale));
+    tables.push(fig_partial::run(scale));
+    tables.push(fig_hotspot::run(scale));
+    tables.push(fig_vnodes::run(scale));
+    tables.push(fig_overlay::run(scale));
+    tables.push(fig_churn::run(scale));
+    tables
+}
+
+/// Runs one experiment by name (`fig5`, `fig6`, … `all`).
+pub fn run_named(name: &str, scale: Scale) -> Option<Vec<Table>> {
+    Some(match name {
+        "fig5" => vec![fig5::run(scale)],
+        "fig6" => fig6::run(scale),
+        "fig7" => vec![fig7::run(scale)],
+        "fig8" => fig8::run(scale),
+        "fig9a" => vec![fig9a::run(scale)],
+        "latency" | "fig_latency" => vec![fig_latency::run(scale)],
+        "fig9b" => vec![fig9b::run(scale)],
+        "keys" | "fig_keys" => fig_keys::run(scale),
+        "route" | "fig_route" => vec![fig_route::run(scale)],
+        "mcast" | "fig_mcast" => vec![fig_mcast::run(scale)],
+        "churn" | "fig_churn" => vec![fig_churn::run(scale)],
+        "hotspot" | "fig_hotspot" => vec![fig_hotspot::run(scale)],
+        "overlay" | "fig_overlay" => vec![fig_overlay::run(scale)],
+        "partial" | "fig_partial" => vec![fig_partial::run(scale)],
+        "vnodes" | "fig_vnodes" => vec![fig_vnodes::run(scale)],
+        "all" => run_all(scale),
+        _ => return None,
+    })
+}
+
+/// Names accepted by [`run_named`].
+pub const EXPERIMENT_NAMES: &[&str] = &[
+    "route", "keys", "fig5", "fig6", "fig7", "fig8", "fig9a", "latency", "fig9b", "mcast",
+    "partial", "hotspot", "vnodes", "overlay", "churn",
+];

@@ -1,0 +1,22 @@
+//! # cbps-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the ICDCS 2005 evaluation (§5)
+//! plus the in-text measurements and two extensions. Run via:
+//!
+//! * `cargo bench -p cbps-bench --bench figures` — all figures at quick
+//!   scale;
+//! * `cargo run -p cbps-bench --release --bin figures -- --scale paper` —
+//!   full paper-scale runs (see `--help`);
+//! * `cargo bench -p cbps-bench --bench micro` — Criterion component
+//!   benchmarks (mappings, matching, m-cast splitting, SHA-1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod experiments;
+pub mod probe;
+pub mod runner;
+pub mod table;
+
+pub use runner::{Deployment, RunStats, Scale};
+pub use table::Table;

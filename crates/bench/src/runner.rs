@@ -1,0 +1,188 @@
+//! Shared experiment plumbing: scales, network construction, trace replay
+//! and metric extraction.
+
+use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
+use cbps_overlay::OverlayConfig;
+use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
+
+/// Experiment scale: full paper parameters or a fast CI-friendly shrink.
+///
+/// Quick scale preserves every *shape* (who wins, crossovers) while keeping
+/// the whole figure suite in the minutes range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Shrunk node counts and operation counts.
+    Quick,
+    /// The paper's §5.1 parameters.
+    Paper,
+}
+
+impl Scale {
+    /// Default node count (paper: 500).
+    pub fn nodes(self) -> usize {
+        match self {
+            Scale::Quick => 150,
+            Scale::Paper => 500,
+        }
+    }
+
+    /// Scales an operation count.
+    pub fn ops(self, paper: usize) -> usize {
+        match self {
+            Scale::Quick => (paper / 5).max(50),
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// One experiment deployment descriptor.
+#[derive(Clone, Debug)]
+pub struct Deployment {
+    /// Node count.
+    pub nodes: usize,
+    /// RNG seed (network + workload derive from it).
+    pub seed: u64,
+    /// Mapping under test.
+    pub mapping: MappingKind,
+    /// Propagation primitive under test.
+    pub primitive: Primitive,
+    /// Notification mode under test.
+    pub notify: NotifyMode,
+    /// Discretization interval width (1 = off).
+    pub discretization: u64,
+}
+
+impl Deployment {
+    /// A deployment with the paper's defaults.
+    pub fn new(nodes: usize, seed: u64) -> Self {
+        Deployment {
+            nodes,
+            seed,
+            mapping: MappingKind::KeySpaceSplit,
+            primitive: Primitive::MCast,
+            notify: NotifyMode::Immediate,
+            discretization: 1,
+        }
+    }
+
+    /// Builds the network.
+    pub fn build(&self) -> PubSubNetwork {
+        let pubsub = PubSubConfig::paper_default()
+            .with_mapping(self.mapping)
+            .with_primitive(self.primitive)
+            .with_notify_mode(self.notify)
+            .with_discretization(self.discretization);
+        PubSubNetwork::builder()
+            .nodes(self.nodes)
+            .net_config(NetConfig::new(self.seed))
+            .overlay(OverlayConfig::paper_default())
+            .pubsub(pubsub)
+            .build()
+    }
+}
+
+/// Metrics distilled from one run, normalized per request.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// One-hop messages per subscription request.
+    pub hops_per_sub: f64,
+    /// One-hop messages per publication request.
+    pub hops_per_pub: f64,
+    /// Notification + collect one-hop messages per generated match.
+    pub hops_per_notification: f64,
+    /// Notification + collect one-hop messages per publication request.
+    pub notify_hops_per_pub: f64,
+    /// Mean rendezvous keys per subscription.
+    pub keys_per_sub: f64,
+    /// Mean rendezvous keys per publication.
+    pub keys_per_pub: f64,
+    /// Max over nodes of the peak stored-subscription count.
+    pub max_stored: u64,
+    /// Mean over nodes of the peak stored-subscription count.
+    pub avg_stored: f64,
+    /// Matches generated at rendezvous nodes.
+    pub matches: u64,
+    /// Logically delivered notifications.
+    pub delivered: u64,
+}
+
+/// Replays a trace and distills the run's statistics. The network runs
+/// `drain_secs` past the last operation so in-flight messages and buffers
+/// settle.
+pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> RunStats {
+    let outcome = trace.replay(net);
+    let _ = outcome;
+    net.run_until(trace.end_time() + SimDuration::from_secs(drain_secs));
+    distill(net, trace.sub_count() as u64, trace.pub_count() as u64)
+}
+
+/// Extracts normalized statistics from a finished network.
+pub fn distill(net: &PubSubNetwork, subs: u64, pubs: u64) -> RunStats {
+    let m = net.metrics();
+    let matches = m.counter("matches");
+    let notify_msgs =
+        m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT);
+    let peaks = net.peak_stored_counts();
+    let max_stored = peaks.iter().copied().max().unwrap_or(0) as u64;
+    let avg_stored = if peaks.is_empty() {
+        0.0
+    } else {
+        peaks.iter().sum::<usize>() as f64 / peaks.len() as f64
+    };
+    RunStats {
+        hops_per_sub: ratio(m.messages(TrafficClass::SUBSCRIPTION), subs),
+        hops_per_pub: ratio(m.messages(TrafficClass::PUBLICATION), pubs),
+        hops_per_notification: ratio(notify_msgs, matches),
+        notify_hops_per_pub: ratio(notify_msgs, pubs),
+        keys_per_sub: m.histogram("keys.per-subscription").map(|h| h.mean()).unwrap_or(0.0),
+        keys_per_pub: m.histogram("keys.per-publication").map(|h| h.mean()).unwrap_or(0.0),
+        max_stored,
+        avg_stored,
+        matches,
+        delivered: m.counter("notifications.delivered"),
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The paper's workload for `nodes` with `selective` selective attributes.
+pub fn paper_workload(nodes: usize, selective: usize) -> WorkloadConfig {
+    WorkloadConfig::paper_default(nodes, 4).with_selective_attrs(selective)
+}
+
+/// Builds a generator with a seed derived from the deployment seed.
+pub fn workload_gen(cfg: WorkloadConfig, seed: u64) -> WorkloadGen {
+    WorkloadGen::new(cbps::EventSpace::paper_default(), cfg, seed.wrapping_mul(0x9E37_79B9).wrapping_add(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales() {
+        assert_eq!(Scale::Paper.nodes(), 500);
+        assert_eq!(Scale::Quick.ops(1000), 200);
+        assert_eq!(Scale::Quick.ops(100), 50);
+    }
+
+    #[test]
+    fn quick_run_produces_sane_stats() {
+        let mut net = Deployment::new(40, 1).build();
+        let cfg = paper_workload(40, 0).with_counts(30, 30);
+        let mut gen = workload_gen(cfg, 1);
+        let trace = gen.gen_trace();
+        let stats = run_trace(&mut net, &trace, 60);
+        assert!(stats.hops_per_sub > 0.0);
+        assert!(stats.hops_per_pub > 0.0);
+        assert!(stats.keys_per_pub >= 1.0);
+        assert!(stats.max_stored >= 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! The CLI subcommands.
+
+use cbps::{
+    EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork,
+};
+use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
+
+use crate::args::{ArgError, Args};
+
+type Outcome = Result<(), ArgError>;
+
+/// `cbps gen-trace`: generate a §5.1 workload trace file.
+pub fn gen_trace(args: &Args) -> Outcome {
+    args.check_flags(&["out", "nodes", "subs", "pubs", "seed", "selective", "match", "streak", "ttl"])?;
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("gen-trace needs --out FILE".into()))?
+        .to_owned();
+    let nodes: usize = args.get_or("nodes", 100)?;
+    let subs: usize = args.get_or("subs", 500)?;
+    let pubs: usize = args.get_or("pubs", 500)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let selective: usize = args.get_or("selective", 0)?;
+    let matching: f64 = args.get_or("match", 0.5)?;
+    let streak: u64 = args.get_or("streak", 1)?;
+    let ttl: Option<u64> = match args.get("ttl") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|_| ArgError(format!("bad --ttl {v:?}")))?),
+    };
+
+    let space = EventSpace::paper_default();
+    let cfg = WorkloadConfig::paper_default(nodes, space.dims())
+        .with_selective_attrs(selective)
+        .with_counts(subs, pubs)
+        .with_matching_probability(matching)
+        .with_seed_streak(streak)
+        .with_sub_ttl(ttl.map(SimDuration::from_secs));
+    let mut gen = WorkloadGen::new(space.clone(), cfg, seed);
+    let trace = gen.gen_trace();
+    let text = trace_to_string(&space, &trace);
+    std::fs::write(&out, &text).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+    println!(
+        "wrote {} ({} subscriptions, {} publications, ends at {})",
+        out,
+        trace.sub_count(),
+        trace.pub_count(),
+        trace.end_time()
+    );
+    Ok(())
+}
+
+fn parse_mapping(s: &str) -> Result<MappingKind, ArgError> {
+    Ok(match s {
+        "m1" | "attribute-split" => MappingKind::AttributeSplit,
+        "m2" | "keyspace-split" => MappingKind::KeySpaceSplit,
+        "m3" | "selective" => MappingKind::SelectiveAttribute,
+        other => return Err(ArgError(format!("unknown mapping {other:?} (m1|m2|m3)"))),
+    })
+}
+
+fn parse_primitive(s: &str) -> Result<Primitive, ArgError> {
+    Ok(match s {
+        "unicast" => Primitive::Unicast,
+        "mcast" | "m-cast" => Primitive::MCast,
+        "walk" => Primitive::Walk,
+        other => return Err(ArgError(format!("unknown primitive {other:?}"))),
+    })
+}
+
+fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
+    if s == "immediate" {
+        return Ok(NotifyMode::Immediate);
+    }
+    if let Some(secs) = s.strip_prefix("buffered:") {
+        let secs: u64 = secs.parse().map_err(|_| ArgError(format!("bad period in {s:?}")))?;
+        return Ok(NotifyMode::Buffered { period: SimDuration::from_secs(secs) });
+    }
+    if let Some(secs) = s.strip_prefix("collecting:") {
+        let secs: u64 = secs.parse().map_err(|_| ArgError(format!("bad period in {s:?}")))?;
+        return Ok(NotifyMode::Collecting { period: SimDuration::from_secs(secs) });
+    }
+    Err(ArgError(format!(
+        "unknown notify mode {s:?} (immediate|buffered:SECS|collecting:SECS)"
+    )))
+}
+
+/// `cbps run-trace`: replay a trace file against a fresh deployment and
+/// print the run's statistics.
+pub fn run_trace(args: &Args) -> Outcome {
+    args.check_flags(&[
+        "nodes", "seed", "mapping", "primitive", "notify", "discretization", "replication",
+    ])?;
+    let file = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("run-trace needs a trace FILE".into()))?;
+    let text =
+        std::fs::read_to_string(file).map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
+    let space = EventSpace::paper_default();
+    let trace =
+        trace_from_str(&space, &text).map_err(|e| ArgError(format!("bad trace: {e}")))?;
+
+    let nodes: usize = args.get_or("nodes", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mapping = parse_mapping(args.get("mapping").unwrap_or("m2"))?;
+    let primitive = parse_primitive(args.get("primitive").unwrap_or("mcast"))?;
+    let notify = parse_notify(args.get("notify").unwrap_or("immediate"))?;
+    let discretization: u64 = args.get_or("discretization", 1)?;
+    let replication: usize = args.get_or("replication", 0)?;
+
+    let mut net = PubSubNetwork::builder()
+        .nodes(nodes)
+        .net_config(NetConfig::new(seed))
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(mapping)
+                .with_primitive(primitive)
+                .with_notify_mode(notify)
+                .with_discretization(discretization)
+                .with_replication(replication),
+        )
+        .build();
+
+    let outcome = trace.replay(&mut net);
+    net.run_until(trace.end_time() + SimDuration::from_secs(600));
+
+    let m = net.metrics();
+    let subs = trace.sub_count().max(1) as f64;
+    let pubs = trace.pub_count().max(1) as f64;
+    println!("deployment: {nodes} nodes, {mapping}, {primitive:?}, {notify:?}");
+    println!("trace: {} subscriptions, {} publications", trace.sub_count(), trace.pub_count());
+    println!("one-hop messages:");
+    for class in [
+        TrafficClass::SUBSCRIPTION,
+        TrafficClass::PUBLICATION,
+        TrafficClass::NOTIFICATION,
+        TrafficClass::COLLECT,
+        TrafficClass::STATE_TRANSFER,
+    ] {
+        println!("  {:<14} {}", class.name(), m.messages(class));
+    }
+    println!("hops/subscription: {:.2}", m.messages(TrafficClass::SUBSCRIPTION) as f64 / subs);
+    println!("hops/publication:  {:.2}", m.messages(TrafficClass::PUBLICATION) as f64 / pubs);
+    println!("matches: {}", m.counter("matches"));
+    println!("notifications delivered: {}", m.counter("notifications.delivered"));
+    let peaks = net.peak_stored_counts();
+    let max = peaks.iter().max().copied().unwrap_or(0);
+    let avg = peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64;
+    println!("stored subscriptions/node: max {max}, avg {avg:.1}");
+    let expected = outcome.oracle.expected().len();
+    println!("oracle (timing-agnostic) expected pairs: {expected}");
+    Ok(())
+}
+
+/// `cbps ring`: print ring occupancy and one node's routing tables.
+pub fn ring(args: &Args) -> Outcome {
+    args.check_flags(&["nodes", "seed", "node"])?;
+    let nodes: usize = args.get_or("nodes", 20)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let inspect: usize = args.get_or("node", 0)?;
+    let net = PubSubNetwork::builder()
+        .nodes(nodes)
+        .net_config(NetConfig::new(seed))
+        .pubsub(PubSubConfig::paper_default())
+        .build();
+    let ring = net.ring();
+    println!("ring: {} nodes over {} keys", ring.len(), ring.space().size());
+    for peer in ring.peers() {
+        let marker = if peer.idx == inspect { "  <-- --node" } else { "" };
+        println!("  node {:>4}  key {:>6}{}", peer.idx, peer.key.value(), marker);
+    }
+    if inspect < nodes {
+        let me = ring.peers().iter().find(|p| p.idx == inspect).expect("exists");
+        println!("\nfinger table of node {} (key {}):", me.idx, me.key.value());
+        for (i, f) in ring.fingers_of(me.key).iter().enumerate() {
+            println!(
+                "  finger {:>2}  target {:>6}  ->  node {:>4} (key {})",
+                i,
+                ring.space().finger_target(me.key, i as u32).value(),
+                f.idx,
+                f.key.value()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `cbps experiment`: run a named experiment from the bench harness.
+pub fn experiment(args: &Args) -> Outcome {
+    args.check_flags(&["scale"])?;
+    let name = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("experiment needs a NAME".into()))?;
+    let scale = match args.get("scale").unwrap_or("quick") {
+        "quick" => cbps_bench::Scale::Quick,
+        "paper" => cbps_bench::Scale::Paper,
+        other => return Err(ArgError(format!("unknown scale {other:?}"))),
+    };
+    let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
+        ArgError(format!(
+            "unknown experiment {name:?}; known: {}",
+            cbps_bench::experiments::EXPERIMENT_NAMES.join(", ")
+        ))
+    })?;
+    for t in tables {
+        println!("{}", t.render());
+    }
+    Ok(())
+}

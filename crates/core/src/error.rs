@@ -1,0 +1,87 @@
+//! Error types of the pub/sub layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the public pub/sub API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PubSubError {
+    /// An event or subscription used a different number of dimensions than
+    /// its event space defines.
+    DimensionMismatch {
+        /// Dimensions of the event space.
+        expected: usize,
+        /// Dimensions supplied by the caller.
+        got: usize,
+    },
+    /// An attribute value lies outside its domain.
+    ValueOutOfDomain {
+        /// Attribute name.
+        attr: String,
+        /// The offending value.
+        value: u64,
+        /// The domain size (valid values are `0..size`).
+        size: u64,
+    },
+    /// A constraint's bounds are inverted (`lo > hi`).
+    EmptyConstraint {
+        /// Lower bound supplied.
+        lo: u64,
+        /// Upper bound supplied.
+        hi: u64,
+    },
+    /// A named attribute does not exist in the event space.
+    UnknownAttribute {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A subscription has no constraint on any attribute and the active
+    /// mapping cannot place fully-wildcard subscriptions.
+    UnconstrainedSubscription,
+}
+
+impl fmt::Display for PubSubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PubSubError::DimensionMismatch { expected, got } => {
+                write!(f, "expected {expected} attribute values, got {got}")
+            }
+            PubSubError::ValueOutOfDomain { attr, value, size } => {
+                write!(f, "value {value} of attribute {attr} outside domain 0..{size}")
+            }
+            PubSubError::EmptyConstraint { lo, hi } => {
+                write!(f, "constraint bounds inverted: {lo} > {hi}")
+            }
+            PubSubError::UnknownAttribute { name } => {
+                write!(f, "unknown attribute {name:?}")
+            }
+            PubSubError::UnconstrainedSubscription => {
+                write!(f, "subscription constrains no attribute")
+            }
+        }
+    }
+}
+
+impl Error for PubSubError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_complete() {
+        let e = PubSubError::ValueOutOfDomain { attr: "x".into(), value: 12, size: 10 };
+        assert_eq!(e.to_string(), "value 12 of attribute x outside domain 0..10");
+        let e = PubSubError::DimensionMismatch { expected: 4, got: 2 };
+        assert!(e.to_string().starts_with("expected 4"));
+        let e = PubSubError::UnknownAttribute { name: "q".into() };
+        assert!(e.to_string().contains("\"q\""));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: &(dyn Error + Send + Sync)) {}
+        takes_err(&PubSubError::UnconstrainedSubscription);
+    }
+}

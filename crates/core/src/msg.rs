@@ -1,0 +1,110 @@
+//! Wire payloads of the CB-pub/sub layer, routed by the overlay.
+
+use cbps_overlay::{Key, Peer};
+use cbps_sim::SimTime;
+
+use crate::event::{Event, EventId};
+use crate::store::StoredSub;
+use crate::subscription::SubId;
+
+/// One notification: an event that matched a subscription.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NotifyItem {
+    /// The matched subscription.
+    pub sub_id: SubId,
+    /// The matching event's id.
+    pub event_id: EventId,
+    /// The matching event.
+    pub event: Event,
+}
+
+/// One match travelling along the ring toward its subscription's agent node
+/// (the collecting optimization, §4.3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectItem {
+    /// The matched subscription.
+    pub sub_id: SubId,
+    /// Who ultimately receives the notification.
+    pub subscriber: Peer,
+    /// Middle key of the subscription's rendezvous range: the node covering
+    /// it acts as the aggregation agent.
+    pub agent_key: Key,
+    /// The matching event's id.
+    pub event_id: EventId,
+    /// The matching event.
+    pub event: Event,
+}
+
+/// Application payloads carried by the overlay for the pub/sub layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PubSubMsg {
+    /// `sub(σ)`: store this subscription at the rendezvous keys.
+    Subscribe {
+        /// Subscription id.
+        id: SubId,
+        /// The stored record (query, subscriber, expiry, full `SK` set).
+        stored: StoredSub,
+    },
+    /// `unsub(σ)`: drop the subscription at the rendezvous keys.
+    Unsubscribe {
+        /// Subscription id to drop.
+        id: SubId,
+    },
+    /// `pub(e)`: match this event at the rendezvous keys.
+    Publish {
+        /// Event id.
+        id: EventId,
+        /// The event.
+        event: Event,
+    },
+    /// Matches delivered to a subscriber (routed to the subscriber's key).
+    Notification {
+        /// The batched matches (singleton without buffering).
+        items: Vec<NotifyItem>,
+    },
+    /// Ring-neighbor exchange of matches flowing toward range agents
+    /// (one-hop direct messages, class `COLLECT`).
+    CollectExchange {
+        /// Matches to move along the ring.
+        items: Vec<CollectItem>,
+    },
+    /// State transfer between neighbors (join/leave) or to replicas
+    /// (one-hop direct messages, class `STATE_TRANSFER`).
+    StateBatch {
+        /// The records being transferred.
+        subs: Vec<(SubId, StoredSub)>,
+        /// `true`: store passively as replicas; `false`: adopt as primary.
+        as_replica: bool,
+    },
+    /// Replica invalidation after unsubscription or expiry-driven cleanup.
+    ReplicaDrop {
+        /// Subscription ids to drop from the replica set.
+        ids: Vec<SubId>,
+    },
+}
+
+/// Application timers of the pub/sub layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PubSubTimer {
+    /// Flush notification/collect buffers (buffering period elapsed).
+    Flush,
+    /// Re-issue a leased subscription before it lapses (lease refresh).
+    Refresh {
+        /// The subscription to refresh.
+        id: SubId,
+    },
+}
+
+/// A notification as observed by the subscribing application: which
+/// subscription fired, for which event, and when it arrived.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeliveredNote {
+    /// The subscription that matched.
+    pub sub_id: SubId,
+    /// The event's id.
+    pub event_id: EventId,
+    /// The event content.
+    pub event: Event,
+    /// Arrival (simulated) time at the subscriber.
+    pub at: SimTime,
+}

@@ -1,0 +1,664 @@
+//! The CB-pub/sub layer of one node (§4.1): computing the ak-mapping,
+//! propagating subscriptions and events, storing and matching at
+//! rendezvous, dispatching notifications (immediately, buffered, or via the
+//! collecting protocol), and transferring state across membership changes.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use cbps_overlay::{ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayServices, OverlaySvc, Peer};
+use cbps_sim::{SimDuration, SimTime, TrafficClass};
+
+use crate::config::{NotifyMode, Primitive, PubSubConfig};
+use crate::event::{Event, EventId};
+use crate::msg::{CollectItem, DeliveredNote, NotifyItem, PubSubMsg, PubSubTimer};
+use crate::store::{StoredSub, SubscriptionStore};
+use crate::subscription::{SubId, Subscription};
+
+/// Bound on the rendezvous-side event dedup window (events can arrive once
+/// per target key under per-key unicast).
+const SEEN_EVENTS_CAP: usize = 4096;
+
+/// Chord's concrete service handle (used by the [`ChordApp`] impl).
+pub type Svc<'a, 'c> = OverlaySvc<'a, 'c, PubSubMsg, PubSubTimer>;
+
+/// The overlay-neutral service surface the pub/sub logic is written
+/// against — any overlay implementing [`OverlayServices`] can host it
+/// (§3.1: the infrastructure "can use any overlay routing scheme").
+pub type DynSvc<'x> = dyn OverlayServices<PubSubMsg, PubSubTimer> + 'x;
+
+/// The pub/sub application state of one node: subscriber, publisher and
+/// rendezvous roles combined (every node can play all three, §3.2).
+#[derive(Debug)]
+pub struct PubSubNode {
+    cfg: Arc<PubSubConfig>,
+    /// Rendezvous role: primary stored subscriptions.
+    store: SubscriptionStore,
+    /// Passive replicas held for ring predecessors (activated on failure).
+    replicas: HashMap<SubId, StoredSub>,
+    /// Subscriber role: subscriptions this node issued.
+    my_subs: HashMap<SubId, StoredSub>,
+    next_sub_seq: u32,
+    next_event_seq: u32,
+    delivered: Vec<DeliveredNote>,
+    delivered_dedup: HashSet<(SubId, EventId)>,
+    /// Rendezvous-side event dedup (per-key unicast can deliver the same
+    /// event several times to one node).
+    seen_events: HashSet<EventId>,
+    seen_order: VecDeque<EventId>,
+    /// Buffered notifications per subscriber (buffering optimization).
+    notify_buffer: HashMap<Peer, Vec<NotifyItem>>,
+    /// Collect items heading clockwise / counter-clockwise.
+    collect_succ: Vec<CollectItem>,
+    collect_pred: Vec<CollectItem>,
+    /// Matches aggregated at this node as a range agent.
+    agent_buffer: HashMap<Peer, Vec<NotifyItem>>,
+    flush_armed: bool,
+}
+
+impl PubSubNode {
+    /// Creates the pub/sub state for one node under a shared configuration.
+    pub fn new(cfg: Arc<PubSubConfig>) -> Self {
+        let store = SubscriptionStore::new(&cfg.space);
+        PubSubNode {
+            cfg,
+            store,
+            replicas: HashMap::new(),
+            my_subs: HashMap::new(),
+            next_sub_seq: 0,
+            next_event_seq: 0,
+            delivered: Vec::new(),
+            delivered_dedup: HashSet::new(),
+            seen_events: HashSet::new(),
+            seen_order: VecDeque::new(),
+            notify_buffer: HashMap::new(),
+            collect_succ: Vec::new(),
+            collect_pred: Vec::new(),
+            agent_buffer: HashMap::new(),
+            flush_armed: false,
+        }
+    }
+
+    /// The shared configuration.
+    pub fn config(&self) -> &PubSubConfig {
+        &self.cfg
+    }
+
+    /// The rendezvous store (primary subscriptions held for others).
+    pub fn store(&self) -> &SubscriptionStore {
+        &self.store
+    }
+
+    /// Number of passive replicas currently held.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Notifications received by this node as a subscriber, in arrival
+    /// order (logically deduplicated).
+    pub fn delivered(&self) -> &[DeliveredNote] {
+        &self.delivered
+    }
+
+    /// Subscriptions issued by this node that have not been unsubscribed.
+    pub fn my_subscriptions(&self) -> impl Iterator<Item = (SubId, &Subscription)> {
+        self.my_subs.iter().map(|(&id, s)| (id, &s.sub))
+    }
+
+    // ------------------------------------------------------------------
+    // Application API (sub / pub / unsub), invoked through `app_call`.
+    // ------------------------------------------------------------------
+
+    /// `sub(σ)`: maps the subscription to its rendezvous keys and
+    /// propagates it with the configured primitive. Returns the new id.
+    pub fn subscribe(
+        &mut self,
+        sub: Subscription,
+        ttl: Option<SimDuration>,
+        svc: &mut DynSvc<'_>,
+    ) -> SubId {
+        let me = svc.me();
+        let id = SubId::compose(me.idx, self.next_sub_seq);
+        self.next_sub_seq += 1;
+        let sk = self.cfg.mapping.sk(&sub);
+        let expires = match ttl.or(self.cfg.default_ttl) {
+            Some(d) => svc.now() + d,
+            None => SimTime::MAX,
+        };
+        let stored = StoredSub { sub, subscriber: me, expires, sk: sk.clone() };
+        self.my_subs.insert(id, stored.clone());
+        svc.metrics().add("requests.subscribe", 1);
+        svc.metrics().histogram_mut("keys.per-subscription").record(sk.count());
+        if self.cfg.lease_refresh && expires != SimTime::MAX {
+            svc.arm_timer(expires.saturating_since(svc.now()) / 2, PubSubTimer::Refresh { id });
+        }
+        self.propagate(
+            &sk,
+            TrafficClass::SUBSCRIPTION,
+            PubSubMsg::Subscribe { id, stored },
+            svc,
+        );
+        id
+    }
+
+    /// Lease refresh: re-issue a still-wanted subscription with a renewed
+    /// expiry and re-arm the half-lease timer. Unsubscribed or lapsed
+    /// local records stop the cycle.
+    fn refresh_lease(&mut self, id: SubId, svc: &mut DynSvc<'_>) {
+        let Some(record) = self.my_subs.get(&id) else {
+            return; // unsubscribed in the meantime
+        };
+        let old_expiry = record.expires;
+        let now = svc.now();
+        if old_expiry == SimTime::MAX || old_expiry <= now {
+            return; // nothing to extend / already lapsed locally
+        }
+        // Extend by the original lease length, measured from now.
+        let half_lease = old_expiry.saturating_since(now);
+        let new_expiry = now + half_lease * 2;
+        let record = self.my_subs.get_mut(&id).expect("checked above");
+        record.expires = new_expiry;
+        let stored = record.clone();
+        svc.metrics().add("requests.refresh", 1);
+        svc.arm_timer(half_lease, PubSubTimer::Refresh { id });
+        self.propagate(
+            &stored.sk.clone(),
+            TrafficClass::SUBSCRIPTION,
+            PubSubMsg::Subscribe { id, stored },
+            svc,
+        );
+    }
+
+    /// `unsub(σ)`: removes the subscription from its rendezvous nodes.
+    /// Returns `false` if this node never issued `id` (or already
+    /// unsubscribed).
+    pub fn unsubscribe(&mut self, id: SubId, svc: &mut DynSvc<'_>) -> bool {
+        let Some(stored) = self.my_subs.remove(&id) else {
+            return false;
+        };
+        svc.metrics().add("requests.unsubscribe", 1);
+        self.propagate(
+            &stored.sk,
+            TrafficClass::SUBSCRIPTION,
+            PubSubMsg::Unsubscribe { id },
+            svc,
+        );
+        true
+    }
+
+    /// `pub(e)`: maps the event to its rendezvous keys and propagates it.
+    /// Returns the new event id.
+    pub fn publish(&mut self, event: Event, svc: &mut DynSvc<'_>) -> EventId {
+        let me = svc.me();
+        let id = EventId::compose(me.idx, self.next_event_seq);
+        self.next_event_seq += 1;
+        let ek = self.cfg.mapping.ek(&event);
+        svc.metrics().add("requests.publish", 1);
+        svc.metrics().histogram_mut("keys.per-publication").record(ek.count());
+        self.propagate(
+            &ek,
+            TrafficClass::PUBLICATION,
+            PubSubMsg::Publish { id, event },
+            svc,
+        );
+        id
+    }
+
+    fn propagate(
+        &self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        msg: PubSubMsg,
+        svc: &mut DynSvc<'_>,
+    ) {
+        match self.cfg.primitive {
+            Primitive::Unicast => svc.ucast_keys(targets, class, msg),
+            Primitive::MCast => svc.mcast(targets, class, msg),
+            Primitive::Walk => {
+                let ranges: Vec<KeyRange> = targets.iter_ranges(svc.space()).collect();
+                for range in ranges {
+                    svc.walk(range, class, msg.clone());
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rendezvous role.
+    // ------------------------------------------------------------------
+
+    fn handle_store(&mut self, id: SubId, stored: StoredSub, svc: &mut DynSvc<'_>) {
+        let fresh = self.store.insert(id, stored.clone(), svc.now());
+        if fresh {
+            svc.metrics().add("store.insert", 1);
+            let replication = self.cfg.replication;
+            if replication > 0 {
+                let succs: Vec<Peer> =
+                    svc.successors().iter().take(replication).copied().collect();
+                for peer in succs {
+                    svc.direct(
+                        peer,
+                        TrafficClass::STATE_TRANSFER,
+                        PubSubMsg::StateBatch {
+                            subs: vec![(id, stored.clone())],
+                            as_replica: true,
+                        },
+                    );
+                }
+            }
+        } else {
+            svc.metrics().add("store.duplicate-delivery", 1);
+        }
+    }
+
+    fn handle_unsubscribe(&mut self, id: SubId, svc: &mut DynSvc<'_>) {
+        if self.store.remove(id).is_some() && self.cfg.replication > 0 {
+            let succs: Vec<Peer> =
+                svc.successors().iter().take(self.cfg.replication).copied().collect();
+            for peer in succs {
+                svc.direct(
+                    peer,
+                    TrafficClass::STATE_TRANSFER,
+                    PubSubMsg::ReplicaDrop { ids: vec![id] },
+                );
+            }
+        }
+        self.replicas.remove(&id);
+    }
+
+    fn note_event_seen(&mut self, id: EventId) -> bool {
+        if !self.seen_events.insert(id) {
+            return false;
+        }
+        self.seen_order.push_back(id);
+        if self.seen_order.len() > SEEN_EVENTS_CAP {
+            if let Some(old) = self.seen_order.pop_front() {
+                self.seen_events.remove(&old);
+            }
+        }
+        true
+    }
+
+    fn handle_publish(&mut self, id: EventId, event: Event, svc: &mut DynSvc<'_>) {
+        if !self.note_event_seen(id) {
+            svc.metrics().add("publish.duplicate-delivery", 1);
+            return;
+        }
+        let matches = self.store.match_event(&event, svc.now());
+        svc.metrics().add("matches", matches.len() as u64);
+        for (sub_id, stored) in matches {
+            let item = NotifyItem { sub_id, event_id: id, event: event.clone() };
+            match self.cfg.notify_mode {
+                NotifyMode::Immediate => {
+                    svc.metrics().add("notifications.messages", 1);
+                    svc.send(
+                        stored.subscriber.key,
+                        TrafficClass::NOTIFICATION,
+                        PubSubMsg::Notification { items: vec![item] },
+                    );
+                }
+                NotifyMode::Buffered { period } => {
+                    self.notify_buffer.entry(stored.subscriber).or_default().push(item);
+                    self.arm_flush(period, svc);
+                }
+                NotifyMode::Collecting { period } => {
+                    self.route_to_agent(item, &stored, svc);
+                    self.arm_flush(period, svc);
+                }
+            }
+        }
+    }
+
+    /// Queues a match either at this node (if we cover the agent key of the
+    /// subscription's rendezvous range) or toward the agent along the ring.
+    fn route_to_agent(&mut self, item: NotifyItem, stored: &StoredSub, svc: &mut DynSvc<'_>) {
+        let space = svc.space();
+        let me = svc.me();
+        // Locate the rendezvous range this node serves for the
+        // subscription (the first range intersecting our coverage).
+        let pred = svc.predecessor().unwrap_or(me);
+        let range = stored
+            .sk
+            .iter_ranges(space)
+            .find(|r| {
+                !KeyRangeSet::of_range(space, *r)
+                    .extract_arc_oc(space, pred.key, me.key)
+                    .is_empty()
+            })
+            .or_else(|| stored.sk.iter_ranges(space).next());
+        let Some(range) = range else { return };
+        let agent_key = range.midpoint(space);
+        if svc.covers(agent_key) {
+            self.agent_buffer.entry(stored.subscriber).or_default().push(item);
+            return;
+        }
+        let citem = CollectItem {
+            sub_id: item.sub_id,
+            subscriber: stored.subscriber,
+            agent_key,
+            event_id: item.event_id,
+            event: item.event,
+        };
+        // Nodes covering the part of the range before the midpoint push
+        // clockwise; the rest push counter-clockwise.
+        if space.distance_cw(range.start(), me.key) < space.distance_cw(range.start(), agent_key)
+        {
+            self.collect_succ.push(citem);
+        } else {
+            self.collect_pred.push(citem);
+        }
+    }
+
+    fn arm_flush(&mut self, period: SimDuration, svc: &mut DynSvc<'_>) {
+        if !self.flush_armed {
+            self.flush_armed = true;
+            svc.arm_timer(period, PubSubTimer::Flush);
+        }
+    }
+
+    fn flush(&mut self, svc: &mut DynSvc<'_>) {
+        self.flush_armed = false;
+        // Plain buffered notifications: one message per subscriber.
+        let buffered: Vec<(Peer, Vec<NotifyItem>)> = self.notify_buffer.drain().collect();
+        for (subscriber, items) in buffered {
+            svc.metrics().add("notifications.messages", 1);
+            svc.metrics().histogram_mut("notifications.batch-size").record(items.len() as u64);
+            svc.send(
+                subscriber.key,
+                TrafficClass::NOTIFICATION,
+                PubSubMsg::Notification { items },
+            );
+        }
+        // Agent aggregates: one message per subscriber.
+        let agent: Vec<(Peer, Vec<NotifyItem>)> = self.agent_buffer.drain().collect();
+        for (subscriber, items) in agent {
+            svc.metrics().add("notifications.messages", 1);
+            svc.metrics().histogram_mut("notifications.batch-size").record(items.len() as u64);
+            svc.send(
+                subscriber.key,
+                TrafficClass::NOTIFICATION,
+                PubSubMsg::Notification { items },
+            );
+        }
+        // Collect exchanges: one merged message per ring direction.
+        let succ_items = std::mem::take(&mut self.collect_succ);
+        if !succ_items.is_empty() {
+            match svc.successor() {
+                Some(succ) => svc.direct(
+                    succ,
+                    TrafficClass::COLLECT,
+                    PubSubMsg::CollectExchange { items: succ_items },
+                ),
+                None => self.absorb_collect_items(succ_items, svc),
+            }
+        }
+        let pred_items = std::mem::take(&mut self.collect_pred);
+        if !pred_items.is_empty() {
+            match svc.predecessor() {
+                Some(pred) => svc.direct(
+                    pred,
+                    TrafficClass::COLLECT,
+                    PubSubMsg::CollectExchange { items: pred_items },
+                ),
+                None => self.absorb_collect_items(pred_items, svc),
+            }
+        }
+    }
+
+    /// Fallback when there is no neighbor to push to (single-node ring):
+    /// act as the agent ourselves.
+    fn absorb_collect_items(&mut self, items: Vec<CollectItem>, svc: &mut DynSvc<'_>) {
+        let mut touched = false;
+        for item in items {
+            self.agent_buffer.entry(item.subscriber).or_default().push(NotifyItem {
+                sub_id: item.sub_id,
+                event_id: item.event_id,
+                event: item.event,
+            });
+            touched = true;
+        }
+        if touched {
+            if let NotifyMode::Collecting { period } = self.cfg.notify_mode {
+                self.arm_flush(period, svc);
+            }
+        }
+    }
+
+    fn handle_collect_exchange(&mut self, items: Vec<CollectItem>, svc: &mut DynSvc<'_>) {
+        let space = svc.space();
+        let me = svc.me();
+        let mut touched = false;
+        for item in items {
+            touched = true;
+            if svc.covers(item.agent_key) {
+                self.agent_buffer.entry(item.subscriber).or_default().push(NotifyItem {
+                    sub_id: item.sub_id,
+                    event_id: item.event_id,
+                    event: item.event.clone(),
+                });
+                continue;
+            }
+            // Keep moving toward the agent: clockwise if it lies in the
+            // half-ring ahead of us, counter-clockwise otherwise.
+            if space.distance_cw(me.key, item.agent_key) <= space.size() / 2 {
+                self.collect_succ.push(item);
+            } else {
+                self.collect_pred.push(item);
+            }
+        }
+        if touched {
+            if let NotifyMode::Collecting { period } = self.cfg.notify_mode {
+                self.arm_flush(period, svc);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subscriber role.
+    // ------------------------------------------------------------------
+
+    fn handle_notification(&mut self, items: Vec<NotifyItem>, svc: &mut DynSvc<'_>) {
+        let now = svc.now();
+        let me = svc.me().idx;
+        for item in items {
+            // During churn a notification routed to a crashed subscriber's
+            // key lands on the key's new coverer; it is not ours to consume.
+            if item.sub_id.node() != me {
+                svc.metrics().add("notifications.misrouted", 1);
+                continue;
+            }
+            if self.delivered_dedup.insert((item.sub_id, item.event_id)) {
+                svc.metrics().add("notifications.delivered", 1);
+                self.delivered.push(DeliveredNote {
+                    sub_id: item.sub_id,
+                    event_id: item.event_id,
+                    event: item.event,
+                    at: now,
+                });
+            } else {
+                svc.metrics().add("notifications.duplicate", 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State transfer and replication.
+    // ------------------------------------------------------------------
+
+    fn handle_state_batch(
+        &mut self,
+        subs: Vec<(SubId, StoredSub)>,
+        as_replica: bool,
+        svc: &mut DynSvc<'_>,
+    ) {
+        let now = svc.now();
+        for (id, stored) in subs {
+            if as_replica {
+                svc.metrics().add("replicas.stored", 1);
+                self.replicas.insert(id, stored);
+            } else {
+                svc.metrics().add("state-transfer.adopted", 1);
+                self.store.insert(id, stored, now);
+            }
+        }
+    }
+}
+
+impl PubSubNode {
+    /// Overlay-neutral entry point for routed payload deliveries. Every
+    /// overlay adapter (Chord's [`ChordApp`] impl below, Pastry's in
+    /// `cbps-pastry`) funnels into this.
+    pub fn handle_deliver(&mut self, payload: PubSubMsg, svc: &mut DynSvc<'_>) {
+        match payload {
+            PubSubMsg::Subscribe { id, stored } => self.handle_store(id, stored, svc),
+            PubSubMsg::Unsubscribe { id } => self.handle_unsubscribe(id, svc),
+            PubSubMsg::Publish { id, event } => self.handle_publish(id, event, svc),
+            PubSubMsg::Notification { items } => self.handle_notification(items, svc),
+            // These travel as direct one-hop messages; a routed copy would
+            // indicate a bug.
+            PubSubMsg::CollectExchange { .. }
+            | PubSubMsg::StateBatch { .. }
+            | PubSubMsg::ReplicaDrop { .. } => {
+                debug_assert!(false, "direct-only payload arrived via routing");
+            }
+        }
+    }
+
+    /// Overlay-neutral entry point for one-hop direct messages.
+    pub fn handle_direct_msg(&mut self, _from: Peer, payload: PubSubMsg, svc: &mut DynSvc<'_>) {
+        match payload {
+            PubSubMsg::CollectExchange { items } => self.handle_collect_exchange(items, svc),
+            PubSubMsg::StateBatch { subs, as_replica } => {
+                self.handle_state_batch(subs, as_replica, svc)
+            }
+            PubSubMsg::ReplicaDrop { ids } => {
+                for id in ids {
+                    self.replicas.remove(&id);
+                }
+            }
+            // Notifications are routed, not direct.
+            other => {
+                let _ = other;
+                debug_assert!(false, "routed-only payload arrived directly");
+            }
+        }
+    }
+
+    /// Overlay-neutral entry point for application timers.
+    pub fn handle_timer_fired(&mut self, timer: PubSubTimer, svc: &mut DynSvc<'_>) {
+        match timer {
+            PubSubTimer::Flush => self.flush(svc),
+            PubSubTimer::Refresh { id } => self.refresh_lease(id, svc),
+        }
+    }
+
+    /// Overlay-neutral entry point for coverage changes (a neighbor
+    /// joined, left or failed): state handover, demotion and replica
+    /// promotion.
+    pub fn handle_predecessor_changed(
+        &mut self,
+        old: Option<Peer>,
+        new: Option<Peer>,
+        svc: &mut DynSvc<'_>,
+    ) {
+        let space = svc.space();
+        let me = svc.me();
+        // A node joined inside our old arc: hand over the primaries it now
+        // covers.
+        if let (Some(old_p), Some(new_p)) = (old, new) {
+            if space.in_arc_oo(new_p.key, old_p.key, me.key) {
+                let batch: Vec<(SubId, StoredSub)> = self
+                    .store
+                    .iter()
+                    .filter(|(_, s)| {
+                        !s.sk.extract_arc_oc(space, old_p.key, new_p.key).is_empty()
+                    })
+                    .map(|(id, s)| (id, s.clone()))
+                    .collect();
+                if !batch.is_empty() {
+                    svc.direct(
+                        new_p,
+                        TrafficClass::STATE_TRANSFER,
+                        PubSubMsg::StateBatch { subs: batch, as_replica: false },
+                    );
+                }
+            }
+        }
+        // Re-evaluate which records we are primary for: demote primaries
+        // whose rendezvous keys we no longer cover, promote replicas whose
+        // keys we now do (failure takeover).
+        let covered = |s: &StoredSub| match new {
+            None => true,
+            Some(p) => !s.sk.extract_arc_oc(space, p.key, me.key).is_empty(),
+        };
+        let demote: Vec<SubId> = self
+            .store
+            .iter()
+            .filter(|(_, s)| !covered(s))
+            .map(|(id, _)| id)
+            .collect();
+        for id in demote {
+            if let Some(s) = self.store.remove(id) {
+                self.replicas.insert(id, s);
+            }
+        }
+        let promote: Vec<SubId> = self
+            .replicas
+            .iter()
+            .filter(|(_, s)| covered(s))
+            .map(|(&id, _)| id)
+            .collect();
+        let now = svc.now();
+        for id in promote {
+            if let Some(s) = self.replicas.remove(&id) {
+                svc.metrics().add("replicas.promoted", 1);
+                self.store.insert(id, s, now);
+            }
+        }
+    }
+
+    /// Overlay-neutral entry point for graceful departure: push primaries
+    /// to the successor.
+    pub fn handle_leaving(&mut self, svc: &mut DynSvc<'_>) {
+        let Some(succ) = svc.successor() else { return };
+        let batch: Vec<(SubId, StoredSub)> =
+            self.store.iter().map(|(id, s)| (id, s.clone())).collect();
+        if !batch.is_empty() {
+            svc.direct(
+                succ,
+                TrafficClass::STATE_TRANSFER,
+                PubSubMsg::StateBatch { subs: batch, as_replica: false },
+            );
+        }
+    }
+}
+
+impl ChordApp for PubSubNode {
+    type Payload = PubSubMsg;
+    type Timer = PubSubTimer;
+
+    fn on_deliver(&mut self, payload: PubSubMsg, _delivery: Delivery, svc: &mut Svc<'_, '_>) {
+        self.handle_deliver(payload, svc);
+    }
+
+    fn on_direct(&mut self, from: Peer, payload: PubSubMsg, svc: &mut Svc<'_, '_>) {
+        self.handle_direct_msg(from, payload, svc);
+    }
+
+    fn on_timer(&mut self, timer: PubSubTimer, svc: &mut Svc<'_, '_>) {
+        self.handle_timer_fired(timer, svc);
+    }
+
+    fn on_predecessor_changed(
+        &mut self,
+        old: Option<Peer>,
+        new: Option<Peer>,
+        svc: &mut Svc<'_, '_>,
+    ) {
+        self.handle_predecessor_changed(old, new, svc);
+    }
+
+    fn on_leaving(&mut self, svc: &mut Svc<'_, '_>) {
+        self.handle_leaving(svc);
+    }
+}

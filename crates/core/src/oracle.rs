@@ -1,0 +1,152 @@
+//! A centralized reference matcher.
+//!
+//! The oracle sees every subscription and publication a test issues and
+//! computes the ground-truth set of `(subscription, event)` notification
+//! pairs by brute force, ignoring the distributed machinery entirely.
+//! Integration tests compare the network's actual deliveries against it to
+//! establish exactly-once logical delivery.
+
+use std::collections::BTreeSet;
+
+use cbps_sim::SimTime;
+
+use crate::event::{Event, EventId};
+use crate::subscription::{SubId, Subscription};
+
+/// One subscription as the oracle sees it.
+#[derive(Clone, Debug)]
+struct OracleSub {
+    id: SubId,
+    sub: Subscription,
+    issued: SimTime,
+    expires: SimTime,
+}
+
+/// Ground-truth matcher for validating end-to-end delivery.
+///
+/// # Examples
+///
+/// ```
+/// use cbps::{AttributeDef, Event, EventId, EventSpace, Oracle, SubId, Subscription};
+/// use cbps_sim::SimTime;
+///
+/// let space = EventSpace::new(vec![AttributeDef::new("x", 100)]);
+/// let mut oracle = Oracle::new();
+/// let sub = Subscription::builder(&space).range("x", 10, 20)?.build()?;
+/// oracle.add_sub(SubId(1), sub, SimTime::ZERO, SimTime::MAX);
+/// oracle.add_pub(EventId(9), Event::new(&space, vec![15])?, SimTime::from_secs(1));
+/// let expected = oracle.expected();
+/// assert!(expected.contains(&(SubId(1), EventId(9))));
+/// # Ok::<(), cbps::PubSubError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Oracle {
+    subs: Vec<OracleSub>,
+    pubs: Vec<(EventId, Event, SimTime)>,
+}
+
+impl Oracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Oracle::default()
+    }
+
+    /// Records a subscription active from `issued` until `expires`.
+    pub fn add_sub(&mut self, id: SubId, sub: Subscription, issued: SimTime, expires: SimTime) {
+        self.subs.push(OracleSub { id, sub, issued, expires });
+    }
+
+    /// Records an unsubscription: the subscription stops matching events
+    /// published after `at`.
+    pub fn remove_sub(&mut self, id: SubId, at: SimTime) {
+        for s in &mut self.subs {
+            if s.id == id {
+                s.expires = s.expires.min(at);
+            }
+        }
+    }
+
+    /// Records a publication.
+    pub fn add_pub(&mut self, id: EventId, event: Event, at: SimTime) {
+        self.pubs.push((id, event, at));
+    }
+
+    /// The ground-truth notification pairs: every `(σ, e)` where `e ∈ σ`
+    /// and `e` was published while `σ` was active.
+    ///
+    /// Timing caveat: the real system needs propagation time, so tests
+    /// should separate subscription and publication phases by more than
+    /// the maximal routing delay before comparing exactly.
+    pub fn expected(&self) -> BTreeSet<(SubId, EventId)> {
+        let mut out = BTreeSet::new();
+        for (eid, event, at) in &self.pubs {
+            for s in &self.subs {
+                if s.issued <= *at && *at < s.expires && s.sub.matches(event) {
+                    out.insert((s.id, *eid));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of recorded subscriptions.
+    pub fn sub_count(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Number of recorded publications.
+    pub fn pub_count(&self) -> usize {
+        self.pubs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{AttributeDef, EventSpace};
+
+    fn space() -> EventSpace {
+        EventSpace::new(vec![AttributeDef::new("x", 100)])
+    }
+
+    fn sub(lo: u64, hi: u64) -> Subscription {
+        Subscription::builder(&space()).range("x", lo, hi).unwrap().build().unwrap()
+    }
+
+    #[test]
+    fn matching_respects_activity_window() {
+        let mut o = Oracle::new();
+        o.add_sub(SubId(1), sub(0, 50), SimTime::from_secs(10), SimTime::from_secs(20));
+        // Before activity: no match.
+        o.add_pub(EventId(1), Event::new_unchecked(vec![25]), SimTime::from_secs(5));
+        // During: match.
+        o.add_pub(EventId(2), Event::new_unchecked(vec![25]), SimTime::from_secs(15));
+        // At expiry instant: no match (expiry is exclusive).
+        o.add_pub(EventId(3), Event::new_unchecked(vec![25]), SimTime::from_secs(20));
+        // Wrong content: no match.
+        o.add_pub(EventId(4), Event::new_unchecked(vec![99]), SimTime::from_secs(15));
+        let e = o.expected();
+        assert_eq!(e.into_iter().collect::<Vec<_>>(), vec![(SubId(1), EventId(2))]);
+    }
+
+    #[test]
+    fn unsubscribe_truncates_window() {
+        let mut o = Oracle::new();
+        o.add_sub(SubId(1), sub(0, 50), SimTime::ZERO, SimTime::MAX);
+        o.remove_sub(SubId(1), SimTime::from_secs(10));
+        o.add_pub(EventId(1), Event::new_unchecked(vec![25]), SimTime::from_secs(5));
+        o.add_pub(EventId(2), Event::new_unchecked(vec![25]), SimTime::from_secs(15));
+        let e = o.expected();
+        assert_eq!(e.len(), 1);
+        assert!(e.contains(&(SubId(1), EventId(1))));
+    }
+
+    #[test]
+    fn counts() {
+        let mut o = Oracle::new();
+        o.add_sub(SubId(1), sub(0, 1), SimTime::ZERO, SimTime::MAX);
+        o.add_pub(EventId(1), Event::new_unchecked(vec![0]), SimTime::ZERO);
+        assert_eq!(o.sub_count(), 1);
+        assert_eq!(o.pub_count(), 1);
+    }
+}

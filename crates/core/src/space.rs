@@ -1,0 +1,282 @@
+//! The event space Ω: the typed, d-dimensional attribute universe events
+//! and subscriptions are defined over (§3.2).
+
+use std::fmt;
+
+/// One attribute dimension of the event space.
+///
+/// Values are unsigned integers in `[0, size)`. The paper's data model
+/// allows any ordered primitive type; strings and floats are reduced to
+/// integers by hashing/scaling (§3.2, footnote 2) — see
+/// [`EventSpace::value_of_str`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributeDef {
+    name: String,
+    size: u64,
+    /// Optional real-valued scale: floats in `[lo, hi]` are quantized
+    /// monotonically onto `0..size`.
+    float_range: Option<(f64, f64)>,
+}
+
+impl AttributeDef {
+    /// Defines an attribute with `size` distinct values `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `name` is empty.
+    pub fn new(name: impl Into<String>, size: u64) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "attribute name must be non-empty");
+        assert!(size > 0, "attribute domain must be non-empty");
+        AttributeDef { name, size, float_range: None }
+    }
+
+    /// Declares the attribute as real-valued over `[lo, hi]`: float values
+    /// and float constraint bounds are quantized monotonically onto the
+    /// integer domain (the paper's data model covers float attributes;
+    /// §3.2 reduces every ordered type to numbers). Quantization error is
+    /// at most one cell, i.e. `(hi - lo) / size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi` and both are finite.
+    pub fn with_float_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        self.float_range = Some((lo, hi));
+        self
+    }
+
+    /// The declared real-valued scale, if any.
+    pub fn float_range(&self) -> Option<(f64, f64)> {
+        self.float_range
+    }
+
+    /// Quantizes a float on this attribute's declared scale (clamping to
+    /// the scale's ends). Monotone: `x <= y` implies
+    /// `quantize(x) <= quantize(y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the attribute has no float scale or `x` is NaN.
+    pub fn quantize_f64(&self, x: f64) -> u64 {
+        let (lo, hi) = self
+            .float_range
+            .expect("attribute has no float scale; call with_float_range");
+        assert!(!x.is_nan(), "cannot quantize NaN");
+        let clamped = x.clamp(lo, hi);
+        let frac = (clamped - lo) / (hi - lo);
+        ((frac * (self.size - 1) as f64).round() as u64).min(self.size - 1)
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values, `|Ω_i|`.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+/// The d-dimensional event space Ω.
+///
+/// # Examples
+///
+/// ```
+/// use cbps::{AttributeDef, EventSpace};
+///
+/// let space = EventSpace::new(vec![
+///     AttributeDef::new("price", 10_000),
+///     AttributeDef::new("volume", 1_000_000),
+/// ]);
+/// assert_eq!(space.dims(), 2);
+/// assert_eq!(space.attr_index("volume"), Some(1));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventSpace {
+    attrs: Vec<AttributeDef>,
+}
+
+impl EventSpace {
+    /// Creates a space from its attribute definitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attrs` is empty or two attributes share a name.
+    pub fn new(attrs: Vec<AttributeDef>) -> Self {
+        assert!(!attrs.is_empty(), "an event space needs at least one attribute");
+        for (i, a) in attrs.iter().enumerate() {
+            for b in &attrs[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
+            }
+        }
+        EventSpace { attrs }
+    }
+
+    /// The evaluation workload's space (§5.1): 4 integer attributes ranging
+    /// over `0..=1_000_000`.
+    pub fn paper_default() -> Self {
+        EventSpace::new(
+            (0..4)
+                .map(|i| AttributeDef::new(format!("a{i}"), 1_000_001))
+                .collect(),
+        )
+    }
+
+    /// Number of dimensions `d`.
+    pub fn dims(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attribute definitions in order.
+    pub fn attrs(&self) -> &[AttributeDef] {
+        &self.attrs
+    }
+
+    /// The definition of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn attr(&self, i: usize) -> &AttributeDef {
+        &self.attrs[i]
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// `true` iff `value` is a legal value for dimension `i`.
+    pub fn valid_value(&self, i: usize, value: u64) -> bool {
+        i < self.attrs.len() && value < self.attrs[i].size
+    }
+
+    /// Reduces a string to a value of dimension `i` by hashing — the
+    /// paper's recipe for non-numeric attributes (§3.2, footnote 2).
+    /// Distinct strings may collide; equality constraints on the hashed
+    /// value then over-approximate, which is safe (extra notifications are
+    /// filtered by subscriber-side matching if exactness is required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn value_of_str(&self, i: usize, s: &str) -> u64 {
+        // FNV-1a, folded into the attribute domain.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in s.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h % self.attrs[i].size
+    }
+}
+
+impl fmt::Display for EventSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ω(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:0..{}", a.name, a.size)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_space_shape() {
+        let s = EventSpace::paper_default();
+        assert_eq!(s.dims(), 4);
+        for i in 0..4 {
+            assert_eq!(s.attr(i).size(), 1_000_001);
+            assert_eq!(s.attr(i).name(), format!("a{i}"));
+        }
+    }
+
+    #[test]
+    fn value_validation() {
+        let s = EventSpace::new(vec![AttributeDef::new("x", 10)]);
+        assert!(s.valid_value(0, 9));
+        assert!(!s.valid_value(0, 10));
+        assert!(!s.valid_value(1, 0));
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let s = EventSpace::new(vec![
+            AttributeDef::new("type", 64),
+            AttributeDef::new("temp", 200),
+        ]);
+        assert_eq!(s.attr_index("temp"), Some(1));
+        assert_eq!(s.attr_index("missing"), None);
+    }
+
+    #[test]
+    fn string_hashing_is_stable_and_in_domain() {
+        let s = EventSpace::new(vec![AttributeDef::new("topic", 1000)]);
+        let v1 = s.value_of_str(0, "weather/rome");
+        let v2 = s.value_of_str(0, "weather/rome");
+        assert_eq!(v1, v2);
+        assert!(v1 < 1000);
+        assert_ne!(s.value_of_str(0, "a"), s.value_of_str(0, "b"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = EventSpace::new(vec![AttributeDef::new("x", 4)]);
+        assert_eq!(s.to_string(), "Ω(x:0..4)");
+    }
+
+    #[test]
+    fn float_quantization_is_monotone_and_clamped() {
+        let a = AttributeDef::new("temp", 1000).with_float_range(-40.0, 60.0);
+        assert_eq!(a.quantize_f64(-40.0), 0);
+        assert_eq!(a.quantize_f64(60.0), 999);
+        assert_eq!(a.quantize_f64(-100.0), 0); // clamped
+        assert_eq!(a.quantize_f64(100.0), 999); // clamped
+        let mid = a.quantize_f64(10.0);
+        assert!((499..=501).contains(&mid), "midpoint quantized to {mid}");
+        // Monotone over a sweep.
+        let mut prev = 0;
+        for i in 0..=200 {
+            let q = a.quantize_f64(-40.0 + i as f64 * 0.5);
+            assert!(q >= prev);
+            prev = q;
+        }
+        assert_eq!(a.float_range(), Some((-40.0, 60.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no float scale")]
+    fn quantize_requires_declared_scale() {
+        let _ = AttributeDef::new("x", 10).quantize_f64(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot quantize NaN")]
+    fn quantize_rejects_nan() {
+        let _ = AttributeDef::new("x", 10).with_float_range(0.0, 1.0).quantize_f64(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        let _ = EventSpace::new(vec![
+            AttributeDef::new("x", 4),
+            AttributeDef::new("x", 8),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_space_rejected() {
+        let _ = EventSpace::new(vec![]);
+    }
+}

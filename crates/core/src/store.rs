@@ -1,0 +1,268 @@
+//! Per-rendezvous-node subscription storage with expiration.
+//!
+//! Subscriptions carry an expiration time simulating unsubscription
+//! requests (§5.1); the store purges them lazily and tracks the peak number
+//! of simultaneously live subscriptions — the "maximum number of
+//! subscriptions per node" metric of Figures 6 and 8.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use cbps_overlay::{KeyRangeSet, Peer};
+use cbps_sim::SimTime;
+
+use crate::event::Event;
+use crate::index::MatchIndex;
+use crate::space::EventSpace;
+use crate::subscription::{SubId, Subscription};
+
+/// A subscription as stored at a rendezvous node: the query plus the
+/// routing metadata the rendezvous needs to serve it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredSub {
+    /// The subscription itself.
+    pub sub: Subscription,
+    /// Who to notify on a match.
+    pub subscriber: Peer,
+    /// When the subscription lapses ([`SimTime::MAX`] = never).
+    pub expires: SimTime,
+    /// The full rendezvous key set `SK(σ)` — needed by the collecting
+    /// optimization (to locate the range's middle node) and by state
+    /// transfer (to decide which node covers which part).
+    pub sk: KeyRangeSet,
+}
+
+/// The subscription store of one rendezvous node.
+///
+/// # Examples
+///
+/// ```
+/// use cbps::{AttributeDef, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
+/// use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
+/// use cbps_sim::SimTime;
+///
+/// let space = EventSpace::new(vec![AttributeDef::new("x", 100)]);
+/// let mut store = SubscriptionStore::new(&space);
+/// let sub = Subscription::builder(&space).range("x", 0, 10)?.build()?;
+/// let keys = KeySpace::new(8);
+/// store.insert(
+///     SubId(1),
+///     StoredSub {
+///         sub,
+///         subscriber: Peer { idx: 0, key: keys.key(5) },
+///         expires: SimTime::from_secs(60),
+///         sk: KeyRangeSet::of_key(keys, keys.key(3)),
+///     },
+///     SimTime::ZERO,
+/// );
+/// assert_eq!(store.len(), 1);
+/// store.purge_expired(SimTime::from_secs(61));
+/// assert_eq!(store.len(), 0);
+/// assert_eq!(store.peak(), 1);
+/// # Ok::<(), cbps::PubSubError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubscriptionStore {
+    index: MatchIndex,
+    meta: HashMap<SubId, StoredSub>,
+    /// Min-heap of (expiry, id); entries may be stale (removed ids).
+    expiry: BinaryHeap<Reverse<(SimTime, SubId)>>,
+    peak: usize,
+}
+
+impl SubscriptionStore {
+    /// Creates an empty store for subscriptions over `space`.
+    pub fn new(space: &EventSpace) -> Self {
+        SubscriptionStore {
+            index: MatchIndex::new(space),
+            meta: HashMap::new(),
+            expiry: BinaryHeap::new(),
+            peak: 0,
+        }
+    }
+
+    /// Number of live subscriptions (assuming expired ones were purged).
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// `true` when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// The highest number of simultaneously stored subscriptions observed.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// `true` iff `id` is currently stored.
+    pub fn contains(&self, id: SubId) -> bool {
+        self.meta.contains_key(&id)
+    }
+
+    /// The stored record under `id`.
+    pub fn get(&self, id: SubId) -> Option<&StoredSub> {
+        self.meta.get(&id)
+    }
+
+    /// Iterates over stored records.
+    pub fn iter(&self) -> impl Iterator<Item = (SubId, &StoredSub)> {
+        self.meta.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// Inserts (or refreshes) a subscription. Purges expired entries first
+    /// so that the peak metric reflects live subscriptions only. Returns
+    /// `false` if `id` was already stored (the refresh still updates the
+    /// expiry).
+    pub fn insert(&mut self, id: SubId, stored: StoredSub, now: SimTime) -> bool {
+        self.purge_expired(now);
+        if stored.expires != SimTime::MAX {
+            self.expiry.push(Reverse((stored.expires, id)));
+        }
+        let fresh = self.index.insert(id, stored.sub.clone());
+        if fresh {
+            self.meta.insert(id, stored);
+            self.peak = self.peak.max(self.meta.len());
+        } else if let Some(existing) = self.meta.get_mut(&id) {
+            existing.expires = stored.expires;
+        }
+        fresh
+    }
+
+    /// Removes a subscription (unsubscription), returning its record.
+    pub fn remove(&mut self, id: SubId) -> Option<StoredSub> {
+        self.index.remove(id);
+        self.meta.remove(&id)
+    }
+
+    /// Drops every subscription whose expiry has passed. Returns the number
+    /// purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let mut purged = 0;
+        while let Some(&Reverse((expires, id))) = self.expiry.peek() {
+            if expires > now {
+                break;
+            }
+            self.expiry.pop();
+            // The entry is stale if the sub was removed or re-inserted with
+            // a later expiry.
+            if let Some(stored) = self.meta.get(&id) {
+                if stored.expires <= now {
+                    self.meta.remove(&id);
+                    self.index.remove(id);
+                    purged += 1;
+                }
+            }
+        }
+        purged
+    }
+
+    /// All live subscriptions matched by `event`, with their records.
+    /// Purges expired entries first.
+    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, StoredSub)> {
+        self.purge_expired(now);
+        self.index
+            .matches(event)
+            .into_iter()
+            .map(|id| (id, self.meta[&id].clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::AttributeDef;
+    use cbps_overlay::KeySpace;
+
+    fn space() -> EventSpace {
+        EventSpace::new(vec![AttributeDef::new("x", 1000)])
+    }
+
+    fn stored(lo: u64, hi: u64, expires: SimTime) -> StoredSub {
+        let s = space();
+        let keys = KeySpace::new(8);
+        StoredSub {
+            sub: Subscription::builder(&s).range("x", lo, hi).unwrap().build().unwrap(),
+            subscriber: Peer { idx: 0, key: keys.key(1) },
+            expires,
+            sk: KeyRangeSet::of_key(keys, keys.key(2)),
+        }
+    }
+
+    #[test]
+    fn insert_and_match() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(0, 100, SimTime::MAX), SimTime::ZERO);
+        st.insert(SubId(2), stored(50, 60, SimTime::MAX), SimTime::ZERO);
+        let hits = st.match_event(&Event::new_unchecked(vec![55]), SimTime::ZERO);
+        let ids: Vec<SubId> = hits.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![SubId(1), SubId(2)]);
+        let hits = st.match_event(&Event::new_unchecked(vec![99]), SimTime::ZERO);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_insert_reports_false_and_refreshes_expiry() {
+        let mut st = SubscriptionStore::new(&space());
+        assert!(st.insert(SubId(1), stored(0, 10, SimTime::from_secs(5)), SimTime::ZERO));
+        assert!(!st.insert(SubId(1), stored(0, 10, SimTime::from_secs(50)), SimTime::ZERO));
+        assert_eq!(st.len(), 1);
+        // The refreshed expiry keeps it alive past the original deadline.
+        st.purge_expired(SimTime::from_secs(10));
+        assert_eq!(st.len(), 1);
+        st.purge_expired(SimTime::from_secs(51));
+        assert_eq!(st.len(), 0);
+    }
+
+    #[test]
+    fn expiry_ordering_and_peak() {
+        let mut st = SubscriptionStore::new(&space());
+        for i in 0..10u64 {
+            st.insert(
+                SubId(i),
+                stored(0, 10, SimTime::from_secs(10 + i)),
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(st.peak(), 10);
+        assert_eq!(st.purge_expired(SimTime::from_secs(14)), 5); // 10..14
+        assert_eq!(st.len(), 5);
+        // Peak is a high-water mark: unaffected by purges.
+        assert_eq!(st.peak(), 10);
+        // Matching also purges.
+        let hits = st.match_event(&Event::new_unchecked(vec![5]), SimTime::from_secs(100));
+        assert!(hits.is_empty());
+        assert_eq!(st.len(), 0);
+    }
+
+    #[test]
+    fn never_expiring_subscriptions_stay() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(0, 10, SimTime::MAX), SimTime::ZERO);
+        st.purge_expired(SimTime::from_secs(1_000_000));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_unsubscription() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(0, 10, SimTime::MAX), SimTime::ZERO);
+        assert!(st.remove(SubId(1)).is_some());
+        assert!(st.remove(SubId(1)).is_none());
+        assert!(st.match_event(&Event::new_unchecked(vec![5]), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn insert_purges_before_counting_peak() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(0, 10, SimTime::from_secs(1)), SimTime::ZERO);
+        st.insert(SubId(2), stored(0, 10, SimTime::from_secs(1)), SimTime::ZERO);
+        assert_eq!(st.peak(), 2);
+        // Both lapsed; inserting at t=10 must not report a peak of 3.
+        st.insert(SubId(3), stored(0, 10, SimTime::MAX), SimTime::from_secs(10));
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.peak(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! The user-facing system façade: a whole simulated deployment — overlay,
+//! pub/sub layer and clock — behind one handle.
+
+use std::sync::Arc;
+
+use cbps_overlay::{
+    build_stable, ChordNode, OverlayConfig, Peer, RingView, RoutingState,
+};
+use cbps_sim::{Metrics, NetConfig, NodeIdx, SimDuration, SimTime, Simulator};
+
+use crate::config::PubSubConfig;
+use crate::error::PubSubError;
+use crate::event::{Event, EventId};
+use crate::msg::DeliveredNote;
+use crate::node::PubSubNode;
+use crate::subscription::{SubId, Subscription};
+
+/// A complete simulated content-based pub/sub deployment.
+///
+/// Wraps the simulator, the Chord overlay and the pub/sub layer; exposes
+/// the application operations of §4.1 (`sub`, `unsub`, `pub`, `notify` via
+/// [`PubSubNetwork::delivered`]) together with clock control and
+/// measurement access.
+///
+/// # Examples
+///
+/// ```
+/// use cbps::{Event, PubSubConfig, PubSubNetwork, Subscription};
+///
+/// let mut net = PubSubNetwork::builder()
+///     .nodes(50)
+///     .seed(7)
+///     .build();
+/// let space = net.config().space.clone();
+///
+/// // Node 3 subscribes to a0 ∈ [100_000, 200_000].
+/// let sub = Subscription::builder(&space).range("a0", 100_000, 200_000)?.build()?;
+/// let sub_id = net.subscribe(3, sub, None);
+/// net.run_for_secs(5);
+///
+/// // Node 9 publishes a matching event.
+/// let event = Event::new(&space, vec![150_000, 1, 2, 3])?;
+/// let event_id = net.publish(9, event);
+/// net.run_for_secs(5);
+///
+/// let notes = net.delivered(3);
+/// assert_eq!(notes.len(), 1);
+/// assert_eq!(notes[0].sub_id, sub_id);
+/// assert_eq!(notes[0].event_id, event_id);
+/// # Ok::<(), cbps::PubSubError>(())
+/// ```
+#[derive(Debug)]
+pub struct PubSubNetwork {
+    sim: Simulator<ChordNode<PubSubNode>>,
+    ring: RingView,
+    cfg: Arc<PubSubConfig>,
+    overlay_cfg: OverlayConfig,
+}
+
+/// Builder for [`PubSubNetwork`].
+#[derive(Clone, Debug)]
+pub struct PubSubNetworkBuilder {
+    nodes: usize,
+    net: NetConfig,
+    overlay: OverlayConfig,
+    pubsub: PubSubConfig,
+}
+
+impl PubSubNetwork {
+    /// Starts configuring a network (defaults: paper parameters, 500
+    /// nodes).
+    pub fn builder() -> PubSubNetworkBuilder {
+        PubSubNetworkBuilder {
+            nodes: 500,
+            net: NetConfig::new(0),
+            overlay: OverlayConfig::paper_default(),
+            pubsub: PubSubConfig::paper_default(),
+        }
+    }
+
+    /// The shared pub/sub configuration.
+    pub fn config(&self) -> &PubSubConfig {
+        &self.cfg
+    }
+
+    /// The overlay configuration.
+    pub fn overlay_config(&self) -> &OverlayConfig {
+        &self.overlay_cfg
+    }
+
+    /// The global ring view (oracle; protocol logic never uses it).
+    pub fn ring(&self) -> &RingView {
+        &self.ring
+    }
+
+    /// Number of nodes (including crashed ones).
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// `true` when the network has no nodes (never: construction requires
+    /// at least one).
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Exclusive access to the run's metrics (e.g. to clear between
+    /// measurement phases).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        self.sim.metrics_mut()
+    }
+
+    /// Direct access to the underlying simulator (advanced scenarios:
+    /// crash/revive, custom timers).
+    pub fn sim_mut(&mut self) -> &mut Simulator<ChordNode<PubSubNode>> {
+        &mut self.sim
+    }
+
+    /// The pub/sub state of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn app(&self, node: NodeIdx) -> &PubSubNode {
+        self.sim.node(node).app()
+    }
+
+    /// Notifications received so far by `node` as a subscriber.
+    pub fn delivered(&self, node: NodeIdx) -> &[DeliveredNote] {
+        self.app(node).delivered()
+    }
+
+    /// Issues a subscription from `node` with an optional TTL (overriding
+    /// the configured default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn subscribe(
+        &mut self,
+        node: NodeIdx,
+        sub: Subscription,
+        ttl: Option<SimDuration>,
+    ) -> SubId {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc)))
+    }
+
+    /// Validates and issues a subscription built from raw constraint slots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of
+    /// [`Subscription::from_constraints`].
+    pub fn try_subscribe(
+        &mut self,
+        node: NodeIdx,
+        constraints: Vec<Option<crate::subscription::Constraint>>,
+        ttl: Option<SimDuration>,
+    ) -> Result<SubId, PubSubError> {
+        let sub = Subscription::from_constraints(&self.cfg.space, constraints)?;
+        Ok(self.subscribe(node, sub, ttl))
+    }
+
+    /// Issues a disjunction of subscriptions from `node`: the subscriber
+    /// is notified when an event matches **any** of them (§3.2:
+    /// "disjunctive constraints can be treated as separate
+    /// subscriptions"). Returns one id per disjunct; subscriber-side
+    /// deduplication guarantees at most one notification per
+    /// `(disjunct, event)` pair, so an event matching several disjuncts
+    /// notifies once per matching disjunct.
+    pub fn subscribe_any(
+        &mut self,
+        node: NodeIdx,
+        subs: impl IntoIterator<Item = Subscription>,
+        ttl: Option<SimDuration>,
+    ) -> Vec<SubId> {
+        subs.into_iter().map(|sub| self.subscribe(node, sub, ttl)).collect()
+    }
+
+    /// Withdraws a subscription previously issued by `node`.
+    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.unsubscribe(id, svc)))
+    }
+
+    /// Publishes an event from `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.publish(event, svc)))
+    }
+
+    /// Validates and publishes an event from raw values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`Event::new`].
+    pub fn try_publish(
+        &mut self,
+        node: NodeIdx,
+        values: Vec<u64>,
+    ) -> Result<EventId, PubSubError> {
+        let event = Event::new(&self.cfg.space, values)?;
+        Ok(self.publish(node, event))
+    }
+
+    /// Advances the simulation to the given absolute time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Advances the simulation by `secs` simulated seconds.
+    pub fn run_for_secs(&mut self, secs: u64) {
+        let t = self.sim.now() + SimDuration::from_secs(secs);
+        self.sim.run_until(t);
+    }
+
+    /// Runs until the event queue drains (only terminates when no periodic
+    /// timers are armed).
+    pub fn run_to_quiescence(&mut self) {
+        self.sim.run();
+    }
+
+    /// Stored-subscription count of every node (rendezvous primaries).
+    pub fn stored_counts(&self) -> Vec<usize> {
+        self.sim.nodes().map(|(_, n)| n.app().store().len()).collect()
+    }
+
+    /// Peak stored-subscription count per node — the metric of Figures 6
+    /// and 8.
+    pub fn peak_stored_counts(&self) -> Vec<usize> {
+        self.sim.nodes().map(|(_, n)| n.app().store().peak()).collect()
+    }
+
+    /// `true` while `node` has not crashed or left.
+    pub fn is_alive(&self, node: NodeIdx) -> bool {
+        self.sim.is_alive(node)
+    }
+
+    /// Crashes a node abruptly (fail-stop).
+    pub fn crash(&mut self, node: NodeIdx) {
+        self.sim.crash(node);
+    }
+
+    /// Makes `node` leave gracefully: state is pushed to its successor and
+    /// its neighbors are relinked before it goes silent.
+    pub fn leave(&mut self, node: NodeIdx) {
+        self.sim.with_node(node, |n, ctx| n.start_leave(ctx));
+        self.sim.crash(node);
+    }
+
+    /// Adds a brand-new node that joins through `bootstrap`. Requires the
+    /// overlay to have maintenance enabled (stabilization integrates the
+    /// joiner). Returns the new node's index.
+    pub fn join_new_node(&mut self, key_seed: &str, bootstrap: NodeIdx) -> NodeIdx {
+        let space = self.overlay_cfg.space;
+        let mut key = cbps_overlay::hash::key_of_bytes(space, key_seed.as_bytes());
+        while self.sim.nodes().any(|(_, n)| n.me().key == key) {
+            key = space.add(key, 1);
+        }
+        let idx = self.sim.len();
+        let me = Peer { idx, key };
+        let node = ChordNode::new(
+            RoutingState::new(self.overlay_cfg, me),
+            PubSubNode::new(Arc::clone(&self.cfg)),
+        );
+        let added = self.sim.add_node(node);
+        debug_assert_eq!(added, idx);
+        let boot = self.sim.node(bootstrap).me();
+        self.sim.with_node(idx, |n, ctx| n.start_join(boot, ctx));
+        idx
+    }
+}
+
+impl PubSubNetworkBuilder {
+    /// Sets the number of nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "a network needs at least one node");
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.net.seed = seed;
+        self
+    }
+
+    /// Replaces the network-level configuration (delay model, loss).
+    pub fn net_config(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Replaces the overlay configuration.
+    pub fn overlay(mut self, overlay: OverlayConfig) -> Self {
+        self.overlay = overlay;
+        self
+    }
+
+    /// Replaces the pub/sub configuration.
+    pub fn pubsub(mut self, pubsub: PubSubConfig) -> Self {
+        self.pubsub = pubsub;
+        self
+    }
+
+    /// Builds the network with a converged ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pub/sub mapping's key space differs from the
+    /// overlay's, or the replication factor exceeds the successor-list
+    /// length.
+    pub fn build(self) -> PubSubNetwork {
+        assert_eq!(
+            self.pubsub.mapping.key_space(),
+            self.overlay.space,
+            "pub/sub mapping and overlay must share one key space"
+        );
+        assert!(
+            self.pubsub.replication <= self.overlay.succ_list_len,
+            "replication factor {} exceeds successor-list length {}",
+            self.pubsub.replication,
+            self.overlay.succ_list_len
+        );
+        let cfg = self.pubsub.into_shared();
+        let apps: Vec<PubSubNode> =
+            (0..self.nodes).map(|_| PubSubNode::new(Arc::clone(&cfg))).collect();
+        let (sim, ring) = build_stable(self.net, self.overlay, apps);
+        PubSubNetwork { sim, ring, cfg, overlay_cfg: self.overlay }
+    }
+}

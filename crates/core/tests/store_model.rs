@@ -1,0 +1,121 @@
+//! Model-based property test of the rendezvous store: a random sequence
+//! of insert / remove / purge / match operations is applied both to the
+//! real [`SubscriptionStore`] and to a naive reference model, and every
+//! observable must agree.
+
+use std::collections::HashMap;
+
+use cbps::{AttributeDef, Event, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
+use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
+use cbps_sim::SimTime;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { id: u64, lo: u64, hi: u64, expires: Option<u64> },
+    Remove { id: u64 },
+    Purge { at: u64 },
+    Match { value: u64, at: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..20, 0u64..900, 0u64..100, proptest::option::of(1u64..500)).prop_map(
+            |(id, lo, w, expires)| Op::Insert { id, lo, hi: (lo + w).min(999), expires }
+        ),
+        (0u64..20).prop_map(|id| Op::Remove { id }),
+        (0u64..600).prop_map(|at| Op::Purge { at }),
+        (0u64..1000, 0u64..600).prop_map(|(value, at)| Op::Match { value, at }),
+    ]
+}
+
+/// The naive model: a map of live records with explicit expiry filtering.
+#[derive(Default)]
+struct Model {
+    live: HashMap<u64, (u64, u64, u64)>, // id -> (lo, hi, expires_secs or MAX)
+    peak: usize,
+}
+
+impl Model {
+    fn purge(&mut self, at: u64) {
+        self.live.retain(|_, &mut (_, _, e)| e > at);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn store_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let space = EventSpace::new(vec![AttributeDef::new("x", 1000)]);
+        let keys = KeySpace::new(8);
+        let mut store = SubscriptionStore::new(&space);
+        let mut model = Model::default();
+        // Operations are applied at non-decreasing times; track a clock so
+        // purge/match times never go backwards (matching real usage).
+        let mut clock = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert { id, lo, hi, expires } => {
+                    let expires_at = expires.map(|d| clock + d);
+                    let sub = Subscription::builder(&space)
+                        .range("x", lo, hi)
+                        .unwrap()
+                        .build()
+                        .unwrap();
+                    let stored = StoredSub {
+                        sub,
+                        subscriber: Peer { idx: 0, key: keys.key(1) },
+                        expires: expires_at
+                            .map(SimTime::from_secs)
+                            .unwrap_or(SimTime::MAX),
+                        sk: KeyRangeSet::of_key(keys, keys.key(2)),
+                    };
+                    let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
+                    model.purge(clock);
+                    let model_fresh = !model.live.contains_key(&id);
+                    prop_assert_eq!(fresh, model_fresh, "insert freshness for id {}", id);
+                    let e = expires_at.unwrap_or(u64::MAX);
+                    if model_fresh {
+                        model.live.insert(id, (lo, hi, e));
+                        model.peak = model.peak.max(model.live.len());
+                    } else if let Some(rec) = model.live.get_mut(&id) {
+                        rec.2 = e; // duplicate insert refreshes the expiry
+                    }
+                }
+                Op::Remove { id } => {
+                    let got = store.remove(SubId(id)).is_some();
+                    let expect = model.live.remove(&id).is_some();
+                    prop_assert_eq!(got, expect, "remove {}", id);
+                }
+                Op::Purge { at } => {
+                    clock = clock.max(at);
+                    store.purge_expired(SimTime::from_secs(clock));
+                    model.purge(clock);
+                    prop_assert_eq!(store.len(), model.live.len(), "len after purge");
+                }
+                Op::Match { value, at } => {
+                    clock = clock.max(at);
+                    let hits = store.match_event(
+                        &Event::new_unchecked(vec![value]),
+                        SimTime::from_secs(clock),
+                    );
+                    model.purge(clock);
+                    let mut got: Vec<u64> = hits.iter().map(|(id, _)| id.0).collect();
+                    got.sort_unstable();
+                    let mut expect: Vec<u64> = model
+                        .live
+                        .iter()
+                        .filter(|(_, &(lo, hi, _))| lo <= value && value <= hi)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    expect.sort_unstable();
+                    prop_assert_eq!(got, expect, "match at value {}", value);
+                }
+            }
+        }
+        // Final invariants.
+        prop_assert_eq!(store.len(), model.live.len());
+        prop_assert!(store.peak() >= model.peak, "real peak may only exceed the model's (sweeps are lazier)");
+    }
+}

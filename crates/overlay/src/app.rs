@@ -1,0 +1,262 @@
+//! The application interface of the overlay.
+//!
+//! A [`ChordApp`] is the protocol layered *above* the overlay (here: the
+//! content-based pub/sub layer). It receives payload deliveries and
+//! neighbor-change notifications, and acts on the world exclusively through
+//! an [`OverlaySvc`] handle — the programming model of §4.1: `send()`,
+//! `m-cast()`, timers and neighbor knowledge, with the KN-mapping hidden.
+
+use cbps_sim::{Context, SimDuration, SimTime, TrafficClass};
+use rand::rngs::StdRng;
+
+use crate::key::{Key, KeySpace};
+use crate::msg::{ChordMsg, Envelope};
+use crate::range::{KeyRange, KeyRangeSet};
+use crate::ring::Peer;
+use crate::state::RoutingState;
+use crate::timer::ChordTimer;
+
+/// Information accompanying a routed payload delivery.
+#[derive(Clone, Debug)]
+pub struct Delivery {
+    /// The keys covered by this node that caused the delivery (a singleton
+    /// for unicast; the local subset for `m-cast`; the walked range
+    /// portion for range walks).
+    pub targets_here: KeyRangeSet,
+    /// Traffic class the payload was sent under.
+    pub class: TrafficClass,
+    /// Number of one-hop transmissions the payload took to get here.
+    pub hops: u32,
+    /// The node that originated the send.
+    pub src: Peer,
+}
+
+/// The protocol stacked on top of a Chord node.
+///
+/// All methods receive an [`OverlaySvc`] for sending, timer management and
+/// neighbor inspection. Default implementations make every hook optional
+/// except payload delivery.
+pub trait ChordApp: Sized {
+    /// The payload the overlay routes for this application.
+    type Payload: Clone;
+    /// Application timer token.
+    type Timer;
+
+    /// A routed payload (unicast, multicast or walk) arrived at a key this
+    /// node covers.
+    fn on_deliver(
+        &mut self,
+        payload: Self::Payload,
+        delivery: Delivery,
+        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+    );
+
+    /// A one-hop direct message from a known peer arrived.
+    fn on_direct(
+        &mut self,
+        from: Peer,
+        payload: Self::Payload,
+        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+    ) {
+        let _ = (from, payload, svc);
+    }
+
+    /// An application timer armed through [`OverlaySvc::arm_timer`] fired.
+    fn on_timer(
+        &mut self,
+        timer: Self::Timer,
+        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+    ) {
+        let _ = (timer, svc);
+    }
+
+    /// The node's predecessor changed (a node joined just before us, or our
+    /// old predecessor left/failed and we now cover its arc). This is the
+    /// hook where stateful applications pull or activate state for the
+    /// newly-covered keys (§4.1).
+    fn on_predecessor_changed(
+        &mut self,
+        old: Option<Peer>,
+        new: Option<Peer>,
+        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+    ) {
+        let _ = (old, new, svc);
+    }
+
+    /// This node is about to leave gracefully; push state to neighbors now.
+    fn on_leaving(&mut self, svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>) {
+        let _ = svc;
+    }
+}
+
+/// The overlay's service interface handed to application upcalls.
+///
+/// Wraps the node's routing state plus the simulator context, exposing the
+/// extended interface of §4.3.1: classic key unicast, the `m-cast`
+/// primitive, the conservative range walk, naive per-key unicast (the
+/// baseline the paper compares against), one-hop sends, timers, and
+/// neighbor knowledge for state transfer.
+#[derive(Debug)]
+pub struct OverlaySvc<'a, 'c, P, T> {
+    pub(crate) state: &'a mut RoutingState,
+    pub(crate) ctx: &'a mut Context<'c, Envelope<P>, ChordTimer<T>>,
+}
+
+impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
+    /// This node's identity.
+    pub fn me(&self) -> Peer {
+        self.state.me()
+    }
+
+    /// The key space of the overlay.
+    pub fn space(&self) -> KeySpace {
+        self.state.space()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The run's deterministic RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.ctx.rng()
+    }
+
+    /// The run's metrics sink.
+    pub fn metrics(&mut self) -> &mut cbps_sim::Metrics {
+        self.ctx.metrics()
+    }
+
+    /// This node's immediate ring successor, if any.
+    pub fn successor(&self) -> Option<Peer> {
+        self.state.successor()
+    }
+
+    /// This node's ring predecessor, if known.
+    pub fn predecessor(&self) -> Option<Peer> {
+        self.state.predecessor()
+    }
+
+    /// This node's successor list (nearest first).
+    pub fn successors(&self) -> &[Peer] {
+        self.state.successors()
+    }
+
+    /// `true` iff this node currently covers `key` (`key ∈ (pred, me]`).
+    pub fn covers(&self, key: Key) -> bool {
+        self.state.covers(key)
+    }
+
+    /// Arms an application timer.
+    pub fn arm_timer(&mut self, delay: SimDuration, timer: T) {
+        self.ctx.arm_timer(delay, ChordTimer::App(timer));
+    }
+
+    /// The overlay `send(m, k)` primitive: routes `payload` to the node
+    /// covering `key`. Reaching a key we cover ourselves delivers locally
+    /// without a network hop.
+    pub fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        let unicast = |hops| ChordMsg::Unicast { key, class, payload, hops, src: me };
+        match self.state.next_hop(key) {
+            None => self.ctx.send_local(Envelope { sender: me, body: unicast(0) }),
+            Some(hop) => self.ctx.send(hop.idx, class, Envelope { sender: me, body: unicast(1) }),
+        }
+    }
+
+    /// The paper's `m-cast(M, K)` primitive: every node covering at least
+    /// one key in `targets` receives `payload` exactly once.
+    pub fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        if targets.is_empty() {
+            return;
+        }
+        let me = self.state.me();
+        let (local, bundles) = self.state.mcast_split(targets);
+        if !local.is_empty() {
+            self.ctx.send_local(Envelope {
+                sender: me,
+                body: ChordMsg::MCast {
+                    targets: local,
+                    class,
+                    payload: payload.clone(),
+                    hops: 0,
+                    src: me,
+                },
+            });
+        }
+        for (peer, subset) in bundles {
+            self.ctx.send(
+                peer.idx,
+                class,
+                Envelope {
+                    sender: me,
+                    body: ChordMsg::MCast {
+                        targets: subset,
+                        class,
+                        payload: payload.clone(),
+                        hops: 1,
+                        src: me,
+                    },
+                },
+            );
+        }
+    }
+
+    /// Naive unicast fan-out: one independent routed `send` per key in
+    /// `targets`. This is the baseline the basic architecture is restricted
+    /// to (§4.3.1, "aggressive" variant) and the "unicast" series of the
+    /// figures.
+    pub fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        let space = self.space();
+        let keys: Vec<Key> = targets.iter_keys(space).collect();
+        for key in keys {
+            self.send(key, class, payload.clone());
+        }
+    }
+
+    /// Conservative unicast range propagation (§4.3.1): route to the first
+    /// key of `range`, then walk covering nodes successor-by-successor.
+    /// Same message complexity as `m-cast`, but dilation grows with the
+    /// number of covering nodes.
+    pub fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        let msg = Envelope {
+            sender: me,
+            body: ChordMsg::Walk {
+                range,
+                class,
+                payload,
+                hops: 0,
+                src: me,
+                walking: false,
+            },
+        };
+        // Enter through normal routing toward the range start.
+        match self.state.next_hop(range.start()) {
+            None => self.ctx.send_local(msg),
+            Some(hop) => {
+                let mut env = msg;
+                if let ChordMsg::Walk { hops, .. } = &mut env.body {
+                    *hops = 1;
+                }
+                self.ctx.send(hop.idx, class, env);
+            }
+        }
+    }
+
+    /// One-hop message to a peer whose address is already known (ring
+    /// neighbors, learned peers). Used by the collecting protocol and state
+    /// transfer.
+    pub fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        self.ctx.send(
+            to.idx,
+            class,
+            Envelope {
+                sender: me,
+                body: ChordMsg::Direct { payload, class },
+            },
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Constructing overlay networks inside a simulator.
+//!
+//! Two modes:
+//!
+//! * [`build_stable`] — the experiments' mode: every node starts with
+//!   converged predecessor/successor/finger state computed from a global
+//!   [`RingView`] (the paper's simulations run on an already-formed Chord
+//!   ring and "exploit the Chord infrastructure" for maintenance);
+//! * incremental joins through [`crate::ChordNode::start_join`] plus
+//!   stabilization, exercised by the churn tests.
+
+use cbps_sim::{NetConfig, SimTime, Simulator};
+use rand::Rng;
+
+use crate::app::ChordApp;
+use crate::config::OverlayConfig;
+use crate::hash::key_of_bytes;
+use crate::key::Key;
+use crate::node::ChordNode;
+use crate::ring::{Peer, RingView};
+use crate::state::RoutingState;
+use crate::timer::ChordTimer;
+
+/// Assigns distinct ring keys to `n` nodes by consistent hashing of their
+/// names, rehashing on collision (small key spaces collide readily: 500
+/// nodes in a 2^13 space expect ~15 birthday collisions).
+pub fn assign_node_keys(cfg: &OverlayConfig, n: usize) -> Vec<Key> {
+    assert!(
+        (n as u64) <= cfg.space.size(),
+        "cannot place {n} nodes in a key space of {}",
+        cfg.space.size()
+    );
+    let mut used = std::collections::HashSet::with_capacity(n);
+    let mut keys = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut attempt = 0u32;
+        let key = loop {
+            let candidate = key_of_bytes(cfg.space, format!("node-{i}#{attempt}").as_bytes());
+            if used.insert(candidate) {
+                break candidate;
+            }
+            attempt += 1;
+        };
+        keys.push(key);
+    }
+    keys
+}
+
+/// Builds a converged ring of `apps.len()` nodes and returns the simulator
+/// together with the global ring view (node index `i` hosts `apps[i]`).
+///
+/// When the overlay config enables maintenance, stabilize and finger timers
+/// are armed at staggered offsets.
+///
+/// # Panics
+///
+/// Panics if `apps` is empty or larger than the key space.
+pub fn build_stable<A: ChordApp>(
+    net: NetConfig,
+    cfg: OverlayConfig,
+    apps: Vec<A>,
+) -> (Simulator<ChordNode<A>>, RingView) {
+    assert!(!apps.is_empty(), "a network needs at least one node");
+    let n = apps.len();
+    let keys = assign_node_keys(&cfg, n);
+    let peers: Vec<Peer> = keys
+        .iter()
+        .enumerate()
+        .map(|(idx, &key)| Peer { idx, key })
+        .collect();
+    let ring = RingView::new(cfg.space, peers.clone());
+
+    let mut sim = Simulator::new(net);
+    for (idx, app) in apps.into_iter().enumerate() {
+        let me = peers[idx];
+        let mut state = RoutingState::new(cfg, me);
+        if n > 1 {
+            state.set_predecessor(Some(ring.predecessor(me.key)));
+            state.set_successors(ring.successors_of(me.key, cfg.succ_list_len));
+            for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
+                state.set_finger(i, f);
+            }
+        }
+        let added = sim.add_node(ChordNode::new(state, app));
+        debug_assert_eq!(added, idx);
+    }
+
+    if cfg.maintenance {
+        for idx in 0..n {
+            let s_off = sim.rng_mut().gen_range(0..cfg.stabilize_period.as_micros().max(1));
+            let f_off = sim
+                .rng_mut()
+                .gen_range(0..cfg.fix_fingers_period.as_micros().max(1));
+            sim.arm_timer_at(
+                SimTime::from_micros(s_off),
+                idx,
+                ChordTimer::Stabilize,
+            );
+            sim.arm_timer_at(
+                SimTime::from_micros(f_off),
+                idx,
+                ChordTimer::FixFingers,
+            );
+        }
+    }
+
+    (sim, ring)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{Delivery, OverlaySvc};
+    use crate::key::KeySpace;
+
+    /// Minimal app that remembers what it was delivered.
+    #[derive(Default)]
+    struct Sink {
+        got: Vec<u64>,
+    }
+
+    impl ChordApp for Sink {
+        type Payload = u64;
+        type Timer = ();
+        fn on_deliver(
+            &mut self,
+            payload: u64,
+            _delivery: Delivery,
+            _svc: &mut OverlaySvc<'_, '_, u64, ()>,
+        ) {
+            self.got.push(payload);
+        }
+    }
+
+    #[test]
+    fn keys_are_distinct_even_in_tiny_spaces() {
+        let cfg = OverlayConfig::paper_default().with_space(KeySpace::new(7));
+        let keys = assign_node_keys(&cfg, 128); // fills the space entirely
+        let mut set: Vec<u64> = keys.iter().map(|k| k.value()).collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn too_many_nodes_rejected() {
+        let cfg = OverlayConfig::paper_default().with_space(KeySpace::new(3));
+        let _ = assign_node_keys(&cfg, 9);
+    }
+
+    #[test]
+    fn stable_ring_state_is_converged() {
+        let cfg = OverlayConfig::paper_default();
+        let apps: Vec<Sink> = (0..50).map(|_| Sink::default()).collect();
+        let (sim, ring) = build_stable(NetConfig::new(1), cfg, apps);
+        assert_eq!(sim.len(), 50);
+        for (idx, node) in sim.nodes() {
+            let me = node.me();
+            assert_eq!(me.idx, idx);
+            let st = node.routing();
+            assert_eq!(st.predecessor().unwrap(), ring.predecessor(me.key));
+            assert_eq!(st.successor().unwrap(), ring.next_node(me.key));
+            for (i, f) in st.fingers().iter().enumerate() {
+                let expect = ring.successor(cfg.space.finger_target(me.key, i as u32));
+                if expect.key == me.key {
+                    assert_eq!(*f, None);
+                } else {
+                    assert_eq!(*f, Some(expect), "finger {i} of node {idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_network() {
+        let cfg = OverlayConfig::paper_default();
+        let (sim, ring) = build_stable(NetConfig::new(1), cfg, vec![Sink::default()]);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(sim.node(0).routing().successor(), None);
+        assert_eq!(sim.node(0).routing().predecessor(), None);
+    }
+}

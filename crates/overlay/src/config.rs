@@ -1,0 +1,125 @@
+//! Overlay configuration.
+
+use cbps_sim::SimDuration;
+
+use crate::key::KeySpace;
+
+/// Configuration shared by every node of a Chord overlay.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_overlay::OverlayConfig;
+///
+/// let cfg = OverlayConfig::paper_default();
+/// assert_eq!(cfg.space.bits(), 13);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OverlayConfig {
+    /// The `m`-bit identifier space.
+    pub space: KeySpace,
+    /// Length of each node's successor list (fault tolerance of the ring).
+    pub succ_list_len: usize,
+    /// Capacity of the location cache used to accelerate routing
+    /// ("finger caching", §5.1). Zero disables the cache.
+    pub cache_capacity: usize,
+    /// Whether nodes run the periodic stabilization protocol. Bootstrapped
+    /// stable rings (the experiments) leave this off; churn scenarios turn
+    /// it on.
+    pub maintenance: bool,
+    /// Period of the stabilize / successor-list refresh timer.
+    pub stabilize_period: SimDuration,
+    /// Period of the finger-fixing timer (one finger refreshed per fire).
+    pub fix_fingers_period: SimDuration,
+    /// Routed messages are dropped after this many one-hop transmissions.
+    /// Greedy routing needs `O(log n)` hops on a converged ring; the TTL
+    /// only matters while the ring is damaged (it converts orphaned-arc
+    /// routing cycles into counted drops instead of livelock).
+    pub max_route_hops: u32,
+}
+
+impl OverlayConfig {
+    /// The configuration used throughout the paper's evaluation: a `2^13`
+    /// key space, a location cache sized to reproduce the reported ≈ 2.5
+    /// average lookup hops at n = 500 (calibrated in EXPERIMENTS.md: 256
+    /// entries give 2.6 warm-cache hops), and no background maintenance
+    /// (the experiments run on a converged ring).
+    pub fn paper_default() -> Self {
+        OverlayConfig {
+            space: KeySpace::new(13),
+            succ_list_len: 4,
+            cache_capacity: 256,
+            maintenance: false,
+            stabilize_period: SimDuration::from_millis(500),
+            fix_fingers_period: SimDuration::from_millis(250),
+            max_route_hops: 64,
+        }
+    }
+
+    /// Replaces the key space.
+    pub fn with_space(mut self, space: KeySpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Replaces the location-cache capacity (zero disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Enables or disables periodic ring maintenance.
+    pub fn with_maintenance(mut self, on: bool) -> Self {
+        self.maintenance = on;
+        self
+    }
+
+    /// Replaces the successor-list length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero: a node always needs its immediate successor.
+    pub fn with_succ_list_len(mut self, len: usize) -> Self {
+        assert!(len > 0, "successor list must hold at least one entry");
+        self.succ_list_len = len;
+        self
+    }
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = OverlayConfig::default();
+        assert_eq!(cfg.space.size(), 8192);
+        assert!(!cfg.maintenance);
+        assert!(cfg.cache_capacity > 0);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let cfg = OverlayConfig::paper_default()
+            .with_space(KeySpace::new(8))
+            .with_cache_capacity(0)
+            .with_maintenance(true)
+            .with_succ_list_len(2);
+        assert_eq!(cfg.space.bits(), 8);
+        assert_eq!(cfg.cache_capacity, 0);
+        assert!(cfg.maintenance);
+        assert_eq!(cfg.succ_list_len, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn succ_list_len_validated() {
+        let _ = OverlayConfig::paper_default().with_succ_list_len(0);
+    }
+}

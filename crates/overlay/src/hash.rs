@@ -1,0 +1,143 @@
+//! SHA-1 and consistent-hashing helpers.
+//!
+//! Chord assigns node and key identifiers with consistent hashing over
+//! SHA-1 (§3.1.1 of the paper). No SHA-1 crate is available offline, so the
+//! digest is implemented here from the FIPS 180-1 specification; it is used
+//! only for identifier placement, not for security.
+
+use crate::key::{Key, KeySpace};
+
+/// Computes the SHA-1 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_overlay::hash::sha1;
+///
+/// let digest = sha1(b"abc");
+/// assert_eq!(digest[0], 0xa9);
+/// assert_eq!(digest[19], 0x9d);
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Hashes arbitrary bytes onto the ring: the top 64 bits of SHA-1, reduced
+/// to the key space. This is Chord's consistent hash for node identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_overlay::{hash::key_of_bytes, KeySpace};
+///
+/// let s = KeySpace::new(13);
+/// let k = key_of_bytes(s, b"node-42");
+/// assert!(k.value() < s.size());
+/// assert_eq!(k, key_of_bytes(s, b"node-42")); // deterministic
+/// ```
+pub fn key_of_bytes(space: KeySpace, data: &[u8]) -> Key {
+    let digest = sha1(data);
+    let mut top = [0u8; 8];
+    top.copy_from_slice(&digest[..8]);
+    space.key(u64::from_be_bytes(top))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_test_vectors() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 55/56/64-byte padding edges must not panic and
+        // must be deterministic.
+        for len in [54usize, 55, 56, 57, 63, 64, 65, 119, 120] {
+            let data = vec![0xAB; len];
+            assert_eq!(sha1(&data), sha1(&data));
+        }
+    }
+
+    #[test]
+    fn keys_are_in_space_and_spread() {
+        let s = KeySpace::new(13);
+        let mut buckets = [0u32; 8];
+        for i in 0..4000 {
+            let k = key_of_bytes(s, format!("node-{i}").as_bytes());
+            assert!(k.value() < s.size());
+            buckets[(k.value() * 8 / s.size()) as usize] += 1;
+        }
+        // Uniformity smoke test: each octant holds a reasonable share.
+        for &b in &buckets {
+            assert!(b > 300, "octant underfilled: {buckets:?}");
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Keys and the circular `m`-bit identifier space.
+//!
+//! Chord orders node and data identifiers on a circle modulo `2^m` (the
+//! *Chord ring*). [`KeySpace`] captures `m` and provides the modular
+//! arithmetic every protocol decision is built from; [`Key`] is an opaque
+//! identifier in that space.
+
+use std::fmt;
+
+/// An identifier on the Chord ring.
+///
+/// Keys are produced by [`KeySpace::key`] (which masks to `m` bits) or by
+/// hashing (see [`crate::hash`]). The numeric value is exposed for mapping
+/// implementations via [`Key::value`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(u64);
+
+impl Key {
+    /// The raw numeric value of the key.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The circular identifier space of `m`-bit keys (the Chord ring).
+///
+/// All interval tests follow Chord's conventions for circular arcs; in
+/// particular the half-open arc `(a, a]` is the **full ring** (travelling
+/// clockwise from just after `a` all the way around to `a`).
+///
+/// # Examples
+///
+/// ```
+/// use cbps_overlay::KeySpace;
+///
+/// let space = KeySpace::new(13); // the paper's 2^13 key space
+/// assert_eq!(space.size(), 8192);
+/// let a = space.key(10);
+/// let b = space.key(8190);
+/// assert_eq!(space.distance_cw(b, a), 12); // wraps around the ring
+/// assert!(space.in_arc_oc(a, b, space.key(100)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct KeySpace {
+    bits: u32,
+}
+
+impl KeySpace {
+    /// Creates the key space of `bits`-bit identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 63`.
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=63).contains(&bits), "key space bits {bits} out of [1, 63]");
+        KeySpace { bits }
+    }
+
+    /// Number of bits `m` in a key.
+    pub const fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// Number of distinct keys, `2^m`.
+    pub const fn size(self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The largest key value, `2^m - 1`.
+    pub const fn max_value(self) -> u64 {
+        self.size() - 1
+    }
+
+    /// Makes a key from an arbitrary integer by reducing it modulo `2^m`.
+    pub const fn key(self, value: u64) -> Key {
+        Key(value & (self.size() - 1))
+    }
+
+    /// `key + delta` on the ring.
+    pub const fn add(self, key: Key, delta: u64) -> Key {
+        self.key(key.0.wrapping_add(delta))
+    }
+
+    /// `key - delta` on the ring.
+    pub const fn sub(self, key: Key, delta: u64) -> Key {
+        self.key(key.0.wrapping_sub(delta))
+    }
+
+    /// Clockwise distance from `a` to `b`: the number of steps to walk from
+    /// `a` forwards to reach `b` (zero when `a == b`).
+    pub const fn distance_cw(self, a: Key, b: Key) -> u64 {
+        b.0.wrapping_sub(a.0) & (self.size() - 1)
+    }
+
+    /// `true` iff `x` lies on the circular arc `(a, b]`.
+    ///
+    /// When `a == b` the arc is the full ring, so every key qualifies.
+    pub const fn in_arc_oc(self, x: Key, a: Key, b: Key) -> bool {
+        let dx = self.distance_cw(a, x);
+        let db = self.distance_cw(a, b);
+        if db == 0 {
+            true
+        } else {
+            dx != 0 && dx <= db
+        }
+    }
+
+    /// `true` iff `x` lies on the circular arc `(a, b)`.
+    ///
+    /// When `a == b` the arc is the full ring minus `a` itself.
+    pub const fn in_arc_oo(self, x: Key, a: Key, b: Key) -> bool {
+        let dx = self.distance_cw(a, x);
+        let db = self.distance_cw(a, b);
+        if db == 0 {
+            dx != 0
+        } else {
+            dx != 0 && dx < db
+        }
+    }
+
+    /// The `i`-th Chord finger target of `key`: `key + 2^i` (0-based `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= m`.
+    pub fn finger_target(self, key: Key, i: u32) -> Key {
+        assert!(i < self.bits, "finger index {i} out of range for m={}", self.bits);
+        self.add(key, 1u64 << i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp() -> KeySpace {
+        KeySpace::new(5) // the paper's illustrative m = 5 ring
+    }
+
+    #[test]
+    fn sizes() {
+        let s = sp();
+        assert_eq!(s.bits(), 5);
+        assert_eq!(s.size(), 32);
+        assert_eq!(s.max_value(), 31);
+        assert_eq!(s.key(33), s.key(1));
+    }
+
+    #[test]
+    fn modular_arithmetic() {
+        let s = sp();
+        assert_eq!(s.add(s.key(30), 4), s.key(2));
+        assert_eq!(s.sub(s.key(2), 4), s.key(30));
+        assert_eq!(s.distance_cw(s.key(30), s.key(2)), 4);
+        assert_eq!(s.distance_cw(s.key(2), s.key(30)), 28);
+        assert_eq!(s.distance_cw(s.key(7), s.key(7)), 0);
+    }
+
+    #[test]
+    fn arc_open_closed() {
+        let s = sp();
+        // Plain arc (3, 10].
+        assert!(!s.in_arc_oc(s.key(3), s.key(3), s.key(10)));
+        assert!(s.in_arc_oc(s.key(4), s.key(3), s.key(10)));
+        assert!(s.in_arc_oc(s.key(10), s.key(3), s.key(10)));
+        assert!(!s.in_arc_oc(s.key(11), s.key(3), s.key(10)));
+        // Wrapping arc (28, 2].
+        assert!(s.in_arc_oc(s.key(31), s.key(28), s.key(2)));
+        assert!(s.in_arc_oc(s.key(0), s.key(28), s.key(2)));
+        assert!(s.in_arc_oc(s.key(2), s.key(28), s.key(2)));
+        assert!(!s.in_arc_oc(s.key(28), s.key(28), s.key(2)));
+        assert!(!s.in_arc_oc(s.key(15), s.key(28), s.key(2)));
+        // Degenerate (a, a] is the full ring.
+        assert!(s.in_arc_oc(s.key(5), s.key(7), s.key(7)));
+        assert!(s.in_arc_oc(s.key(7), s.key(7), s.key(7)));
+    }
+
+    #[test]
+    fn arc_open_open() {
+        let s = sp();
+        assert!(!s.in_arc_oo(s.key(10), s.key(3), s.key(10)));
+        assert!(s.in_arc_oo(s.key(9), s.key(3), s.key(10)));
+        // Degenerate (a, a) is everything but a.
+        assert!(s.in_arc_oo(s.key(6), s.key(7), s.key(7)));
+        assert!(!s.in_arc_oo(s.key(7), s.key(7), s.key(7)));
+    }
+
+    #[test]
+    fn finger_targets_match_paper_example() {
+        // Figure 1 of the paper: node 8 on an m=5 ring; the 4th finger
+        // (1-based) targets 8 + 2^3 = 16.
+        let s = sp();
+        assert_eq!(s.finger_target(s.key(8), 3), s.key(16));
+        assert_eq!(s.finger_target(s.key(30), 2), s.key(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn finger_index_validated() {
+        let s = sp();
+        let _ = s.finger_target(s.key(0), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [1, 63]")]
+    fn bits_validated() {
+        let _ = KeySpace::new(64);
+    }
+}

@@ -1,0 +1,176 @@
+//! Wire messages of the Chord overlay.
+//!
+//! Every message travels inside an [`Envelope`] stamping the immediate
+//! sender's identity, which receivers feed to their location cache (the
+//! "finger caching" of §5.1). Application payloads are generic: the overlay
+//! routes them without inspecting them.
+
+use cbps_sim::TrafficClass;
+
+use crate::key::Key;
+use crate::range::{KeyRange, KeyRangeSet};
+use crate::ring::Peer;
+
+/// A message plus the identity of the node that transmitted this hop.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope<P> {
+    /// The node that performed this one-hop transmission (not necessarily
+    /// the originator).
+    pub sender: Peer,
+    /// The message itself.
+    pub body: ChordMsg<P>,
+}
+
+/// The overlay protocol messages.
+///
+/// `Unicast`, `MCast` and `Walk` carry application payloads; the remaining
+/// variants implement ring maintenance (join, stabilization, finger repair,
+/// liveness).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChordMsg<P> {
+    /// Key-routed payload: the overlay's standard `send(m, k)` primitive.
+    Unicast {
+        /// Destination key; delivered at the node covering it.
+        key: Key,
+        /// Traffic class used to count every hop of this message.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far (delivery dilation).
+        hops: u32,
+        /// The originating node.
+        src: Peer,
+    },
+    /// The paper's `m-cast(M, K)` primitive (Figure 4): key-set multicast
+    /// with finger-wise recursive splitting.
+    MCast {
+        /// The subset of target keys this branch is responsible for.
+        targets: KeyRangeSet,
+        /// Traffic class used to count every hop of this message.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far on this branch.
+        hops: u32,
+        /// The originating node.
+        src: Peer,
+    },
+    /// Conservative unicast range propagation (§4.3.1): routed to the first
+    /// key of the range, then walked successor-by-successor.
+    Walk {
+        /// The full target range being walked.
+        range: KeyRange,
+        /// Traffic class used to count every hop of this message.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far.
+        hops: u32,
+        /// The originating node.
+        src: Peer,
+        /// `false` while still routing toward `range.start()`, `true` once
+        /// walking the ring.
+        walking: bool,
+    },
+    /// One-hop application message to a known peer (used by the
+    /// notification-collecting protocol and state transfer).
+    Direct {
+        /// Application payload.
+        payload: P,
+        /// Traffic class the hop was counted under.
+        class: TrafficClass,
+    },
+
+    // --- Ring maintenance ---
+    /// Recursive lookup of `successor(target)`; the covering node answers
+    /// `reply_to` directly with [`ChordMsg::FindSuccReply`].
+    FindSucc {
+        /// The key whose successor is sought.
+        target: Key,
+        /// Who to answer.
+        reply_to: Peer,
+        /// Correlation token chosen by the requester.
+        token: u64,
+        /// One-hop transmissions so far.
+        hops: u32,
+    },
+    /// Answer to [`ChordMsg::FindSucc`].
+    FindSuccReply {
+        /// Correlation token from the request.
+        token: u64,
+        /// The covering node.
+        succ: Peer,
+        /// Hops the request took to reach the covering node.
+        hops: u32,
+    },
+    /// Stabilization: ask a node for its predecessor and successor list.
+    GetPred,
+    /// Answer to [`ChordMsg::GetPred`].
+    GetPredReply {
+        /// The answering node's current predecessor.
+        pred: Option<Peer>,
+        /// The answering node's successor list.
+        succ_list: Vec<Peer>,
+    },
+    /// Stabilization: tell a node we believe we are its predecessor.
+    Notify {
+        /// The claiming node.
+        peer: Peer,
+    },
+    /// Graceful departure: `leaving` is quitting; `replacement` is the
+    /// neighbor that should take its place in the receiver's view.
+    LeaveNotice {
+        /// The departing node.
+        leaving: Peer,
+        /// Its neighbor on the other side.
+        replacement: Peer,
+    },
+    /// Liveness probe.
+    Ping {
+        /// Correlation token.
+        token: u64,
+    },
+    /// Liveness answer.
+    Pong {
+        /// Correlation token from the probe.
+        token: u64,
+    },
+}
+
+impl<P> ChordMsg<P> {
+    /// The traffic class this message should be accounted under when
+    /// transmitted (maintenance for all non-payload messages).
+    pub fn class(&self) -> TrafficClass {
+        match self {
+            ChordMsg::Unicast { class, .. }
+            | ChordMsg::MCast { class, .. }
+            | ChordMsg::Walk { class, .. }
+            | ChordMsg::Direct { class, .. } => *class,
+            _ => TrafficClass::MAINTENANCE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeySpace;
+
+    #[test]
+    fn class_of_payload_and_maintenance_msgs() {
+        let s = KeySpace::new(5);
+        let src = Peer { idx: 0, key: s.key(1) };
+        let m: ChordMsg<u8> = ChordMsg::Unicast {
+            key: s.key(3),
+            class: TrafficClass::PUBLICATION,
+            payload: 9,
+            hops: 0,
+            src,
+        };
+        assert_eq!(m.class(), TrafficClass::PUBLICATION);
+        let g: ChordMsg<u8> = ChordMsg::GetPred;
+        assert_eq!(g.class(), TrafficClass::MAINTENANCE);
+        let p: ChordMsg<u8> = ChordMsg::Ping { token: 7 };
+        assert_eq!(p.class(), TrafficClass::MAINTENANCE);
+    }
+}

@@ -1,0 +1,105 @@
+//! The overlay-neutral service surface.
+//!
+//! The paper notes (§3.1) that the pub/sub infrastructure "is portable in
+//! the sense that it can use any overlay routing scheme". This trait is
+//! that portability boundary: everything the CB-pub/sub layer needs from
+//! *an* overlay — key-routed send, the one-to-many primitives, one-hop
+//! sends, timers, neighbor knowledge — with no Chord specifics. Chord's
+//! [`OverlaySvc`](crate::OverlaySvc) implements it; so does the Pastry
+//! overlay in `cbps-pastry`.
+
+use cbps_sim::{Metrics, SimDuration, SimTime, TrafficClass};
+use rand::rngs::StdRng;
+
+use crate::key::{Key, KeySpace};
+use crate::range::{KeyRange, KeyRangeSet};
+use crate::ring::Peer;
+
+/// What a structured overlay offers to the application stacked on it.
+///
+/// Implementations must guarantee: `send` delivers to the node covering
+/// the key; `mcast` delivers exactly once to every node covering at least
+/// one target key; `covers` is consistent with delivery; and `successor`/
+/// `predecessor` name the ring-adjacent nodes of the key space (used for
+/// the collecting optimization and state transfer).
+pub trait OverlayServices<P: Clone, T> {
+    /// This node's identity.
+    fn me(&self) -> Peer;
+    /// The key space of the overlay.
+    fn space(&self) -> KeySpace;
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// The run's deterministic RNG.
+    fn rng(&mut self) -> &mut StdRng;
+    /// The run's metrics sink.
+    fn metrics(&mut self) -> &mut Metrics;
+    /// The ring-adjacent node clockwise of this one, if any.
+    fn successor(&self) -> Option<Peer>;
+    /// The ring-adjacent node counter-clockwise of this one, if known.
+    fn predecessor(&self) -> Option<Peer>;
+    /// Nearest known clockwise neighbors (for replica placement).
+    fn successors(&self) -> &[Peer];
+    /// `true` iff this node currently covers `key`.
+    fn covers(&self, key: Key) -> bool;
+    /// Arms an application timer.
+    fn arm_timer(&mut self, delay: SimDuration, timer: T);
+    /// Routes `payload` to the node covering `key`.
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P);
+    /// One-to-many send: every covering node of `targets` receives the
+    /// payload exactly once.
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P);
+    /// Naive per-key unicast fan-out (the baseline primitive).
+    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P);
+    /// Conservative neighbor-walk propagation along a contiguous range.
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P);
+    /// One-hop message to a known peer.
+    fn direct(&mut self, to: Peer, class: TrafficClass, payload: P);
+}
+
+impl<P: Clone, T> OverlayServices<P, T> for crate::app::OverlaySvc<'_, '_, P, T> {
+    fn me(&self) -> Peer {
+        crate::app::OverlaySvc::me(self)
+    }
+    fn space(&self) -> KeySpace {
+        crate::app::OverlaySvc::space(self)
+    }
+    fn now(&self) -> SimTime {
+        crate::app::OverlaySvc::now(self)
+    }
+    fn rng(&mut self) -> &mut StdRng {
+        crate::app::OverlaySvc::rng(self)
+    }
+    fn metrics(&mut self) -> &mut Metrics {
+        crate::app::OverlaySvc::metrics(self)
+    }
+    fn successor(&self) -> Option<Peer> {
+        crate::app::OverlaySvc::successor(self)
+    }
+    fn predecessor(&self) -> Option<Peer> {
+        crate::app::OverlaySvc::predecessor(self)
+    }
+    fn successors(&self) -> &[Peer] {
+        crate::app::OverlaySvc::successors(self)
+    }
+    fn covers(&self, key: Key) -> bool {
+        crate::app::OverlaySvc::covers(self, key)
+    }
+    fn arm_timer(&mut self, delay: SimDuration, timer: T) {
+        crate::app::OverlaySvc::arm_timer(self, delay, timer);
+    }
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
+        crate::app::OverlaySvc::send(self, key, class, payload);
+    }
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        crate::app::OverlaySvc::mcast(self, targets, class, payload);
+    }
+    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        crate::app::OverlaySvc::ucast_keys(self, targets, class, payload);
+    }
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
+        crate::app::OverlaySvc::walk(self, range, class, payload);
+    }
+    fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
+        crate::app::OverlaySvc::direct(self, to, class, payload);
+    }
+}

@@ -1,0 +1,449 @@
+//! Per-node routing state: identity, neighbors, finger table, location
+//! cache — and the two routing decisions built on them (greedy next-hop
+//! selection and the `m-cast` split of Figure 4).
+
+
+use crate::cache::LocationCache;
+use crate::config::OverlayConfig;
+use crate::key::{Key, KeySpace};
+use crate::range::KeyRangeSet;
+use crate::ring::Peer;
+
+/// The Chord routing state of one node.
+///
+/// Pure data plus deterministic decision functions; all message handling
+/// lives in [`crate::node::ChordNode`]. Keeping the decisions here makes
+/// them unit-testable without a simulator.
+#[derive(Clone, Debug)]
+pub struct RoutingState {
+    cfg: OverlayConfig,
+    me: Peer,
+    pred: Option<Peer>,
+    /// Successor list; `succs[0]` is the immediate successor. Empty on a
+    /// single-node ring.
+    succs: Vec<Peer>,
+    /// `m` finger entries; `fingers[i]` targets `me.key + 2^i`. `None` when
+    /// unknown or pointing at ourselves.
+    fingers: Vec<Option<Peer>>,
+    cache: LocationCache,
+}
+
+impl RoutingState {
+    /// Fresh state for a node that has not joined a ring yet.
+    pub fn new(cfg: OverlayConfig, me: Peer) -> Self {
+        RoutingState {
+            cfg,
+            me,
+            pred: None,
+            succs: Vec::new(),
+            fingers: vec![None; cfg.space.bits() as usize],
+            cache: LocationCache::new(cfg.cache_capacity),
+        }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> Peer {
+        self.me
+    }
+
+    /// The key space.
+    pub fn space(&self) -> KeySpace {
+        self.cfg.space
+    }
+
+    /// The overlay configuration.
+    pub fn config(&self) -> &OverlayConfig {
+        &self.cfg
+    }
+
+    /// Current predecessor, if known.
+    pub fn predecessor(&self) -> Option<Peer> {
+        self.pred
+    }
+
+    /// Immediate successor, if any (a single-node ring has none).
+    pub fn successor(&self) -> Option<Peer> {
+        self.succs.first().copied()
+    }
+
+    /// The whole successor list.
+    pub fn successors(&self) -> &[Peer] {
+        &self.succs
+    }
+
+    /// The finger table (entry `i` targets `me.key + 2^i`).
+    pub fn fingers(&self) -> &[Option<Peer>] {
+        &self.fingers
+    }
+
+    /// Number of entries currently in the location cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Overwrites the predecessor.
+    pub fn set_predecessor(&mut self, pred: Option<Peer>) {
+        self.pred = pred;
+    }
+
+    /// Overwrites the successor list (first entry = immediate successor).
+    /// Entries equal to this node are dropped; the list is truncated to the
+    /// configured length.
+    pub fn set_successors(&mut self, succs: Vec<Peer>) {
+        let mut out: Vec<Peer> = Vec::with_capacity(self.cfg.succ_list_len);
+        for p in succs {
+            if p.key != self.me.key && !out.contains(&p) {
+                out.push(p);
+            }
+            if out.len() == self.cfg.succ_list_len {
+                break;
+            }
+        }
+        self.succs = out;
+    }
+
+    /// Sets one finger entry (entries pointing at ourselves are stored as
+    /// `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_finger(&mut self, i: usize, peer: Peer) {
+        self.fingers[i] = if peer.key == self.me.key { None } else { Some(peer) };
+    }
+
+    /// Records that `peer` exists (location cache learning). Learning
+    /// ourselves is a no-op.
+    pub fn learn(&mut self, peer: Peer) {
+        if peer.key != self.me.key {
+            self.cache.learn(peer);
+        }
+    }
+
+    /// Removes every trace of the node at simulator index `idx` (used when
+    /// a send fails: the sender knows the address, not necessarily the
+    /// key). Returns the peers scrubbed.
+    pub fn forget_idx(&mut self, idx: usize) -> Vec<Peer> {
+        let mut dead: Vec<Peer> = Vec::new();
+        let mut note = |p: Peer| {
+            if !dead.contains(&p) {
+                dead.push(p);
+            }
+        };
+        for f in self.fingers.iter().flatten() {
+            if f.idx == idx {
+                note(*f);
+            }
+        }
+        for s in &self.succs {
+            if s.idx == idx {
+                note(*s);
+            }
+        }
+        if let Some(p) = self.pred {
+            if p.idx == idx {
+                note(p);
+            }
+        }
+        for p in self.cache.peers_at(idx) {
+            note(p);
+        }
+        for p in dead.clone() {
+            self.forget(p);
+        }
+        dead
+    }
+
+    /// Removes every trace of a peer believed dead: cache entry, fingers,
+    /// successor-list entries, predecessor.
+    pub fn forget(&mut self, peer: Peer) {
+        self.cache.forget(peer.key);
+        for f in &mut self.fingers {
+            if *f == Some(peer) {
+                *f = None;
+            }
+        }
+        self.succs.retain(|p| *p != peer);
+        if self.pred == Some(peer) {
+            self.pred = None;
+        }
+    }
+
+    /// `true` iff this node covers `key`, i.e. `key ∈ (pred, me]`.
+    ///
+    /// A node with no known predecessor claims everything (true for a
+    /// single-node ring; transiently optimistic while joining).
+    pub fn covers(&self, key: Key) -> bool {
+        match self.pred {
+            None => true,
+            Some(p) => self.cfg.space.in_arc_oc(key, p.key, self.me.key),
+        }
+    }
+
+    /// Greedy routing decision for `key`: `None` to deliver locally, or the
+    /// next hop — the closest node preceding `key` among the finger table,
+    /// successor list and location cache, falling back to the successor.
+    pub fn next_hop(&mut self, key: Key) -> Option<Peer> {
+        if self.covers(key) {
+            return None;
+        }
+        let succ = self.successor()?;
+        let space = self.cfg.space;
+        if space.in_arc_oc(key, self.me.key, succ.key) {
+            return Some(succ);
+        }
+        let mut best: Option<Peer> = None;
+        let mut best_dist = 0u64;
+        let mut consider = |p: Peer| {
+            if space.in_arc_oo(p.key, self.me.key, key) {
+                let d = space.distance_cw(self.me.key, p.key);
+                if d > best_dist {
+                    best_dist = d;
+                    best = Some(p);
+                }
+            }
+        };
+        for f in self.fingers.iter().flatten() {
+            consider(*f);
+        }
+        for s in &self.succs {
+            consider(*s);
+        }
+        if let Some(c) = self.cache.closest_preceding(space, self.me.key, key) {
+            consider(c);
+        }
+        Some(best.unwrap_or(succ))
+    }
+
+    /// The `m-cast` split of Figure 4: partitions `targets` into the subset
+    /// this node covers (to deliver) and per-next-hop bundles (to forward).
+    ///
+    /// Boundaries are the node's distinct neighbors sorted clockwise:
+    /// successor `f_1`, the fingers, and the predecessor as the final
+    /// `f_l`. The arc `(me, f_1]` goes to the successor (it covers it
+    /// entirely); each arc `(f_i, f_{i+1}]` goes to `f_i`, which recurses;
+    /// the final arc `(pred, me]` is local. Bundles to the same node are
+    /// merged, so no node receives the message twice.
+    pub fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+        let space = self.cfg.space;
+        let Some(succ) = self.successor() else {
+            // Single-node ring: everything is local.
+            return (targets.clone(), Vec::new());
+        };
+
+        // Distinct boundary peers sorted clockwise from me.
+        let mut boundaries: Vec<Peer> = Vec::with_capacity(self.fingers.len() + 2);
+        boundaries.push(succ);
+        for f in self.fingers.iter().flatten() {
+            boundaries.push(*f);
+        }
+        if let Some(p) = self.pred {
+            boundaries.push(p);
+        }
+        boundaries.retain(|p| p.key != self.me.key);
+        boundaries.sort_by_key(|p| space.distance_cw(self.me.key, p.key));
+        boundaries.dedup_by_key(|p| p.key);
+
+        if boundaries.is_empty() {
+            return (targets.clone(), Vec::new());
+        }
+
+        let mut bundles: Vec<(Peer, KeyRangeSet)> = Vec::new();
+        let mut add = |peer: Peer, part: KeyRangeSet| {
+            if part.is_empty() {
+                return;
+            }
+            if let Some((_, set)) = bundles.iter_mut().find(|(p, _)| p.idx == peer.idx) {
+                set.union_with(&part);
+            } else {
+                bundles.push((peer, part));
+            }
+        };
+
+        // (me, b_0] is covered entirely by the successor.
+        add(boundaries[0], targets.extract_arc_oc(space, self.me.key, boundaries[0].key));
+        // (b_i, b_{i+1}] is relayed through b_i.
+        for w in boundaries.windows(2) {
+            add(w[0], targets.extract_arc_oc(space, w[0].key, w[1].key));
+        }
+        // (b_last, me] is ours.
+        let last = boundaries[boundaries.len() - 1];
+        let local = targets.extract_arc_oc(space, last.key, self.me.key);
+        (local, bundles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::KeyRange;
+    use crate::ring::RingView;
+
+    /// Builds converged state for the node at `key` on a ring of the given
+    /// node keys.
+    fn converged(keys: &[u64], key: u64) -> RoutingState {
+        let space = KeySpace::new(5);
+        let cfg = OverlayConfig::paper_default().with_space(space).with_cache_capacity(0);
+        let peers: Vec<Peer> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Peer { idx: i, key: space.key(k) })
+            .collect();
+        let ring = RingView::new(space, peers.clone());
+        let me = *peers.iter().find(|p| p.key == space.key(key)).unwrap();
+        let mut st = RoutingState::new(cfg, me);
+        st.set_predecessor(Some(ring.predecessor(me.key)));
+        st.set_successors(ring.successors_of(me.key, cfg.succ_list_len));
+        for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
+            st.set_finger(i, f);
+        }
+        st
+    }
+
+    #[test]
+    fn covers_own_arc_only() {
+        let st = converged(&[1, 8, 14, 20, 27], 8);
+        let s = st.space();
+        assert!(st.covers(s.key(8)));
+        assert!(st.covers(s.key(2)));
+        assert!(!st.covers(s.key(1)));
+        assert!(!st.covers(s.key(9)));
+    }
+
+    #[test]
+    fn next_hop_none_when_covering() {
+        let mut st = converged(&[1, 8, 14, 20, 27], 8);
+        let s = st.space();
+        assert_eq!(st.next_hop(s.key(5)), None);
+    }
+
+    #[test]
+    fn next_hop_uses_successor_for_adjacent_arc() {
+        let mut st = converged(&[1, 8, 14, 20, 27], 8);
+        let s = st.space();
+        let hop = st.next_hop(s.key(12)).unwrap();
+        assert_eq!(hop.key, s.key(14));
+    }
+
+    #[test]
+    fn next_hop_takes_longest_finger_before_target() {
+        let mut st = converged(&[1, 8, 14, 20, 27], 1);
+        let s = st.space();
+        // Routing 26 from node 1: fingers of 1 target 2,3,5,9,17 →
+        // successors 8,8,8,14,20. Closest preceding 26 is 20.
+        let hop = st.next_hop(s.key(26)).unwrap();
+        assert_eq!(hop.key, s.key(20));
+    }
+
+    #[test]
+    fn next_hop_never_returns_self() {
+        for target in 0..32 {
+            let mut st = converged(&[1, 8, 14, 20, 27], 14);
+            let s = st.space();
+            if let Some(hop) = st.next_hop(s.key(target)) {
+                assert_ne!(hop.key, st.me().key, "self-hop for target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_entry_shortcuts_routing() {
+        let space = KeySpace::new(5);
+        let cfg = OverlayConfig::paper_default()
+            .with_space(space)
+            .with_cache_capacity(8)
+            .with_succ_list_len(1);
+        let peers: Vec<Peer> = [1u64, 8, 14, 20, 27]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Peer { idx: i, key: space.key(k) })
+            .collect();
+        let ring = RingView::new(space, peers.clone());
+        let me = peers[0]; // key 1
+        let mut st = RoutingState::new(cfg, me);
+        st.set_predecessor(Some(ring.predecessor(me.key)));
+        st.set_successors(ring.successors_of(me.key, 1));
+        for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
+            st.set_finger(i, f);
+        }
+        // Node 1 covers (27, 1]; route toward key 25 (covered by node 27).
+        // Without cache knowledge the best hop is finger 20.
+        assert_eq!(st.next_hop(space.key(25)).unwrap().key, space.key(20));
+        // After learning a peer at 23 the cache supplies a closer hop.
+        st.learn(Peer { idx: 9, key: space.key(23) });
+        assert_eq!(st.next_hop(space.key(25)).unwrap().key, space.key(23));
+        // The cached node is never returned for its own key: arc (1, 23) is
+        // open at 23, so routing key 23 still goes through 20.
+        assert_eq!(st.next_hop(space.key(23)).unwrap().key, space.key(20));
+    }
+
+    #[test]
+    fn forget_scrubs_everywhere() {
+        let mut st = converged(&[1, 8, 14, 20, 27], 8);
+        let s = st.space();
+        let dead = Peer { idx: 2, key: s.key(14) };
+        st.forget(dead);
+        assert!(!st.successors().contains(&dead));
+        assert!(st.fingers().iter().all(|f| *f != Some(dead)));
+        // Successor list falls back to the next node.
+        assert_eq!(st.successor().unwrap().key, s.key(20));
+    }
+
+    #[test]
+    fn mcast_split_partitions_disjointly_and_completely() {
+        let st = converged(&[1, 8, 14, 20, 27], 8);
+        let s = st.space();
+        let targets = KeyRangeSet::full(s);
+        let (local, bundles) = st.mcast_split(&targets);
+        // Local must be exactly our coverage (1, 8].
+        assert_eq!(local, KeyRangeSet::of_range(s, KeyRange::new(s.key(2), s.key(8))));
+        // The union of local + all bundles must be the full ring, disjoint.
+        let mut total = local.count();
+        let mut union = local.clone();
+        for (_, set) in &bundles {
+            assert!(!union.intersects(set), "overlapping m-cast bundles");
+            union.union_with(set);
+            total += set.count();
+        }
+        assert_eq!(total, s.size());
+        assert_eq!(union.count(), s.size());
+        // No bundle is addressed to ourselves.
+        assert!(bundles.iter().all(|(p, _)| p.key != st.me().key));
+    }
+
+    #[test]
+    fn mcast_split_single_node_is_all_local() {
+        let space = KeySpace::new(5);
+        let cfg = OverlayConfig::paper_default().with_space(space);
+        let me = Peer { idx: 0, key: space.key(7) };
+        let st = RoutingState::new(cfg, me);
+        let targets = KeyRangeSet::of_range(space, KeyRange::new(space.key(0), space.key(31)));
+        let (local, bundles) = st.mcast_split(&targets);
+        assert_eq!(local.count(), 32);
+        assert!(bundles.is_empty());
+    }
+
+    #[test]
+    fn mcast_split_bundles_merge_per_node() {
+        // Successor also appears as finger 1 and 2; its bundle must be one
+        // merged entry.
+        let st = converged(&[1, 8, 14, 20, 27], 1);
+        let targets = KeyRangeSet::full(st.space());
+        let (_, bundles) = st.mcast_split(&targets);
+        let mut idxs: Vec<usize> = bundles.iter().map(|(p, _)| p.idx).collect();
+        idxs.sort_unstable();
+        let before = idxs.len();
+        idxs.dedup();
+        assert_eq!(before, idxs.len(), "duplicate per-node bundles");
+    }
+
+    #[test]
+    fn set_successors_filters_self_and_dups() {
+        let mut st = converged(&[1, 8], 1);
+        let s = st.space();
+        let me = st.me();
+        let other = Peer { idx: 1, key: s.key(8) };
+        st.set_successors(vec![other, me, other, other]);
+        assert_eq!(st.successors(), &[other]);
+    }
+}

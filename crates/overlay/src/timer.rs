@@ -1,0 +1,17 @@
+//! Timer tokens of a Chord node.
+
+/// Timers a [`crate::ChordNode`] arms, wrapping the application's own.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChordTimer<T> {
+    /// Periodic stabilization (successor check + notify).
+    Stabilize,
+    /// Periodic finger repair (one finger per fire, round-robin).
+    FixFingers,
+    /// A liveness probe went unanswered for too long.
+    ProbeTimeout {
+        /// Correlation token of the outstanding probe.
+        token: u64,
+    },
+    /// An application timer.
+    App(T),
+}

@@ -1,0 +1,207 @@
+//! Property-based tests of the overlay's core invariants: circular
+//! interval-set algebra, m-cast partitioning, and greedy routing against
+//! the global ring oracle.
+
+use std::collections::BTreeSet;
+
+use cbps_overlay::{
+    KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState,
+};
+use proptest::prelude::*;
+
+/// A naive model of a key set: an explicit `BTreeSet<u64>`.
+fn model_of(space: KeySpace, ranges: &[(u64, u64)]) -> BTreeSet<u64> {
+    let mut model = BTreeSet::new();
+    for &(start, len) in ranges {
+        for off in 0..=len {
+            model.insert((start + off) & space.max_value());
+        }
+    }
+    model
+}
+
+fn set_of(space: KeySpace, ranges: &[(u64, u64)]) -> KeyRangeSet {
+    let mut set = KeyRangeSet::new();
+    for &(start, len) in ranges {
+        let s = space.key(start);
+        let e = space.add(s, len);
+        set.insert_range(space, KeyRange::new(s, e));
+    }
+    set
+}
+
+proptest! {
+    /// KeyRangeSet agrees with the explicit-set model on membership,
+    /// cardinality and iteration.
+    #[test]
+    fn range_set_matches_model(
+        ranges in proptest::collection::vec((0u64..256, 0u64..80), 0..8),
+        probes in proptest::collection::vec(0u64..256, 0..32),
+    ) {
+        let space = KeySpace::new(8);
+        let set = set_of(space, &ranges);
+        let model = model_of(space, &ranges);
+        prop_assert_eq!(set.count(), model.len() as u64);
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        for p in probes {
+            prop_assert_eq!(set.contains(space.key(p)), model.contains(&p), "probe {}", p);
+        }
+        let iterated: BTreeSet<u64> = set.iter_keys(space).map(|k| k.value()).collect();
+        prop_assert_eq!(iterated, model);
+    }
+
+    /// extract_arc_oc returns exactly the model subset on the arc.
+    #[test]
+    fn extract_arc_matches_model(
+        ranges in proptest::collection::vec((0u64..256, 0u64..60), 0..6),
+        a in 0u64..256,
+        b in 0u64..256,
+    ) {
+        let space = KeySpace::new(8);
+        let set = set_of(space, &ranges);
+        let model = model_of(space, &ranges);
+        let part = set.extract_arc_oc(space, space.key(a), space.key(b));
+        let expect: BTreeSet<u64> = model
+            .iter()
+            .copied()
+            .filter(|&x| space.in_arc_oc(space.key(x), space.key(a), space.key(b)))
+            .collect();
+        let got: BTreeSet<u64> = part.iter_keys(space).map(|k| k.value()).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Union is the model union.
+    #[test]
+    fn union_matches_model(
+        ra in proptest::collection::vec((0u64..256, 0u64..60), 0..5),
+        rb in proptest::collection::vec((0u64..256, 0u64..60), 0..5),
+    ) {
+        let space = KeySpace::new(8);
+        let mut a = set_of(space, &ra);
+        let b = set_of(space, &rb);
+        let mut model = model_of(space, &ra);
+        model.extend(model_of(space, &rb));
+        a.union_with(&b);
+        let got: BTreeSet<u64> = a.iter_keys(space).map(|k| k.value()).collect();
+        prop_assert_eq!(got, model);
+    }
+
+    /// intersects() agrees with the models' disjointness.
+    #[test]
+    fn intersects_matches_model(
+        ra in proptest::collection::vec((0u64..256, 0u64..40), 0..5),
+        rb in proptest::collection::vec((0u64..256, 0u64..40), 0..5),
+    ) {
+        let space = KeySpace::new(8);
+        let a = set_of(space, &ra);
+        let b = set_of(space, &rb);
+        let ma = model_of(space, &ra);
+        let mb = model_of(space, &rb);
+        prop_assert_eq!(a.intersects(&b), ma.intersection(&mb).next().is_some());
+    }
+}
+
+/// Builds a converged routing state for every node of a random ring.
+fn converged_ring(keys: &[u64]) -> (KeySpace, RingView, Vec<RoutingState>) {
+    let space = KeySpace::new(10);
+    let cfg = OverlayConfig::paper_default()
+        .with_space(space)
+        .with_cache_capacity(0);
+    let mut unique: Vec<u64> = keys.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let peers: Vec<Peer> = unique
+        .iter()
+        .enumerate()
+        .map(|(idx, &k)| Peer { idx, key: space.key(k) })
+        .collect();
+    let ring = RingView::new(space, peers.clone());
+    let states = peers
+        .iter()
+        .map(|&me| {
+            let mut st = RoutingState::new(cfg, me);
+            if peers.len() > 1 {
+                st.set_predecessor(Some(ring.predecessor(me.key)));
+                st.set_successors(ring.successors_of(me.key, cfg.succ_list_len));
+                for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
+                    st.set_finger(i, f);
+                }
+            }
+            st
+        })
+        .collect();
+    (space, ring, states)
+}
+
+proptest! {
+    /// Greedy routing from any node reaches exactly the oracle's covering
+    /// node, monotonically shrinking the clockwise distance.
+    #[test]
+    fn greedy_routing_reaches_oracle_successor(
+        keys in proptest::collection::btree_set(0u64..1024, 2..40),
+        target in 0u64..1024,
+        start_sel in 0usize..1000,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let (space, ring, mut states) = converged_ring(&keys);
+        let target = space.key(target);
+        let expect = ring.successor(target);
+        let mut at = start_sel % states.len();
+        let mut hops = 0;
+        loop {
+            match states[at].next_hop(target) {
+                None => break,
+                Some(next) => {
+                    // Progress: strictly closer to the target (clockwise),
+                    // except for the final hop, which lands on the covering
+                    // node just *past* the target key.
+                    let d_now = space.distance_cw(states[at].me().key, target);
+                    let d_next = space.distance_cw(next.key, target);
+                    prop_assert!(
+                        d_next < d_now || next.idx == expect.idx,
+                        "no progress at hop {hops}"
+                    );
+                    at = next.idx;
+                }
+            }
+            hops += 1;
+            prop_assert!(hops <= states.len(), "routing loop");
+        }
+        prop_assert_eq!(states[at].me().idx, expect.idx);
+    }
+
+    /// The m-cast split at any node partitions the target set exactly:
+    /// local ∪ bundles = targets, pairwise disjoint, no bundle to self.
+    #[test]
+    fn mcast_split_is_exact_partition(
+        keys in proptest::collection::btree_set(0u64..1024, 1..40),
+        ranges in proptest::collection::vec((0u64..1024, 0u64..300), 1..4),
+        node_sel in 0usize..1000,
+    ) {
+        let keys: Vec<u64> = keys.into_iter().collect();
+        let (space, _ring, states) = converged_ring(&keys);
+        let st = &states[node_sel % states.len()];
+        let mut targets = KeyRangeSet::new();
+        for &(start, len) in &ranges {
+            let s = space.key(start);
+            targets.insert_range(space, KeyRange::new(s, space.add(s, len)));
+        }
+        let (local, bundles) = st.mcast_split(&targets);
+        let mut union = local.clone();
+        let mut total = local.count();
+        for (peer, subset) in &bundles {
+            prop_assert!(peer.key != st.me().key, "bundle addressed to self");
+            prop_assert!(!subset.is_empty(), "empty bundle");
+            prop_assert!(!union.intersects(subset), "overlapping split");
+            union.union_with(subset);
+            total += subset.count();
+        }
+        prop_assert_eq!(total, targets.count());
+        prop_assert_eq!(union, targets);
+        // The local part is within our coverage.
+        if let Some(pred) = st.predecessor() {
+            let cover = local.extract_arc_oc(space, pred.key, st.me().key);
+            prop_assert_eq!(cover, local);
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # cbps-pastry — a second overlay substrate, proving portability
+//!
+//! The paper states (§3.1, footnote 1) that its publish-subscribe
+//! infrastructure "is portable in the sense that it can use any overlay
+//! routing scheme" (CAN, Chord, Pastry, Tapestry). This crate makes the
+//! claim concrete: a **Pastry-style overlay** — bit-prefix routing table
+//! plus leaf sets — hosting the *unchanged* CB-pub/sub layer of the
+//! [`cbps`] crate through the overlay-neutral
+//! [`cbps_overlay::OverlayServices`] surface.
+//!
+//! Scope notes (documented simplifications):
+//!
+//! * membership is static (the converged-network mode the paper's
+//!   experiments run in); dynamic join/leave lives in the Chord substrate;
+//! * coverage follows the successor convention (`key ∈ (pred, me]`) rather
+//!   than Pastry's numerically-closest rule, so the ak-mapping semantics
+//!   are bit-identical across overlays — routing, however, is genuinely
+//!   prefix-based;
+//! * the one-to-many primitive reuses the clockwise-arc partition argument
+//!   of the paper's Figure 4 with leaf-set ∪ routing-table entries as
+//!   boundaries.
+//!
+//! # Examples
+//!
+//! See [`PastryPubSubNetwork`] for an end-to-end pub/sub deployment over
+//! Pastry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod builder;
+mod node;
+mod pubsub;
+mod state;
+
+pub use builder::build_pastry_stable;
+pub use node::{PastryApp, PastryEnvelope, PastryMsg, PastryNode, PastrySvc};
+pub use pubsub::{PastryPubSubNetwork, PastryPubSubNetworkBuilder};
+pub use state::{common_prefix_len, PastryConfig, PastryState};

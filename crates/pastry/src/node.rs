@@ -1,0 +1,423 @@
+//! The Pastry node: message handling and the application bridge.
+
+use cbps_overlay::{
+    Delivery, Key, KeyRange, KeyRangeSet, KeySpace, OverlayServices, Peer,
+};
+use cbps_sim::{Context, Metrics, Node, NodeIdx, SimDuration, SimTime, TrafficClass};
+use rand::rngs::StdRng;
+
+use crate::state::PastryState;
+
+/// Wire messages of the Pastry overlay (static membership: payload
+/// routing only).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PastryMsg<P> {
+    /// Key-routed payload.
+    Route {
+        /// Destination key.
+        key: Key,
+        /// Traffic class for hop accounting.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far.
+        hops: u32,
+        /// Originator.
+        src: Peer,
+    },
+    /// One-to-many payload over a key set.
+    MCast {
+        /// Remaining target keys of this branch.
+        targets: KeyRangeSet,
+        /// Traffic class for hop accounting.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far.
+        hops: u32,
+        /// Originator.
+        src: Peer,
+    },
+    /// Leaf-walk propagation along a contiguous range.
+    Walk {
+        /// Full target range.
+        range: KeyRange,
+        /// Traffic class for hop accounting.
+        class: TrafficClass,
+        /// Application payload.
+        payload: P,
+        /// One-hop transmissions so far.
+        hops: u32,
+        /// Originator.
+        src: Peer,
+        /// Whether the walk phase has begun.
+        walking: bool,
+    },
+    /// One-hop application message.
+    Direct {
+        /// Application payload.
+        payload: P,
+    },
+}
+
+/// An envelope stamping the transmitting node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PastryEnvelope<P> {
+    /// The transmitting node.
+    pub sender: Peer,
+    /// The message.
+    pub body: PastryMsg<P>,
+}
+
+/// The application stacked on a Pastry node (mirror of the Chord-side
+/// `ChordApp`, without dynamic-membership hooks: the Pastry substrate is
+/// built statically).
+pub trait PastryApp: Sized {
+    /// Routed payload type.
+    type Payload: Clone;
+    /// Application timer token.
+    type Timer;
+
+    /// A routed payload arrived at a key this node covers.
+    fn on_deliver(
+        &mut self,
+        payload: Self::Payload,
+        delivery: Delivery,
+        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
+    );
+
+    /// A one-hop direct message arrived.
+    fn on_direct(
+        &mut self,
+        from: Peer,
+        payload: Self::Payload,
+        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
+    ) {
+        let _ = (from, payload, svc);
+    }
+
+    /// An application timer fired.
+    fn on_timer(
+        &mut self,
+        timer: Self::Timer,
+        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
+    ) {
+        let _ = (timer, svc);
+    }
+}
+
+/// The service handle handed to Pastry application upcalls; implements
+/// the overlay-neutral [`OverlayServices`] surface.
+#[derive(Debug)]
+pub struct PastrySvc<'a, 'c, P, T> {
+    state: &'a PastryState,
+    ctx: &'a mut Context<'c, PastryEnvelope<P>, T>,
+}
+
+impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
+    fn me(&self) -> Peer {
+        self.state.me()
+    }
+    fn space(&self) -> KeySpace {
+        self.state.space()
+    }
+    fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+    fn rng(&mut self) -> &mut StdRng {
+        self.ctx.rng()
+    }
+    fn metrics(&mut self) -> &mut Metrics {
+        self.ctx.metrics()
+    }
+    fn successor(&self) -> Option<Peer> {
+        self.state.successor()
+    }
+    fn predecessor(&self) -> Option<Peer> {
+        self.state.predecessor()
+    }
+    fn successors(&self) -> &[Peer] {
+        self.state.successors()
+    }
+    fn covers(&self, key: Key) -> bool {
+        self.state.covers(key)
+    }
+    fn arm_timer(&mut self, delay: SimDuration, timer: T) {
+        self.ctx.arm_timer(delay, timer);
+    }
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        let route = |hops| PastryMsg::Route { key, class, payload, hops, src: me };
+        match self.state.next_hop(key) {
+            None => self
+                .ctx
+                .send_local(PastryEnvelope { sender: me, body: route(0) }),
+            Some(hop) => {
+                self.ctx
+                    .send(hop.idx, class, PastryEnvelope { sender: me, body: route(1) })
+            }
+        }
+    }
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        if targets.is_empty() {
+            return;
+        }
+        let me = self.state.me();
+        let (local, bundles) = self.state.mcast_split(targets);
+        if !local.is_empty() {
+            self.ctx.send_local(PastryEnvelope {
+                sender: me,
+                body: PastryMsg::MCast {
+                    targets: local,
+                    class,
+                    payload: payload.clone(),
+                    hops: 0,
+                    src: me,
+                },
+            });
+        }
+        for (peer, subset) in bundles {
+            self.ctx.send(
+                peer.idx,
+                class,
+                PastryEnvelope {
+                    sender: me,
+                    body: PastryMsg::MCast {
+                        targets: subset,
+                        class,
+                        payload: payload.clone(),
+                        hops: 1,
+                        src: me,
+                    },
+                },
+            );
+        }
+    }
+    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+        let space = self.state.space();
+        let keys: Vec<Key> = targets.iter_keys(space).collect();
+        for key in keys {
+            OverlayServices::send(self, key, class, payload.clone());
+        }
+    }
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        let body = PastryMsg::Walk { range, class, payload, hops: 0, src: me, walking: false };
+        match self.state.next_hop(range.start()) {
+            None => self.ctx.send_local(PastryEnvelope { sender: me, body }),
+            Some(hop) => {
+                let mut env = PastryEnvelope { sender: me, body };
+                if let PastryMsg::Walk { hops, .. } = &mut env.body {
+                    *hops = 1;
+                }
+                self.ctx.send(hop.idx, class, env);
+            }
+        }
+    }
+    fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
+        let me = self.state.me();
+        self.ctx
+            .send(to.idx, class, PastryEnvelope { sender: me, body: PastryMsg::Direct { payload } });
+    }
+}
+
+/// A Pastry overlay node hosting an application.
+#[derive(Debug)]
+pub struct PastryNode<A: PastryApp> {
+    state: PastryState,
+    app: A,
+}
+
+impl<A: PastryApp> PastryNode<A> {
+    /// Creates a node from converged routing state.
+    pub fn new(state: PastryState, app: A) -> Self {
+        PastryNode { state, app }
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> Peer {
+        self.state.me()
+    }
+
+    /// The routing state for inspection.
+    pub fn routing(&self) -> &PastryState {
+        &self.state
+    }
+
+    /// The hosted application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Exclusive access to the hosted application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Runs an application-level call with a live [`PastrySvc`].
+    pub fn app_call<R>(
+        &mut self,
+        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
+        f: impl FnOnce(&mut A, &mut PastrySvc<'_, '_, A::Payload, A::Timer>) -> R,
+    ) -> R {
+        let mut svc = PastrySvc { state: &self.state, ctx };
+        f(&mut self.app, &mut svc)
+    }
+
+    /// `true` (and counts the drop) when `hops` exceeds the configured TTL.
+    fn ttl_exceeded(
+        &self,
+        hops: u32,
+        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
+    ) -> bool {
+        if hops >= self.state.config().max_route_hops {
+            ctx.metrics().add("routing.ttl-drop", 1);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn deliver(
+        &mut self,
+        payload: A::Payload,
+        targets_here: KeyRangeSet,
+        class: TrafficClass,
+        hops: u32,
+        src: Peer,
+        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
+    ) {
+        ctx.metrics()
+            .histogram_mut("pastry.dilation")
+            .record(u64::from(hops));
+        let delivery = Delivery { targets_here, class, hops, src };
+        let mut svc = PastrySvc { state: &self.state, ctx };
+        self.app.on_deliver(payload, delivery, &mut svc);
+    }
+}
+
+impl<A: PastryApp> Node for PastryNode<A> {
+    type Msg = PastryEnvelope<A::Payload>;
+    type Timer = A::Timer;
+
+    fn on_message(
+        &mut self,
+        _from: NodeIdx,
+        envelope: PastryEnvelope<A::Payload>,
+        ctx: &mut Context<'_, Self::Msg, Self::Timer>,
+    ) {
+        let sender = envelope.sender;
+        match envelope.body {
+            PastryMsg::Route { key, class, payload, hops, src } => {
+                if self.ttl_exceeded(hops, ctx) {
+                    return;
+                }
+                match self.state.next_hop(key) {
+                    None => {
+                        let here = KeyRangeSet::of_key(self.state.space(), key);
+                        self.deliver(payload, here, class, hops, src, ctx);
+                    }
+                    Some(hop) => {
+                        let me = self.state.me();
+                        ctx.send(
+                            hop.idx,
+                            class,
+                            PastryEnvelope {
+                                sender: me,
+                                body: PastryMsg::Route { key, class, payload, hops: hops + 1, src },
+                            },
+                        );
+                    }
+                }
+            }
+            PastryMsg::MCast { targets, class, payload, hops, src } => {
+                if self.ttl_exceeded(hops, ctx) {
+                    return;
+                }
+                let (local, bundles) = self.state.mcast_split(&targets);
+                let me = self.state.me();
+                for (peer, subset) in bundles {
+                    ctx.send(
+                        peer.idx,
+                        class,
+                        PastryEnvelope {
+                            sender: me,
+                            body: PastryMsg::MCast {
+                                targets: subset,
+                                class,
+                                payload: payload.clone(),
+                                hops: hops + 1,
+                                src,
+                            },
+                        },
+                    );
+                }
+                if !local.is_empty() {
+                    self.deliver(payload, local, class, hops, src, ctx);
+                }
+            }
+            PastryMsg::Walk { range, class, payload, hops, src, walking } => {
+                if self.ttl_exceeded(hops, ctx) {
+                    return;
+                }
+                let space = self.state.space();
+                if !walking {
+                    if let Some(hop) = self.state.next_hop(range.start()) {
+                        let me = self.state.me();
+                        ctx.send(
+                            hop.idx,
+                            class,
+                            PastryEnvelope {
+                                sender: me,
+                                body: PastryMsg::Walk {
+                                    range,
+                                    class,
+                                    payload,
+                                    hops: hops + 1,
+                                    src,
+                                    walking: false,
+                                },
+                            },
+                        );
+                        return;
+                    }
+                }
+                let me = self.state.me();
+                let pred = self.state.predecessor().unwrap_or(me);
+                let full = KeyRangeSet::of_range(space, range);
+                let local = full.extract_arc_oc(space, pred.key, me.key);
+                if !local.is_empty() {
+                    self.deliver(payload.clone(), local, class, hops, src, ctx);
+                }
+                if range.contains(space, me.key) && me.key != range.end() {
+                    if let Some(succ) = self.state.successor() {
+                        ctx.send(
+                            succ.idx,
+                            class,
+                            PastryEnvelope {
+                                sender: me,
+                                body: PastryMsg::Walk {
+                                    range,
+                                    class,
+                                    payload,
+                                    hops: hops + 1,
+                                    src,
+                                    walking: true,
+                                },
+                            },
+                        );
+                    }
+                }
+            }
+            PastryMsg::Direct { payload } => {
+                let mut svc = PastrySvc { state: &self.state, ctx };
+                self.app.on_direct(sender, payload, &mut svc);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>) {
+        let mut svc = PastrySvc { state: &self.state, ctx };
+        self.app.on_timer(timer, &mut svc);
+    }
+}

@@ -1,0 +1,228 @@
+//! The CB-pub/sub layer running over Pastry — the paper's portability
+//! claim (§3.1: the infrastructure "can use any overlay routing scheme"),
+//! made concrete: the *same* [`PubSubNode`] logic, hosted by a different
+//! overlay through the overlay-neutral `OverlayServices` surface.
+
+use std::sync::Arc;
+
+use cbps::{
+    DeliveredNote, Event, EventId, PubSubConfig, PubSubMsg, PubSubNode, PubSubTimer, SubId,
+    Subscription,
+};
+use cbps_overlay::{Delivery, Peer, RingView};
+use cbps_sim::{Metrics, NetConfig, NodeIdx, SimDuration, SimTime, Simulator};
+
+use crate::builder::build_pastry_stable;
+use crate::node::{PastryApp, PastryNode, PastrySvc};
+use crate::state::PastryConfig;
+
+impl PastryApp for PubSubNode {
+    type Payload = PubSubMsg;
+    type Timer = PubSubTimer;
+
+    fn on_deliver(
+        &mut self,
+        payload: PubSubMsg,
+        _delivery: Delivery,
+        svc: &mut PastrySvc<'_, '_, PubSubMsg, PubSubTimer>,
+    ) {
+        self.handle_deliver(payload, svc);
+    }
+
+    fn on_direct(
+        &mut self,
+        from: Peer,
+        payload: PubSubMsg,
+        svc: &mut PastrySvc<'_, '_, PubSubMsg, PubSubTimer>,
+    ) {
+        self.handle_direct_msg(from, payload, svc);
+    }
+
+    fn on_timer(
+        &mut self,
+        timer: PubSubTimer,
+        svc: &mut PastrySvc<'_, '_, PubSubMsg, PubSubTimer>,
+    ) {
+        self.handle_timer_fired(timer, svc);
+    }
+}
+
+/// A complete pub/sub deployment over a static Pastry overlay — the
+/// Pastry twin of [`cbps::PubSubNetwork`].
+///
+/// # Examples
+///
+/// ```
+/// use cbps::{Event, Subscription};
+/// use cbps_pastry::PastryPubSubNetwork;
+///
+/// let mut net = PastryPubSubNetwork::builder().nodes(40).seed(3).build();
+/// let space = net.config().space.clone();
+/// let sub = Subscription::builder(&space).range("a0", 0, 100_000)?.build()?;
+/// net.subscribe(1, sub, None);
+/// net.run_for_secs(10);
+/// net.publish(7, Event::new(&space, vec![50_000, 1, 2, 3])?);
+/// net.run_for_secs(10);
+/// assert_eq!(net.delivered(1).len(), 1);
+/// # Ok::<(), cbps::PubSubError>(())
+/// ```
+#[derive(Debug)]
+pub struct PastryPubSubNetwork {
+    sim: Simulator<PastryNode<PubSubNode>>,
+    ring: RingView,
+    cfg: Arc<PubSubConfig>,
+}
+
+/// Builder for [`PastryPubSubNetwork`].
+#[derive(Clone, Debug)]
+pub struct PastryPubSubNetworkBuilder {
+    nodes: usize,
+    net: NetConfig,
+    pastry: PastryConfig,
+    pubsub: PubSubConfig,
+}
+
+impl PastryPubSubNetwork {
+    /// Starts configuring a Pastry-hosted deployment.
+    pub fn builder() -> PastryPubSubNetworkBuilder {
+        PastryPubSubNetworkBuilder {
+            nodes: 100,
+            net: NetConfig::new(0),
+            pastry: PastryConfig::paper_default(),
+            pubsub: PubSubConfig::paper_default(),
+        }
+    }
+
+    /// The shared pub/sub configuration.
+    pub fn config(&self) -> &PubSubConfig {
+        &self.cfg
+    }
+
+    /// The global ring view.
+    pub fn ring(&self) -> &RingView {
+        &self.ring
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.sim.len()
+    }
+
+    /// `false`: construction requires at least one node.
+    pub fn is_empty(&self) -> bool {
+        self.sim.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// The run's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// The pub/sub state of a node.
+    pub fn app(&self, node: NodeIdx) -> &PubSubNode {
+        self.sim.node(node).app()
+    }
+
+    /// Notifications received by `node`.
+    pub fn delivered(&self, node: NodeIdx) -> &[DeliveredNote] {
+        self.app(node).delivered()
+    }
+
+    /// Issues a subscription from `node`.
+    pub fn subscribe(
+        &mut self,
+        node: NodeIdx,
+        sub: Subscription,
+        ttl: Option<SimDuration>,
+    ) -> SubId {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc)))
+    }
+
+    /// Withdraws a subscription previously issued by `node`.
+    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.unsubscribe(id, svc)))
+    }
+
+    /// Publishes an event from `node`.
+    pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
+        self.sim
+            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.publish(event, svc)))
+    }
+
+    /// Advances the simulation to `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Advances the simulation by `secs` seconds.
+    pub fn run_for_secs(&mut self, secs: u64) {
+        let t = self.sim.now() + SimDuration::from_secs(secs);
+        self.sim.run_until(t);
+    }
+
+    /// Peak stored-subscription count per node.
+    pub fn peak_stored_counts(&self) -> Vec<usize> {
+        self.sim.nodes().map(|(_, n)| n.app().store().peak()).collect()
+    }
+}
+
+impl PastryPubSubNetworkBuilder {
+    /// Sets the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn nodes(mut self, n: usize) -> Self {
+        assert!(n > 0, "a network needs at least one node");
+        self.nodes = n;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.net.seed = seed;
+        self
+    }
+
+    /// Replaces the Pastry overlay configuration.
+    pub fn pastry(mut self, pastry: PastryConfig) -> Self {
+        self.pastry = pastry;
+        self
+    }
+
+    /// Replaces the pub/sub configuration.
+    pub fn pubsub(mut self, pubsub: PubSubConfig) -> Self {
+        self.pubsub = pubsub;
+        self
+    }
+
+    /// Builds the deployment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pub/sub mapping's key space differs from the
+    /// overlay's, or the replication factor exceeds the leaf-set length.
+    pub fn build(self) -> PastryPubSubNetwork {
+        assert_eq!(
+            self.pubsub.mapping.key_space(),
+            self.pastry.space,
+            "pub/sub mapping and overlay must share one key space"
+        );
+        assert!(
+            self.pubsub.replication <= self.pastry.leaf_len,
+            "replication factor exceeds the leaf-set length"
+        );
+        let cfg = self.pubsub.into_shared();
+        let apps: Vec<PubSubNode> =
+            (0..self.nodes).map(|_| PubSubNode::new(Arc::clone(&cfg))).collect();
+        let (sim, ring) = build_pastry_stable(self.net, self.pastry, apps);
+        PastryPubSubNetwork { sim, ring, cfg }
+    }
+}

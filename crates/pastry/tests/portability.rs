@@ -1,0 +1,224 @@
+//! The portability demonstration: the same pub/sub layer, workload and
+//! seeds over Chord and over Pastry must produce the same logical
+//! deliveries — only the routing paths (and hence message counts) differ.
+
+use std::collections::BTreeSet;
+
+use cbps::{
+    EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId,
+};
+use cbps_overlay::{KeyRange, KeyRangeSet, RingView};
+use cbps_pastry::{
+    build_pastry_stable, common_prefix_len, PastryApp, PastryConfig, PastryPubSubNetwork,
+    PastrySvc,
+};
+use cbps_sim::{NetConfig, TrafficClass};
+use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
+
+/// Replays the identical workload over both overlays and compares the
+/// delivered (sub, event) sets.
+fn cross_overlay_check(kind: MappingKind, primitive: Primitive, seed: u64) {
+    let nodes = 50;
+    let pubsub = PubSubConfig::paper_default()
+        .with_mapping(kind)
+        .with_primitive(primitive);
+
+    let mut chord = PubSubNetwork::builder()
+        .nodes(nodes)
+        .net_config(NetConfig::new(seed))
+        .pubsub(pubsub.clone())
+        .build();
+    let mut pastry = PastryPubSubNetwork::builder()
+        .nodes(nodes)
+        .seed(seed)
+        .pubsub(pubsub)
+        .build();
+
+    // Same ring: the builders share key assignment.
+    assert_eq!(
+        chord.ring().peers(),
+        pastry.ring().peers(),
+        "overlays must see the same ring for a like-for-like comparison"
+    );
+
+    let wl = WorkloadConfig::paper_default(nodes, 4)
+        .with_counts(30, 60)
+        .with_matching_probability(0.8);
+    let mut gen = WorkloadGen::new(chord.config().space.clone(), wl, seed);
+    let trace = gen.gen_trace();
+
+    // Subscriptions first, publications after a settling gap, on both.
+    for op in trace.ops() {
+        if let OpKind::Subscribe { sub, ttl } = &op.kind {
+            chord.subscribe(op.node, sub.clone(), *ttl);
+            pastry.subscribe(op.node, sub.clone(), *ttl);
+        }
+    }
+    chord.run_for_secs(120);
+    pastry.run_for_secs(120);
+    for op in trace.ops() {
+        if let OpKind::Publish { event } = &op.kind {
+            chord.publish(op.node, event.clone());
+            pastry.publish(op.node, event.clone());
+        }
+    }
+    chord.run_for_secs(300);
+    pastry.run_for_secs(300);
+
+    let collect = |delivered: &dyn Fn(usize) -> Vec<(SubId, EventId)>| {
+        let mut set: BTreeSet<(SubId, EventId)> = BTreeSet::new();
+        for i in 0..nodes {
+            for pair in delivered(i) {
+                assert!(set.insert(pair), "duplicate delivery {pair:?}");
+            }
+        }
+        set
+    };
+    let chord_set = collect(&|i| {
+        chord.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect()
+    });
+    let pastry_set = collect(&|i| {
+        pastry.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect()
+    });
+    assert!(!chord_set.is_empty(), "workload produced no deliveries");
+    assert_eq!(
+        chord_set, pastry_set,
+        "{kind}/{primitive:?}: overlays disagree on delivered notifications"
+    );
+}
+
+#[test]
+fn same_deliveries_mapping1_mcast() {
+    cross_overlay_check(MappingKind::AttributeSplit, Primitive::MCast, 71);
+}
+
+#[test]
+fn same_deliveries_mapping2_unicast() {
+    cross_overlay_check(MappingKind::KeySpaceSplit, Primitive::Unicast, 72);
+}
+
+#[test]
+fn same_deliveries_mapping3_mcast() {
+    cross_overlay_check(MappingKind::SelectiveAttribute, Primitive::MCast, 73);
+}
+
+#[test]
+fn same_deliveries_mapping3_walk() {
+    cross_overlay_check(MappingKind::SelectiveAttribute, Primitive::Walk, 74);
+}
+
+// ---------------------------------------------------------------------
+// Pastry overlay-level properties.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Probe {
+    delivered: Vec<(u64, u32)>,
+}
+
+impl PastryApp for Probe {
+    type Payload = u64;
+    type Timer = ();
+    fn on_deliver(
+        &mut self,
+        payload: u64,
+        d: cbps_overlay::Delivery,
+        _svc: &mut PastrySvc<'_, '_, u64, ()>,
+    ) {
+        self.delivered.push((payload, d.hops));
+    }
+}
+
+fn probe_net(
+    n: usize,
+    seed: u64,
+) -> (cbps_sim::Simulator<cbps_pastry::PastryNode<Probe>>, RingView, PastryConfig) {
+    let cfg = PastryConfig::paper_default();
+    let apps: Vec<Probe> = (0..n).map(|_| Probe::default()).collect();
+    let (sim, ring) = build_pastry_stable(NetConfig::new(seed), cfg, apps);
+    (sim, ring, cfg)
+}
+
+#[test]
+fn pastry_routing_reaches_oracle_successor() {
+    let (mut sim, ring, cfg) = probe_net(60, 81);
+    let space = cfg.space;
+    for (i, probe) in [0u64, 17, 4095, 8191, 3000, 6000].iter().enumerate() {
+        let key = space.key(*probe);
+        let expect = ring.successor(key).idx;
+        sim.with_node(i % 60, |node, ctx| {
+            node.app_call(ctx, |_, svc| {
+                use cbps_overlay::OverlayServices;
+                svc.send(key, TrafficClass::OTHER, *probe);
+            })
+        });
+        sim.run();
+        let holders: Vec<usize> = sim
+            .nodes()
+            .filter(|(_, n)| n.app().delivered.iter().any(|(p, _)| p == probe))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(holders, vec![expect], "key {probe}");
+    }
+}
+
+#[test]
+fn pastry_prefix_routing_is_logarithmic() {
+    let (mut sim, _ring, cfg) = probe_net(128, 82);
+    let space = cfg.space;
+    for i in 0..500u64 {
+        let src = (i % 128) as usize;
+        let key = space.key((i * 131 + 7) % space.size());
+        sim.with_node(src, |node, ctx| {
+            node.app_call(ctx, |_, svc| {
+                use cbps_overlay::OverlayServices;
+                svc.send(key, TrafficClass::OTHER, i + 100_000);
+            })
+        });
+    }
+    sim.run();
+    let h = sim.metrics().histogram("pastry.dilation").unwrap();
+    assert_eq!(h.len(), 500);
+    // Prefix routing gains ≥ 1 bit per hop: ≤ m hops hard, ~log2(n) typical.
+    assert!(h.mean() < 7.0, "mean dilation {}", h.mean());
+    assert!(h.max().unwrap() <= 13);
+}
+
+#[test]
+fn pastry_mcast_exactly_once_over_covering_nodes() {
+    let (mut sim, ring, cfg) = probe_net(80, 83);
+    let space = cfg.space;
+    let mut targets = KeyRangeSet::new();
+    targets.insert_range(space, KeyRange::new(space.key(7000), space.key(1500))); // wraps
+    targets.insert_range(space, KeyRange::new(space.key(4000), space.key(4400)));
+    let expected: BTreeSet<usize> =
+        ring.covering_nodes(&targets).iter().map(|p| p.idx).collect();
+    sim.with_node(9, |node, ctx| {
+        node.app_call(ctx, |_, svc| {
+            use cbps_overlay::OverlayServices;
+            svc.mcast(&targets, TrafficClass::OTHER, 1);
+        })
+    });
+    sim.run();
+    let mut got = BTreeSet::new();
+    for (idx, n) in sim.nodes() {
+        let hits = n.app().delivered.len();
+        assert!(hits <= 1, "node {idx} delivered {hits} times");
+        if hits == 1 {
+            got.insert(idx);
+        }
+    }
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn common_prefix_len_is_symmetric_and_bounded() {
+    let space = cbps_overlay::KeySpace::new(13);
+    for (a, b) in [(0u64, 8191u64), (4096, 4097), (123, 123), (1, 2)] {
+        let ka = space.key(a);
+        let kb = space.key(b);
+        assert_eq!(common_prefix_len(space, ka, kb), common_prefix_len(space, kb, ka));
+        assert!(common_prefix_len(space, ka, kb) <= 13);
+    }
+    assert_eq!(common_prefix_len(space, space.key(5), space.key(5)), 13);
+}

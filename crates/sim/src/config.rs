@@ -1,0 +1,144 @@
+//! Simulation configuration: network delay model, loss injection, seed.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// How long a one-hop message takes to travel between two nodes.
+///
+/// The paper fixes the delay to 50 ms; a uniform jitter model is provided
+/// for robustness testing (the figure metrics count messages, not time, so
+/// jitter does not change them — it only perturbs event ordering).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayModel {
+    /// Every message takes exactly this long.
+    Fixed(SimDuration),
+    /// Delay drawn uniformly from `[min, max]` per message.
+    Uniform {
+        /// Smallest possible delay.
+        min: SimDuration,
+        /// Largest possible delay.
+        max: SimDuration,
+    },
+}
+
+impl DelayModel {
+    /// Samples a delay for one message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { min, max } => {
+                let lo = min.as_micros();
+                let hi = max.as_micros().max(lo);
+                SimDuration::from_micros(rng.gen_range(lo..=hi))
+            }
+        }
+    }
+}
+
+impl Default for DelayModel {
+    /// The paper's default: a fixed 50 ms per hop.
+    fn default() -> Self {
+        DelayModel::Fixed(SimDuration::from_millis(50))
+    }
+}
+
+/// Top-level configuration for a [`Simulator`](crate::Simulator).
+///
+/// # Examples
+///
+/// ```
+/// use cbps_sim::{NetConfig, SimDuration};
+///
+/// let cfg = NetConfig::new(42).with_loss_probability(0.01);
+/// assert_eq!(cfg.seed, 42);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetConfig {
+    /// Seed for the run's deterministic RNG.
+    pub seed: u64,
+    /// Per-message network delay model.
+    pub delay: DelayModel,
+    /// Probability in `[0, 1]` that any one-hop message is silently dropped.
+    ///
+    /// Zero by default; used only by failure-injection tests. Dropped
+    /// messages still count as sent in the metrics (the sender paid for
+    /// them).
+    pub loss_probability: f64,
+}
+
+impl NetConfig {
+    /// Configuration with the paper's defaults and the given seed.
+    pub fn new(seed: u64) -> Self {
+        NetConfig {
+            seed,
+            delay: DelayModel::default(),
+            loss_probability: 0.0,
+        }
+    }
+
+    /// Replaces the delay model.
+    pub fn with_delay(mut self, delay: DelayModel) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Replaces the message-loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_loss_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of [0, 1]");
+        self.loss_probability = p;
+        self
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = DelayModel::Fixed(SimDuration::from_millis(50));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn uniform_delay_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let min = SimDuration::from_millis(10);
+        let max = SimDuration::from_millis(20);
+        let m = DelayModel::Uniform { min, max };
+        for _ in 0..100 {
+            let d = m.sample(&mut rng);
+            assert!(d >= min && d <= max, "sampled {d} outside bounds");
+        }
+    }
+
+    #[test]
+    fn default_is_paper_delay() {
+        assert_eq!(
+            DelayModel::default(),
+            DelayModel::Fixed(SimDuration::from_millis(50))
+        );
+        assert_eq!(NetConfig::default().loss_probability, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 1]")]
+    fn loss_probability_validated() {
+        let _ = NetConfig::new(0).with_loss_probability(1.5);
+    }
+}

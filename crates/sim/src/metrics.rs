@@ -1,0 +1,358 @@
+//! Run-wide measurement: traffic-class message counters, named counters,
+//! and compact histograms.
+//!
+//! The paper's evaluation reports two kinds of quantities: the **number of
+//! one-hop messages sent in the system**, broken down by what the message is
+//! for (subscription propagation, publication propagation, notifications,
+//! …), and per-node state sizes. [`Metrics`] accumulates the former during a
+//! run; the latter is sampled from node state by the harness.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A small label identifying what kind of traffic a message belongs to.
+///
+/// The simulator counts every transmitted message under its class; the
+/// experiment harness divides class totals by request counts to obtain the
+/// "hops per request" series of the paper's figures.
+///
+/// Classes are plain `u8` tags so that layered protocols (overlay,
+/// pub/sub) can define their own without this crate knowing about them.
+/// Well-known classes used across the workspace are defined as associated
+/// constants.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_sim::TrafficClass;
+///
+/// let class = TrafficClass::SUBSCRIPTION;
+/// assert_ne!(class, TrafficClass::PUBLICATION);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrafficClass(pub u8);
+
+impl TrafficClass {
+    /// Subscription propagation toward rendezvous nodes.
+    pub const SUBSCRIPTION: TrafficClass = TrafficClass(0);
+    /// Publication (event) propagation toward rendezvous nodes.
+    pub const PUBLICATION: TrafficClass = TrafficClass(1);
+    /// Notification delivery from rendezvous nodes to subscribers.
+    pub const NOTIFICATION: TrafficClass = TrafficClass(2);
+    /// Ring-neighbor exchanges of the notification-collecting protocol.
+    pub const COLLECT: TrafficClass = TrafficClass(3);
+    /// Overlay maintenance (stabilization, finger fixing, join lookups).
+    pub const MAINTENANCE: TrafficClass = TrafficClass(4);
+    /// Application-state transfer on join/leave and replication.
+    pub const STATE_TRANSFER: TrafficClass = TrafficClass(5);
+    /// Anything else.
+    pub const OTHER: TrafficClass = TrafficClass(255);
+
+    /// A human-readable name for the well-known classes.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::SUBSCRIPTION => "subscription",
+            TrafficClass::PUBLICATION => "publication",
+            TrafficClass::NOTIFICATION => "notification",
+            TrafficClass::COLLECT => "collect",
+            TrafficClass::MAINTENANCE => "maintenance",
+            TrafficClass::STATE_TRANSFER => "state-transfer",
+            TrafficClass::OTHER => "other",
+            TrafficClass(n) => {
+                // Classes defined by higher layers have no static name.
+                let _ = n;
+                "custom"
+            }
+        }
+    }
+}
+
+impl fmt::Display for TrafficClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.name(), self.0)
+    }
+}
+
+/// A compact histogram over non-negative integer samples.
+///
+/// Stores exact counts per distinct value (the quantities we record — hop
+/// counts, key-set sizes, stored-subscription counts — have small supports),
+/// so means, maxima and percentiles are exact.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [1, 2, 2, 3] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.len(), 4);
+/// assert_eq!(h.mean(), 2.0);
+/// assert_eq!(h.max(), Some(3));
+/// assert_eq!(h.percentile(50.0), Some(2));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+        self.sum += u128::from(value) * u128::from(n);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Exact percentile (nearest-rank method); `p` in `[0, 100]`.
+    ///
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]` or NaN.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (&value, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Iterates over `(value, count)` pairs in increasing value order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (value, count) in other.iter() {
+            self.record_n(value, count);
+        }
+    }
+}
+
+/// Accumulated measurements for one simulation run.
+///
+/// Tracks one-hop message counts per [`TrafficClass`], free-form named
+/// counters, and named histograms. All figure series in the experiment
+/// harness are derived from a `Metrics` value plus per-node state sampling.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_sim::{Metrics, TrafficClass};
+///
+/// let mut m = Metrics::new();
+/// m.count_message(TrafficClass::PUBLICATION);
+/// m.add("events-published", 1);
+/// m.histogram_mut("hops-per-lookup").record(3);
+/// assert_eq!(m.messages(TrafficClass::PUBLICATION), 1);
+/// assert_eq!(m.counter("events-published"), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    messages: HashMap<TrafficClass, u64>,
+    counters: HashMap<String, u64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one transmitted one-hop message of the given class.
+    pub fn count_message(&mut self, class: TrafficClass) {
+        *self.messages.entry(class).or_insert(0) += 1;
+    }
+
+    /// Total one-hop messages recorded for `class`.
+    pub fn messages(&self, class: TrafficClass) -> u64 {
+        self.messages.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Total one-hop messages across all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.values().sum()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Current value of the named counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Mutable access to the named histogram, creating it if absent.
+    pub fn histogram_mut(&mut self, name: &str) -> &mut Histogram {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), Histogram::new());
+        }
+        self.histograms.get_mut(name).expect("just inserted")
+    }
+
+    /// The named histogram, if any samples were recorded under it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all `(class, count)` message entries.
+    pub fn message_classes(&self) -> impl Iterator<Item = (TrafficClass, u64)> + '_ {
+        self.messages.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Resets every counter, message count and histogram.
+    pub fn clear(&mut self) {
+        self.messages.clear();
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_class_names() {
+        assert_eq!(TrafficClass::SUBSCRIPTION.name(), "subscription");
+        assert_eq!(TrafficClass(42).name(), "custom");
+        assert_eq!(TrafficClass::COLLECT.to_string(), "collect(3)");
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [5, 1, 3, 3, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.sum(), 20);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(8));
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(50.0), Some(3));
+        assert_eq!(h.percentile(100.0), Some(8));
+    }
+
+    #[test]
+    fn histogram_record_n_and_merge() {
+        let mut a = Histogram::new();
+        a.record_n(2, 3);
+        a.record_n(7, 0); // no-op
+        let mut b = Histogram::new();
+        b.record(4);
+        a.merge(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.sum(), 10);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(2, 3), (4, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0, 100]")]
+    fn percentile_range_checked() {
+        let mut h = Histogram::new();
+        h.record(1);
+        let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = Metrics::new();
+        m.count_message(TrafficClass::SUBSCRIPTION);
+        m.count_message(TrafficClass::SUBSCRIPTION);
+        m.count_message(TrafficClass::NOTIFICATION);
+        m.add("x", 2);
+        m.add("x", 3);
+        assert_eq!(m.messages(TrafficClass::SUBSCRIPTION), 2);
+        assert_eq!(m.messages(TrafficClass::PUBLICATION), 0);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        let classes: Vec<_> = m.message_classes().collect();
+        assert_eq!(classes.len(), 2);
+        m.clear();
+        assert_eq!(m.total_messages(), 0);
+    }
+}

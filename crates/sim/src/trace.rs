@@ -1,0 +1,135 @@
+//! Optional execution tracing.
+//!
+//! When enabled, the simulator records one [`TraceEntry`] per upcall
+//! (message delivery, timer fire, send failure) plus any notes nodes emit
+//! via [`Context::note`](crate::Context::note), in a bounded ring buffer.
+//! Tags are `&'static str`, so tracing costs no allocation on the hot
+//! path; the buffer evicts oldest-first when full.
+
+use std::collections::VecDeque;
+
+use crate::sim::NodeIdx;
+use crate::time::SimTime;
+
+/// What a trace entry describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message upcall ran on the node.
+    Deliver,
+    /// A timer upcall ran on the node.
+    Timer,
+    /// The node was told a send failed (crashed target).
+    SendFailed,
+    /// A note emitted by node code via `Context::note`.
+    Note,
+}
+
+/// One recorded simulator event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When the upcall ran.
+    pub at: SimTime,
+    /// The node the upcall ran on.
+    pub node: NodeIdx,
+    /// Entry category.
+    pub kind: TraceKind,
+    /// Free label: the note text, or the empty string for automatic
+    /// entries.
+    pub tag: &'static str,
+}
+
+/// Bounded ring buffer of trace entries.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// Creates a tracer retaining at most `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Tracer { capacity, entries: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    pub(crate) fn record(&mut self, entry: TraceEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries were evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Entries for one node, oldest first.
+    pub fn for_node(&self, node: NodeIdx) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter().filter(move |e| e.node == node)
+    }
+
+    /// Entries bearing the given tag, oldest first.
+    pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(t: u64, node: NodeIdx, tag: &'static str) -> TraceEntry {
+        TraceEntry { at: SimTime::from_secs(t), node, kind: TraceKind::Note, tag }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(2);
+        t.record(entry(1, 0, "a"));
+        t.record(entry(2, 0, "b"));
+        t.record(entry(3, 0, "c"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let tags: Vec<&str> = t.entries().map(|e| e.tag).collect();
+        assert_eq!(tags, ["b", "c"]);
+    }
+
+    #[test]
+    fn filters() {
+        let mut t = Tracer::new(8);
+        t.record(entry(1, 0, "x"));
+        t.record(entry(2, 1, "y"));
+        t.record(entry(3, 0, "y"));
+        assert_eq!(t.for_node(0).count(), 2);
+        assert_eq!(t.with_tag("y").count(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_disabled() {
+        let mut t = Tracer::new(0);
+        t.record(entry(1, 0, "a"));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+}

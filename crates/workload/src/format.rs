@@ -1,0 +1,231 @@
+//! A plain-text trace format for sharing and replaying workloads.
+//!
+//! One operation per line:
+//!
+//! ```text
+//! # cbps-trace v1 dims=4
+//! sub <at_µs> <node> <ttl_µs|-> <lo:hi|-> … (one slot per dimension)
+//! pub <at_µs> <node> <v0> <v1> …
+//! ```
+//!
+//! The format is line-oriented and diff-friendly; `#` starts a comment.
+
+use std::fmt::Write as _;
+
+use cbps::{Constraint, Event, EventSpace, Subscription};
+use cbps_sim::{SimDuration, SimTime};
+
+use crate::trace::{Op, OpKind, Trace};
+
+/// Errors produced when parsing a serialized trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes a trace for `space` into the v1 text format.
+pub fn trace_to_string(space: &EventSpace, trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# cbps-trace v1 dims={}", space.dims());
+    for op in trace.ops() {
+        match &op.kind {
+            OpKind::Subscribe { sub, ttl } => {
+                let _ = write!(out, "sub {} {} ", op.at.as_micros(), op.node);
+                match ttl {
+                    Some(d) => {
+                        let _ = write!(out, "{}", d.as_micros());
+                    }
+                    None => out.push('-'),
+                }
+                for c in sub.constraints() {
+                    match c {
+                        Some(c) => {
+                            let _ = write!(out, " {}:{}", c.lo(), c.hi());
+                        }
+                        None => out.push_str(" -"),
+                    }
+                }
+                out.push('\n');
+            }
+            OpKind::Publish { event } => {
+                let _ = write!(out, "pub {} {}", op.at.as_micros(), op.node);
+                for &v in event.values() {
+                    let _ = write!(out, " {v}");
+                }
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Parses a v1 text trace for `space`.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed lines, dimension mismatches,
+/// or out-of-domain values.
+pub fn trace_from_str(space: &EventSpace, text: &str) -> Result<Trace, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let err = |message: String| ParseTraceError { line: line_no, message };
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let kind = fields.next().expect("non-empty line has a first field");
+        let at = fields
+            .next()
+            .ok_or_else(|| err("missing timestamp".into()))?
+            .parse::<u64>()
+            .map_err(|e| err(format!("bad timestamp: {e}")))?;
+        let node = fields
+            .next()
+            .ok_or_else(|| err("missing node".into()))?
+            .parse::<usize>()
+            .map_err(|e| err(format!("bad node: {e}")))?;
+        match kind {
+            "sub" => {
+                let ttl_field = fields.next().ok_or_else(|| err("missing ttl".into()))?;
+                let ttl = if ttl_field == "-" {
+                    None
+                } else {
+                    Some(SimDuration::from_micros(
+                        ttl_field.parse::<u64>().map_err(|e| err(format!("bad ttl: {e}")))?,
+                    ))
+                };
+                let mut constraints = Vec::with_capacity(space.dims());
+                for slot in fields {
+                    if slot == "-" {
+                        constraints.push(None);
+                    } else {
+                        let (lo, hi) = slot
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("bad constraint {slot:?}")))?;
+                        let lo = lo.parse::<u64>().map_err(|e| err(format!("bad lo: {e}")))?;
+                        let hi = hi.parse::<u64>().map_err(|e| err(format!("bad hi: {e}")))?;
+                        constraints.push(Some(
+                            Constraint::range(lo, hi)
+                                .map_err(|e| err(format!("bad range: {e}")))?,
+                        ));
+                    }
+                }
+                let sub = Subscription::from_constraints(space, constraints)
+                    .map_err(|e| err(format!("bad subscription: {e}")))?;
+                ops.push(Op {
+                    at: SimTime::from_micros(at),
+                    node,
+                    kind: OpKind::Subscribe { sub, ttl },
+                });
+            }
+            "pub" => {
+                let values: Result<Vec<u64>, _> = fields.map(str::parse::<u64>).collect();
+                let values = values.map_err(|e| err(format!("bad value: {e}")))?;
+                let event =
+                    Event::new(space, values).map_err(|e| err(format!("bad event: {e}")))?;
+                ops.push(Op {
+                    at: SimTime::from_micros(at),
+                    node,
+                    kind: OpKind::Publish { event },
+                });
+            }
+            other => return Err(err(format!("unknown op kind {other:?}"))),
+        }
+    }
+    Ok(Trace::new(ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGen};
+
+    #[test]
+    fn round_trip_preserves_every_operation() {
+        let space = EventSpace::paper_default();
+        let cfg = WorkloadConfig::paper_default(50, 4)
+            .with_counts(40, 40)
+            .with_sub_ttl(Some(SimDuration::from_secs(100)));
+        let mut gen = WorkloadGen::new(space.clone(), cfg, 5);
+        let trace = gen.gen_trace();
+
+        let text = trace_to_string(&space, &trace);
+        let back = trace_from_str(&space, &text).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.ops().iter().zip(back.ops()) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.node, b.node);
+            match (&a.kind, &b.kind) {
+                (
+                    OpKind::Subscribe { sub: s1, ttl: t1 },
+                    OpKind::Subscribe { sub: s2, ttl: t2 },
+                ) => {
+                    assert_eq!(s1, s2);
+                    assert_eq!(t1, t2);
+                }
+                (OpKind::Publish { event: e1 }, OpKind::Publish { event: e2 }) => {
+                    assert_eq!(e1, e2);
+                }
+                _ => panic!("op kind changed across round trip"),
+            }
+        }
+    }
+
+    #[test]
+    fn wildcards_and_no_ttl_round_trip() {
+        let space = EventSpace::paper_default();
+        let sub = Subscription::builder(&space).range("a2", 5, 10).unwrap().build().unwrap();
+        let trace = Trace::new(vec![Op {
+            at: SimTime::from_millis(1500),
+            node: 3,
+            kind: OpKind::Subscribe { sub: sub.clone(), ttl: None },
+        }]);
+        let text = trace_to_string(&space, &trace);
+        assert!(text.contains("sub 1500000 3 - - - 5:10 -"));
+        let back = trace_from_str(&space, &text).unwrap();
+        match &back.ops()[0].kind {
+            OpKind::Subscribe { sub: s, ttl } => {
+                assert_eq!(s, &sub);
+                assert_eq!(*ttl, None);
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let space = EventSpace::paper_default();
+        let err = trace_from_str(&space, "# ok\nbogus 1 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown op kind"));
+
+        let err = trace_from_str(&space, "pub 5 0 1 2 3\n").unwrap_err();
+        assert!(err.message.contains("bad event"));
+
+        let err = trace_from_str(&space, "sub x 0 - - - - -\n").unwrap_err();
+        assert!(err.message.contains("bad timestamp"));
+
+        let err = trace_from_str(&space, "sub 1 0 - 9:3 - - -\n").unwrap_err();
+        assert!(err.message.contains("bad range"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let space = EventSpace::paper_default();
+        let trace = trace_from_str(&space, "# header\n\n  \npub 1 0 1 2 3 4\n").unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+}

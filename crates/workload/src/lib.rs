@@ -1,0 +1,36 @@
+//! # cbps-workload — the evaluation workload of §5.1
+//!
+//! Synthetic workload generation for the CBPS reproduction: the paper's
+//! 4-attribute integer event space, selective vs non-selective constraint
+//! widths (0.1% / 3% of `ATTR_MAX`), uniform vs Zipf-distributed range
+//! centers, fixed-cadence subscriptions, Poisson publications, a target
+//! matching probability, and subscription expiration.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbps::EventSpace;
+//! use cbps_workload::{WorkloadConfig, WorkloadGen};
+//!
+//! let space = EventSpace::paper_default();
+//! let cfg = WorkloadConfig::paper_default(500, 4)
+//!     .with_selective_attrs(1)
+//!     .with_counts(100, 100);
+//! let mut gen = WorkloadGen::new(space, cfg, 42);
+//! let trace = gen.gen_trace();
+//! assert_eq!(trace.sub_count(), 100);
+//! assert_eq!(trace.pub_count(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod format;
+pub(crate) mod generator;
+pub(crate) mod trace;
+mod zipf;
+
+pub use format::{trace_from_str, trace_to_string, ParseTraceError};
+pub use generator::{WorkloadConfig, WorkloadGen};
+pub use trace::{Op, OpKind, ReplayOutcome, Trace};
+pub use zipf::Zipf;

@@ -1,0 +1,183 @@
+//! Timed operation traces and their replay against a network.
+
+use cbps::{Event, Oracle, PubSubNetwork, SubId, Subscription};
+use cbps_sim::{SimDuration, SimTime};
+
+/// One workload operation.
+#[derive(Clone, Debug)]
+pub enum OpKind {
+    /// Issue a subscription with an optional TTL.
+    Subscribe {
+        /// The subscription.
+        sub: Subscription,
+        /// Expiry offset; `None` = never expires.
+        ttl: Option<SimDuration>,
+    },
+    /// Publish an event.
+    Publish {
+        /// The event.
+        event: Event,
+    },
+}
+
+/// A timestamped operation issued by a node.
+#[derive(Clone, Debug)]
+pub struct Op {
+    /// Simulated issue time.
+    pub at: SimTime,
+    /// Issuing node index.
+    pub node: usize,
+    /// What to do.
+    pub kind: OpKind,
+}
+
+/// A time-ordered sequence of operations.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    ops: Vec<Op>,
+}
+
+impl Trace {
+    /// Builds a trace from operations, sorting them by time (stable, so
+    /// equal-time operations keep their construction order).
+    pub fn new(mut ops: Vec<Op>) -> Self {
+        ops.sort_by_key(|op| op.at);
+        Trace { ops }
+    }
+
+    /// The operations in time order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of subscriptions in the trace.
+    pub fn sub_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o.kind, OpKind::Subscribe { .. })).count()
+    }
+
+    /// Number of publications in the trace.
+    pub fn pub_count(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o.kind, OpKind::Publish { .. })).count()
+    }
+
+    /// The time of the last operation ([`SimTime::ZERO`] when empty).
+    pub fn end_time(&self) -> SimTime {
+        self.ops.last().map(|o| o.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Replays the trace against a network: advances the clock to each
+    /// operation's time and issues it from its node. Returns an [`Oracle`]
+    /// loaded with the ground truth (and the ids assigned along the way).
+    ///
+    /// The caller should afterwards run the network past the last delivery
+    /// (e.g. [`PubSubNetwork::run_for_secs`]) before comparing.
+    pub fn replay(&self, net: &mut PubSubNetwork) -> ReplayOutcome {
+        let mut oracle = Oracle::new();
+        let mut sub_ids = Vec::new();
+        let mut event_ids = Vec::new();
+        for op in &self.ops {
+            net.run_until(op.at);
+            match &op.kind {
+                OpKind::Subscribe { sub, ttl } => {
+                    let id = net.subscribe(op.node, sub.clone(), *ttl);
+                    let expires = match ttl {
+                        Some(d) => op.at + *d,
+                        None => SimTime::MAX,
+                    };
+                    oracle.add_sub(id, sub.clone(), op.at, expires);
+                    sub_ids.push(id);
+                }
+                OpKind::Publish { event } => {
+                    let id = net.publish(op.node, event.clone());
+                    oracle.add_pub(id, event.clone(), op.at);
+                    event_ids.push(id);
+                }
+            }
+        }
+        ReplayOutcome { oracle, sub_ids, event_ids }
+    }
+}
+
+/// What a replay produced: the ground-truth oracle plus the ids assigned.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// Ground-truth matcher loaded with every operation.
+    pub oracle: Oracle,
+    /// Subscription ids in issue order.
+    pub sub_ids: Vec<SubId>,
+    /// Event ids in publish order.
+    pub event_ids: Vec<cbps::EventId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbps::{EventSpace, PubSubConfig, PubSubNetwork};
+
+    #[test]
+    fn trace_sorts_and_counts() {
+        let space = EventSpace::paper_default();
+        let sub = Subscription::builder(&space).range("a0", 0, 10).unwrap().build().unwrap();
+        let event = Event::new(&space, vec![5, 0, 0, 0]).unwrap();
+        let trace = Trace::new(vec![
+            Op {
+                at: SimTime::from_secs(10),
+                node: 1,
+                kind: OpKind::Publish { event },
+            },
+            Op {
+                at: SimTime::from_secs(5),
+                node: 0,
+                kind: OpKind::Subscribe { sub, ttl: None },
+            },
+        ]);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.sub_count(), 1);
+        assert_eq!(trace.pub_count(), 1);
+        assert_eq!(trace.ops()[0].at, SimTime::from_secs(5));
+        assert_eq!(trace.end_time(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn replay_drives_network_and_oracle() {
+        let mut net = PubSubNetwork::builder()
+            .nodes(20)
+            .seed(3)
+            .pubsub(PubSubConfig::paper_default())
+            .build();
+        let space = net.config().space.clone();
+        let sub = Subscription::builder(&space)
+            .range("a0", 0, 999_999)
+            .unwrap()
+            .range("a1", 100, 200)
+            .unwrap()
+            .build()
+            .unwrap();
+        let hit = Event::new(&space, vec![1, 150, 2, 3]).unwrap();
+        let trace = Trace::new(vec![
+            Op { at: SimTime::from_secs(1), node: 0, kind: OpKind::Subscribe { sub, ttl: None } },
+            Op { at: SimTime::from_secs(60), node: 5, kind: OpKind::Publish { event: hit } },
+        ]);
+        let outcome = trace.replay(&mut net);
+        net.run_for_secs(60);
+        let expected = outcome.oracle.expected();
+        assert_eq!(expected.len(), 1);
+        let got: Vec<_> = net
+            .delivered(0)
+            .iter()
+            .map(|n| (n.sub_id, n.event_id))
+            .collect();
+        assert_eq!(got.len(), 1);
+        assert!(expected.contains(&got[0]));
+    }
+}

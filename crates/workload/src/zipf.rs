@@ -1,0 +1,139 @@
+//! Zipf-distributed sampling.
+//!
+//! §5.1: centers of selective constraints "are chosen … following a Zipf
+//! distribution". No offline crate provides one, so this is a CDF-table
+//! sampler: exact, O(log n) per sample, one-time O(n) setup. The paper's
+//! domain (10^6 values) costs 8 MB per table, built lazily and shared per
+//! generator.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^(-s)`.
+///
+/// # Examples
+///
+/// ```
+/// use cbps_workload::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!((1..=1000).contains(&rank));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k-1] = P(rank <= k)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `1..=n` with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `n > 2^24` (table memory guard), or `s` is
+    /// negative or not finite.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty support");
+        assert!(n <= 1 << 24, "zipf support too large for a CDF table: {n}");
+        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0, got {s}");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks in the support.
+    pub fn n(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// Draws a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let idx = self.cdf.partition_point(|&c| c < u);
+        (idx as u64 + 1).min(self.n())
+    }
+
+    /// Exact probability of rank `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `1..=n`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!((1..=self.n()).contains(&k), "rank {k} out of support");
+        let i = (k - 1) as usize;
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_follows_power_law() {
+        let z = Zipf::new(1000, 1.0);
+        // P(1)/P(2) = 2, P(1)/P(10) = 10 for s = 1.
+        assert!((z.pmf(1) / z.pmf(2) - 2.0).abs() < 1e-9);
+        assert!((z.pmf(1) / z.pmf(10) - 10.0).abs() < 1e-9);
+        let z = Zipf::new(1000, 2.0);
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_match_pmf() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 100];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for k in [1u64, 2, 5, 20] {
+            let expect = z.pmf(k) * draws as f64;
+            let got = counts[(k - 1) as usize] as f64;
+            assert!(
+                (got - expect).abs() < expect * 0.1 + 30.0,
+                "rank {k}: got {got}, expected ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(50, 0.0);
+        assert!((z.pmf(1) - z.pmf(50)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stays_in_support() {
+        let z = Zipf::new(3, 1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=3).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn empty_support_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Shared prelude for the repository-level examples and integration tests.
+//!
+//! Re-exports the crates of the workspace under one roof so examples can
+//! `use cbps_repro::prelude::*` if they prefer a single import. The
+//! examples in this repository import the crates directly for clarity;
+//! this module mainly documents the workspace surface.
+
+/// Everything a downstream experiment typically needs.
+pub mod prelude {
+    pub use cbps::{
+        AkMapping, AttributeDef, Constraint, Event, EventId, EventSpace, MappingKind,
+        NotifyMode, Oracle, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription,
+    };
+    pub use cbps_overlay::{Key, KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer};
+    pub use cbps_pastry::{PastryConfig, PastryPubSubNetwork};
+    pub use cbps_sim::{NetConfig, SimDuration, SimTime, TrafficClass};
+    pub use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_is_usable() {
+        let cfg = PubSubConfig::paper_default().with_mapping(MappingKind::SelectiveAttribute);
+        assert_eq!(cfg.space.dims(), 4);
+        let _ = NetConfig::new(1);
+    }
+}

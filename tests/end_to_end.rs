@@ -1,0 +1,148 @@
+//! End-to-end exactly-once logical delivery against the centralized
+//! oracle, across all mappings × primitives × notification modes, on
+//! randomized workloads.
+
+use cbps::{
+    MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, SubId,
+};
+use cbps_sim::{NetConfig, SimDuration};
+use cbps_workload::{OpKind, Trace, WorkloadConfig, WorkloadGen};
+use std::collections::BTreeSet;
+
+fn network(kind: MappingKind, primitive: Primitive, notify: NotifyMode, seed: u64) -> PubSubNetwork {
+    PubSubNetwork::builder()
+        .nodes(60)
+        .net_config(NetConfig::new(seed))
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(kind)
+                .with_primitive(primitive)
+                .with_notify_mode(notify),
+        )
+        .build()
+}
+
+/// Replays a two-phase workload (all subscriptions, then all publications,
+/// separated by a quiescence gap) and checks deliveries == oracle truth.
+fn check_exactly_once(kind: MappingKind, primitive: Primitive, notify: NotifyMode, seed: u64) {
+    let mut net = network(kind, primitive, notify, seed);
+    let wl = WorkloadConfig::paper_default(60, 4)
+        .with_counts(40, 80)
+        .with_matching_probability(0.7);
+    let mut gen = WorkloadGen::new(net.config().space.clone(), wl, seed);
+    let trace = gen.gen_trace();
+
+    // Phase-separate: issue every subscription first, then publications,
+    // so oracle timing is exact.
+    let mut sub_ops = Vec::new();
+    let mut pub_ops = Vec::new();
+    for op in trace.ops() {
+        match op.kind {
+            OpKind::Subscribe { .. } => sub_ops.push(op.clone()),
+            OpKind::Publish { .. } => pub_ops.push(op.clone()),
+        }
+    }
+    let subs = Trace::new(sub_ops);
+    let sub_out = subs.replay(&mut net);
+    net.run_until(subs.end_time() + SimDuration::from_secs(120));
+
+    let mut oracle = sub_out.oracle.clone();
+    let base = net.now();
+    for (k, op) in pub_ops.iter().enumerate() {
+        net.run_until(base + SimDuration::from_secs(3 * k as u64));
+        if let OpKind::Publish { event } = &op.kind {
+            let id = net.publish(op.node, event.clone());
+            oracle.add_pub(id, event.clone(), net.now());
+        }
+    }
+    net.run_for_secs(600); // drain buffered/collected notifications
+
+    let expected = oracle.expected();
+    let mut got: BTreeSet<(SubId, cbps::EventId)> = BTreeSet::new();
+    for idx in 0..net.len() {
+        for note in net.delivered(idx) {
+            assert_eq!(
+                note.sub_id.node(),
+                idx,
+                "notification delivered to the wrong subscriber"
+            );
+            assert!(
+                got.insert((note.sub_id, note.event_id)),
+                "duplicate logical delivery of {:?}",
+                (note.sub_id, note.event_id)
+            );
+        }
+    }
+    assert_eq!(
+        got, expected,
+        "{kind}/{primitive:?}/{notify:?}: delivered set diverges from oracle \
+         (got {}, expected {})",
+        got.len(),
+        expected.len()
+    );
+}
+
+#[test]
+fn exactly_once_mapping1_unicast() {
+    check_exactly_once(MappingKind::AttributeSplit, Primitive::Unicast, NotifyMode::Immediate, 1);
+}
+
+#[test]
+fn exactly_once_mapping1_mcast() {
+    check_exactly_once(MappingKind::AttributeSplit, Primitive::MCast, NotifyMode::Immediate, 2);
+}
+
+#[test]
+fn exactly_once_mapping2_unicast() {
+    check_exactly_once(MappingKind::KeySpaceSplit, Primitive::Unicast, NotifyMode::Immediate, 3);
+}
+
+#[test]
+fn exactly_once_mapping2_mcast() {
+    check_exactly_once(MappingKind::KeySpaceSplit, Primitive::MCast, NotifyMode::Immediate, 4);
+}
+
+#[test]
+fn exactly_once_mapping3_unicast() {
+    check_exactly_once(
+        MappingKind::SelectiveAttribute,
+        Primitive::Unicast,
+        NotifyMode::Immediate,
+        5,
+    );
+}
+
+#[test]
+fn exactly_once_mapping3_mcast() {
+    check_exactly_once(MappingKind::SelectiveAttribute, Primitive::MCast, NotifyMode::Immediate, 6);
+}
+
+#[test]
+fn exactly_once_mapping3_walk() {
+    check_exactly_once(MappingKind::SelectiveAttribute, Primitive::Walk, NotifyMode::Immediate, 7);
+}
+
+#[test]
+fn exactly_once_with_buffering() {
+    check_exactly_once(
+        MappingKind::SelectiveAttribute,
+        Primitive::MCast,
+        NotifyMode::Buffered { period: SimDuration::from_secs(5) },
+        8,
+    );
+}
+
+#[test]
+fn exactly_once_with_collecting() {
+    check_exactly_once(
+        MappingKind::SelectiveAttribute,
+        Primitive::Unicast,
+        NotifyMode::Collecting { period: SimDuration::from_secs(5) },
+        9,
+    );
+}
+
+#[test]
+fn exactly_once_mapping1_walk() {
+    check_exactly_once(MappingKind::AttributeSplit, Primitive::Walk, NotifyMode::Immediate, 10);
+}
