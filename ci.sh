@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 gate: everything here must pass before a change lands.
+# The workspace has no external dependencies, so this runs fully offline.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test --workspace -q
+
+if command -v rustfmt >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --all --check
+else
+    echo "==> rustfmt not installed; skipping format check"
+fi
+
+echo "==> tier-1 gate passed"

@@ -1,13 +1,48 @@
-//! Criterion micro-benchmarks of the system's hot components: the three
+//! Micro-benchmarks of the system's hot components: the three
 //! ak-mappings, the matching index vs brute force, the m-cast split,
 //! greedy routing, and SHA-1 hashing.
+//!
+//! A self-contained `Instant`-based harness (`harness = false`, no
+//! external benchmark framework): each benchmark is auto-calibrated to a
+//! ~100 ms measurement window and reported in ns/iter. Run via
+//! `cargo bench -p cbps-bench --bench micro`.
 
-use cbps::{
-    AkMapping, Event, EventSpace, MappingKind, MatchIndex, SubId, Subscription,
+use std::time::{Duration, Instant};
+
+use cbps::{AkMapping, Event, EventSpace, MappingKind, MatchIndex, SubId, Subscription};
+use cbps_overlay::{
+    hash::sha1, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState,
 };
-use cbps_overlay::{hash::sha1, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState};
 use cbps_workload::{WorkloadConfig, WorkloadGen};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// Calibrates the iteration count to a ~100 ms window, measures, and
+/// prints mean ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and find an iteration count that runs for >= 10 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if start.elapsed() >= Duration::from_millis(10) || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Measured run: scale to a ~100 ms window.
+    let target = iters.saturating_mul(10).max(1);
+    let start = Instant::now();
+    for _ in 0..target {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / target as f64;
+    println!(
+        "{name:<40} {per_iter:>12.1} ns/iter   ({target} iters in {:.1} ms)",
+        elapsed.as_secs_f64() * 1e3
+    );
+}
 
 fn workload(n_subs: usize) -> (EventSpace, Vec<Subscription>, Vec<Event>) {
     let space = EventSpace::paper_default();
@@ -18,60 +53,48 @@ fn workload(n_subs: usize) -> (EventSpace, Vec<Subscription>, Vec<Event>) {
     (space, subs, events)
 }
 
-fn bench_mappings(c: &mut Criterion) {
+fn bench_mappings() {
     let (space, subs, events) = workload(256);
     let keys = KeySpace::new(13);
-    let mut group = c.benchmark_group("mapping");
     for kind in [
         MappingKind::AttributeSplit,
         MappingKind::KeySpaceSplit,
         MappingKind::SelectiveAttribute,
     ] {
         let mapping = AkMapping::new(kind, &space, keys);
-        group.bench_function(format!("sk/{kind}"), |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let s = &subs[i % subs.len()];
-                i += 1;
-                std::hint::black_box(mapping.sk(s))
-            })
+        let mut i = 0;
+        bench(&format!("mapping/sk/{kind}"), || {
+            let s = &subs[i % subs.len()];
+            i += 1;
+            std::hint::black_box(mapping.sk(s));
         });
-        group.bench_function(format!("ek/{kind}"), |b| {
-            let mut i = 0;
-            b.iter(|| {
-                let e = &events[i % events.len()];
-                i += 1;
-                std::hint::black_box(mapping.ek(e))
-            })
+        let mut i = 0;
+        bench(&format!("mapping/ek/{kind}"), || {
+            let e = &events[i % events.len()];
+            i += 1;
+            std::hint::black_box(mapping.ek(e));
         });
     }
-    group.finish();
 }
 
-fn bench_matching(c: &mut Criterion) {
+fn bench_matching() {
     let (space, subs, events) = workload(2000);
     let mut index = MatchIndex::new(&space);
     for (i, s) in subs.iter().enumerate() {
         index.insert(SubId(i as u64), s.clone());
     }
-    let mut group = c.benchmark_group("matching-2000-subs");
-    group.bench_function("counting-index", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let e = &events[i % events.len()];
-            i += 1;
-            std::hint::black_box(index.matches(e))
-        })
+    let mut i = 0;
+    bench("matching-2000-subs/counting-index", || {
+        let e = &events[i % events.len()];
+        i += 1;
+        std::hint::black_box(index.matches(e));
     });
-    group.bench_function("brute-force", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            let e = &events[i % events.len()];
-            i += 1;
-            std::hint::black_box(index.matches_brute_force(e))
-        })
+    let mut i = 0;
+    bench("matching-2000-subs/brute-force", || {
+        let e = &events[i % events.len()];
+        i += 1;
+        std::hint::black_box(index.matches_brute_force(e));
     });
-    group.finish();
 }
 
 fn converged_state(n: usize) -> RoutingState {
@@ -96,27 +119,22 @@ fn converged_state(n: usize) -> RoutingState {
     st
 }
 
-fn bench_overlay(c: &mut Criterion) {
+fn bench_overlay() {
     let st = converged_state(500);
     let space = OverlayConfig::paper_default().space;
     let full = KeyRangeSet::full(space);
-    c.bench_function("mcast-split-full-ring", |b| {
-        b.iter(|| std::hint::black_box(st.mcast_split(&full)))
+    bench("mcast-split-full-ring", || {
+        std::hint::black_box(st.mcast_split(&full));
     });
-    c.bench_function("next-hop", |b| {
-        b.iter_batched(
-            || st.clone(),
-            |mut st| {
-                for k in (0..8192u64).step_by(257) {
-                    std::hint::black_box(st.next_hop(space.key(k)));
-                }
-            },
-            BatchSize::SmallInput,
-        )
+    let mut scratch = st.clone();
+    bench("next-hop", || {
+        for k in (0..8192u64).step_by(257) {
+            std::hint::black_box(scratch.next_hop(space.key(k)));
+        }
     });
 }
 
-fn bench_pastry(c: &mut Criterion) {
+fn bench_pastry() {
     use cbps_pastry::{PastryConfig, PastryState};
     let cfg = PastryConfig::paper_default();
     let overlay_like = OverlayConfig::paper_default();
@@ -129,23 +147,33 @@ fn bench_pastry(c: &mut Criterion) {
     let ring = RingView::new(cfg.space, peers.clone());
     let st = PastryState::converged(cfg, peers[0], &ring);
     let space = cfg.space;
-    c.bench_function("pastry-next-hop", |b| {
-        b.iter(|| {
-            for k in (0..8192u64).step_by(257) {
-                std::hint::black_box(st.next_hop(space.key(k)));
-            }
-        })
+    bench("pastry-next-hop", || {
+        for k in (0..8192u64).step_by(257) {
+            std::hint::black_box(st.next_hop(space.key(k)));
+        }
     });
     let full = KeyRangeSet::full(space);
-    c.bench_function("pastry-mcast-split-full-ring", |b| {
-        b.iter(|| std::hint::black_box(st.mcast_split(&full)))
+    bench("pastry-mcast-split-full-ring", || {
+        std::hint::black_box(st.mcast_split(&full));
     });
 }
 
-fn bench_sha1(c: &mut Criterion) {
+fn bench_sha1() {
     let data = vec![0xA5u8; 64];
-    c.bench_function("sha1-64B", |b| b.iter(|| std::hint::black_box(sha1(&data))));
+    bench("sha1-64B", || {
+        std::hint::black_box(sha1(&data));
+    });
 }
 
-criterion_group!(benches, bench_mappings, bench_matching, bench_overlay, bench_pastry, bench_sha1);
-criterion_main!(benches);
+fn main() {
+    // Under `cargo test --benches` just smoke-run nothing.
+    if std::env::args().any(|a| a == "--test") {
+        println!("micro harness: skipped under --test (run `cargo bench` instead)");
+        return;
+    }
+    bench_mappings();
+    bench_matching();
+    bench_overlay();
+    bench_pastry();
+    bench_sha1();
+}

@@ -1,21 +1,74 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! figures [--scale quick|paper] [--csv DIR] [EXPERIMENT...]
+//! figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
 //! fig6, fig7, fig8, fig9a, fig9b, mcast, churn, all.
+//!
+//! `--jobs N` farms independent sweep points out to `N` worker threads;
+//! each simulation stays single-threaded and deterministic, so the tables
+//! are byte-identical at any job count. `--json FILE` appends a
+//! machine-readable perf record per experiment (wall time, simulator
+//! events processed, events/sec, peak event-queue depth).
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
+use cbps_bench::runner;
 use cbps_bench::Scale;
+
+/// One experiment's perf record for the `--json` report.
+struct PerfRecord {
+    name: String,
+    wall_secs: f64,
+    events: u64,
+    peak_queue_depth: u64,
+}
+
+fn json_report(scale: Scale, jobs: usize, records: &[PerfRecord]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"scale\": \"{}\",\n",
+        match scale {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    ));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let events_per_sec = if r.wall_secs > 0.0 {
+            r.events as f64 / r.wall_secs
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}}}{}\n",
+            r.name,
+            r.wall_secs,
+            r.events,
+            events_per_sec,
+            r.peak_queue_depth,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let total_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
+    let total_events: u64 = records.iter().map(|r| r.events).sum();
+    out.push_str(&format!("  \"total_wall_secs\": {total_secs:.3},\n"));
+    out.push_str(&format!("  \"total_events\": {total_events}\n"));
+    out.push_str("}\n");
+    out
+}
 
 fn main() {
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<String> = None;
+    let mut json_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -29,6 +82,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--jobs" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => runner::set_jobs(n),
+                _ => {
+                    eprintln!("--jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(dir),
                 None => {
@@ -36,9 +96,24 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--json" => match args.next() {
+                Some(path) => {
+                    // Fail before running anything: a paper-scale sweep can take
+                    // hours, and losing the report at the end wastes all of it.
+                    if let Err(e) = std::fs::File::create(&path) {
+                        eprintln!("cannot create {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    json_path = Some(path);
+                }
+                None => {
+                    eprintln!("--json expects a file path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale quick|paper] [--csv DIR] [EXPERIMENT...]\n\
+                    "usage: figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
                 );
@@ -51,8 +126,10 @@ fn main() {
         names.push("all".to_owned());
     }
 
+    let mut records: Vec<PerfRecord> = Vec::new();
     for name in &names {
         let started = Instant::now();
+        runner::reset_perf();
         let Some(tables) = run_named(name, scale) else {
             eprintln!(
                 "unknown experiment {name:?}; known: {}",
@@ -60,13 +137,27 @@ fn main() {
             );
             std::process::exit(2);
         };
+        let wall_secs = started.elapsed().as_secs_f64();
+        let (events, peak_queue_depth) = runner::perf_totals();
+        records.push(PerfRecord {
+            name: name.clone(),
+            wall_secs,
+            events,
+            peak_queue_depth,
+        });
         for table in &tables {
             println!("{}", table.render());
             if let Some(dir) = &csv_dir {
                 let slug = table
                     .title()
                     .chars()
-                    .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                    .map(|c| {
+                        if c.is_alphanumeric() {
+                            c.to_ascii_lowercase()
+                        } else {
+                            '_'
+                        }
+                    })
                     .collect::<String>()
                     .split('_')
                     .filter(|s| !s.is_empty())
@@ -81,6 +172,18 @@ fn main() {
                 }
             }
         }
-        eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+        eprintln!("[{name} done in {wall_secs:.1}s]\n");
+    }
+
+    if let Some(path) = json_path {
+        let report = json_report(scale, runner::jobs(), &records);
+        let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(report.as_bytes()));
+        match write {
+            Ok(()) => eprintln!("perf report written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

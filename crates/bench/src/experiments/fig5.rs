@@ -11,7 +11,7 @@
 
 use cbps::{MappingKind, Primitive};
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 /// Runs the experiment and returns its table.
@@ -31,30 +31,37 @@ pub fn run(scale: Scale) -> Table {
     let nodes = scale.nodes();
     let subs = scale.ops(1000);
     let pubs = scale.ops(1000);
+    let mut points = Vec::new();
     for mapping in [
         MappingKind::AttributeSplit,
         MappingKind::KeySpaceSplit,
         MappingKind::SelectiveAttribute,
     ] {
         for primitive in [Primitive::Unicast, Primitive::MCast] {
-            let mut deployment = Deployment::new(nodes, 501);
-            deployment.mapping = mapping;
-            deployment.primitive = primitive;
-            let mut net = deployment.build();
-            let cfg = paper_workload(nodes, 0).with_counts(subs, pubs);
-            let mut gen = workload_gen(cfg, 501);
-            let trace = gen.gen_trace();
-            let stats = run_trace(&mut net, &trace, 120);
-            table.push_row(vec![
-                short_name(mapping).to_owned(),
-                format!("{primitive:?}").to_lowercase(),
-                fmt_f(stats.hops_per_sub),
-                fmt_f(stats.hops_per_pub),
-                fmt_f(stats.hops_per_notification),
-                fmt_f(stats.keys_per_sub),
-                fmt_f(stats.keys_per_pub),
-            ]);
+            points.push((mapping, primitive));
         }
+    }
+    let rows = parallel_map(points, |(mapping, primitive)| {
+        let mut deployment = Deployment::new(nodes, 501);
+        deployment.mapping = mapping;
+        deployment.primitive = primitive;
+        let mut net = deployment.build();
+        let cfg = paper_workload(nodes, 0).with_counts(subs, pubs);
+        let mut gen = workload_gen(cfg, 501);
+        let trace = gen.gen_trace();
+        let stats = run_trace(&mut net, &trace, 120);
+        vec![
+            short_name(mapping).to_owned(),
+            format!("{primitive:?}").to_lowercase(),
+            fmt_f(stats.hops_per_sub),
+            fmt_f(stats.hops_per_pub),
+            fmt_f(stats.hops_per_notification),
+            fmt_f(stats.keys_per_sub),
+            fmt_f(stats.keys_per_pub),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

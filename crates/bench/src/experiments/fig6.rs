@@ -15,7 +15,7 @@
 use cbps::MappingKind;
 use cbps_sim::SimDuration;
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 /// TTL sweep (seconds); `None` = never expires.
@@ -42,32 +42,35 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 Scale::Quick => 4_000,
                 Scale::Paper => 25_000,
             };
+            let mut points = Vec::new();
             for ttl in ttls(scale) {
-                let mut cells = vec![match ttl {
-                    Some(t) => t.to_string(),
-                    None => "never".to_owned(),
-                }];
                 for mapping in [
                     MappingKind::AttributeSplit,
                     MappingKind::KeySpaceSplit,
                     MappingKind::SelectiveAttribute,
                 ] {
-                    let mut deployment = Deployment::new(nodes, 601);
-                    deployment.mapping = mapping;
-                    let mut net = deployment.build();
-                    let cfg = paper_workload(nodes, selective)
-                        .with_counts(subs, 0)
-                        .with_sub_ttl(ttl.map(SimDuration::from_secs));
-                    let mut gen = workload_gen(cfg, 601);
-                    let trace = gen.gen_trace();
-                    let stats = run_trace(&mut net, &trace, 60);
-                    cells.push(format!(
-                        "{} ({})",
-                        stats.max_stored,
-                        fmt_f(stats.avg_stored)
-                    ));
+                    points.push((ttl, mapping));
                 }
-                table.push_row(cells);
+            }
+            let cells = parallel_map(points, |(ttl, mapping)| {
+                let mut deployment = Deployment::new(nodes, 601);
+                deployment.mapping = mapping;
+                let mut net = deployment.build();
+                let cfg = paper_workload(nodes, selective)
+                    .with_counts(subs, 0)
+                    .with_sub_ttl(ttl.map(SimDuration::from_secs));
+                let mut gen = workload_gen(cfg, 601);
+                let trace = gen.gen_trace();
+                let stats = run_trace(&mut net, &trace, 60);
+                format!("{} ({})", stats.max_stored, fmt_f(stats.avg_stored))
+            });
+            for (i, ttl) in ttls(scale).into_iter().enumerate() {
+                let mut row = vec![match ttl {
+                    Some(t) => t.to_string(),
+                    None => "never".to_owned(),
+                }];
+                row.extend(cells[i * 3..i * 3 + 3].iter().cloned());
+                table.push_row(row);
             }
             table
         })

@@ -9,7 +9,7 @@
 
 use cbps::{MappingKind, Primitive};
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 fn node_counts(scale: Scale) -> Vec<usize> {
@@ -26,7 +26,7 @@ pub fn run(scale: Scale) -> Table {
         &["n", "hops/pub", "hops/pub/key", "log2(n)"],
     );
     let pubs = scale.ops(1000);
-    for n in node_counts(scale) {
+    let rows = parallel_map(node_counts(scale), |n| {
         let mut deployment = Deployment::new(n, 701);
         deployment.mapping = MappingKind::SelectiveAttribute;
         deployment.primitive = Primitive::Unicast;
@@ -37,12 +37,15 @@ pub fn run(scale: Scale) -> Table {
         let mut gen = workload_gen(cfg, 701);
         let trace = gen.gen_trace();
         let stats = run_trace(&mut net, &trace, 60);
-        table.push_row(vec![
+        vec![
             n.to_string(),
             fmt_f(stats.hops_per_pub),
             fmt_f(stats.hops_per_pub / stats.keys_per_pub.max(1.0)),
             fmt_f((n as f64).log2()),
-        ]);
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

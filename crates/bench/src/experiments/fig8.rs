@@ -12,7 +12,7 @@
 
 use cbps::MappingKind;
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 fn node_counts(scale: Scale) -> Vec<usize> {
@@ -37,23 +37,30 @@ pub fn run(scale: Scale) -> Vec<Table> {
                 Scale::Quick => 4_000,
                 Scale::Paper => 25_000,
             };
+            let mut points = Vec::new();
             for n in node_counts(scale) {
-                let mut cells = vec![n.to_string()];
                 for mapping in [
                     MappingKind::AttributeSplit,
                     MappingKind::KeySpaceSplit,
                     MappingKind::SelectiveAttribute,
                 ] {
-                    let mut deployment = Deployment::new(n, 801);
-                    deployment.mapping = mapping;
-                    let mut net = deployment.build();
-                    let cfg = paper_workload(n, selective).with_counts(subs, 0);
-                    let mut gen = workload_gen(cfg, 801);
-                    let trace = gen.gen_trace();
-                    let stats = run_trace(&mut net, &trace, 60);
-                    cells.push(format!("{} ({})", stats.max_stored, fmt_f(stats.avg_stored)));
+                    points.push((n, mapping));
                 }
-                table.push_row(cells);
+            }
+            let cells = parallel_map(points, |(n, mapping)| {
+                let mut deployment = Deployment::new(n, 801);
+                deployment.mapping = mapping;
+                let mut net = deployment.build();
+                let cfg = paper_workload(n, selective).with_counts(subs, 0);
+                let mut gen = workload_gen(cfg, 801);
+                let trace = gen.gen_trace();
+                let stats = run_trace(&mut net, &trace, 60);
+                format!("{} ({})", stats.max_stored, fmt_f(stats.avg_stored))
+            });
+            for (i, n) in node_counts(scale).into_iter().enumerate() {
+                let mut row = vec![n.to_string()];
+                row.extend(cells[i * 3..i * 3 + 3].iter().cloned());
+                table.push_row(row);
             }
             table
         })

@@ -16,7 +16,7 @@
 use cbps::{MappingKind, NotifyMode, Primitive};
 use cbps_sim::SimDuration;
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 /// The notification configurations compared (label, mode).
@@ -40,35 +40,42 @@ pub fn run(scale: Scale) -> Table {
     let nodes = scale.nodes();
     let subs = scale.ops(500);
     let pubs = scale.ops(2000);
-    for p in [0.1f64, 0.5, 0.9] {
-        let mut cells = vec![format!("{p:.1}")];
-        let mut delivered_ref: Option<u64> = None;
+    let probabilities = [0.1f64, 0.5, 0.9];
+    let mut points = Vec::new();
+    for p in probabilities {
         for (_, mode) in modes() {
-            let mut deployment = Deployment::new(nodes, 901);
-            deployment.mapping = MappingKind::SelectiveAttribute;
-            deployment.primitive = Primitive::Unicast;
-            deployment.notify = mode;
-            let mut net = deployment.build();
-            let cfg = paper_workload(nodes, 0)
-                .with_counts(subs, pubs)
-                .with_matching_probability(p)
-                .with_seed_streak(8);
-            let mut gen = workload_gen(cfg, 901);
-            let trace = gen.gen_trace();
-            // Long drain: collect chains take several flush periods.
-            let stats = run_trace(&mut net, &trace, 2_000);
-            // Sanity: the optimizations must not lose notifications.
-            match delivered_ref {
-                None => delivered_ref = Some(stats.delivered),
-                Some(reference) => {
-                    assert_eq!(
-                        stats.delivered, reference,
-                        "optimization changed delivered notifications at p={p}"
-                    );
-                }
-            }
-            cells.push(fmt_f(stats.notify_hops_per_pub));
+            points.push((p, mode));
         }
+    }
+    let results = parallel_map(points, |(p, mode)| {
+        let mut deployment = Deployment::new(nodes, 901);
+        deployment.mapping = MappingKind::SelectiveAttribute;
+        deployment.primitive = Primitive::Unicast;
+        deployment.notify = mode;
+        let mut net = deployment.build();
+        let cfg = paper_workload(nodes, 0)
+            .with_counts(subs, pubs)
+            .with_matching_probability(p)
+            .with_seed_streak(8);
+        let mut gen = workload_gen(cfg, 901);
+        let trace = gen.gen_trace();
+        // Long drain: collect chains take several flush periods.
+        let stats = run_trace(&mut net, &trace, 2_000);
+        (stats.delivered, stats.notify_hops_per_pub)
+    });
+    let mode_count = modes().len();
+    for (i, p) in probabilities.into_iter().enumerate() {
+        let group = &results[i * mode_count..(i + 1) * mode_count];
+        // Sanity: the optimizations must not lose notifications.
+        let reference = group[0].0;
+        for &(delivered, _) in group {
+            assert_eq!(
+                delivered, reference,
+                "optimization changed delivered notifications at p={p}"
+            );
+        }
+        let mut cells = vec![format!("{p:.1}")];
+        cells.extend(group.iter().map(|&(_, hops)| fmt_f(hops)));
         table.push_row(cells);
     }
     table

@@ -9,7 +9,7 @@
 
 use cbps::{MappingKind, Primitive};
 
-use crate::runner::{paper_workload, run_trace, workload_gen, Deployment, Scale};
+use crate::runner::{paper_workload, parallel_map, run_trace, workload_gen, Deployment, Scale};
 use crate::table::{fmt_f, Table};
 
 /// Runs the experiment and returns its table. The paper adds that "the
@@ -18,36 +18,55 @@ use crate::table::{fmt_f, Table};
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Figure 9(b): subscription hops vs discretization interval",
-        &["config", "interval", "hops/sub", "keys/sub", "max stored/node"],
+        &[
+            "config",
+            "interval",
+            "hops/sub",
+            "keys/sub",
+            "max stored/node",
+        ],
     );
     let nodes = scale.nodes();
     let subs = scale.ops(1000);
     let configs = [
-        ("M3 unicast", MappingKind::SelectiveAttribute, Primitive::Unicast),
+        (
+            "M3 unicast",
+            MappingKind::SelectiveAttribute,
+            Primitive::Unicast,
+        ),
         ("M1 m-cast", MappingKind::AttributeSplit, Primitive::MCast),
     ];
     // Average non-selective range = E[U(1, 30000)] ≈ 15000 values.
+    let mut points = Vec::new();
     for (config, mapping, primitive) in configs {
-        for (label, width) in
-            [("1 (none)", 1u64), ("10% avg range", 1_500), ("20% avg range", 3_000)]
-        {
-            let mut deployment = Deployment::new(nodes, 911);
-            deployment.mapping = mapping;
-            deployment.primitive = primitive;
-            deployment.discretization = width;
-            let mut net = deployment.build();
-            let cfg = paper_workload(nodes, 0).with_counts(subs, 0);
-            let mut gen = workload_gen(cfg, 911);
-            let trace = gen.gen_trace();
-            let stats = run_trace(&mut net, &trace, 60);
-            table.push_row(vec![
-                config.to_owned(),
-                label.to_owned(),
-                fmt_f(stats.hops_per_sub),
-                fmt_f(stats.keys_per_sub),
-                stats.max_stored.to_string(),
-            ]);
+        for (label, width) in [
+            ("1 (none)", 1u64),
+            ("10% avg range", 1_500),
+            ("20% avg range", 3_000),
+        ] {
+            points.push((config, mapping, primitive, label, width));
         }
+    }
+    let rows = parallel_map(points, |(config, mapping, primitive, label, width)| {
+        let mut deployment = Deployment::new(nodes, 911);
+        deployment.mapping = mapping;
+        deployment.primitive = primitive;
+        deployment.discretization = width;
+        let mut net = deployment.build();
+        let cfg = paper_workload(nodes, 0).with_counts(subs, 0);
+        let mut gen = workload_gen(cfg, 911);
+        let trace = gen.gen_trace();
+        let stats = run_trace(&mut net, &trace, 60);
+        vec![
+            config.to_owned(),
+            label.to_owned(),
+            fmt_f(stats.hops_per_sub),
+            fmt_f(stats.keys_per_sub),
+            stats.max_stored.to_string(),
+        ]
+    });
+    for row in rows {
+        table.push_row(row);
     }
     table
 }

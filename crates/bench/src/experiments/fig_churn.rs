@@ -107,7 +107,13 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Extension: delivery after simultaneous crashes (mapping 3, maintenance on)",
-        &["replication", "crashed nodes", "delivery rate", "state-transfer msgs", "replicas promoted"],
+        &[
+            "replication",
+            "crashed nodes",
+            "delivery rate",
+            "state-transfer msgs",
+            "replicas promoted",
+        ],
     );
     let crashes = match scale {
         Scale::Quick => 8,

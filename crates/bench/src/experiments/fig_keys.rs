@@ -24,7 +24,9 @@ pub fn run(scale: Scale) -> Vec<Table> {
         .into_iter()
         .map(|selective| {
             let mut table = Table::new(
-                format!("§5.2 in-text: mean mapped keys per request, {selective} selective attr(s)"),
+                format!(
+                    "§5.2 in-text: mean mapped keys per request, {selective} selective attr(s)"
+                ),
                 &["mapping", "keys/sub", "keys/pub"],
             );
             let space = EventSpace::paper_default();
@@ -32,18 +34,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let cfg = paper_workload(1, selective).with_counts(samples, samples);
             let mut gen = workload_gen(cfg, 921);
             let subs: Vec<_> = (0..samples).map(|_| gen.gen_subscription()).collect();
-            let events: Vec<_> = subs
-                .iter()
-                .map(|s| gen.gen_matching_event(s))
-                .collect();
+            let events: Vec<_> = subs.iter().map(|s| gen.gen_matching_event(s)).collect();
             for kind in [
                 MappingKind::AttributeSplit,
                 MappingKind::KeySpaceSplit,
                 MappingKind::SelectiveAttribute,
             ] {
                 let mapping = AkMapping::new(kind, &space, keys);
-                let sk_mean = subs.iter().map(|s| mapping.sk(s).count()).sum::<u64>() as f64
-                    / samples as f64;
+                let sk_mean =
+                    subs.iter().map(|s| mapping.sk(s).count()).sum::<u64>() as f64 / samples as f64;
                 let ek_mean = events.iter().map(|e| mapping.ek(e).count()).sum::<u64>() as f64
                     / samples as f64;
                 table.push_row(vec![

@@ -29,7 +29,13 @@ fn modes() -> Vec<(&'static str, NotifyMode)> {
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Extension: notification latency vs traffic per dispatch mode (mapping 3, unicast)",
-        &["mode", "mean latency [s]", "p95 latency [s]", "notify msgs/pub", "delivered"],
+        &[
+            "mode",
+            "mean latency [s]",
+            "p95 latency [s]",
+            "notify msgs/pub",
+            "delivered",
+        ],
     );
     let nodes = scale.nodes();
     let subs = scale.ops(300);

@@ -23,7 +23,11 @@ fn send(
     width: u64,
     seed: u64,
     how: &str,
-) -> (u64 /* msgs */, u32 /* max dilation */, u64 /* deliveries */) {
+) -> (
+    u64, /* msgs */
+    u32, /* max dilation */
+    u64, /* deliveries */
+) {
     let cfg = OverlayConfig::paper_default().with_cache_capacity(0);
     let apps: Vec<ProbeApp> = (0..n).map(|_| ProbeApp::default()).collect();
     let (mut sim, _ring) = build_stable(NetConfig::new(seed), cfg, apps);
@@ -53,7 +57,13 @@ fn send(
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Ablation §4.3.1: one-to-many range send — messages / dilation / covering nodes",
-        &["range keys", "protocol", "messages", "max dilation", "nodes reached"],
+        &[
+            "range keys",
+            "protocol",
+            "messages",
+            "max dilation",
+            "nodes reached",
+        ],
     );
     let n = match scale {
         Scale::Quick => 150,

@@ -46,7 +46,11 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
                 .build(),
         ),
         _ => Net::Pastry(
-            PastryPubSubNetwork::builder().nodes(nodes).seed(seed).pubsub(pubsub).build(),
+            PastryPubSubNetwork::builder()
+                .nodes(nodes)
+                .seed(seed)
+                .pubsub(pubsub)
+                .build(),
         ),
     };
     let space = cbps::EventSpace::paper_default();
@@ -96,7 +100,14 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Extension: the same pub/sub layer over Chord vs Pastry (m-cast)",
-        &["mapping", "overlay", "hops/sub", "hops/pub", "hops/notify", "delivered"],
+        &[
+            "mapping",
+            "overlay",
+            "hops/sub",
+            "hops/pub",
+            "hops/notify",
+            "delivered",
+        ],
     );
     for kind in [MappingKind::KeySpaceSplit, MappingKind::SelectiveAttribute] {
         let mut delivered = Vec::new();

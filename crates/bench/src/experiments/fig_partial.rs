@@ -21,7 +21,12 @@ use crate::table::{fmt_f, Table};
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Extension: mean mapped keys per subscription vs wildcard probability (§4.2)",
-        &["wildcard p", "M1 attr-split", "M2 keyspace-split", "M3 selective"],
+        &[
+            "wildcard p",
+            "M1 attr-split",
+            "M2 keyspace-split",
+            "M3 selective",
+        ],
     );
     let samples = match scale {
         Scale::Quick => 400,

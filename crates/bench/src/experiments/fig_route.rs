@@ -10,10 +10,9 @@
 
 use cbps_overlay::{build_stable, OverlayConfig};
 use cbps_sim::NetConfig;
-use rand::Rng;
 
 use crate::probe::ProbeApp;
-use crate::runner::Scale;
+use crate::runner::{parallel_map, record_perf, Scale};
 use crate::table::{fmt_f, Table};
 
 fn node_counts(scale: Scale) -> Vec<usize> {
@@ -53,28 +52,44 @@ fn mean_hops(n: usize, cache: usize, lookups_per_node: usize, seed: u64) -> f64 
         issue(&mut sim, i);
     }
     sim.run();
-    sim.metrics().histogram("lookup.hops").map(|h| h.mean()).unwrap_or(0.0)
+    record_perf(sim.events_processed(), sim.queue_peak());
+    sim.metrics()
+        .histogram("lookup.hops")
+        .map(|h| h.mean())
+        .unwrap_or(0.0)
 }
 
 /// Runs the calibration and returns its table.
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "§5.1 in-text: mean lookup hops vs n (finger caching calibration)",
-        &["n", "no cache", "cache 32", "cache 96", "cache 256", "0.5*log2(n)"],
+        &[
+            "n",
+            "no cache",
+            "cache 32",
+            "cache 96",
+            "cache 256",
+            "0.5*log2(n)",
+        ],
     );
     let lookups = match scale {
         Scale::Quick => 30,
         Scale::Paper => 60,
     };
+    const CACHES: [usize; 4] = [0, 32, 96, 256];
+    let mut points = Vec::new();
     for n in node_counts(scale) {
-        table.push_row(vec![
-            n.to_string(),
-            fmt_f(mean_hops(n, 0, lookups, 931)),
-            fmt_f(mean_hops(n, 32, lookups, 931)),
-            fmt_f(mean_hops(n, 96, lookups, 931)),
-            fmt_f(mean_hops(n, 256, lookups, 931)),
-            fmt_f(0.5 * (n as f64).log2()),
-        ]);
+        for cache in CACHES {
+            points.push((n, cache));
+        }
+    }
+    let means = parallel_map(points, |(n, cache)| mean_hops(n, cache, lookups, 931));
+    for (i, n) in node_counts(scale).into_iter().enumerate() {
+        let group = &means[i * CACHES.len()..(i + 1) * CACHES.len()];
+        let mut row = vec![n.to_string()];
+        row.extend(group.iter().map(|&m| fmt_f(m)));
+        row.push(fmt_f(0.5 * (n as f64).log2()));
+        table.push_row(row);
     }
     table
 }

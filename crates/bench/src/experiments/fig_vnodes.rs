@@ -19,7 +19,13 @@ use crate::table::{fmt_f, Table};
 pub fn run(scale: Scale) -> Table {
     let mut table = Table::new(
         "Extension: virtual nodes vs storage skew (mapping 3, 1 selective attr)",
-        &["virtual ids/machine", "machines", "max stored/machine", "avg stored/machine", "skew (max/avg)"],
+        &[
+            "virtual ids/machine",
+            "machines",
+            "max stored/machine",
+            "avg stored/machine",
+            "skew (max/avg)",
+        ],
     );
     let machines = match scale {
         Scale::Quick => 100,

@@ -6,9 +6,12 @@
 //! * `cargo bench -p cbps-bench --bench figures` — all figures at quick
 //!   scale;
 //! * `cargo run -p cbps-bench --release --bin figures -- --scale paper` —
-//!   full paper-scale runs (see `--help`);
-//! * `cargo bench -p cbps-bench --bench micro` — Criterion component
-//!   benchmarks (mappings, matching, m-cast splitting, SHA-1).
+//!   full paper-scale runs (see `--help`; `--jobs N` fans independent
+//!   sweep points out to a worker pool, `--json FILE` writes a perf
+//!   report);
+//! * `cargo bench -p cbps-bench --bench micro` — dependency-free
+//!   wall-clock component benchmarks (mappings, matching, m-cast
+//!   splitting, SHA-1).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]

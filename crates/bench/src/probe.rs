@@ -16,12 +16,7 @@ impl ChordApp for ProbeApp {
     type Payload = u64;
     type Timer = ();
 
-    fn on_deliver(
-        &mut self,
-        _payload: u64,
-        d: Delivery,
-        _svc: &mut OverlaySvc<'_, '_, u64, ()>,
-    ) {
+    fn on_deliver(&mut self, _payload: u64, d: Delivery, _svc: &mut OverlaySvc<'_, '_, u64, ()>) {
         self.deliveries += 1;
         self.max_hops = self.max_hops.max(d.hops);
     }

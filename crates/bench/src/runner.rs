@@ -1,10 +1,96 @@
-//! Shared experiment plumbing: scales, network construction, trace replay
-//! and metric extraction.
+//! Shared experiment plumbing: scales, network construction, trace replay,
+//! metric extraction, and the multi-core sweep runner.
+//!
+//! Each simulation is single-threaded and deterministic; independent
+//! (seed, sweep-point) runs are farmed out to a scoped worker pool sized
+//! by [`set_jobs`]. Results come back in input order, so a sweep produces
+//! byte-identical tables at any job count.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_overlay::OverlayConfig;
 use cbps_sim::{NetConfig, SimDuration, TrafficClass};
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
+
+/// Worker count for [`parallel_map`]; 1 = fully serial.
+static JOBS: AtomicUsize = AtomicUsize::new(1);
+/// Simulator events processed across all runs since the last reset.
+static EVENTS_TOTAL: AtomicU64 = AtomicU64::new(0);
+/// Maximum event-queue depth seen by any run since the last reset.
+static QUEUE_PEAK_MAX: AtomicU64 = AtomicU64::new(0);
+
+/// Sets the worker-pool size used by [`parallel_map`] (clamped to >= 1).
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The current worker-pool size.
+pub fn jobs() -> usize {
+    JOBS.load(Ordering::Relaxed)
+}
+
+/// Folds one finished run into the global perf accumulators.
+pub fn record_perf(events: u64, queue_peak: usize) {
+    EVENTS_TOTAL.fetch_add(events, Ordering::Relaxed);
+    QUEUE_PEAK_MAX.fetch_max(queue_peak as u64, Ordering::Relaxed);
+}
+
+/// Clears the perf accumulators (call before a measured batch).
+pub fn reset_perf() {
+    EVENTS_TOTAL.store(0, Ordering::Relaxed);
+    QUEUE_PEAK_MAX.store(0, Ordering::Relaxed);
+}
+
+/// `(events processed, max queue depth)` accumulated since the last
+/// [`reset_perf`].
+pub fn perf_totals() -> (u64, u64) {
+    (
+        EVENTS_TOTAL.load(Ordering::Relaxed),
+        QUEUE_PEAK_MAX.load(Ordering::Relaxed),
+    )
+}
+
+/// Maps `f` over `items` on the worker pool, preserving input order.
+///
+/// With `jobs() == 1` (the default) this is a plain serial map — no
+/// threads are spawned and no ordering question arises. With more
+/// workers, items are pulled from a shared queue, so long and short
+/// sweep points load-balance; the result vector is still indexed by the
+/// input position. `f` must not depend on cross-item state.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = jobs().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let len = items.len();
+    let work = Mutex::new(items.into_iter().enumerate());
+    let results: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let next = work.lock().expect("work queue poisoned").next();
+                let Some((i, item)) = next else { break };
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
 
 /// Experiment scale: full paper parameters or a fast CI-friendly shrink.
 ///
@@ -114,6 +200,8 @@ pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> Run
     let outcome = trace.replay(net);
     let _ = outcome;
     net.run_until(trace.end_time() + SimDuration::from_secs(drain_secs));
+    let sim = net.sim_mut();
+    record_perf(sim.events_processed(), sim.queue_peak());
     distill(net, trace.sub_count() as u64, trace.pub_count() as u64)
 }
 
@@ -121,8 +209,7 @@ pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> Run
 pub fn distill(net: &PubSubNetwork, subs: u64, pubs: u64) -> RunStats {
     let m = net.metrics();
     let matches = m.counter("matches");
-    let notify_msgs =
-        m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT);
+    let notify_msgs = m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT);
     let peaks = net.peak_stored_counts();
     let max_stored = peaks.iter().copied().max().unwrap_or(0) as u64;
     let avg_stored = if peaks.is_empty() {
@@ -135,8 +222,14 @@ pub fn distill(net: &PubSubNetwork, subs: u64, pubs: u64) -> RunStats {
         hops_per_pub: ratio(m.messages(TrafficClass::PUBLICATION), pubs),
         hops_per_notification: ratio(notify_msgs, matches),
         notify_hops_per_pub: ratio(notify_msgs, pubs),
-        keys_per_sub: m.histogram("keys.per-subscription").map(|h| h.mean()).unwrap_or(0.0),
-        keys_per_pub: m.histogram("keys.per-publication").map(|h| h.mean()).unwrap_or(0.0),
+        keys_per_sub: m
+            .histogram("keys.per-subscription")
+            .map(|h| h.mean())
+            .unwrap_or(0.0),
+        keys_per_pub: m
+            .histogram("keys.per-publication")
+            .map(|h| h.mean())
+            .unwrap_or(0.0),
         max_stored,
         avg_stored,
         matches,
@@ -159,7 +252,11 @@ pub fn paper_workload(nodes: usize, selective: usize) -> WorkloadConfig {
 
 /// Builds a generator with a seed derived from the deployment seed.
 pub fn workload_gen(cfg: WorkloadConfig, seed: u64) -> WorkloadGen {
-    WorkloadGen::new(cbps::EventSpace::paper_default(), cfg, seed.wrapping_mul(0x9E37_79B9).wrapping_add(17))
+    WorkloadGen::new(
+        cbps::EventSpace::paper_default(),
+        cfg,
+        seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
+    )
 }
 
 #[cfg(test)]
@@ -171,6 +268,17 @@ mod tests {
         assert_eq!(Scale::Paper.nodes(), 500);
         assert_eq!(Scale::Quick.ops(1000), 200);
         assert_eq!(Scale::Quick.ops(100), 50);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_job_count() {
+        let items: Vec<u64> = (0..100).collect();
+        set_jobs(4);
+        let parallel = parallel_map(items.clone(), |x| x * x + 1);
+        set_jobs(1);
+        let serial = parallel_map(items, |x| x * x + 1);
+        assert_eq!(parallel, serial);
+        assert_eq!(serial[99], 99 * 99 + 1);
     }
 
     #[test]

@@ -80,7 +80,11 @@ impl Args {
             if !allowed.contains(&name.as_str()) {
                 return Err(ArgError(format!(
                     "unknown flag --{name} (allowed: {})",
-                    allowed.iter().map(|a| format!("--{a}")).collect::<Vec<_>>().join(", ")
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )));
             }
         }

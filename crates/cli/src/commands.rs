@@ -1,8 +1,6 @@
 //! The CLI subcommands.
 
-use cbps::{
-    EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork,
-};
+use cbps::{EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_sim::{NetConfig, SimDuration, TrafficClass};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
@@ -12,7 +10,17 @@ type Outcome = Result<(), ArgError>;
 
 /// `cbps gen-trace`: generate a §5.1 workload trace file.
 pub fn gen_trace(args: &Args) -> Outcome {
-    args.check_flags(&["out", "nodes", "subs", "pubs", "seed", "selective", "match", "streak", "ttl"])?;
+    args.check_flags(&[
+        "out",
+        "nodes",
+        "subs",
+        "pubs",
+        "seed",
+        "selective",
+        "match",
+        "streak",
+        "ttl",
+    ])?;
     let out = args
         .get("out")
         .ok_or_else(|| ArgError("gen-trace needs --out FILE".into()))?
@@ -26,7 +34,10 @@ pub fn gen_trace(args: &Args) -> Outcome {
     let streak: u64 = args.get_or("streak", 1)?;
     let ttl: Option<u64> = match args.get("ttl") {
         None => None,
-        Some(v) => Some(v.parse().map_err(|_| ArgError(format!("bad --ttl {v:?}")))?),
+        Some(v) => Some(
+            v.parse()
+                .map_err(|_| ArgError(format!("bad --ttl {v:?}")))?,
+        ),
     };
 
     let space = EventSpace::paper_default();
@@ -73,12 +84,20 @@ fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
         return Ok(NotifyMode::Immediate);
     }
     if let Some(secs) = s.strip_prefix("buffered:") {
-        let secs: u64 = secs.parse().map_err(|_| ArgError(format!("bad period in {s:?}")))?;
-        return Ok(NotifyMode::Buffered { period: SimDuration::from_secs(secs) });
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| ArgError(format!("bad period in {s:?}")))?;
+        return Ok(NotifyMode::Buffered {
+            period: SimDuration::from_secs(secs),
+        });
     }
     if let Some(secs) = s.strip_prefix("collecting:") {
-        let secs: u64 = secs.parse().map_err(|_| ArgError(format!("bad period in {s:?}")))?;
-        return Ok(NotifyMode::Collecting { period: SimDuration::from_secs(secs) });
+        let secs: u64 = secs
+            .parse()
+            .map_err(|_| ArgError(format!("bad period in {s:?}")))?;
+        return Ok(NotifyMode::Collecting {
+            period: SimDuration::from_secs(secs),
+        });
     }
     Err(ArgError(format!(
         "unknown notify mode {s:?} (immediate|buffered:SECS|collecting:SECS)"
@@ -89,7 +108,13 @@ fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
 /// print the run's statistics.
 pub fn run_trace(args: &Args) -> Outcome {
     args.check_flags(&[
-        "nodes", "seed", "mapping", "primitive", "notify", "discretization", "replication",
+        "nodes",
+        "seed",
+        "mapping",
+        "primitive",
+        "notify",
+        "discretization",
+        "replication",
     ])?;
     let file = args
         .positional()
@@ -98,8 +123,7 @@ pub fn run_trace(args: &Args) -> Outcome {
     let text =
         std::fs::read_to_string(file).map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
     let space = EventSpace::paper_default();
-    let trace =
-        trace_from_str(&space, &text).map_err(|e| ArgError(format!("bad trace: {e}")))?;
+    let trace = trace_from_str(&space, &text).map_err(|e| ArgError(format!("bad trace: {e}")))?;
 
     let nodes: usize = args.get_or("nodes", 100)?;
     let seed: u64 = args.get_or("seed", 0)?;
@@ -129,7 +153,11 @@ pub fn run_trace(args: &Args) -> Outcome {
     let subs = trace.sub_count().max(1) as f64;
     let pubs = trace.pub_count().max(1) as f64;
     println!("deployment: {nodes} nodes, {mapping}, {primitive:?}, {notify:?}");
-    println!("trace: {} subscriptions, {} publications", trace.sub_count(), trace.pub_count());
+    println!(
+        "trace: {} subscriptions, {} publications",
+        trace.sub_count(),
+        trace.pub_count()
+    );
     println!("one-hop messages:");
     for class in [
         TrafficClass::SUBSCRIPTION,
@@ -140,10 +168,19 @@ pub fn run_trace(args: &Args) -> Outcome {
     ] {
         println!("  {:<14} {}", class.name(), m.messages(class));
     }
-    println!("hops/subscription: {:.2}", m.messages(TrafficClass::SUBSCRIPTION) as f64 / subs);
-    println!("hops/publication:  {:.2}", m.messages(TrafficClass::PUBLICATION) as f64 / pubs);
+    println!(
+        "hops/subscription: {:.2}",
+        m.messages(TrafficClass::SUBSCRIPTION) as f64 / subs
+    );
+    println!(
+        "hops/publication:  {:.2}",
+        m.messages(TrafficClass::PUBLICATION) as f64 / pubs
+    );
     println!("matches: {}", m.counter("matches"));
-    println!("notifications delivered: {}", m.counter("notifications.delivered"));
+    println!(
+        "notifications delivered: {}",
+        m.counter("notifications.delivered")
+    );
     let peaks = net.peak_stored_counts();
     let max = peaks.iter().max().copied().unwrap_or(0);
     let avg = peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64;
@@ -165,14 +202,35 @@ pub fn ring(args: &Args) -> Outcome {
         .pubsub(PubSubConfig::paper_default())
         .build();
     let ring = net.ring();
-    println!("ring: {} nodes over {} keys", ring.len(), ring.space().size());
+    println!(
+        "ring: {} nodes over {} keys",
+        ring.len(),
+        ring.space().size()
+    );
     for peer in ring.peers() {
-        let marker = if peer.idx == inspect { "  <-- --node" } else { "" };
-        println!("  node {:>4}  key {:>6}{}", peer.idx, peer.key.value(), marker);
+        let marker = if peer.idx == inspect {
+            "  <-- --node"
+        } else {
+            ""
+        };
+        println!(
+            "  node {:>4}  key {:>6}{}",
+            peer.idx,
+            peer.key.value(),
+            marker
+        );
     }
     if inspect < nodes {
-        let me = ring.peers().iter().find(|p| p.idx == inspect).expect("exists");
-        println!("\nfinger table of node {} (key {}):", me.idx, me.key.value());
+        let me = ring
+            .peers()
+            .iter()
+            .find(|p| p.idx == inspect)
+            .expect("exists");
+        println!(
+            "\nfinger table of node {} (key {}):",
+            me.idx,
+            me.key.value()
+        );
         for (i, f) in ring.fingers_of(me.key).iter().enumerate() {
             println!(
                 "  finger {:>2}  target {:>6}  ->  node {:>4} (key {})",
@@ -188,7 +246,7 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale"])?;
+    args.check_flags(&["scale", "jobs"])?;
     let name = args
         .positional()
         .get(1)
@@ -198,6 +256,11 @@ pub fn experiment(args: &Args) -> Outcome {
         "paper" => cbps_bench::Scale::Paper,
         other => return Err(ArgError(format!("unknown scale {other:?}"))),
     };
+    let jobs: usize = args.get_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err(ArgError("--jobs must be at least 1".into()));
+    }
+    cbps_bench::runner::set_jobs(jobs);
     let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
         ArgError(format!(
             "unknown experiment {name:?}; known: {}",

@@ -7,7 +7,7 @@
 //!                [--primitive unicast|mcast|walk] [--notify immediate|buffered:S|collecting:S]
 //!                [--discretization W] [--replication R]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
-//! cbps experiment NAME [--scale quick|paper]
+//! cbps experiment NAME [--scale quick|paper] [--jobs N]
 //! ```
 
 mod args;
@@ -26,7 +26,7 @@ usage:
                  [--notify immediate|buffered:SECS|collecting:SECS]
                  [--discretization W] [--replication R]
   cbps ring [--nodes N] [--seed S] [--node IDX]
-  cbps experiment NAME [--scale quick|paper]   (NAME: route, keys, fig5 … or all)
+  cbps experiment NAME [--scale quick|paper] [--jobs N]   (NAME: route, keys, fig5 … or all)
 ";
 
 fn main() {

@@ -215,11 +215,15 @@ mod tests {
 
     #[test]
     fn notify_modes_compare() {
-        let b = NotifyMode::Buffered { period: SimDuration::from_secs(5) };
+        let b = NotifyMode::Buffered {
+            period: SimDuration::from_secs(5),
+        };
         assert_ne!(b, NotifyMode::Immediate);
         assert_eq!(
             b,
-            NotifyMode::Buffered { period: SimDuration::from_secs(5) }
+            NotifyMode::Buffered {
+                period: SimDuration::from_secs(5)
+            }
         );
     }
 }

@@ -48,7 +48,10 @@ impl fmt::Display for PubSubError {
                 write!(f, "expected {expected} attribute values, got {got}")
             }
             PubSubError::ValueOutOfDomain { attr, value, size } => {
-                write!(f, "value {value} of attribute {attr} outside domain 0..{size}")
+                write!(
+                    f,
+                    "value {value} of attribute {attr} outside domain 0..{size}"
+                )
             }
             PubSubError::EmptyConstraint { lo, hi } => {
                 write!(f, "constraint bounds inverted: {lo} > {hi}")
@@ -71,9 +74,19 @@ mod tests {
 
     #[test]
     fn messages_are_lowercase_and_complete() {
-        let e = PubSubError::ValueOutOfDomain { attr: "x".into(), value: 12, size: 10 };
-        assert_eq!(e.to_string(), "value 12 of attribute x outside domain 0..10");
-        let e = PubSubError::DimensionMismatch { expected: 4, got: 2 };
+        let e = PubSubError::ValueOutOfDomain {
+            attr: "x".into(),
+            value: 12,
+            size: 10,
+        };
+        assert_eq!(
+            e.to_string(),
+            "value 12 of attribute x outside domain 0..10"
+        );
+        let e = PubSubError::DimensionMismatch {
+            expected: 4,
+            got: 2,
+        };
         assert!(e.to_string().starts_with("expected 4"));
         let e = PubSubError::UnknownAttribute { name: "q".into() };
         assert!(e.to_string().contains("\"q\""));

@@ -128,10 +128,7 @@ mod tests {
     use crate::space::AttributeDef;
 
     fn space() -> EventSpace {
-        EventSpace::new(vec![
-            AttributeDef::new("x", 10),
-            AttributeDef::new("y", 20),
-        ])
+        EventSpace::new(vec![AttributeDef::new("x", 10), AttributeDef::new("y", 20)])
     }
 
     #[test]
@@ -145,13 +142,22 @@ mod tests {
     #[test]
     fn dimension_mismatch() {
         let err = Event::new(&space(), vec![1]).unwrap_err();
-        assert!(matches!(err, PubSubError::DimensionMismatch { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            PubSubError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
     fn out_of_domain() {
         let err = Event::new(&space(), vec![10, 0]).unwrap_err();
-        assert!(matches!(err, PubSubError::ValueOutOfDomain { value: 10, .. }));
+        assert!(matches!(
+            err,
+            PubSubError::ValueOutOfDomain { value: 10, .. }
+        ));
         assert!(err.to_string().contains('x'));
     }
 

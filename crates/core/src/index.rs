@@ -59,7 +59,9 @@ impl MatchIndex {
                 .iter()
                 .map(|a| a.size().div_ceil(BUCKETS as u64).max(1))
                 .collect(),
-            per_dim: (0..space.dims()).map(|_| vec![Vec::new(); BUCKETS]).collect(),
+            per_dim: (0..space.dims())
+                .map(|_| vec![Vec::new(); BUCKETS])
+                .collect(),
             slots: Vec::new(),
             free: Vec::new(),
             by_id: HashMap::new(),
@@ -156,8 +158,7 @@ impl MatchIndex {
         let mut out: Vec<SubId> = touched
             .into_iter()
             .filter_map(|slot| {
-                let (id, _, constrained) =
-                    self.slots[slot as usize].as_ref().expect("live slot");
+                let (id, _, constrained) = self.slots[slot as usize].as_ref().expect("live slot");
                 (counts[slot as usize] == *constrained).then_some(*id)
             })
             .collect();
@@ -192,7 +193,7 @@ impl MatchIndex {
 mod tests {
     use super::*;
     use crate::space::AttributeDef;
-    use proptest::prelude::*;
+    use cbps_rng::Rng;
 
     fn space() -> EventSpace {
         EventSpace::new(vec![
@@ -254,8 +255,13 @@ mod tests {
         let sub = Subscription::builder(&s).eq("z", 3).build().unwrap();
         idx.insert(SubId(7), sub);
         // x and y arbitrary.
-        assert_eq!(idx.matches(&Event::new_unchecked(vec![999, 0, 3])), vec![SubId(7)]);
-        assert!(idx.matches(&Event::new_unchecked(vec![999, 0, 4])).is_empty());
+        assert_eq!(
+            idx.matches(&Event::new_unchecked(vec![999, 0, 3])),
+            vec![SubId(7)]
+        );
+        assert!(idx
+            .matches(&Event::new_unchecked(vec![999, 0, 4]))
+            .is_empty());
     }
 
     #[test]
@@ -268,33 +274,43 @@ mod tests {
         assert_eq!(idx.iter().count(), 1);
     }
 
-    proptest! {
-        /// The bucket index agrees with brute force on random workloads.
-        #[test]
-        fn index_equals_brute_force(
-            subs in proptest::collection::vec(
-                (0u64..1000, 0u64..400, 0u64..1000, 0u64..400, proptest::option::of(0u64..10)),
-                1..60
-            ),
-            events in proptest::collection::vec((0u64..1000, 0u64..1000, 0u64..10), 1..30),
-        ) {
-            let s = space();
+    /// The bucket index agrees with brute force on random workloads
+    /// (seeded-loop port of the original property test).
+    #[test]
+    fn index_equals_brute_force() {
+        let mut rng = Rng::seed_from_u64(0x1d_c0de);
+        let s = space();
+        for case in 0..256 {
             let mut idx = MatchIndex::new(&s);
-            for (i, (xlo, xw, ylo, yw, z)) in subs.into_iter().enumerate() {
+            let sub_count = rng.gen_range(1usize..60);
+            for i in 0..sub_count {
+                let xlo = rng.gen_range(0u64..1000);
+                let xw = rng.gen_range(0u64..400);
+                let ylo = rng.gen_range(0u64..1000);
+                let yw = rng.gen_range(0u64..400);
                 let mut constraints = vec![
                     Some(crate::subscription::Constraint::range(xlo, (xlo + xw).min(999)).unwrap()),
                     Some(crate::subscription::Constraint::range(ylo, (ylo + yw).min(999)).unwrap()),
                     None,
                 ];
-                if let Some(z) = z {
-                    constraints[2] = Some(crate::subscription::Constraint::eq(z));
+                if rng.gen_bool(0.5) {
+                    constraints[2] =
+                        Some(crate::subscription::Constraint::eq(rng.gen_range(0u64..10)));
                 }
                 let sub = Subscription::from_constraints(&s, constraints).unwrap();
                 idx.insert(SubId(i as u64), sub);
             }
-            for (x, y, z) in events {
-                let e = Event::new_unchecked(vec![x, y, z]);
-                prop_assert_eq!(idx.matches(&e), idx.matches_brute_force(&e));
+            for _ in 0..rng.gen_range(1usize..30) {
+                let e = Event::new_unchecked(vec![
+                    rng.gen_range(0u64..1000),
+                    rng.gen_range(0u64..1000),
+                    rng.gen_range(0u64..10),
+                ]);
+                assert_eq!(
+                    idx.matches(&e),
+                    idx.matches_brute_force(&e),
+                    "case {case}: index disagrees with brute force"
+                );
             }
         }
     }

@@ -202,7 +202,9 @@ mod tests {
         // Choose a subscriber that is NOT the event's rendezvous node, so
         // the notification must cross the network.
         let ek = net.config().mapping.ek(&event);
-        let rendezvous = net.ring().successor(ek.min_key(net.overlay_config().space).unwrap());
+        let rendezvous = net
+            .ring()
+            .successor(ek.min_key(net.overlay_config().space).unwrap());
         let subscriber = (rendezvous.idx + 1) % net.len();
         let sub = Subscription::builder(&space)
             .range("a0", 0, 999_999)
@@ -235,10 +237,7 @@ mod tests {
             )
             .build();
         let space = net.config().space.clone();
-        let sub = Subscription::builder(&space)
-            .eq("a3", 42)
-            .build()
-            .unwrap();
+        let sub = Subscription::builder(&space).eq("a3", 42).build().unwrap();
         net.subscribe(2, sub, None);
         net.run_for_secs(30);
         // Three matching events in a burst → one batched notification

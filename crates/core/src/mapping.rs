@@ -260,7 +260,9 @@ impl AkMapping {
             MappingKind::AttributeSplit => {
                 let i = self.event_dim(event);
                 let m = self.key_space.bits();
-                let k = self.scale(i, event.value(i), m).wrapping_add(self.rotation(i, m));
+                let k = self
+                    .scale(i, event.value(i), m)
+                    .wrapping_add(self.rotation(i, m));
                 KeyRangeSet::of_key(self.key_space, self.key_space.key(k))
             }
             MappingKind::KeySpaceSplit => {
@@ -273,14 +275,18 @@ impl AkMapping {
                         & mask;
                     concat = (concat << self.split_bits) | slot;
                 }
-                let key = self.key_space.key(concat << self.concat_shift(event.dims()));
+                let key = self
+                    .key_space
+                    .key(concat << self.concat_shift(event.dims()));
                 KeyRangeSet::of_key(self.key_space, key)
             }
             MappingKind::SelectiveAttribute => {
                 let m = self.key_space.bits();
                 let mut set = KeyRangeSet::new();
                 for i in 0..event.dims() {
-                    let k = self.scale(i, event.value(i), m).wrapping_add(self.rotation(i, m));
+                    let k = self
+                        .scale(i, event.value(i), m)
+                        .wrapping_add(self.rotation(i, m));
                     set.insert_key(self.key_space, self.key_space.key(k));
                 }
                 set
@@ -401,7 +407,9 @@ impl AkMapping {
         // most selective dimension always exists.
         let s = most_selective_by_sizes(sub, &self.domain_sizes)
             .expect("subscription has a constraint");
-        let c = sub.constraint(s).expect("selected dimension is constrained");
+        let c = sub
+            .constraint(s)
+            .expect("selected dimension is constrained");
         let mut set = KeyRangeSet::new();
         self.insert_image(s, c.lo(), c.hi(), &mut set);
         set
@@ -433,14 +441,11 @@ fn most_selective_by_sizes(sub: &Subscription, sizes: &[u64]) -> Option<usize> {
 mod tests {
     use super::*;
     use crate::space::AttributeDef;
-    use proptest::prelude::*;
+    use cbps_rng::Rng;
 
     /// The Figure 3 example space: 2 attributes over 0..8, 4-bit keys.
     fn fig3() -> (EventSpace, KeySpace, Subscription, Event) {
-        let space = EventSpace::new(vec![
-            AttributeDef::new("a1", 8),
-            AttributeDef::new("a2", 8),
-        ]);
+        let space = EventSpace::new(vec![AttributeDef::new("a1", 8), AttributeDef::new("a2", 8)]);
         let keys = KeySpace::new(4);
         let sub = Subscription::builder(&space)
             .range("a1", 0, 1)
@@ -597,7 +602,8 @@ mod tests {
         let space = EventSpace::paper_default();
         let keys = KeySpace::new(13);
         let m = AkMapping::new(MappingKind::KeySpaceSplit, &space, keys);
-        let hi_event = Event::new(&space, vec![1_000_000, 1_000_000, 1_000_000, 1_000_000]).unwrap();
+        let hi_event =
+            Event::new(&space, vec![1_000_000, 1_000_000, 1_000_000, 1_000_000]).unwrap();
         let k = m.ek(&hi_event).min_key(keys).unwrap();
         assert!(
             k.value() > keys.size() / 2,
@@ -653,57 +659,60 @@ mod tests {
         assert!(m.ek(&e).intersects(&sk));
     }
 
-    /// Strategy: a small random space, a matching (event, subscription)
-    /// pair over it.
-    fn matching_pair() -> impl Strategy<Value = (EventSpace, Subscription, Event)> {
-        (2usize..5, 4u64..2000).prop_flat_map(|(d, size)| {
-            let sizes: Vec<u64> = (0..d).map(|i| size + i as u64 * 13).collect();
-            let value_strats: Vec<_> = sizes.iter().map(|&s| 0..s).collect();
-            let sizes2 = sizes.clone();
-            (value_strats, proptest::collection::vec(0.0f64..1.0, d), 0.0f64..1.0).prop_map(
-                move |(values, widths, _)| {
-                    let space = EventSpace::new(
-                        sizes2
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &s)| AttributeDef::new(format!("a{i}"), s))
-                            .collect(),
-                    );
-                    // Build a subscription whose constraints all admit the
-                    // event (the first dimension is always constrained so
-                    // the subscription is non-empty and EK dim 0 is live).
-                    let mut constraints = Vec::with_capacity(values.len());
-                    for (i, (&v, w)) in values.iter().zip(&widths).enumerate() {
-                        let smax = sizes2[i] - 1;
-                        let half = (w * sizes2[i] as f64 / 4.0) as u64;
-                        if i == 0 || *w > 0.3 {
-                            let lo = v.saturating_sub(half);
-                            let hi = (v + half).min(smax);
-                            constraints.push(Some(
-                                crate::subscription::Constraint::range(lo, hi).unwrap(),
-                            ));
-                        } else {
-                            constraints.push(None);
-                        }
-                    }
-                    let sub = Subscription::from_constraints(&space, constraints).unwrap();
-                    let event = Event::new(&space, values).unwrap();
-                    (space, sub, event)
-                },
-            )
-        })
+    /// Draws a small random space plus a matching (event, subscription)
+    /// pair over it (seeded-loop port of the old proptest strategy).
+    fn random_matching_pair(rng: &mut Rng) -> (EventSpace, Subscription, Event) {
+        let d = rng.gen_range(2usize..5);
+        let size = rng.gen_range(4u64..2000);
+        let sizes: Vec<u64> = (0..d).map(|i| size + i as u64 * 13).collect();
+        let values: Vec<u64> = sizes.iter().map(|&s| rng.gen_range(0..s)).collect();
+        let widths: Vec<f64> = (0..d).map(|_| rng.f64()).collect();
+        let space = EventSpace::new(
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| AttributeDef::new(format!("a{i}"), s))
+                .collect(),
+        );
+        // Build a subscription whose constraints all admit the event (the
+        // first dimension is always constrained so the subscription is
+        // non-empty and EK dim 0 is live).
+        let mut constraints = Vec::with_capacity(values.len());
+        for (i, (&v, &w)) in values.iter().zip(&widths).enumerate() {
+            let smax = sizes[i] - 1;
+            let half = (w * sizes[i] as f64 / 4.0) as u64;
+            if i == 0 || w > 0.3 {
+                let lo = v.saturating_sub(half);
+                let hi = (v + half).min(smax);
+                constraints.push(Some(
+                    crate::subscription::Constraint::range(lo, hi).unwrap(),
+                ));
+            } else {
+                constraints.push(None);
+            }
+        }
+        let sub = Subscription::from_constraints(&space, constraints).unwrap();
+        let event = Event::new(&space, values).unwrap();
+        (space, sub, event)
     }
 
-    proptest! {
-        #[test]
-        fn intersection_rule_holds_for_all_mappings(
-            (space, sub, event) in matching_pair(),
-            bits in 4u32..14,
-            width in 1u64..50,
-            ek_hash in proptest::bool::ANY,
-            rot_seed in proptest::option::of(0u64..u64::MAX),
-        ) {
-            prop_assume!(sub.matches(&event));
+    /// The intersection rule EK(e) ∩ SK(s) ≠ ∅ for every matching pair
+    /// holds across all three mappings, discretization widths, event-key
+    /// choices, and rotations (§4, Theorem 1 of DESIGN.md).
+    #[test]
+    fn intersection_rule_holds_for_all_mappings() {
+        let mut rng = Rng::seed_from_u64(0x1573_5ec7);
+        for case in 0..512 {
+            let (space, sub, event) = random_matching_pair(&mut rng);
+            assert!(sub.matches(&event), "case {case}: generator broke matching");
+            let bits = rng.gen_range(4u32..14);
+            let width = rng.gen_range(1u64..50);
+            let ek_hash = rng.gen_bool(0.5);
+            let rot_seed = if rng.gen_bool(0.5) {
+                Some(rng.next_u64())
+            } else {
+                None
+            };
             let keys = KeySpace::new(bits);
             for kind in [
                 MappingKind::AttributeSplit,
@@ -732,27 +741,35 @@ mod tests {
                     .with_rotations(rotations);
                 let sk = m.sk(&sub);
                 let ek = m.ek(&event);
-                prop_assert!(!ek.is_empty());
-                prop_assert!(!sk.is_empty());
-                prop_assert!(
+                assert!(!ek.is_empty(), "case {case}: empty EK for {kind}");
+                assert!(!sk.is_empty(), "case {case}: empty SK for {kind}");
+                assert!(
                     ek.intersects(&sk),
-                    "intersection rule violated for {kind}: EK={ek} SK={sk} sub={sub} event={event}"
+                    "case {case}: intersection rule violated for {kind}: \
+                     EK={ek} SK={sk} sub={sub} event={event}"
                 );
             }
         }
+    }
 
-        #[test]
-        fn sk_images_are_monotone_in_discretization(
-            (space, sub, _event) in matching_pair(),
-            w1 in 1u64..20,
-            w2 in 20u64..200,
-        ) {
+    /// Coarser discretization never inflates a subscription's key image
+    /// (beyond the one-cell boundary slack).
+    #[test]
+    fn sk_images_are_monotone_in_discretization() {
+        let mut rng = Rng::seed_from_u64(0x1573_5ec8);
+        for case in 0..256 {
+            let (space, sub, _event) = random_matching_pair(&mut rng);
+            let w1 = rng.gen_range(1u64..20);
+            let w2 = rng.gen_range(20u64..200);
             let keys = KeySpace::new(12);
             let fine = AkMapping::new(MappingKind::SelectiveAttribute, &space, keys)
                 .with_discretization(w1);
             let coarse = AkMapping::new(MappingKind::SelectiveAttribute, &space, keys)
                 .with_discretization(w2);
-            prop_assert!(coarse.sk(&sub).count() <= fine.sk(&sub).count() + 1);
+            assert!(
+                coarse.sk(&sub).count() <= fine.sk(&sub).count() + 1,
+                "case {case}: coarse image larger than fine image"
+            );
         }
     }
 }

@@ -1,5 +1,7 @@
 //! Wire payloads of the CB-pub/sub layer, routed by the overlay.
 
+use std::rc::Rc;
+
 use cbps_overlay::{Key, Peer};
 use cbps_sim::SimTime;
 
@@ -14,8 +16,8 @@ pub struct NotifyItem {
     pub sub_id: SubId,
     /// The matching event's id.
     pub event_id: EventId,
-    /// The matching event.
-    pub event: Event,
+    /// The matching event, shared across every match it produced.
+    pub event: Rc<Event>,
 }
 
 /// One match travelling along the ring toward its subscription's agent node
@@ -31,8 +33,8 @@ pub struct CollectItem {
     pub agent_key: Key,
     /// The matching event's id.
     pub event_id: EventId,
-    /// The matching event.
-    pub event: Event,
+    /// The matching event, shared across every match it produced.
+    pub event: Rc<Event>,
 }
 
 /// Application payloads carried by the overlay for the pub/sub layer.
@@ -103,8 +105,8 @@ pub struct DeliveredNote {
     pub sub_id: SubId,
     /// The event's id.
     pub event_id: EventId,
-    /// The event content.
-    pub event: Event,
+    /// The event content (shared with the rendezvous-side match items).
+    pub event: Rc<Event>,
     /// Arrival (simulated) time at the subscriber.
     pub at: SimTime,
 }

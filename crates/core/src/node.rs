@@ -4,6 +4,7 @@
 //! collecting protocol), and transferring state across membership changes.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 use std::sync::Arc;
 
 use cbps_overlay::{ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayServices, OverlaySvc, Peer};
@@ -125,12 +126,22 @@ impl PubSubNode {
             Some(d) => svc.now() + d,
             None => SimTime::MAX,
         };
-        let stored = StoredSub { sub, subscriber: me, expires, sk: sk.clone() };
+        let stored = StoredSub {
+            sub,
+            subscriber: me,
+            expires,
+            sk: sk.clone(),
+        };
         self.my_subs.insert(id, stored.clone());
         svc.metrics().add("requests.subscribe", 1);
-        svc.metrics().histogram_mut("keys.per-subscription").record(sk.count());
+        svc.metrics()
+            .histogram_mut("keys.per-subscription")
+            .record(sk.count());
         if self.cfg.lease_refresh && expires != SimTime::MAX {
-            svc.arm_timer(expires.saturating_since(svc.now()) / 2, PubSubTimer::Refresh { id });
+            svc.arm_timer(
+                expires.saturating_since(svc.now()) / 2,
+                PubSubTimer::Refresh { id },
+            );
         }
         self.propagate(
             &sk,
@@ -194,7 +205,9 @@ impl PubSubNode {
         self.next_event_seq += 1;
         let ek = self.cfg.mapping.ek(&event);
         svc.metrics().add("requests.publish", 1);
-        svc.metrics().histogram_mut("keys.per-publication").record(ek.count());
+        svc.metrics()
+            .histogram_mut("keys.per-publication")
+            .record(ek.count());
         self.propagate(
             &ek,
             TrafficClass::PUBLICATION,
@@ -233,8 +246,7 @@ impl PubSubNode {
             svc.metrics().add("store.insert", 1);
             let replication = self.cfg.replication;
             if replication > 0 {
-                let succs: Vec<Peer> =
-                    svc.successors().iter().take(replication).copied().collect();
+                let succs: Vec<Peer> = svc.successors().iter().take(replication).copied().collect();
                 for peer in succs {
                     svc.direct(
                         peer,
@@ -253,8 +265,12 @@ impl PubSubNode {
 
     fn handle_unsubscribe(&mut self, id: SubId, svc: &mut DynSvc<'_>) {
         if self.store.remove(id).is_some() && self.cfg.replication > 0 {
-            let succs: Vec<Peer> =
-                svc.successors().iter().take(self.cfg.replication).copied().collect();
+            let succs: Vec<Peer> = svc
+                .successors()
+                .iter()
+                .take(self.cfg.replication)
+                .copied()
+                .collect();
             for peer in succs {
                 svc.direct(
                     peer,
@@ -286,8 +302,15 @@ impl PubSubNode {
         }
         let matches = self.store.match_event(&event, svc.now());
         svc.metrics().add("matches", matches.len() as u64);
+        // One shared allocation for every match of this event: each item
+        // clone below is a reference-count bump, not an event deep copy.
+        let event = Rc::new(event);
         for (sub_id, stored) in matches {
-            let item = NotifyItem { sub_id, event_id: id, event: event.clone() };
+            let item = NotifyItem {
+                sub_id,
+                event_id: id,
+                event: Rc::clone(&event),
+            };
             match self.cfg.notify_mode {
                 NotifyMode::Immediate => {
                     svc.metrics().add("notifications.messages", 1);
@@ -298,7 +321,10 @@ impl PubSubNode {
                     );
                 }
                 NotifyMode::Buffered { period } => {
-                    self.notify_buffer.entry(stored.subscriber).or_default().push(item);
+                    self.notify_buffer
+                        .entry(stored.subscriber)
+                        .or_default()
+                        .push(item);
                     self.arm_flush(period, svc);
                 }
                 NotifyMode::Collecting { period } => {
@@ -329,7 +355,10 @@ impl PubSubNode {
         let Some(range) = range else { return };
         let agent_key = range.midpoint(space);
         if svc.covers(agent_key) {
-            self.agent_buffer.entry(stored.subscriber).or_default().push(item);
+            self.agent_buffer
+                .entry(stored.subscriber)
+                .or_default()
+                .push(item);
             return;
         }
         let citem = CollectItem {
@@ -341,8 +370,7 @@ impl PubSubNode {
         };
         // Nodes covering the part of the range before the midpoint push
         // clockwise; the rest push counter-clockwise.
-        if space.distance_cw(range.start(), me.key) < space.distance_cw(range.start(), agent_key)
-        {
+        if space.distance_cw(range.start(), me.key) < space.distance_cw(range.start(), agent_key) {
             self.collect_succ.push(citem);
         } else {
             self.collect_pred.push(citem);
@@ -362,7 +390,9 @@ impl PubSubNode {
         let buffered: Vec<(Peer, Vec<NotifyItem>)> = self.notify_buffer.drain().collect();
         for (subscriber, items) in buffered {
             svc.metrics().add("notifications.messages", 1);
-            svc.metrics().histogram_mut("notifications.batch-size").record(items.len() as u64);
+            svc.metrics()
+                .histogram_mut("notifications.batch-size")
+                .record(items.len() as u64);
             svc.send(
                 subscriber.key,
                 TrafficClass::NOTIFICATION,
@@ -373,7 +403,9 @@ impl PubSubNode {
         let agent: Vec<(Peer, Vec<NotifyItem>)> = self.agent_buffer.drain().collect();
         for (subscriber, items) in agent {
             svc.metrics().add("notifications.messages", 1);
-            svc.metrics().histogram_mut("notifications.batch-size").record(items.len() as u64);
+            svc.metrics()
+                .histogram_mut("notifications.batch-size")
+                .record(items.len() as u64);
             svc.send(
                 subscriber.key,
                 TrafficClass::NOTIFICATION,
@@ -410,11 +442,14 @@ impl PubSubNode {
     fn absorb_collect_items(&mut self, items: Vec<CollectItem>, svc: &mut DynSvc<'_>) {
         let mut touched = false;
         for item in items {
-            self.agent_buffer.entry(item.subscriber).or_default().push(NotifyItem {
-                sub_id: item.sub_id,
-                event_id: item.event_id,
-                event: item.event,
-            });
+            self.agent_buffer
+                .entry(item.subscriber)
+                .or_default()
+                .push(NotifyItem {
+                    sub_id: item.sub_id,
+                    event_id: item.event_id,
+                    event: item.event,
+                });
             touched = true;
         }
         if touched {
@@ -431,11 +466,14 @@ impl PubSubNode {
         for item in items {
             touched = true;
             if svc.covers(item.agent_key) {
-                self.agent_buffer.entry(item.subscriber).or_default().push(NotifyItem {
-                    sub_id: item.sub_id,
-                    event_id: item.event_id,
-                    event: item.event.clone(),
-                });
+                self.agent_buffer
+                    .entry(item.subscriber)
+                    .or_default()
+                    .push(NotifyItem {
+                        sub_id: item.sub_id,
+                        event_id: item.event_id,
+                        event: item.event.clone(),
+                    });
                 continue;
             }
             // Keep moving toward the agent: clockwise if it lies in the
@@ -570,16 +608,17 @@ impl PubSubNode {
                 let batch: Vec<(SubId, StoredSub)> = self
                     .store
                     .iter()
-                    .filter(|(_, s)| {
-                        !s.sk.extract_arc_oc(space, old_p.key, new_p.key).is_empty()
-                    })
+                    .filter(|(_, s)| !s.sk.extract_arc_oc(space, old_p.key, new_p.key).is_empty())
                     .map(|(id, s)| (id, s.clone()))
                     .collect();
                 if !batch.is_empty() {
                     svc.direct(
                         new_p,
                         TrafficClass::STATE_TRANSFER,
-                        PubSubMsg::StateBatch { subs: batch, as_replica: false },
+                        PubSubMsg::StateBatch {
+                            subs: batch,
+                            as_replica: false,
+                        },
                     );
                 }
             }
@@ -627,7 +666,10 @@ impl PubSubNode {
             svc.direct(
                 succ,
                 TrafficClass::STATE_TRANSFER,
-                PubSubMsg::StateBatch { subs: batch, as_replica: false },
+                PubSubMsg::StateBatch {
+                    subs: batch,
+                    as_replica: false,
+                },
             );
         }
     }

@@ -53,7 +53,12 @@ impl Oracle {
 
     /// Records a subscription active from `issued` until `expires`.
     pub fn add_sub(&mut self, id: SubId, sub: Subscription, issued: SimTime, expires: SimTime) {
-        self.subs.push(OracleSub { id, sub, issued, expires });
+        self.subs.push(OracleSub {
+            id,
+            sub,
+            issued,
+            expires,
+        });
     }
 
     /// Records an unsubscription: the subscription stops matching events
@@ -110,23 +115,51 @@ mod tests {
     }
 
     fn sub(lo: u64, hi: u64) -> Subscription {
-        Subscription::builder(&space()).range("x", lo, hi).unwrap().build().unwrap()
+        Subscription::builder(&space())
+            .range("x", lo, hi)
+            .unwrap()
+            .build()
+            .unwrap()
     }
 
     #[test]
     fn matching_respects_activity_window() {
         let mut o = Oracle::new();
-        o.add_sub(SubId(1), sub(0, 50), SimTime::from_secs(10), SimTime::from_secs(20));
+        o.add_sub(
+            SubId(1),
+            sub(0, 50),
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        );
         // Before activity: no match.
-        o.add_pub(EventId(1), Event::new_unchecked(vec![25]), SimTime::from_secs(5));
+        o.add_pub(
+            EventId(1),
+            Event::new_unchecked(vec![25]),
+            SimTime::from_secs(5),
+        );
         // During: match.
-        o.add_pub(EventId(2), Event::new_unchecked(vec![25]), SimTime::from_secs(15));
+        o.add_pub(
+            EventId(2),
+            Event::new_unchecked(vec![25]),
+            SimTime::from_secs(15),
+        );
         // At expiry instant: no match (expiry is exclusive).
-        o.add_pub(EventId(3), Event::new_unchecked(vec![25]), SimTime::from_secs(20));
+        o.add_pub(
+            EventId(3),
+            Event::new_unchecked(vec![25]),
+            SimTime::from_secs(20),
+        );
         // Wrong content: no match.
-        o.add_pub(EventId(4), Event::new_unchecked(vec![99]), SimTime::from_secs(15));
+        o.add_pub(
+            EventId(4),
+            Event::new_unchecked(vec![99]),
+            SimTime::from_secs(15),
+        );
         let e = o.expected();
-        assert_eq!(e.into_iter().collect::<Vec<_>>(), vec![(SubId(1), EventId(2))]);
+        assert_eq!(
+            e.into_iter().collect::<Vec<_>>(),
+            vec![(SubId(1), EventId(2))]
+        );
     }
 
     #[test]
@@ -134,8 +167,16 @@ mod tests {
         let mut o = Oracle::new();
         o.add_sub(SubId(1), sub(0, 50), SimTime::ZERO, SimTime::MAX);
         o.remove_sub(SubId(1), SimTime::from_secs(10));
-        o.add_pub(EventId(1), Event::new_unchecked(vec![25]), SimTime::from_secs(5));
-        o.add_pub(EventId(2), Event::new_unchecked(vec![25]), SimTime::from_secs(15));
+        o.add_pub(
+            EventId(1),
+            Event::new_unchecked(vec![25]),
+            SimTime::from_secs(5),
+        );
+        o.add_pub(
+            EventId(2),
+            Event::new_unchecked(vec![25]),
+            SimTime::from_secs(15),
+        );
         let e = o.expected();
         assert_eq!(e.len(), 1);
         assert!(e.contains(&(SubId(1), EventId(1))));

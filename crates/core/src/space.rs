@@ -28,7 +28,11 @@ impl AttributeDef {
         let name = name.into();
         assert!(!name.is_empty(), "attribute name must be non-empty");
         assert!(size > 0, "attribute domain must be non-empty");
-        AttributeDef { name, size, float_range: None }
+        AttributeDef {
+            name,
+            size,
+            float_range: None,
+        }
     }
 
     /// Declares the attribute as real-valued over `[lo, hi]`: float values
@@ -41,7 +45,10 @@ impl AttributeDef {
     ///
     /// Panics unless `lo < hi` and both are finite.
     pub fn with_float_range(mut self, lo: f64, hi: f64) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need finite lo < hi");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "need finite lo < hi"
+        );
         self.float_range = Some((lo, hi));
         self
     }
@@ -105,7 +112,10 @@ impl EventSpace {
     ///
     /// Panics if `attrs` is empty or two attributes share a name.
     pub fn new(attrs: Vec<AttributeDef>) -> Self {
-        assert!(!attrs.is_empty(), "an event space needs at least one attribute");
+        assert!(
+            !attrs.is_empty(),
+            "an event space needs at least one attribute"
+        );
         for (i, a) in attrs.iter().enumerate() {
             for b in &attrs[i + 1..] {
                 assert_ne!(a.name, b.name, "duplicate attribute name {:?}", a.name);
@@ -262,16 +272,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot quantize NaN")]
     fn quantize_rejects_nan() {
-        let _ = AttributeDef::new("x", 10).with_float_range(0.0, 1.0).quantize_f64(f64::NAN);
+        let _ = AttributeDef::new("x", 10)
+            .with_float_range(0.0, 1.0)
+            .quantize_f64(f64::NAN);
     }
 
     #[test]
     #[should_panic(expected = "duplicate attribute name")]
     fn duplicate_names_rejected() {
-        let _ = EventSpace::new(vec![
-            AttributeDef::new("x", 4),
-            AttributeDef::new("x", 8),
-        ]);
+        let _ = EventSpace::new(vec![AttributeDef::new("x", 4), AttributeDef::new("x", 8)]);
     }
 
     #[test]

@@ -184,8 +184,15 @@ mod tests {
         let s = space();
         let keys = KeySpace::new(8);
         StoredSub {
-            sub: Subscription::builder(&s).range("x", lo, hi).unwrap().build().unwrap(),
-            subscriber: Peer { idx: 0, key: keys.key(1) },
+            sub: Subscription::builder(&s)
+                .range("x", lo, hi)
+                .unwrap()
+                .build()
+                .unwrap(),
+            subscriber: Peer {
+                idx: 0,
+                key: keys.key(1),
+            },
             expires,
             sk: KeyRangeSet::of_key(keys, keys.key(2)),
         }
@@ -206,8 +213,16 @@ mod tests {
     #[test]
     fn duplicate_insert_reports_false_and_refreshes_expiry() {
         let mut st = SubscriptionStore::new(&space());
-        assert!(st.insert(SubId(1), stored(0, 10, SimTime::from_secs(5)), SimTime::ZERO));
-        assert!(!st.insert(SubId(1), stored(0, 10, SimTime::from_secs(50)), SimTime::ZERO));
+        assert!(st.insert(
+            SubId(1),
+            stored(0, 10, SimTime::from_secs(5)),
+            SimTime::ZERO
+        ));
+        assert!(!st.insert(
+            SubId(1),
+            stored(0, 10, SimTime::from_secs(50)),
+            SimTime::ZERO
+        ));
         assert_eq!(st.len(), 1);
         // The refreshed expiry keeps it alive past the original deadline.
         st.purge_expired(SimTime::from_secs(10));
@@ -251,17 +266,31 @@ mod tests {
         st.insert(SubId(1), stored(0, 10, SimTime::MAX), SimTime::ZERO);
         assert!(st.remove(SubId(1)).is_some());
         assert!(st.remove(SubId(1)).is_none());
-        assert!(st.match_event(&Event::new_unchecked(vec![5]), SimTime::ZERO).is_empty());
+        assert!(st
+            .match_event(&Event::new_unchecked(vec![5]), SimTime::ZERO)
+            .is_empty());
     }
 
     #[test]
     fn insert_purges_before_counting_peak() {
         let mut st = SubscriptionStore::new(&space());
-        st.insert(SubId(1), stored(0, 10, SimTime::from_secs(1)), SimTime::ZERO);
-        st.insert(SubId(2), stored(0, 10, SimTime::from_secs(1)), SimTime::ZERO);
+        st.insert(
+            SubId(1),
+            stored(0, 10, SimTime::from_secs(1)),
+            SimTime::ZERO,
+        );
+        st.insert(
+            SubId(2),
+            stored(0, 10, SimTime::from_secs(1)),
+            SimTime::ZERO,
+        );
         assert_eq!(st.peak(), 2);
         // Both lapsed; inserting at t=10 must not report a peak of 3.
-        st.insert(SubId(3), stored(0, 10, SimTime::MAX), SimTime::from_secs(10));
+        st.insert(
+            SubId(3),
+            stored(0, 10, SimTime::MAX),
+            SimTime::from_secs(10),
+        );
         assert_eq!(st.len(), 1);
         assert_eq!(st.peak(), 2);
     }

@@ -287,7 +287,9 @@ impl<'a> SubscriptionBuilder<'a> {
                 self.constraints[i] = Some(Constraint::range(qlo, qhi)?);
             }
             None => {
-                self.error.get_or_insert(PubSubError::UnknownAttribute { name: name.to_owned() });
+                self.error.get_or_insert(PubSubError::UnknownAttribute {
+                    name: name.to_owned(),
+                });
             }
         }
         Ok(self)
@@ -301,7 +303,9 @@ impl<'a> SubscriptionBuilder<'a> {
                 self.constraints[i] = Some(Constraint::eq(value));
             }
             None => {
-                self.error.get_or_insert(PubSubError::UnknownAttribute { name: name.to_owned() });
+                self.error.get_or_insert(PubSubError::UnknownAttribute {
+                    name: name.to_owned(),
+                });
             }
         }
         self
@@ -311,7 +315,9 @@ impl<'a> SubscriptionBuilder<'a> {
         match self.space.attr_index(name) {
             Some(i) => self.constraints[i] = Some(c),
             None => {
-                self.error.get_or_insert(PubSubError::UnknownAttribute { name: name.to_owned() });
+                self.error.get_or_insert(PubSubError::UnknownAttribute {
+                    name: name.to_owned(),
+                });
             }
         }
     }
@@ -429,7 +435,10 @@ mod tests {
     #[test]
     fn string_equality() {
         let s = EventSpace::new(vec![AttributeDef::new("topic", 1 << 20)]);
-        let sub = Subscription::builder(&s).eq_str("topic", "alerts").build().unwrap();
+        let sub = Subscription::builder(&s)
+            .eq_str("topic", "alerts")
+            .build()
+            .unwrap();
         let v = s.value_of_str(0, "alerts");
         assert!(sub.matches(&Event::new_unchecked(vec![v])));
     }

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 
-use cbps_overlay::{
-    build_stable, ChordNode, OverlayConfig, Peer, RingView, RoutingState,
-};
+use cbps_overlay::{build_stable, ChordNode, OverlayConfig, Peer, RingView, RoutingState};
 use cbps_sim::{Metrics, NetConfig, NodeIdx, SimDuration, SimTime, Simulator};
 
 use crate::config::PubSubConfig;
@@ -152,8 +150,9 @@ impl PubSubNetwork {
         sub: Subscription,
         ttl: Option<SimDuration>,
     ) -> SubId {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc))
+        })
     }
 
     /// Validates and issues a subscription built from raw constraint slots.
@@ -185,13 +184,16 @@ impl PubSubNetwork {
         subs: impl IntoIterator<Item = Subscription>,
         ttl: Option<SimDuration>,
     ) -> Vec<SubId> {
-        subs.into_iter().map(|sub| self.subscribe(node, sub, ttl)).collect()
+        subs.into_iter()
+            .map(|sub| self.subscribe(node, sub, ttl))
+            .collect()
     }
 
     /// Withdraws a subscription previously issued by `node`.
     pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.unsubscribe(id, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.unsubscribe(id, svc))
+        })
     }
 
     /// Publishes an event from `node`.
@@ -200,8 +202,9 @@ impl PubSubNetwork {
     ///
     /// Panics if `node` is out of bounds.
     pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.publish(event, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.publish(event, svc))
+        })
     }
 
     /// Validates and publishes an event from raw values.
@@ -209,11 +212,7 @@ impl PubSubNetwork {
     /// # Errors
     ///
     /// Propagates the validation errors of [`Event::new`].
-    pub fn try_publish(
-        &mut self,
-        node: NodeIdx,
-        values: Vec<u64>,
-    ) -> Result<EventId, PubSubError> {
+    pub fn try_publish(&mut self, node: NodeIdx, values: Vec<u64>) -> Result<EventId, PubSubError> {
         let event = Event::new(&self.cfg.space, values)?;
         Ok(self.publish(node, event))
     }
@@ -237,13 +236,19 @@ impl PubSubNetwork {
 
     /// Stored-subscription count of every node (rendezvous primaries).
     pub fn stored_counts(&self) -> Vec<usize> {
-        self.sim.nodes().map(|(_, n)| n.app().store().len()).collect()
+        self.sim
+            .nodes()
+            .map(|(_, n)| n.app().store().len())
+            .collect()
     }
 
     /// Peak stored-subscription count per node — the metric of Figures 6
     /// and 8.
     pub fn peak_stored_counts(&self) -> Vec<usize> {
-        self.sim.nodes().map(|(_, n)| n.app().store().peak()).collect()
+        self.sim
+            .nodes()
+            .map(|(_, n)| n.app().store().peak())
+            .collect()
     }
 
     /// `true` while `node` has not crashed or left.
@@ -342,9 +347,15 @@ impl PubSubNetworkBuilder {
             self.overlay.succ_list_len
         );
         let cfg = self.pubsub.into_shared();
-        let apps: Vec<PubSubNode> =
-            (0..self.nodes).map(|_| PubSubNode::new(Arc::clone(&cfg))).collect();
+        let apps: Vec<PubSubNode> = (0..self.nodes)
+            .map(|_| PubSubNode::new(Arc::clone(&cfg)))
+            .collect();
         let (sim, ring) = build_stable(self.net, self.overlay, apps);
-        PubSubNetwork { sim, ring, cfg, overlay_cfg: self.overlay }
+        PubSubNetwork {
+            sim,
+            ring,
+            cfg,
+            overlay_cfg: self.overlay,
+        }
     }
 }

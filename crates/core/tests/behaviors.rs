@@ -2,9 +2,7 @@
 //! networks: collecting chains, flush cycles, jittered delays, and the
 //! interplay of optimizations with each mapping.
 
-use cbps::{
-    Event, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, Subscription,
-};
+use cbps::{Event, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, Subscription};
 use cbps_sim::{DelayModel, NetConfig, SimDuration, TrafficClass};
 
 #[test]
@@ -162,8 +160,16 @@ fn disjunctions_notify_once_per_matching_disjunct() {
         .build();
     let space = net.config().space.clone();
     // "a0 < 100k OR a1 < 100k" as two subscriptions.
-    let d1 = Subscription::builder(&space).range("a0", 0, 100_000).unwrap().build().unwrap();
-    let d2 = Subscription::builder(&space).range("a1", 0, 100_000).unwrap().build().unwrap();
+    let d1 = Subscription::builder(&space)
+        .range("a0", 0, 100_000)
+        .unwrap()
+        .build()
+        .unwrap();
+    let d2 = Subscription::builder(&space)
+        .range("a1", 0, 100_000)
+        .unwrap()
+        .build()
+        .unwrap();
     let ids = net.subscribe_any(6, [d1, d2], None);
     assert_eq!(ids.len(), 2);
     net.run_for_secs(60);
@@ -215,7 +221,10 @@ fn replication_traffic_scales_with_factor() {
     let r2 = run(2);
     assert_eq!(r0, 0);
     assert!(r1 > 0);
-    assert!((r2 as f64 / r1 as f64 - 2.0).abs() < 0.35, "r1={r1}, r2={r2}");
+    assert!(
+        (r2 as f64 / r1 as f64 - 2.0).abs() < 0.35,
+        "r1={r1}, r2={r2}"
+    );
 }
 
 #[test]
@@ -241,14 +250,20 @@ fn lease_refresh_keeps_subscriptions_alive_past_their_ttl() {
         net.run_for_secs(450);
         net.publish(8, Event::new(&space, vec![1, 430_000, 2, 3]).unwrap());
         net.run_for_secs(60);
-        (net.delivered(2).len(), net.metrics().counter("requests.refresh"))
+        (
+            net.delivered(2).len(),
+            net.metrics().counter("requests.refresh"),
+        )
     };
     let (without, refreshes_off) = run(false);
     assert_eq!(without, 0, "lease must lapse without refresh");
     assert_eq!(refreshes_off, 0);
     let (with, refreshes_on) = run(true);
     assert_eq!(with, 1, "refresh must keep the lease alive");
-    assert!(refreshes_on >= 4, "expected ~9 half-lease refreshes, got {refreshes_on}");
+    assert!(
+        refreshes_on >= 4,
+        "expected ~9 half-lease refreshes, got {refreshes_on}"
+    );
 }
 
 #[test]

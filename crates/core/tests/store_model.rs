@@ -2,31 +2,66 @@
 //! of insert / remove / purge / match operations is applied both to the
 //! real [`SubscriptionStore`] and to a naive reference model, and every
 //! observable must agree.
+//!
+//! Originally a `proptest` suite; now a plain seeded loop over
+//! `cbps-rng` so the workspace tests with zero external crates.
 
 use std::collections::HashMap;
 
 use cbps::{AttributeDef, Event, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
 use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
+use cbps_rng::Rng;
 use cbps_sim::SimTime;
-use proptest::prelude::*;
 
 #[derive(Clone, Debug)]
 enum Op {
-    Insert { id: u64, lo: u64, hi: u64, expires: Option<u64> },
-    Remove { id: u64 },
-    Purge { at: u64 },
-    Match { value: u64, at: u64 },
+    Insert {
+        id: u64,
+        lo: u64,
+        hi: u64,
+        expires: Option<u64>,
+    },
+    Remove {
+        id: u64,
+    },
+    Purge {
+        at: u64,
+    },
+    Match {
+        value: u64,
+        at: u64,
+    },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..20, 0u64..900, 0u64..100, proptest::option::of(1u64..500)).prop_map(
-            |(id, lo, w, expires)| Op::Insert { id, lo, hi: (lo + w).min(999), expires }
-        ),
-        (0u64..20).prop_map(|id| Op::Remove { id }),
-        (0u64..600).prop_map(|at| Op::Purge { at }),
-        (0u64..1000, 0u64..600).prop_map(|(value, at)| Op::Match { value, at }),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0u32..4) {
+        0 => {
+            let id = rng.gen_range(0u64..20);
+            let lo = rng.gen_range(0u64..900);
+            let w = rng.gen_range(0u64..100);
+            let expires = if rng.gen_bool(0.5) {
+                Some(rng.gen_range(1u64..500))
+            } else {
+                None
+            };
+            Op::Insert {
+                id,
+                lo,
+                hi: (lo + w).min(999),
+                expires,
+            }
+        }
+        1 => Op::Remove {
+            id: rng.gen_range(0u64..20),
+        },
+        2 => Op::Purge {
+            at: rng.gen_range(0u64..600),
+        },
+        _ => Op::Match {
+            value: rng.gen_range(0u64..1000),
+            at: rng.gen_range(0u64..600),
+        },
+    }
 }
 
 /// The naive model: a map of live records with explicit expiry filtering.
@@ -42,10 +77,14 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn store_matches_naive_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn store_matches_naive_model() {
+    let mut rng = Rng::seed_from_u64(0x5703e_cafe);
+    for case in 0..128 {
+        let ops: Vec<Op> = {
+            let n = rng.gen_range(1usize..120);
+            (0..n).map(|_| random_op(&mut rng)).collect()
+        };
         let space = EventSpace::new(vec![AttributeDef::new("x", 1000)]);
         let keys = KeySpace::new(8);
         let mut store = SubscriptionStore::new(&space);
@@ -56,7 +95,12 @@ proptest! {
 
         for op in ops {
             match op {
-                Op::Insert { id, lo, hi, expires } => {
+                Op::Insert {
+                    id,
+                    lo,
+                    hi,
+                    expires,
+                } => {
                     let expires_at = expires.map(|d| clock + d);
                     let sub = Subscription::builder(&space)
                         .range("x", lo, hi)
@@ -65,16 +109,20 @@ proptest! {
                         .unwrap();
                     let stored = StoredSub {
                         sub,
-                        subscriber: Peer { idx: 0, key: keys.key(1) },
-                        expires: expires_at
-                            .map(SimTime::from_secs)
-                            .unwrap_or(SimTime::MAX),
+                        subscriber: Peer {
+                            idx: 0,
+                            key: keys.key(1),
+                        },
+                        expires: expires_at.map(SimTime::from_secs).unwrap_or(SimTime::MAX),
                         sk: KeyRangeSet::of_key(keys, keys.key(2)),
                     };
                     let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
                     model.purge(clock);
                     let model_fresh = !model.live.contains_key(&id);
-                    prop_assert_eq!(fresh, model_fresh, "insert freshness for id {}", id);
+                    assert_eq!(
+                        fresh, model_fresh,
+                        "case {case}: insert freshness for id {id}"
+                    );
                     let e = expires_at.unwrap_or(u64::MAX);
                     if model_fresh {
                         model.live.insert(id, (lo, hi, e));
@@ -86,13 +134,17 @@ proptest! {
                 Op::Remove { id } => {
                     let got = store.remove(SubId(id)).is_some();
                     let expect = model.live.remove(&id).is_some();
-                    prop_assert_eq!(got, expect, "remove {}", id);
+                    assert_eq!(got, expect, "case {case}: remove {id}");
                 }
                 Op::Purge { at } => {
                     clock = clock.max(at);
                     store.purge_expired(SimTime::from_secs(clock));
                     model.purge(clock);
-                    prop_assert_eq!(store.len(), model.live.len(), "len after purge");
+                    assert_eq!(
+                        store.len(),
+                        model.live.len(),
+                        "case {case}: len after purge"
+                    );
                 }
                 Op::Match { value, at } => {
                     clock = clock.max(at);
@@ -110,12 +162,15 @@ proptest! {
                         .map(|(&id, _)| id)
                         .collect();
                     expect.sort_unstable();
-                    prop_assert_eq!(got, expect, "match at value {}", value);
+                    assert_eq!(got, expect, "case {case}: match at value {value}");
                 }
             }
         }
         // Final invariants.
-        prop_assert_eq!(store.len(), model.live.len());
-        prop_assert!(store.peak() >= model.peak, "real peak may only exceed the model's (sweeps are lazier)");
+        assert_eq!(store.len(), model.live.len(), "case {case}: final len");
+        assert!(
+            store.peak() >= model.peak,
+            "case {case}: real peak may only exceed the model's (sweeps are lazier)"
+        );
     }
 }

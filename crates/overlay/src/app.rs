@@ -6,8 +6,10 @@
 //! an [`OverlaySvc`] handle — the programming model of §4.1: `send()`,
 //! `m-cast()`, timers and neighbor knowledge, with the KN-mapping hidden.
 
+use std::rc::Rc;
+
+use cbps_rng::Rng;
 use cbps_sim::{Context, SimDuration, SimTime, TrafficClass};
-use rand::rngs::StdRng;
 
 use crate::key::{Key, KeySpace};
 use crate::msg::{ChordMsg, Envelope};
@@ -119,7 +121,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     }
 
     /// The run's deterministic RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         self.ctx.rng()
     }
 
@@ -157,11 +159,33 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     /// covering `key`. Reaching a key we cover ourselves delivers locally
     /// without a network hop.
     pub fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
+        self.send_rc(key, class, Rc::new(payload));
+    }
+
+    /// [`OverlaySvc::send`] over an already-shared payload (no fresh
+    /// allocation; used by the per-key fan-out).
+    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>) {
         let me = self.state.me();
-        let unicast = |hops| ChordMsg::Unicast { key, class, payload, hops, src: me };
+        let unicast = |hops| ChordMsg::Unicast {
+            key,
+            class,
+            payload,
+            hops,
+            src: me,
+        };
         match self.state.next_hop(key) {
-            None => self.ctx.send_local(Envelope { sender: me, body: unicast(0) }),
-            Some(hop) => self.ctx.send(hop.idx, class, Envelope { sender: me, body: unicast(1) }),
+            None => self.ctx.send_local(Envelope {
+                sender: me,
+                body: unicast(0),
+            }),
+            Some(hop) => self.ctx.send(
+                hop.idx,
+                class,
+                Envelope {
+                    sender: me,
+                    body: unicast(1),
+                },
+            ),
         }
     }
 
@@ -171,6 +195,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
         if targets.is_empty() {
             return;
         }
+        let payload = Rc::new(payload);
         let me = self.state.me();
         let (local, bundles) = self.state.mcast_split(targets);
         if !local.is_empty() {
@@ -179,7 +204,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                 body: ChordMsg::MCast {
                     targets: local,
                     class,
-                    payload: payload.clone(),
+                    payload: Rc::clone(&payload),
                     hops: 0,
                     src: me,
                 },
@@ -194,7 +219,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                     body: ChordMsg::MCast {
                         targets: subset,
                         class,
-                        payload: payload.clone(),
+                        payload: Rc::clone(&payload),
                         hops: 1,
                         src: me,
                     },
@@ -209,9 +234,10 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     /// figures.
     pub fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
         let space = self.space();
+        let payload = Rc::new(payload);
         let keys: Vec<Key> = targets.iter_keys(space).collect();
         for key in keys {
-            self.send(key, class, payload.clone());
+            self.send_rc(key, class, Rc::clone(&payload));
         }
     }
 
@@ -226,7 +252,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
             body: ChordMsg::Walk {
                 range,
                 class,
-                payload,
+                payload: Rc::new(payload),
                 hops: 0,
                 src: me,
                 walking: false,
@@ -255,7 +281,10 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
             class,
             Envelope {
                 sender: me,
-                body: ChordMsg::Direct { payload, class },
+                body: ChordMsg::Direct {
+                    payload: Rc::new(payload),
+                    class,
+                },
             },
         );
     }

@@ -10,7 +10,6 @@
 //!   stabilization, exercised by the churn tests.
 
 use cbps_sim::{NetConfig, SimTime, Simulator};
-use rand::Rng;
 
 use crate::app::ChordApp;
 use crate::config::OverlayConfig;
@@ -87,20 +86,14 @@ pub fn build_stable<A: ChordApp>(
 
     if cfg.maintenance {
         for idx in 0..n {
-            let s_off = sim.rng_mut().gen_range(0..cfg.stabilize_period.as_micros().max(1));
+            let s_off = sim
+                .rng_mut()
+                .gen_range(0..cfg.stabilize_period.as_micros().max(1));
             let f_off = sim
                 .rng_mut()
                 .gen_range(0..cfg.fix_fingers_period.as_micros().max(1));
-            sim.arm_timer_at(
-                SimTime::from_micros(s_off),
-                idx,
-                ChordTimer::Stabilize,
-            );
-            sim.arm_timer_at(
-                SimTime::from_micros(f_off),
-                idx,
-                ChordTimer::FixFingers,
-            );
+            sim.arm_timer_at(SimTime::from_micros(s_off), idx, ChordTimer::Stabilize);
+            sim.arm_timer_at(SimTime::from_micros(f_off), idx, ChordTimer::FixFingers);
         }
     }
 

@@ -121,7 +121,10 @@ mod tests {
     use super::*;
 
     fn peer(idx: usize, key: u64, s: KeySpace) -> Peer {
-        Peer { idx, key: s.key(key) }
+        Peer {
+            idx,
+            key: s.key(key),
+        }
     }
 
     #[test]

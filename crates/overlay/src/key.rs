@@ -17,6 +17,7 @@ pub struct Key(u64);
 
 impl Key {
     /// The raw numeric value of the key.
+    #[inline]
     pub const fn value(self) -> u64 {
         self.0
     }
@@ -58,42 +59,52 @@ impl KeySpace {
     ///
     /// Panics unless `1 <= bits <= 63`.
     pub fn new(bits: u32) -> Self {
-        assert!((1..=63).contains(&bits), "key space bits {bits} out of [1, 63]");
+        assert!(
+            (1..=63).contains(&bits),
+            "key space bits {bits} out of [1, 63]"
+        );
         KeySpace { bits }
     }
 
     /// Number of bits `m` in a key.
+    #[inline]
     pub const fn bits(self) -> u32 {
         self.bits
     }
 
     /// Number of distinct keys, `2^m`.
+    #[inline]
     pub const fn size(self) -> u64 {
         1u64 << self.bits
     }
 
     /// The largest key value, `2^m - 1`.
+    #[inline]
     pub const fn max_value(self) -> u64 {
         self.size() - 1
     }
 
     /// Makes a key from an arbitrary integer by reducing it modulo `2^m`.
+    #[inline]
     pub const fn key(self, value: u64) -> Key {
         Key(value & (self.size() - 1))
     }
 
     /// `key + delta` on the ring.
+    #[inline]
     pub const fn add(self, key: Key, delta: u64) -> Key {
         self.key(key.0.wrapping_add(delta))
     }
 
     /// `key - delta` on the ring.
+    #[inline]
     pub const fn sub(self, key: Key, delta: u64) -> Key {
         self.key(key.0.wrapping_sub(delta))
     }
 
     /// Clockwise distance from `a` to `b`: the number of steps to walk from
     /// `a` forwards to reach `b` (zero when `a == b`).
+    #[inline]
     pub const fn distance_cw(self, a: Key, b: Key) -> u64 {
         b.0.wrapping_sub(a.0) & (self.size() - 1)
     }
@@ -101,6 +112,7 @@ impl KeySpace {
     /// `true` iff `x` lies on the circular arc `(a, b]`.
     ///
     /// When `a == b` the arc is the full ring, so every key qualifies.
+    #[inline]
     pub const fn in_arc_oc(self, x: Key, a: Key, b: Key) -> bool {
         let dx = self.distance_cw(a, x);
         let db = self.distance_cw(a, b);
@@ -114,6 +126,7 @@ impl KeySpace {
     /// `true` iff `x` lies on the circular arc `(a, b)`.
     ///
     /// When `a == b` the arc is the full ring minus `a` itself.
+    #[inline]
     pub const fn in_arc_oo(self, x: Key, a: Key, b: Key) -> bool {
         let dx = self.distance_cw(a, x);
         let db = self.distance_cw(a, b);
@@ -129,8 +142,13 @@ impl KeySpace {
     /// # Panics
     ///
     /// Panics if `i >= m`.
+    #[inline]
     pub fn finger_target(self, key: Key, i: u32) -> Key {
-        assert!(i < self.bits, "finger index {i} out of range for m={}", self.bits);
+        assert!(
+            i < self.bits,
+            "finger index {i} out of range for m={}",
+            self.bits
+        );
         self.add(key, 1u64 << i)
     }
 }

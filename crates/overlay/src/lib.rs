@@ -83,7 +83,7 @@ pub use builder::{assign_node_keys, build_stable};
 pub use cache::LocationCache;
 pub use config::OverlayConfig;
 pub use key::{Key, KeySpace};
-pub use msg::{ChordMsg, Envelope};
+pub use msg::{take_payload, ChordMsg, Envelope};
 pub use node::ChordNode;
 pub use range::{KeyRange, KeyRangeSet};
 pub use ring::{Peer, RingView};
@@ -149,7 +149,10 @@ mod tests {
             let holders: Vec<NodeIdx> = sim
                 .nodes()
                 .filter(|(_, n)| {
-                    n.app().deliveries.iter().any(|(p, _, _)| p == &format!("p{probe}"))
+                    n.app()
+                        .deliveries
+                        .iter()
+                        .any(|(p, _, _)| p == &format!("p{probe}"))
                 })
                 .map(|(i, _)| i)
                 .collect();
@@ -179,8 +182,11 @@ mod tests {
         let mut targets = KeyRangeSet::new();
         targets.insert_range(space, KeyRange::new(space.key(8000), space.key(600))); // wraps
         targets.insert_range(space, KeyRange::new(space.key(3000), space.key(3500)));
-        let expected: Vec<NodeIdx> =
-            ring.covering_nodes(&targets).iter().map(|p| p.idx).collect();
+        let expected: Vec<NodeIdx> = ring
+            .covering_nodes(&targets)
+            .iter()
+            .map(|p| p.idx)
+            .collect();
 
         sim.with_node(2, |node, ctx| {
             node.app_call(ctx, |_, svc| {
@@ -191,7 +197,12 @@ mod tests {
 
         let mut got: Vec<NodeIdx> = Vec::new();
         for (idx, n) in sim.nodes() {
-            let hits = n.app().deliveries.iter().filter(|(p, _, _)| p == "mc").count();
+            let hits = n
+                .app()
+                .deliveries
+                .iter()
+                .filter(|(p, _, _)| p == "mc")
+                .count();
             assert!(hits <= 1, "node {idx} delivered {hits} times");
             if hits == 1 {
                 got.push(idx);
@@ -270,8 +281,11 @@ mod tests {
         let space = cfg.space;
         let range = KeyRange::new(space.key(2000), space.key(4000));
         let targets = KeyRangeSet::of_range(space, range);
-        let expected: Vec<NodeIdx> =
-            ring.covering_nodes(&targets).iter().map(|p| p.idx).collect();
+        let expected: Vec<NodeIdx> = ring
+            .covering_nodes(&targets)
+            .iter()
+            .map(|p| p.idx)
+            .collect();
 
         sim.with_node(3, |node, ctx| {
             node.app_call(ctx, |_, svc| {

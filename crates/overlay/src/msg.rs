@@ -5,6 +5,8 @@
 //! "finger caching" of §5.1). Application payloads are generic: the overlay
 //! routes them without inspecting them.
 
+use std::rc::Rc;
+
 use cbps_sim::TrafficClass;
 
 use crate::key::Key;
@@ -34,8 +36,9 @@ pub enum ChordMsg<P> {
         key: Key,
         /// Traffic class used to count every hop of this message.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared so every hop and branch bumps a
+        /// reference count instead of deep-copying.
+        payload: Rc<P>,
         /// One-hop transmissions so far (delivery dilation).
         hops: u32,
         /// The originating node.
@@ -48,8 +51,8 @@ pub enum ChordMsg<P> {
         targets: KeyRangeSet,
         /// Traffic class used to count every hop of this message.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared across the branches of the split.
+        payload: Rc<P>,
         /// One-hop transmissions so far on this branch.
         hops: u32,
         /// The originating node.
@@ -62,8 +65,8 @@ pub enum ChordMsg<P> {
         range: KeyRange,
         /// Traffic class used to count every hop of this message.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared along the walk.
+        payload: Rc<P>,
         /// One-hop transmissions so far.
         hops: u32,
         /// The originating node.
@@ -76,7 +79,7 @@ pub enum ChordMsg<P> {
     /// notification-collecting protocol and state transfer).
     Direct {
         /// Application payload.
-        payload: P,
+        payload: Rc<P>,
         /// Traffic class the hop was counted under.
         class: TrafficClass,
     },
@@ -137,6 +140,14 @@ pub enum ChordMsg<P> {
     },
 }
 
+/// Takes an application payload out of its shared wrapper: zero-copy when
+/// this is the last live reference (the common unicast case), one deep
+/// clone when sibling branches are still in flight.
+#[inline]
+pub fn take_payload<P: Clone>(rc: Rc<P>) -> P {
+    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+}
+
 impl<P> ChordMsg<P> {
     /// The traffic class this message should be accounted under when
     /// transmitted (maintenance for all non-payload messages).
@@ -157,13 +168,27 @@ mod tests {
     use crate::key::KeySpace;
 
     #[test]
+    fn take_payload_avoids_copy_when_sole_owner() {
+        let rc = Rc::new(vec![1u8, 2, 3]);
+        let out = take_payload(rc);
+        assert_eq!(out, vec![1, 2, 3]);
+        let shared = Rc::new(7u32);
+        let other = Rc::clone(&shared);
+        assert_eq!(take_payload(shared), 7);
+        assert_eq!(*other, 7);
+    }
+
+    #[test]
     fn class_of_payload_and_maintenance_msgs() {
         let s = KeySpace::new(5);
-        let src = Peer { idx: 0, key: s.key(1) };
+        let src = Peer {
+            idx: 0,
+            key: s.key(1),
+        };
         let m: ChordMsg<u8> = ChordMsg::Unicast {
             key: s.key(3),
             class: TrafficClass::PUBLICATION,
-            payload: 9,
+            payload: Rc::new(9),
             hops: 0,
             src,
         };

@@ -2,12 +2,13 @@
 //! to the application layered on top.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use cbps_sim::{Context, Node, NodeIdx, TrafficClass};
 
 use crate::app::{ChordApp, Delivery, OverlaySvc};
 use crate::key::Key;
-use crate::msg::{ChordMsg, Envelope};
+use crate::msg::{take_payload, ChordMsg, Envelope};
 use crate::range::KeyRangeSet;
 use crate::ring::Peer;
 use crate::state::RoutingState;
@@ -87,7 +88,10 @@ impl<A: ChordApp> ChordNode<A> {
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
         f: impl FnOnce(&mut A, &mut OverlaySvc<'_, '_, A::Payload, A::Timer>) -> R,
     ) -> R {
-        let mut svc = OverlaySvc { state: &mut self.state, ctx };
+        let mut svc = OverlaySvc {
+            state: &mut self.state,
+            ctx,
+        };
         f(&mut self.app, &mut svc)
     }
 
@@ -162,7 +166,10 @@ impl<A: ChordApp> ChordNode<A> {
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
     ) {
         {
-            let mut svc = OverlaySvc { state: &mut self.state, ctx };
+            let mut svc = OverlaySvc {
+                state: &mut self.state,
+                ctx,
+            };
             self.app.on_leaving(&mut svc);
         }
         let me = self.state.me();
@@ -170,12 +177,18 @@ impl<A: ChordApp> ChordNode<A> {
             self.send_body(
                 ctx,
                 pred.idx,
-                ChordMsg::LeaveNotice { leaving: me, replacement: succ },
+                ChordMsg::LeaveNotice {
+                    leaving: me,
+                    replacement: succ,
+                },
             );
             self.send_body(
                 ctx,
                 succ.idx,
-                ChordMsg::LeaveNotice { leaving: me, replacement: pred },
+                ChordMsg::LeaveNotice {
+                    leaving: me,
+                    replacement: pred,
+                },
             );
         }
     }
@@ -208,7 +221,10 @@ impl<A: ChordApp> ChordNode<A> {
             return;
         }
         self.state.set_predecessor(new);
-        let mut svc = OverlaySvc { state: &mut self.state, ctx };
+        let mut svc = OverlaySvc {
+            state: &mut self.state,
+            ctx,
+        };
         self.app.on_predecessor_changed(old, new, &mut svc);
     }
 
@@ -232,7 +248,7 @@ impl<A: ChordApp> ChordNode<A> {
         &mut self,
         key: Key,
         class: TrafficClass,
-        payload: A::Payload,
+        payload: Rc<A::Payload>,
         hops: u32,
         src: Peer,
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
@@ -251,13 +267,23 @@ impl<A: ChordApp> ChordNode<A> {
                     hops,
                     src,
                 };
-                let mut svc = OverlaySvc { state: &mut self.state, ctx };
-                self.app.on_deliver(payload, delivery, &mut svc);
+                let mut svc = OverlaySvc {
+                    state: &mut self.state,
+                    ctx,
+                };
+                self.app
+                    .on_deliver(take_payload(payload), delivery, &mut svc);
             }
             Some(hop) => self.send_body(
                 ctx,
                 hop.idx,
-                ChordMsg::Unicast { key, class, payload, hops: hops + 1, src },
+                ChordMsg::Unicast {
+                    key,
+                    class,
+                    payload,
+                    hops: hops + 1,
+                    src,
+                },
             ),
         }
     }
@@ -266,7 +292,7 @@ impl<A: ChordApp> ChordNode<A> {
         &mut self,
         targets: KeyRangeSet,
         class: TrafficClass,
-        payload: A::Payload,
+        payload: Rc<A::Payload>,
         hops: u32,
         src: Peer,
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
@@ -282,7 +308,7 @@ impl<A: ChordApp> ChordNode<A> {
                 ChordMsg::MCast {
                     targets: subset,
                     class,
-                    payload: payload.clone(),
+                    payload: Rc::clone(&payload),
                     hops: hops + 1,
                     src,
                 },
@@ -292,9 +318,18 @@ impl<A: ChordApp> ChordNode<A> {
             ctx.metrics()
                 .histogram_mut(dilation_series(class))
                 .record(u64::from(hops));
-            let delivery = Delivery { targets_here: local, class, hops, src };
-            let mut svc = OverlaySvc { state: &mut self.state, ctx };
-            self.app.on_deliver(payload, delivery, &mut svc);
+            let delivery = Delivery {
+                targets_here: local,
+                class,
+                hops,
+                src,
+            };
+            let mut svc = OverlaySvc {
+                state: &mut self.state,
+                ctx,
+            };
+            self.app
+                .on_deliver(take_payload(payload), delivery, &mut svc);
         }
     }
 
@@ -303,7 +338,7 @@ impl<A: ChordApp> ChordNode<A> {
         &mut self,
         range: crate::range::KeyRange,
         class: TrafficClass,
-        payload: A::Payload,
+        payload: Rc<A::Payload>,
         hops: u32,
         src: Peer,
         walking: bool,
@@ -319,32 +354,73 @@ impl<A: ChordApp> ChordNode<A> {
                 self.send_body(
                     ctx,
                     hop.idx,
-                    ChordMsg::Walk { range, class, payload, hops: hops + 1, src, walking: false },
+                    ChordMsg::Walk {
+                        range,
+                        class,
+                        payload,
+                        hops: hops + 1,
+                        src,
+                        walking: false,
+                    },
                 );
                 return;
             }
         }
-        // We cover part of the range: deliver our portion.
+        // We cover part of the range: deliver our portion. Decide first
+        // whether the walk continues so a terminal delivery can take the
+        // payload without copying it.
         let me = self.state.me();
         let pred = self.state.predecessor().unwrap_or(me);
         let full = KeyRangeSet::of_range(space, range);
         let local = full.extract_arc_oc(space, pred.key, me.key);
-        if !local.is_empty() {
-            ctx.metrics()
-                .histogram_mut(dilation_series(class))
-                .record(u64::from(hops));
-            let delivery = Delivery { targets_here: local, class, hops, src };
-            let mut svc = OverlaySvc { state: &mut self.state, ctx };
-            self.app.on_deliver(payload.clone(), delivery, &mut svc);
-        }
-        // Continue walking while range keys remain beyond our own key.
-        if range.contains(space, me.key) && me.key != range.end() {
-            if let Some(succ) = self.state.successor() {
+        let next = if range.contains(space, me.key) && me.key != range.end() {
+            self.state.successor()
+        } else {
+            None
+        };
+        let deliver =
+            |node: &mut Self,
+             payload: A::Payload,
+             ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>| {
+                ctx.metrics()
+                    .histogram_mut(dilation_series(class))
+                    .record(u64::from(hops));
+                let delivery = Delivery {
+                    targets_here: local.clone(),
+                    class,
+                    hops,
+                    src,
+                };
+                let mut svc = OverlaySvc {
+                    state: &mut node.state,
+                    ctx,
+                };
+                node.app.on_deliver(payload, delivery, &mut svc);
+            };
+        match next {
+            // Continue walking while range keys remain beyond our own key.
+            Some(succ) => {
+                if !local.is_empty() {
+                    deliver(self, take_payload(Rc::clone(&payload)), ctx);
+                }
                 self.send_body(
                     ctx,
                     succ.idx,
-                    ChordMsg::Walk { range, class, payload, hops: hops + 1, src, walking: true },
+                    ChordMsg::Walk {
+                        range,
+                        class,
+                        payload,
+                        hops: hops + 1,
+                        src,
+                        walking: true,
+                    },
                 );
+            }
+            // Terminal node of the walk: the payload can be taken whole.
+            None => {
+                if !local.is_empty() {
+                    deliver(self, take_payload(payload), ctx);
+                }
             }
         }
     }
@@ -363,12 +439,25 @@ impl<A: ChordApp> ChordNode<A> {
         match self.state.next_hop(target) {
             None => {
                 let me = self.state.me();
-                self.send_body(ctx, reply_to.idx, ChordMsg::FindSuccReply { token, succ: me, hops });
+                self.send_body(
+                    ctx,
+                    reply_to.idx,
+                    ChordMsg::FindSuccReply {
+                        token,
+                        succ: me,
+                        hops,
+                    },
+                );
             }
             Some(hop) => self.send_body(
                 ctx,
                 hop.idx,
-                ChordMsg::FindSucc { target, reply_to, token, hops: hops + 1 },
+                ChordMsg::FindSucc {
+                    target,
+                    reply_to,
+                    token,
+                    hops: hops + 1,
+                },
             ),
         }
     }
@@ -395,7 +484,9 @@ impl<A: ChordApp> ChordNode<A> {
                 self.state.set_finger(i, succ);
             }
             Some(Pending::Probe) => {
-                ctx.metrics().histogram_mut("lookup.hops").record(u64::from(hops));
+                ctx.metrics()
+                    .histogram_mut("lookup.hops")
+                    .record(u64::from(hops));
             }
             Some(Pending::Ping(_)) | None => {}
         }
@@ -474,7 +565,12 @@ impl<A: ChordApp> ChordNode<A> {
                 self.send_body(
                     ctx,
                     hop.idx,
-                    ChordMsg::FindSucc { target, reply_to: me, token, hops: 1 },
+                    ChordMsg::FindSucc {
+                        target,
+                        reply_to: me,
+                        token,
+                        hops: 1,
+                    },
                 );
             }
         }
@@ -508,24 +604,51 @@ impl<A: ChordApp> Node for ChordNode<A> {
         let sender = envelope.sender;
         self.state.learn(sender);
         match envelope.body {
-            ChordMsg::Unicast { key, class, payload, hops, src } => {
+            ChordMsg::Unicast {
+                key,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 self.state.learn(src);
                 self.handle_unicast(key, class, payload, hops, src, ctx);
             }
-            ChordMsg::MCast { targets, class, payload, hops, src } => {
+            ChordMsg::MCast {
+                targets,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 self.state.learn(src);
                 self.handle_mcast(targets, class, payload, hops, src, ctx);
             }
-            ChordMsg::Walk { range, class, payload, hops, src, walking } => {
+            ChordMsg::Walk {
+                range,
+                class,
+                payload,
+                hops,
+                src,
+                walking,
+            } => {
                 self.state.learn(src);
                 self.handle_walk(range, class, payload, hops, src, walking, ctx);
             }
             ChordMsg::Direct { payload, class } => {
                 let _ = class;
-                let mut svc = OverlaySvc { state: &mut self.state, ctx };
-                self.app.on_direct(sender, payload, &mut svc);
+                let mut svc = OverlaySvc {
+                    state: &mut self.state,
+                    ctx,
+                };
+                self.app.on_direct(sender, take_payload(payload), &mut svc);
             }
-            ChordMsg::FindSucc { target, reply_to, token, hops } => {
+            ChordMsg::FindSucc {
+                target,
+                reply_to,
+                token,
+                hops,
+            } => {
                 self.state.learn(reply_to);
                 self.handle_find_succ(target, reply_to, token, hops, ctx);
             }
@@ -555,10 +678,17 @@ impl<A: ChordApp> Node for ChordNode<A> {
                     self.state.set_successors(vec![peer]);
                 }
             }
-            ChordMsg::LeaveNotice { leaving, replacement } => {
+            ChordMsg::LeaveNotice {
+                leaving,
+                replacement,
+            } => {
                 let me = self.state.me();
                 if self.state.predecessor() == Some(leaving) {
-                    let new = if replacement.key == me.key { None } else { Some(replacement) };
+                    let new = if replacement.key == me.key {
+                        None
+                    } else {
+                        Some(replacement)
+                    };
                     self.set_predecessor_with_hook(new, ctx);
                 }
                 if self.state.successor() == Some(leaving) {
@@ -590,16 +720,40 @@ impl<A: ChordApp> Node for ChordNode<A> {
         // state (maintenance traffic is periodic and simply retries later).
         self.state.forget_idx(to);
         match envelope.body {
-            ChordMsg::Unicast { key, class, payload, hops, src } => {
+            ChordMsg::Unicast {
+                key,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 self.handle_unicast(key, class, payload, hops, src, ctx);
             }
-            ChordMsg::MCast { targets, class, payload, hops, src } => {
+            ChordMsg::MCast {
+                targets,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 self.handle_mcast(targets, class, payload, hops, src, ctx);
             }
-            ChordMsg::Walk { range, class, payload, hops, src, walking } => {
+            ChordMsg::Walk {
+                range,
+                class,
+                payload,
+                hops,
+                src,
+                walking,
+            } => {
                 self.handle_walk(range, class, payload, hops, src, walking, ctx);
             }
-            ChordMsg::FindSucc { target, reply_to, token, hops } => {
+            ChordMsg::FindSucc {
+                target,
+                reply_to,
+                token,
+                hops,
+            } => {
                 self.handle_find_succ(target, reply_to, token, hops, ctx);
             }
             _ => {}
@@ -616,7 +770,10 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 }
             }
             ChordTimer::App(t) => {
-                let mut svc = OverlaySvc { state: &mut self.state, ctx };
+                let mut svc = OverlaySvc {
+                    state: &mut self.state,
+                    ctx,
+                };
                 self.app.on_timer(t, &mut svc);
             }
         }

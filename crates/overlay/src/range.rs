@@ -40,31 +40,40 @@ pub struct KeyRange {
 
 impl KeyRange {
     /// The circular interval `[start, end]`.
+    #[inline]
     pub fn new(start: Key, end: Key) -> Self {
         KeyRange { start, end }
     }
 
     /// The singleton interval `[key, key]`.
+    #[inline]
     pub fn singleton(key: Key) -> Self {
-        KeyRange { start: key, end: key }
+        KeyRange {
+            start: key,
+            end: key,
+        }
     }
 
     /// First key of the interval (clockwise).
+    #[inline]
     pub fn start(self) -> Key {
         self.start
     }
 
     /// Last key of the interval (clockwise).
+    #[inline]
     pub fn end(self) -> Key {
         self.end
     }
 
     /// Number of keys in the interval.
+    #[inline]
     pub fn count(self, space: KeySpace) -> u64 {
         space.distance_cw(self.start, self.end) + 1
     }
 
     /// `true` iff `key` lies within the interval.
+    #[inline]
     pub fn contains(self, space: KeySpace, key: Key) -> bool {
         space.distance_cw(self.start, key) <= space.distance_cw(self.start, self.end)
     }
@@ -73,6 +82,7 @@ impl KeyRange {
     ///
     /// Used by the notification-collecting optimization: the middle node of
     /// a subscription's rendezvous range acts as the aggregation agent.
+    #[inline]
     pub fn midpoint(self, space: KeySpace) -> Key {
         space.add(self.start, space.distance_cw(self.start, self.end) / 2)
     }
@@ -136,22 +146,26 @@ impl KeyRangeSet {
     }
 
     /// `true` when the set holds no keys.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.segments.is_empty()
     }
 
     /// Number of keys in the set.
+    #[inline]
     pub fn count(&self) -> u64 {
         self.segments.iter().map(|&(lo, hi)| hi - lo + 1).sum()
     }
 
     /// Number of disjoint linear segments (an implementation-level measure
     /// of fragmentation, exposed for tests and diagnostics).
+    #[inline]
     pub fn segment_count(&self) -> usize {
         self.segments.len()
     }
 
     /// `true` iff the set contains `key`.
+    #[inline]
     pub fn contains(&self, key: Key) -> bool {
         let v = key.value();
         self.segments
@@ -217,9 +231,7 @@ impl KeyRangeSet {
         }
         let pos = match first {
             Some(p) => p,
-            None => self
-                .segments
-                .partition_point(|&(slo, _)| slo < new_lo),
+            None => self.segments.partition_point(|&(slo, _)| slo < new_lo),
         };
         self.segments.insert(pos, (new_lo, new_hi));
     }

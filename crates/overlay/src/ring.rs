@@ -175,7 +175,10 @@ mod tests {
         let peers = [1u64, 8, 14, 20, 27]
             .iter()
             .enumerate()
-            .map(|(i, &k)| Peer { idx: i, key: s.key(k) })
+            .map(|(i, &k)| Peer {
+                idx: i,
+                key: s.key(k),
+            })
             .collect();
         (s, RingView::new(s, peers))
     }
@@ -222,12 +225,20 @@ mod tests {
         let (s, r) = ring();
         // Keys 9..=20 are covered by nodes 14 and 20.
         let set = KeyRangeSet::of_range(s, KeyRange::new(s.key(9), s.key(20)));
-        let cover: Vec<u64> = r.covering_nodes(&set).iter().map(|p| p.key.value()).collect();
+        let cover: Vec<u64> = r
+            .covering_nodes(&set)
+            .iter()
+            .map(|p| p.key.value())
+            .collect();
         assert_eq!(cover, vec![14, 20]);
         // Wrapping range 21..=2 → node 27 covers (20,27], node 1 covers
         // (27,1], and node 8 covers (1,8] which contains key 2.
         let set = KeyRangeSet::of_range(s, KeyRange::new(s.key(21), s.key(2)));
-        let cover: Vec<u64> = r.covering_nodes(&set).iter().map(|p| p.key.value()).collect();
+        let cover: Vec<u64> = r
+            .covering_nodes(&set)
+            .iter()
+            .map(|p| p.key.value())
+            .collect();
         assert_eq!(cover, vec![1, 8, 27]);
     }
 
@@ -243,7 +254,13 @@ mod tests {
     #[test]
     fn single_node_ring_covers_everything() {
         let s = KeySpace::new(5);
-        let r = RingView::new(s, vec![Peer { idx: 0, key: s.key(7) }]);
+        let r = RingView::new(
+            s,
+            vec![Peer {
+                idx: 0,
+                key: s.key(7),
+            }],
+        );
         assert_eq!(r.successor(s.key(0)).key, s.key(7));
         assert_eq!(r.predecessor(s.key(7)).key, s.key(7));
         let full = KeyRangeSet::full(s);
@@ -257,8 +274,14 @@ mod tests {
         let _ = RingView::new(
             s,
             vec![
-                Peer { idx: 0, key: s.key(3) },
-                Peer { idx: 1, key: s.key(3) },
+                Peer {
+                    idx: 0,
+                    key: s.key(3),
+                },
+                Peer {
+                    idx: 1,
+                    key: s.key(3),
+                },
             ],
         );
     }

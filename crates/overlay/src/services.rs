@@ -8,8 +8,8 @@
 //! [`OverlaySvc`](crate::OverlaySvc) implements it; so does the Pastry
 //! overlay in `cbps-pastry`.
 
+use cbps_rng::Rng;
 use cbps_sim::{Metrics, SimDuration, SimTime, TrafficClass};
-use rand::rngs::StdRng;
 
 use crate::key::{Key, KeySpace};
 use crate::range::{KeyRange, KeyRangeSet};
@@ -30,7 +30,7 @@ pub trait OverlayServices<P: Clone, T> {
     /// Current simulated time.
     fn now(&self) -> SimTime;
     /// The run's deterministic RNG.
-    fn rng(&mut self) -> &mut StdRng;
+    fn rng(&mut self) -> &mut Rng;
     /// The run's metrics sink.
     fn metrics(&mut self) -> &mut Metrics;
     /// The ring-adjacent node clockwise of this one, if any.
@@ -66,7 +66,7 @@ impl<P: Clone, T> OverlayServices<P, T> for crate::app::OverlaySvc<'_, '_, P, T>
     fn now(&self) -> SimTime {
         crate::app::OverlaySvc::now(self)
     }
-    fn rng(&mut self) -> &mut StdRng {
+    fn rng(&mut self) -> &mut Rng {
         crate::app::OverlaySvc::rng(self)
     }
     fn metrics(&mut self) -> &mut Metrics {

@@ -2,7 +2,6 @@
 //! cache — and the two routing decisions built on them (greedy next-hop
 //! selection and the `m-cast` split of Figure 4).
 
-
 use crate::cache::LocationCache;
 use crate::config::OverlayConfig;
 use crate::key::{Key, KeySpace};
@@ -109,7 +108,11 @@ impl RoutingState {
     ///
     /// Panics if `i` is out of range.
     pub fn set_finger(&mut self, i: usize, peer: Peer) {
-        self.fingers[i] = if peer.key == self.me.key { None } else { Some(peer) };
+        self.fingers[i] = if peer.key == self.me.key {
+            None
+        } else {
+            Some(peer)
+        };
     }
 
     /// Records that `peer` exists (location cache learning). Learning
@@ -261,7 +264,10 @@ impl RoutingState {
         };
 
         // (me, b_0] is covered entirely by the successor.
-        add(boundaries[0], targets.extract_arc_oc(space, self.me.key, boundaries[0].key));
+        add(
+            boundaries[0],
+            targets.extract_arc_oc(space, self.me.key, boundaries[0].key),
+        );
         // (b_i, b_{i+1}] is relayed through b_i.
         for w in boundaries.windows(2) {
             add(w[0], targets.extract_arc_oc(space, w[0].key, w[1].key));
@@ -283,11 +289,16 @@ mod tests {
     /// node keys.
     fn converged(keys: &[u64], key: u64) -> RoutingState {
         let space = KeySpace::new(5);
-        let cfg = OverlayConfig::paper_default().with_space(space).with_cache_capacity(0);
+        let cfg = OverlayConfig::paper_default()
+            .with_space(space)
+            .with_cache_capacity(0);
         let peers: Vec<Peer> = keys
             .iter()
             .enumerate()
-            .map(|(i, &k)| Peer { idx: i, key: space.key(k) })
+            .map(|(i, &k)| Peer {
+                idx: i,
+                key: space.key(k),
+            })
             .collect();
         let ring = RingView::new(space, peers.clone());
         let me = *peers.iter().find(|p| p.key == space.key(key)).unwrap();
@@ -356,7 +367,10 @@ mod tests {
         let peers: Vec<Peer> = [1u64, 8, 14, 20, 27]
             .iter()
             .enumerate()
-            .map(|(i, &k)| Peer { idx: i, key: space.key(k) })
+            .map(|(i, &k)| Peer {
+                idx: i,
+                key: space.key(k),
+            })
             .collect();
         let ring = RingView::new(space, peers.clone());
         let me = peers[0]; // key 1
@@ -370,7 +384,10 @@ mod tests {
         // Without cache knowledge the best hop is finger 20.
         assert_eq!(st.next_hop(space.key(25)).unwrap().key, space.key(20));
         // After learning a peer at 23 the cache supplies a closer hop.
-        st.learn(Peer { idx: 9, key: space.key(23) });
+        st.learn(Peer {
+            idx: 9,
+            key: space.key(23),
+        });
         assert_eq!(st.next_hop(space.key(25)).unwrap().key, space.key(23));
         // The cached node is never returned for its own key: arc (1, 23) is
         // open at 23, so routing key 23 still goes through 20.
@@ -381,7 +398,10 @@ mod tests {
     fn forget_scrubs_everywhere() {
         let mut st = converged(&[1, 8, 14, 20, 27], 8);
         let s = st.space();
-        let dead = Peer { idx: 2, key: s.key(14) };
+        let dead = Peer {
+            idx: 2,
+            key: s.key(14),
+        };
         st.forget(dead);
         assert!(!st.successors().contains(&dead));
         assert!(st.fingers().iter().all(|f| *f != Some(dead)));
@@ -396,7 +416,10 @@ mod tests {
         let targets = KeyRangeSet::full(s);
         let (local, bundles) = st.mcast_split(&targets);
         // Local must be exactly our coverage (1, 8].
-        assert_eq!(local, KeyRangeSet::of_range(s, KeyRange::new(s.key(2), s.key(8))));
+        assert_eq!(
+            local,
+            KeyRangeSet::of_range(s, KeyRange::new(s.key(2), s.key(8)))
+        );
         // The union of local + all bundles must be the full ring, disjoint.
         let mut total = local.count();
         let mut union = local.clone();
@@ -415,7 +438,10 @@ mod tests {
     fn mcast_split_single_node_is_all_local() {
         let space = KeySpace::new(5);
         let cfg = OverlayConfig::paper_default().with_space(space);
-        let me = Peer { idx: 0, key: space.key(7) };
+        let me = Peer {
+            idx: 0,
+            key: space.key(7),
+        };
         let st = RoutingState::new(cfg, me);
         let targets = KeyRangeSet::of_range(space, KeyRange::new(space.key(0), space.key(31)));
         let (local, bundles) = st.mcast_split(&targets);
@@ -442,7 +468,10 @@ mod tests {
         let mut st = converged(&[1, 8], 1);
         let s = st.space();
         let me = st.me();
-        let other = Peer { idx: 1, key: s.key(8) };
+        let other = Peer {
+            idx: 1,
+            key: s.key(8),
+        };
         st.set_successors(vec![other, me, other, other]);
         assert_eq!(st.successors(), &[other]);
     }

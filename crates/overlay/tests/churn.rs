@@ -81,7 +81,10 @@ fn stable_ring_stays_consistent_under_maintenance() {
     assert_ring_consistent(&sim);
     // Maintenance traffic must exist but carry the MAINTENANCE class only.
     assert!(sim.metrics().messages(cbps_sim::TrafficClass::MAINTENANCE) > 0);
-    assert_eq!(sim.metrics().messages(cbps_sim::TrafficClass::PUBLICATION), 0);
+    assert_eq!(
+        sim.metrics().messages(cbps_sim::TrafficClass::PUBLICATION),
+        0
+    );
 }
 
 #[test]
@@ -231,8 +234,10 @@ fn mcast_routes_around_unannounced_crashes() {
     let victim = 13usize;
     sim.crash(victim);
 
-    let targets =
-        cbps_overlay::KeyRangeSet::of_range(space, cbps_overlay::KeyRange::new(space.key(0), space.key(8191)));
+    let targets = cbps_overlay::KeyRangeSet::of_range(
+        space,
+        cbps_overlay::KeyRange::new(space.key(0), space.key(8191)),
+    );
     sim.with_node(2, |node, ctx| {
         node.app_call(ctx, |_, svc| svc.mcast(&targets, TrafficClass::OTHER, 1))
     });

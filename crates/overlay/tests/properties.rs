@@ -1,13 +1,16 @@
-//! Property-based tests of the overlay's core invariants: circular
+//! Property-style tests of the overlay's core invariants: circular
 //! interval-set algebra, m-cast partitioning, and greedy routing against
 //! the global ring oracle.
+//!
+//! These were originally `proptest` suites; they are now plain seeded
+//! loops over `cbps-rng` so the workspace tests with zero external
+//! crates. Each case count matches or exceeds the old proptest defaults,
+//! and the seed is fixed so failures reproduce exactly.
 
 use std::collections::BTreeSet;
 
-use cbps_overlay::{
-    KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState,
-};
-use proptest::prelude::*;
+use cbps_overlay::{KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState};
+use cbps_rng::Rng;
 
 /// A naive model of a key set: an explicit `BTreeSet<u64>`.
 fn model_of(space: KeySpace, ranges: &[(u64, u64)]) -> BTreeSet<u64> {
@@ -30,34 +33,48 @@ fn set_of(space: KeySpace, ranges: &[(u64, u64)]) -> KeyRangeSet {
     set
 }
 
-proptest! {
-    /// KeyRangeSet agrees with the explicit-set model on membership,
-    /// cardinality and iteration.
-    #[test]
-    fn range_set_matches_model(
-        ranges in proptest::collection::vec((0u64..256, 0u64..80), 0..8),
-        probes in proptest::collection::vec(0u64..256, 0..32),
-    ) {
-        let space = KeySpace::new(8);
+/// Draws a random list of `(start, len)` range seeds.
+fn random_ranges(rng: &mut Rng, max_count: usize, start_max: u64, len_max: u64) -> Vec<(u64, u64)> {
+    let count = rng.gen_range(0..=max_count);
+    (0..count)
+        .map(|_| (rng.gen_range(0..start_max), rng.gen_range(0..len_max)))
+        .collect()
+}
+
+/// KeyRangeSet agrees with the explicit-set model on membership,
+/// cardinality and iteration.
+#[test]
+fn range_set_matches_model() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a1);
+    let space = KeySpace::new(8);
+    for case in 0..512 {
+        let ranges = random_ranges(&mut rng, 7, 256, 80);
         let set = set_of(space, &ranges);
         let model = model_of(space, &ranges);
-        prop_assert_eq!(set.count(), model.len() as u64);
-        prop_assert_eq!(set.is_empty(), model.is_empty());
-        for p in probes {
-            prop_assert_eq!(set.contains(space.key(p)), model.contains(&p), "probe {}", p);
+        assert_eq!(set.count(), model.len() as u64, "case {case}: count");
+        assert_eq!(set.is_empty(), model.is_empty(), "case {case}: emptiness");
+        for _ in 0..32 {
+            let p = rng.gen_range(0u64..256);
+            assert_eq!(
+                set.contains(space.key(p)),
+                model.contains(&p),
+                "case {case}: probe {p}"
+            );
         }
         let iterated: BTreeSet<u64> = set.iter_keys(space).map(|k| k.value()).collect();
-        prop_assert_eq!(iterated, model);
+        assert_eq!(iterated, model, "case {case}: iteration");
     }
+}
 
-    /// extract_arc_oc returns exactly the model subset on the arc.
-    #[test]
-    fn extract_arc_matches_model(
-        ranges in proptest::collection::vec((0u64..256, 0u64..60), 0..6),
-        a in 0u64..256,
-        b in 0u64..256,
-    ) {
-        let space = KeySpace::new(8);
+/// extract_arc_oc returns exactly the model subset on the arc.
+#[test]
+fn extract_arc_matches_model() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a2);
+    let space = KeySpace::new(8);
+    for case in 0..512 {
+        let ranges = random_ranges(&mut rng, 5, 256, 60);
+        let a = rng.gen_range(0u64..256);
+        let b = rng.gen_range(0u64..256);
         let set = set_of(space, &ranges);
         let model = model_of(space, &ranges);
         let part = set.extract_arc_oc(space, space.key(a), space.key(b));
@@ -67,37 +84,45 @@ proptest! {
             .filter(|&x| space.in_arc_oc(space.key(x), space.key(a), space.key(b)))
             .collect();
         let got: BTreeSet<u64> = part.iter_keys(space).map(|k| k.value()).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case}: arc ({a}, {b}]");
     }
+}
 
-    /// Union is the model union.
-    #[test]
-    fn union_matches_model(
-        ra in proptest::collection::vec((0u64..256, 0u64..60), 0..5),
-        rb in proptest::collection::vec((0u64..256, 0u64..60), 0..5),
-    ) {
-        let space = KeySpace::new(8);
+/// Union is the model union.
+#[test]
+fn union_matches_model() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a3);
+    let space = KeySpace::new(8);
+    for case in 0..512 {
+        let ra = random_ranges(&mut rng, 4, 256, 60);
+        let rb = random_ranges(&mut rng, 4, 256, 60);
         let mut a = set_of(space, &ra);
         let b = set_of(space, &rb);
         let mut model = model_of(space, &ra);
         model.extend(model_of(space, &rb));
         a.union_with(&b);
         let got: BTreeSet<u64> = a.iter_keys(space).map(|k| k.value()).collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model, "case {case}");
     }
+}
 
-    /// intersects() agrees with the models' disjointness.
-    #[test]
-    fn intersects_matches_model(
-        ra in proptest::collection::vec((0u64..256, 0u64..40), 0..5),
-        rb in proptest::collection::vec((0u64..256, 0u64..40), 0..5),
-    ) {
-        let space = KeySpace::new(8);
+/// intersects() agrees with the models' disjointness.
+#[test]
+fn intersects_matches_model() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a4);
+    let space = KeySpace::new(8);
+    for case in 0..512 {
+        let ra = random_ranges(&mut rng, 4, 256, 40);
+        let rb = random_ranges(&mut rng, 4, 256, 40);
         let a = set_of(space, &ra);
         let b = set_of(space, &rb);
         let ma = model_of(space, &ra);
         let mb = model_of(space, &rb);
-        prop_assert_eq!(a.intersects(&b), ma.intersection(&mb).next().is_some());
+        assert_eq!(
+            a.intersects(&b),
+            ma.intersection(&mb).next().is_some(),
+            "case {case}"
+        );
     }
 }
 
@@ -113,7 +138,10 @@ fn converged_ring(keys: &[u64]) -> (KeySpace, RingView, Vec<RoutingState>) {
     let peers: Vec<Peer> = unique
         .iter()
         .enumerate()
-        .map(|(idx, &k)| Peer { idx, key: space.key(k) })
+        .map(|(idx, &k)| Peer {
+            idx,
+            key: space.key(k),
+        })
         .collect();
     let ring = RingView::new(space, peers.clone());
     let states = peers
@@ -133,16 +161,29 @@ fn converged_ring(keys: &[u64]) -> (KeySpace, RingView, Vec<RoutingState>) {
     (space, ring, states)
 }
 
-proptest! {
-    /// Greedy routing from any node reaches exactly the oracle's covering
-    /// node, monotonically shrinking the clockwise distance.
-    #[test]
-    fn greedy_routing_reaches_oracle_successor(
-        keys in proptest::collection::btree_set(0u64..1024, 2..40),
-        target in 0u64..1024,
-        start_sel in 0usize..1000,
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// Draws a random de-duplicated key set of size within `lo..hi`.
+fn random_keys(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u64> {
+    let want = rng.gen_range(lo..hi);
+    let mut set = BTreeSet::new();
+    // Oversample: duplicates collapse, mirroring the old btree_set strategy.
+    for _ in 0..want * 2 {
+        if set.len() >= want {
+            break;
+        }
+        set.insert(rng.gen_range(0u64..1024));
+    }
+    set.into_iter().collect()
+}
+
+/// Greedy routing from any node reaches exactly the oracle's covering
+/// node, monotonically shrinking the clockwise distance.
+#[test]
+fn greedy_routing_reaches_oracle_successor() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a5);
+    for case in 0..256 {
+        let keys = random_keys(&mut rng, 2, 40);
+        let target = rng.gen_range(0u64..1024);
+        let start_sel = rng.gen_range(0usize..1000);
         let (space, ring, mut states) = converged_ring(&keys);
         let target = space.key(target);
         let expect = ring.successor(target);
@@ -157,28 +198,32 @@ proptest! {
                     // node just *past* the target key.
                     let d_now = space.distance_cw(states[at].me().key, target);
                     let d_next = space.distance_cw(next.key, target);
-                    prop_assert!(
+                    assert!(
                         d_next < d_now || next.idx == expect.idx,
-                        "no progress at hop {hops}"
+                        "case {case}: no progress at hop {hops}"
                     );
                     at = next.idx;
                 }
             }
             hops += 1;
-            prop_assert!(hops <= states.len(), "routing loop");
+            assert!(hops <= states.len(), "case {case}: routing loop");
         }
-        prop_assert_eq!(states[at].me().idx, expect.idx);
+        assert_eq!(states[at].me().idx, expect.idx, "case {case}");
     }
+}
 
-    /// The m-cast split at any node partitions the target set exactly:
-    /// local ∪ bundles = targets, pairwise disjoint, no bundle to self.
-    #[test]
-    fn mcast_split_is_exact_partition(
-        keys in proptest::collection::btree_set(0u64..1024, 1..40),
-        ranges in proptest::collection::vec((0u64..1024, 0u64..300), 1..4),
-        node_sel in 0usize..1000,
-    ) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// The m-cast split at any node partitions the target set exactly:
+/// local ∪ bundles = targets, pairwise disjoint, no bundle to self.
+#[test]
+fn mcast_split_is_exact_partition() {
+    let mut rng = Rng::seed_from_u64(0x5e7_a6);
+    for case in 0..256 {
+        let keys = random_keys(&mut rng, 1, 40);
+        let range_count = rng.gen_range(1usize..4);
+        let ranges: Vec<(u64, u64)> = (0..range_count)
+            .map(|_| (rng.gen_range(0u64..1024), rng.gen_range(0u64..300)))
+            .collect();
+        let node_sel = rng.gen_range(0usize..1000);
         let (space, _ring, states) = converged_ring(&keys);
         let st = &states[node_sel % states.len()];
         let mut targets = KeyRangeSet::new();
@@ -190,18 +235,21 @@ proptest! {
         let mut union = local.clone();
         let mut total = local.count();
         for (peer, subset) in &bundles {
-            prop_assert!(peer.key != st.me().key, "bundle addressed to self");
-            prop_assert!(!subset.is_empty(), "empty bundle");
-            prop_assert!(!union.intersects(subset), "overlapping split");
+            assert!(
+                peer.key != st.me().key,
+                "case {case}: bundle addressed to self"
+            );
+            assert!(!subset.is_empty(), "case {case}: empty bundle");
+            assert!(!union.intersects(subset), "case {case}: overlapping split");
             union.union_with(subset);
             total += subset.count();
         }
-        prop_assert_eq!(total, targets.count());
-        prop_assert_eq!(union, targets);
+        assert_eq!(total, targets.count(), "case {case}: total");
+        assert_eq!(union, targets, "case {case}: union");
         // The local part is within our coverage.
         if let Some(pred) = st.predecessor() {
             let cover = local.extract_arc_oc(space, pred.key, st.me().key);
-            prop_assert_eq!(cover, local);
+            assert_eq!(cover, local, "case {case}: local outside coverage");
         }
     }
 }

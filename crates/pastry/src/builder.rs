@@ -68,7 +68,10 @@ mod tests {
             let me = node.me();
             assert_eq!(me.idx, idx);
             assert_eq!(node.routing().successor().unwrap(), ring.next_node(me.key));
-            assert_eq!(node.routing().predecessor().unwrap(), ring.predecessor(me.key));
+            assert_eq!(
+                node.routing().predecessor().unwrap(),
+                ring.predecessor(me.key)
+            );
         }
     }
 

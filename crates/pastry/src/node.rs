@@ -1,10 +1,12 @@
 //! The Pastry node: message handling and the application bridge.
 
+use std::rc::Rc;
+
 use cbps_overlay::{
-    Delivery, Key, KeyRange, KeyRangeSet, KeySpace, OverlayServices, Peer,
+    take_payload, Delivery, Key, KeyRange, KeyRangeSet, KeySpace, OverlayServices, Peer,
 };
+use cbps_rng::Rng;
 use cbps_sim::{Context, Metrics, Node, NodeIdx, SimDuration, SimTime, TrafficClass};
-use rand::rngs::StdRng;
 
 use crate::state::PastryState;
 
@@ -18,8 +20,9 @@ pub enum PastryMsg<P> {
         key: Key,
         /// Traffic class for hop accounting.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared across hops (a clone of this
+        /// message bumps a refcount instead of deep-copying the payload).
+        payload: Rc<P>,
         /// One-hop transmissions so far.
         hops: u32,
         /// Originator.
@@ -31,8 +34,8 @@ pub enum PastryMsg<P> {
         targets: KeyRangeSet,
         /// Traffic class for hop accounting.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared across branches.
+        payload: Rc<P>,
         /// One-hop transmissions so far.
         hops: u32,
         /// Originator.
@@ -44,8 +47,8 @@ pub enum PastryMsg<P> {
         range: KeyRange,
         /// Traffic class for hop accounting.
         class: TrafficClass,
-        /// Application payload.
-        payload: P,
+        /// Application payload, shared along the walk.
+        payload: Rc<P>,
         /// One-hop transmissions so far.
         hops: u32,
         /// Originator.
@@ -56,7 +59,7 @@ pub enum PastryMsg<P> {
     /// One-hop application message.
     Direct {
         /// Application payload.
-        payload: P,
+        payload: Rc<P>,
     },
 }
 
@@ -114,6 +117,34 @@ pub struct PastrySvc<'a, 'c, P, T> {
     ctx: &'a mut Context<'c, PastryEnvelope<P>, T>,
 }
 
+impl<P: Clone, T> PastrySvc<'_, '_, P, T> {
+    /// Routes an already-shared payload toward `key`.
+    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>) {
+        let me = self.state.me();
+        let route = |hops| PastryMsg::Route {
+            key,
+            class,
+            payload,
+            hops,
+            src: me,
+        };
+        match self.state.next_hop(key) {
+            None => self.ctx.send_local(PastryEnvelope {
+                sender: me,
+                body: route(0),
+            }),
+            Some(hop) => self.ctx.send(
+                hop.idx,
+                class,
+                PastryEnvelope {
+                    sender: me,
+                    body: route(1),
+                },
+            ),
+        }
+    }
+}
+
 impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
     fn me(&self) -> Peer {
         self.state.me()
@@ -124,7 +155,7 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
     fn now(&self) -> SimTime {
         self.ctx.now()
     }
-    fn rng(&mut self) -> &mut StdRng {
+    fn rng(&mut self) -> &mut Rng {
         self.ctx.rng()
     }
     fn metrics(&mut self) -> &mut Metrics {
@@ -146,23 +177,14 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
         self.ctx.arm_timer(delay, timer);
     }
     fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
-        let me = self.state.me();
-        let route = |hops| PastryMsg::Route { key, class, payload, hops, src: me };
-        match self.state.next_hop(key) {
-            None => self
-                .ctx
-                .send_local(PastryEnvelope { sender: me, body: route(0) }),
-            Some(hop) => {
-                self.ctx
-                    .send(hop.idx, class, PastryEnvelope { sender: me, body: route(1) })
-            }
-        }
+        self.send_rc(key, class, Rc::new(payload));
     }
     fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
         if targets.is_empty() {
             return;
         }
         let me = self.state.me();
+        let payload = Rc::new(payload);
         let (local, bundles) = self.state.mcast_split(targets);
         if !local.is_empty() {
             self.ctx.send_local(PastryEnvelope {
@@ -170,7 +192,7 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
                 body: PastryMsg::MCast {
                     targets: local,
                     class,
-                    payload: payload.clone(),
+                    payload: Rc::clone(&payload),
                     hops: 0,
                     src: me,
                 },
@@ -185,7 +207,7 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
                     body: PastryMsg::MCast {
                         targets: subset,
                         class,
-                        payload: payload.clone(),
+                        payload: Rc::clone(&payload),
                         hops: 1,
                         src: me,
                     },
@@ -195,14 +217,23 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
     }
     fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
         let space = self.state.space();
+        let payload = Rc::new(payload);
         let keys: Vec<Key> = targets.iter_keys(space).collect();
         for key in keys {
-            OverlayServices::send(self, key, class, payload.clone());
+            self.send_rc(key, class, Rc::clone(&payload));
         }
     }
     fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
         let me = self.state.me();
-        let body = PastryMsg::Walk { range, class, payload, hops: 0, src: me, walking: false };
+        let payload = Rc::new(payload);
+        let body = PastryMsg::Walk {
+            range,
+            class,
+            payload,
+            hops: 0,
+            src: me,
+            walking: false,
+        };
         match self.state.next_hop(range.start()) {
             None => self.ctx.send_local(PastryEnvelope { sender: me, body }),
             Some(hop) => {
@@ -216,8 +247,16 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
     }
     fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
         let me = self.state.me();
-        self.ctx
-            .send(to.idx, class, PastryEnvelope { sender: me, body: PastryMsg::Direct { payload } });
+        self.ctx.send(
+            to.idx,
+            class,
+            PastryEnvelope {
+                sender: me,
+                body: PastryMsg::Direct {
+                    payload: Rc::new(payload),
+                },
+            },
+        );
     }
 }
 
@@ -260,7 +299,10 @@ impl<A: PastryApp> PastryNode<A> {
         ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
         f: impl FnOnce(&mut A, &mut PastrySvc<'_, '_, A::Payload, A::Timer>) -> R,
     ) -> R {
-        let mut svc = PastrySvc { state: &self.state, ctx };
+        let mut svc = PastrySvc {
+            state: &self.state,
+            ctx,
+        };
         f(&mut self.app, &mut svc)
     }
 
@@ -290,8 +332,16 @@ impl<A: PastryApp> PastryNode<A> {
         ctx.metrics()
             .histogram_mut("pastry.dilation")
             .record(u64::from(hops));
-        let delivery = Delivery { targets_here, class, hops, src };
-        let mut svc = PastrySvc { state: &self.state, ctx };
+        let delivery = Delivery {
+            targets_here,
+            class,
+            hops,
+            src,
+        };
+        let mut svc = PastrySvc {
+            state: &self.state,
+            ctx,
+        };
         self.app.on_deliver(payload, delivery, &mut svc);
     }
 }
@@ -308,14 +358,20 @@ impl<A: PastryApp> Node for PastryNode<A> {
     ) {
         let sender = envelope.sender;
         match envelope.body {
-            PastryMsg::Route { key, class, payload, hops, src } => {
+            PastryMsg::Route {
+                key,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
                 }
                 match self.state.next_hop(key) {
                     None => {
                         let here = KeyRangeSet::of_key(self.state.space(), key);
-                        self.deliver(payload, here, class, hops, src, ctx);
+                        self.deliver(take_payload(payload), here, class, hops, src, ctx);
                     }
                     Some(hop) => {
                         let me = self.state.me();
@@ -324,13 +380,25 @@ impl<A: PastryApp> Node for PastryNode<A> {
                             class,
                             PastryEnvelope {
                                 sender: me,
-                                body: PastryMsg::Route { key, class, payload, hops: hops + 1, src },
+                                body: PastryMsg::Route {
+                                    key,
+                                    class,
+                                    payload,
+                                    hops: hops + 1,
+                                    src,
+                                },
                             },
                         );
                     }
                 }
             }
-            PastryMsg::MCast { targets, class, payload, hops, src } => {
+            PastryMsg::MCast {
+                targets,
+                class,
+                payload,
+                hops,
+                src,
+            } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
                 }
@@ -345,7 +413,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                             body: PastryMsg::MCast {
                                 targets: subset,
                                 class,
-                                payload: payload.clone(),
+                                payload: Rc::clone(&payload),
                                 hops: hops + 1,
                                 src,
                             },
@@ -353,10 +421,17 @@ impl<A: PastryApp> Node for PastryNode<A> {
                     );
                 }
                 if !local.is_empty() {
-                    self.deliver(payload, local, class, hops, src, ctx);
+                    self.deliver(take_payload(payload), local, class, hops, src, ctx);
                 }
             }
-            PastryMsg::Walk { range, class, payload, hops, src, walking } => {
+            PastryMsg::Walk {
+                range,
+                class,
+                payload,
+                hops,
+                src,
+                walking,
+            } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
                 }
@@ -386,11 +461,20 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 let pred = self.state.predecessor().unwrap_or(me);
                 let full = KeyRangeSet::of_range(space, range);
                 let local = full.extract_arc_oc(space, pred.key, me.key);
-                if !local.is_empty() {
-                    self.deliver(payload.clone(), local, class, hops, src, ctx);
-                }
-                if range.contains(space, me.key) && me.key != range.end() {
-                    if let Some(succ) = self.state.successor() {
+                // Decide whether the walk continues before delivering, so
+                // the terminal hop can move the payload out of its Rc
+                // instead of deep-copying it.
+                let next = if range.contains(space, me.key) && me.key != range.end() {
+                    self.state.successor()
+                } else {
+                    None
+                };
+                match next {
+                    Some(succ) => {
+                        if !local.is_empty() {
+                            let p = take_payload(Rc::clone(&payload));
+                            self.deliver(p, local, class, hops, src, ctx);
+                        }
                         ctx.send(
                             succ.idx,
                             class,
@@ -407,17 +491,29 @@ impl<A: PastryApp> Node for PastryNode<A> {
                             },
                         );
                     }
+                    None => {
+                        if !local.is_empty() {
+                            self.deliver(take_payload(payload), local, class, hops, src, ctx);
+                        }
+                    }
                 }
             }
             PastryMsg::Direct { payload } => {
-                let mut svc = PastrySvc { state: &self.state, ctx };
+                let payload = take_payload(payload);
+                let mut svc = PastrySvc {
+                    state: &self.state,
+                    ctx,
+                };
                 self.app.on_direct(sender, payload, &mut svc);
             }
         }
     }
 
     fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>) {
-        let mut svc = PastrySvc { state: &self.state, ctx };
+        let mut svc = PastrySvc {
+            state: &self.state,
+            ctx,
+        };
         self.app.on_timer(timer, &mut svc);
     }
 }

@@ -140,20 +140,23 @@ impl PastryPubSubNetwork {
         sub: Subscription,
         ttl: Option<SimDuration>,
     ) -> SubId {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc))
+        })
     }
 
     /// Withdraws a subscription previously issued by `node`.
     pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.unsubscribe(id, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.unsubscribe(id, svc))
+        })
     }
 
     /// Publishes an event from `node`.
     pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
-        self.sim
-            .with_node(node, |n, ctx| n.app_call(ctx, |app, svc| app.publish(event, svc)))
+        self.sim.with_node(node, |n, ctx| {
+            n.app_call(ctx, |app, svc| app.publish(event, svc))
+        })
     }
 
     /// Advances the simulation to `t`.
@@ -169,7 +172,10 @@ impl PastryPubSubNetwork {
 
     /// Peak stored-subscription count per node.
     pub fn peak_stored_counts(&self) -> Vec<usize> {
-        self.sim.nodes().map(|(_, n)| n.app().store().peak()).collect()
+        self.sim
+            .nodes()
+            .map(|(_, n)| n.app().store().peak())
+            .collect()
     }
 }
 
@@ -220,8 +226,9 @@ impl PastryPubSubNetworkBuilder {
             "replication factor exceeds the leaf-set length"
         );
         let cfg = self.pubsub.into_shared();
-        let apps: Vec<PubSubNode> =
-            (0..self.nodes).map(|_| PubSubNode::new(Arc::clone(&cfg))).collect();
+        let apps: Vec<PubSubNode> = (0..self.nodes)
+            .map(|_| PubSubNode::new(Arc::clone(&cfg)))
+            .collect();
         let (sim, ring) = build_pastry_stable(self.net, self.pastry, apps);
         PastryPubSubNetwork { sim, ring, cfg }
     }

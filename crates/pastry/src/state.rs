@@ -1,7 +1,7 @@
 //! Per-node Pastry routing state: leaf set + prefix routing table, and the
 //! routing / multicast-split decisions built on them.
 
-use cbps_overlay::{Key, KeySpace, KeyRangeSet, Peer, RingView};
+use cbps_overlay::{Key, KeyRangeSet, KeySpace, Peer, RingView};
 
 /// Configuration of a Pastry overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,7 +18,11 @@ impl PastryConfig {
     /// The evaluation default: the paper's `2^13` key space, 4 leaves per
     /// side.
     pub fn paper_default() -> Self {
-        PastryConfig { space: KeySpace::new(13), leaf_len: 4, max_route_hops: 64 }
+        PastryConfig {
+            space: KeySpace::new(13),
+            leaf_len: 4,
+            max_route_hops: 64,
+        }
     }
 
     /// Replaces the key space.
@@ -118,7 +122,13 @@ impl PastryState {
                 None
             });
         }
-        PastryState { cfg, me, leaves_cw, leaves_ccw, table }
+        PastryState {
+            cfg,
+            me,
+            leaves_cw,
+            leaves_ccw,
+            table,
+        }
     }
 
     /// This node's identity.
@@ -243,7 +253,10 @@ impl PastryState {
                 bundles.push((peer, part));
             }
         };
-        add(boundaries[0], targets.extract_arc_oc(space, self.me.key, boundaries[0].key));
+        add(
+            boundaries[0],
+            targets.extract_arc_oc(space, self.me.key, boundaries[0].key),
+        );
         for w in boundaries.windows(2) {
             add(w[0], targets.extract_arc_oc(space, w[0].key, w[1].key));
         }
@@ -261,7 +274,10 @@ mod tests {
         let peers = keys
             .iter()
             .enumerate()
-            .map(|(i, &k)| Peer { idx: i, key: space.key(k) })
+            .map(|(i, &k)| Peer {
+                idx: i,
+                key: space.key(k),
+            })
             .collect();
         RingView::new(space, peers)
     }
@@ -269,17 +285,32 @@ mod tests {
     #[test]
     fn common_prefix_lengths() {
         let s = KeySpace::new(8);
-        assert_eq!(common_prefix_len(s, s.key(0b1010_0000), s.key(0b1010_0000)), 8);
-        assert_eq!(common_prefix_len(s, s.key(0b1010_0000), s.key(0b1010_0001)), 7);
-        assert_eq!(common_prefix_len(s, s.key(0b1010_0000), s.key(0b0010_0000)), 0);
-        assert_eq!(common_prefix_len(s, s.key(0b1011_0000), s.key(0b1010_0000)), 3);
+        assert_eq!(
+            common_prefix_len(s, s.key(0b1010_0000), s.key(0b1010_0000)),
+            8
+        );
+        assert_eq!(
+            common_prefix_len(s, s.key(0b1010_0000), s.key(0b1010_0001)),
+            7
+        );
+        assert_eq!(
+            common_prefix_len(s, s.key(0b1010_0000), s.key(0b0010_0000)),
+            0
+        );
+        assert_eq!(
+            common_prefix_len(s, s.key(0b1011_0000), s.key(0b1010_0000)),
+            3
+        );
     }
 
     #[test]
     fn converged_leaf_sets() {
         let s = KeySpace::new(8);
         let ring = ring_of(&[10, 50, 100, 150, 200, 250], s);
-        let me = Peer { idx: 2, key: s.key(100) };
+        let me = Peer {
+            idx: 2,
+            key: s.key(100),
+        };
         let st = PastryState::converged(PastryConfig::paper_default().with_space(s), me, &ring);
         let cw: Vec<u64> = st.successors().iter().map(|p| p.key.value()).collect();
         assert_eq!(cw, vec![150, 200, 250, 10]);
@@ -292,7 +323,10 @@ mod tests {
     fn routing_table_points_into_opposite_subtrees() {
         let s = KeySpace::new(8);
         let ring = ring_of(&[0b0001_0000, 0b0100_0000, 0b1000_0000, 0b1100_0000], s);
-        let me = Peer { idx: 0, key: s.key(0b0001_0000) };
+        let me = Peer {
+            idx: 0,
+            key: s.key(0b0001_0000),
+        };
         let st = PastryState::converged(PastryConfig::paper_default().with_space(s), me, &ring);
         // Row 0: nodes starting with bit 1 → first of {0b1000.., 0b1100..}.
         let r0 = st.table()[0].unwrap();

@@ -4,13 +4,10 @@
 
 use std::collections::BTreeSet;
 
-use cbps::{
-    EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId,
-};
+use cbps::{EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId};
 use cbps_overlay::{KeyRange, KeyRangeSet, RingView};
 use cbps_pastry::{
-    build_pastry_stable, common_prefix_len, PastryApp, PastryConfig, PastryPubSubNetwork,
-    PastrySvc,
+    build_pastry_stable, common_prefix_len, PastryApp, PastryConfig, PastryPubSubNetwork, PastrySvc,
 };
 use cbps_sim::{NetConfig, TrafficClass};
 use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
@@ -75,10 +72,18 @@ fn cross_overlay_check(kind: MappingKind, primitive: Primitive, seed: u64) {
         set
     };
     let chord_set = collect(&|i| {
-        chord.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect()
+        chord
+            .delivered(i)
+            .iter()
+            .map(|n| (n.sub_id, n.event_id))
+            .collect()
     });
     let pastry_set = collect(&|i| {
-        pastry.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect()
+        pastry
+            .delivered(i)
+            .iter()
+            .map(|n| (n.sub_id, n.event_id))
+            .collect()
     });
     assert!(!chord_set.is_empty(), "workload produced no deliveries");
     assert_eq!(
@@ -132,7 +137,11 @@ impl PastryApp for Probe {
 fn probe_net(
     n: usize,
     seed: u64,
-) -> (cbps_sim::Simulator<cbps_pastry::PastryNode<Probe>>, RingView, PastryConfig) {
+) -> (
+    cbps_sim::Simulator<cbps_pastry::PastryNode<Probe>>,
+    RingView,
+    PastryConfig,
+) {
     let cfg = PastryConfig::paper_default();
     let apps: Vec<Probe> = (0..n).map(|_| Probe::default()).collect();
     let (sim, ring) = build_pastry_stable(NetConfig::new(seed), cfg, apps);
@@ -191,8 +200,11 @@ fn pastry_mcast_exactly_once_over_covering_nodes() {
     let mut targets = KeyRangeSet::new();
     targets.insert_range(space, KeyRange::new(space.key(7000), space.key(1500))); // wraps
     targets.insert_range(space, KeyRange::new(space.key(4000), space.key(4400)));
-    let expected: BTreeSet<usize> =
-        ring.covering_nodes(&targets).iter().map(|p| p.idx).collect();
+    let expected: BTreeSet<usize> = ring
+        .covering_nodes(&targets)
+        .iter()
+        .map(|p| p.idx)
+        .collect();
     sim.with_node(9, |node, ctx| {
         node.app_call(ctx, |_, svc| {
             use cbps_overlay::OverlayServices;
@@ -217,7 +229,10 @@ fn common_prefix_len_is_symmetric_and_bounded() {
     for (a, b) in [(0u64, 8191u64), (4096, 4097), (123, 123), (1, 2)] {
         let ka = space.key(a);
         let kb = space.key(b);
-        assert_eq!(common_prefix_len(space, ka, kb), common_prefix_len(space, kb, ka));
+        assert_eq!(
+            common_prefix_len(space, ka, kb),
+            common_prefix_len(space, kb, ka)
+        );
         assert!(common_prefix_len(space, ka, kb) <= 13);
     }
     assert_eq!(common_prefix_len(space, space.key(5), space.key(5)), 13);

@@ -1,12 +1,11 @@
 //! Zipf-distributed sampling.
 //!
-//! §5.1: centers of selective constraints "are chosen … following a Zipf
-//! distribution". No offline crate provides one, so this is a CDF-table
-//! sampler: exact, O(log n) per sample, one-time O(n) setup. The paper's
-//! domain (10^6 values) costs 8 MB per table, built lazily and shared per
-//! generator.
+//! §5.1 of the paper: centers of selective constraints "are chosen …
+//! following a Zipf distribution". This is a CDF-table sampler: exact,
+//! O(log n) per sample, one-time O(n) setup. The paper's domain (10^6
+//! values) costs 8 MB per table, built lazily and shared per generator.
 
-use rand::Rng;
+use crate::Rng;
 
 /// A Zipf distribution over ranks `1..=n` with exponent `s`:
 /// `P(k) ∝ k^(-s)`.
@@ -14,11 +13,10 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use cbps_workload::Zipf;
-/// use rand::{rngs::StdRng, SeedableRng};
+/// use cbps_rng::{Rng, Zipf};
 ///
 /// let zipf = Zipf::new(1000, 1.0);
-/// let mut rng = StdRng::seed_from_u64(7);
+/// let mut rng = Rng::seed_from_u64(7);
 /// let rank = zipf.sample(&mut rng);
 /// assert!((1..=1000).contains(&rank));
 /// ```
@@ -38,7 +36,10 @@ impl Zipf {
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "zipf needs a non-empty support");
         assert!(n <= 1 << 24, "zipf support too large for a CDF table: {n}");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and >= 0, got {s}"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for k in 1..=n {
@@ -58,8 +59,8 @@ impl Zipf {
     }
 
     /// Draws a rank in `1..=n`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.f64();
         let idx = self.cdf.partition_point(|&c| c < u);
         (idx as u64 + 1).min(self.n())
     }
@@ -83,8 +84,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn pmf_follows_power_law() {
@@ -99,7 +98,7 @@ mod tests {
     #[test]
     fn samples_match_pmf() {
         let z = Zipf::new(100, 1.0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut counts = vec![0u32; 100];
         let draws = 200_000;
         for _ in 0..draws {
@@ -116,6 +115,20 @@ mod tests {
     }
 
     #[test]
+    fn sample_mean_matches_analytic_mean() {
+        let z = Zipf::new(50, 0.5);
+        let analytic: f64 = (1..=50).map(|k| k as f64 * z.pmf(k)).sum();
+        let mut rng = Rng::seed_from_u64(5);
+        let draws = 200_000;
+        let sum: u64 = (0..draws).map(|_| z.sample(&mut rng)).sum();
+        let mean = sum as f64 / draws as f64;
+        assert!(
+            (mean - analytic).abs() < analytic * 0.02,
+            "zipf mean {mean} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
     fn zero_exponent_is_uniform() {
         let z = Zipf::new(50, 0.0);
         assert!((z.pmf(1) - z.pmf(50)).abs() < 1e-12);
@@ -124,7 +137,7 @@ mod tests {
     #[test]
     fn sample_stays_in_support() {
         let z = Zipf::new(3, 1.5);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for _ in 0..1000 {
             let k = z.sample(&mut rng);
             assert!((1..=3).contains(&k));

@@ -1,7 +1,7 @@
 //! Simulation configuration: network delay model, loss injection, seed.
 
 use crate::time::SimDuration;
-use rand::Rng;
+use cbps_rng::Rng;
 
 /// How long a one-hop message takes to travel between two nodes.
 ///
@@ -23,7 +23,8 @@ pub enum DelayModel {
 
 impl DelayModel {
     /// Samples a delay for one message.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+    #[inline]
+    pub fn sample(&self, rng: &mut Rng) -> SimDuration {
         match *self {
             DelayModel::Fixed(d) => d,
             DelayModel::Uniform { min, max } => {
@@ -88,7 +89,10 @@ impl NetConfig {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn with_loss_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability {p} out of [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "loss probability {p} out of [0, 1]"
+        );
         self.loss_probability = p;
         self
     }
@@ -103,12 +107,10 @@ impl Default for NetConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn fixed_delay_is_constant() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let m = DelayModel::Fixed(SimDuration::from_millis(50));
         for _ in 0..10 {
             assert_eq!(m.sample(&mut rng), SimDuration::from_millis(50));
@@ -117,7 +119,7 @@ mod tests {
 
     #[test]
     fn uniform_delay_within_bounds() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let min = SimDuration::from_millis(10);
         let max = SimDuration::from_millis(20);
         let m = DelayModel::Uniform { min, max };

@@ -198,8 +198,7 @@ mod tests {
 
     #[test]
     fn message_loss_drops_but_counts() {
-        let mut sim: Simulator<Echo> =
-            Simulator::new(NetConfig::new(0).with_loss_probability(1.0));
+        let mut sim: Simulator<Echo> = Simulator::new(NetConfig::new(0).with_loss_probability(1.0));
         let a = sim.add_node(Echo::new(1));
         let b = sim.add_node(Echo::new(0));
         sim.with_node(a, |_, ctx| ctx.send(b, TrafficClass::OTHER, 9));
@@ -212,12 +211,11 @@ mod tests {
     #[test]
     fn deterministic_across_runs() {
         let run = |seed| {
-            let mut sim: Simulator<Echo> = Simulator::new(
-                NetConfig::new(seed).with_delay(DelayModel::Uniform {
+            let mut sim: Simulator<Echo> =
+                Simulator::new(NetConfig::new(seed).with_delay(DelayModel::Uniform {
                     min: SimDuration::from_millis(10),
                     max: SimDuration::from_millis(90),
-                }),
-            );
+                }));
             let a = sim.add_node(Echo::new(1));
             let b = sim.add_node(Echo::new(0));
             sim.with_node(a, |_, ctx| ctx.send(b, TrafficClass::OTHER, 20));
@@ -280,9 +278,18 @@ mod tests {
     #[test]
     fn send_failed_fires_for_crashed_targets_and_allows_retry() {
         let mut sim: Simulator<Retrier> = Simulator::new(NetConfig::new(0));
-        let a = sim.add_node(Retrier { backup: 2, failures: vec![] });
-        let b = sim.add_node(Retrier { backup: 0, failures: vec![] });
-        let c = sim.add_node(Retrier { backup: 0, failures: vec![] });
+        let a = sim.add_node(Retrier {
+            backup: 2,
+            failures: vec![],
+        });
+        let b = sim.add_node(Retrier {
+            backup: 0,
+            failures: vec![],
+        });
+        let c = sim.add_node(Retrier {
+            backup: 0,
+            failures: vec![],
+        });
         sim.crash(b);
         sim.with_node(a, |_, ctx| ctx.send(b, TrafficClass::OTHER, 7));
         sim.run();
@@ -296,8 +303,14 @@ mod tests {
     #[test]
     fn send_failed_not_fired_when_sender_also_dead() {
         let mut sim: Simulator<Retrier> = Simulator::new(NetConfig::new(0));
-        let a = sim.add_node(Retrier { backup: 1, failures: vec![] });
-        let b = sim.add_node(Retrier { backup: 0, failures: vec![] });
+        let a = sim.add_node(Retrier {
+            backup: 1,
+            failures: vec![],
+        });
+        let b = sim.add_node(Retrier {
+            backup: 0,
+            failures: vec![],
+        });
         sim.with_node(a, |_, ctx| ctx.send(b, TrafficClass::OTHER, 7));
         sim.crash(a);
         sim.crash(b);
@@ -309,8 +322,14 @@ mod tests {
     fn randomly_lost_messages_do_not_trigger_send_failed() {
         let mut sim: Simulator<Retrier> =
             Simulator::new(NetConfig::new(0).with_loss_probability(1.0));
-        let a = sim.add_node(Retrier { backup: 1, failures: vec![] });
-        let b = sim.add_node(Retrier { backup: 0, failures: vec![] });
+        let a = sim.add_node(Retrier {
+            backup: 1,
+            failures: vec![],
+        });
+        let b = sim.add_node(Retrier {
+            backup: 0,
+            failures: vec![],
+        });
         sim.with_node(a, |_, ctx| ctx.send(b, TrafficClass::OTHER, 7));
         sim.run();
         assert!(sim.node(a).failures.is_empty(), "loss must be silent");
@@ -330,10 +349,19 @@ mod tests {
         assert_eq!(trace.with_tag("kickoff").count(), 1);
         // b's delivery, a's bounce delivery, a's timer.
         assert_eq!(
-            trace.entries().filter(|e| e.kind == TraceKind::Deliver).count(),
+            trace
+                .entries()
+                .filter(|e| e.kind == TraceKind::Deliver)
+                .count(),
             2
         );
-        assert_eq!(trace.entries().filter(|e| e.kind == TraceKind::Timer).count(), 1);
+        assert_eq!(
+            trace
+                .entries()
+                .filter(|e| e.kind == TraceKind::Timer)
+                .count(),
+            1
+        );
         assert_eq!(trace.for_node(b).count(), 1);
         // Entries are in time order.
         let times: Vec<_> = trace.entries().map(|e| e.at).collect();

@@ -9,8 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cbps_rng::Rng;
 
 use crate::config::NetConfig;
 use crate::metrics::{Metrics, TrafficClass};
@@ -64,7 +63,7 @@ pub trait Node {
 pub struct Context<'a, M, T> {
     node: NodeIdx,
     time: SimTime,
-    rng: &'a mut StdRng,
+    rng: &'a mut Rng,
     metrics: &'a mut Metrics,
     tracer: &'a mut Tracer,
     actions: &'a mut Vec<Action<M, T>>,
@@ -89,7 +88,7 @@ impl<'a, M, T> Context<'a, M, T> {
     }
 
     /// The run's deterministic random number generator.
-    pub fn rng(&mut self) -> &mut StdRng {
+    pub fn rng(&mut self) -> &mut Rng {
         self.rng
     }
 
@@ -133,22 +132,46 @@ impl<'a, M, T> Context<'a, M, T> {
 
 #[derive(Debug)]
 enum EventKind<M, T> {
-    Deliver { from: NodeIdx, to: NodeIdx, msg: M },
-    Timer { node: NodeIdx, timer: T },
+    Deliver {
+        from: NodeIdx,
+        to: NodeIdx,
+        msg: M,
+    },
+    Timer {
+        node: NodeIdx,
+        timer: T,
+    },
     /// External injection: delivered as a message from the node to itself
     /// without a network hop (used by workload drivers).
-    Inject { to: NodeIdx, msg: M },
+    Inject {
+        to: NodeIdx,
+        msg: M,
+    },
 }
 
 struct Scheduled<M, T> {
-    time: SimTime,
-    seq: u64,
+    /// `(time << 64) | seq` packed into one word so the heap's sift
+    /// compares resolve with a single branch-free integer comparison
+    /// instead of a lexicographic pair compare.
+    key: u128,
     kind: EventKind<M, T>,
+}
+
+impl<M, T> Scheduled<M, T> {
+    #[inline]
+    fn pack(time: SimTime, seq: u64) -> u128 {
+        ((time.as_micros() as u128) << 64) | seq as u128
+    }
+
+    #[inline]
+    fn time(&self) -> SimTime {
+        SimTime::from_micros((self.key >> 64) as u64)
+    }
 }
 
 impl<M, T> PartialEq for Scheduled<M, T> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.key == other.key
     }
 }
 impl<M, T> Eq for Scheduled<M, T> {}
@@ -158,9 +181,10 @@ impl<M, T> PartialOrd for Scheduled<M, T> {
     }
 }
 impl<M, T> Ord for Scheduled<M, T> {
+    #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
@@ -206,11 +230,12 @@ pub struct Simulator<N: Node> {
     time: SimTime,
     seq: u64,
     config: NetConfig,
-    rng: StdRng,
+    rng: Rng,
     metrics: Metrics,
     tracer: Tracer,
     actions: Vec<Action<N::Msg, N::Timer>>,
     events_processed: u64,
+    queue_peak: usize,
 }
 
 impl<N: Node> std::fmt::Debug for Simulator<N> {
@@ -224,22 +249,24 @@ impl<N: Node> std::fmt::Debug for Simulator<N> {
     }
 }
 
-
 impl<N: Node> Simulator<N> {
     /// Creates a simulator with no nodes.
     pub fn new(config: NetConfig) -> Self {
         Simulator {
             nodes: Vec::new(),
             alive: Vec::new(),
-            queue: BinaryHeap::new(),
+            // Pre-sized so steady-state simulation almost never regrows
+            // the heap's backing buffer mid-run.
+            queue: BinaryHeap::with_capacity(4096),
             time: SimTime::ZERO,
             seq: 0,
             config,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Rng::seed_from_u64(config.seed),
             metrics: Metrics::new(),
             tracer: Tracer::new(0),
             actions: Vec::new(),
             events_processed: 0,
+            queue_peak: 0,
         }
     }
 
@@ -323,6 +350,12 @@ impl<N: Node> Simulator<N> {
         self.events_processed
     }
 
+    /// The deepest the event queue has ever been (a capacity-planning and
+    /// perf-baseline statistic; see `bench --json`).
+    pub fn queue_peak(&self) -> usize {
+        self.queue_peak
+    }
+
     /// The run's metrics.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -335,7 +368,7 @@ impl<N: Node> Simulator<N> {
 
     /// The run's deterministic RNG (e.g. for workload sampling that should
     /// share the run's seed).
-    pub fn rng_mut(&mut self) -> &mut StdRng {
+    pub fn rng_mut(&mut self) -> &mut Rng {
         &mut self.rng
     }
 
@@ -348,12 +381,7 @@ impl<N: Node> Simulator<N> {
     /// Panics if `when` is in the past.
     pub fn inject_at(&mut self, when: SimTime, to: NodeIdx, msg: N::Msg) {
         assert!(when >= self.time, "cannot schedule in the past");
-        let seq = self.next_seq();
-        self.queue.push(Scheduled {
-            time: when,
-            seq,
-            kind: EventKind::Inject { to, msg },
-        });
+        self.push_event(when, EventKind::Inject { to, msg });
     }
 
     /// Schedules a timer upcall on `node` at absolute time `when`.
@@ -363,12 +391,7 @@ impl<N: Node> Simulator<N> {
     /// Panics if `when` is in the past.
     pub fn arm_timer_at(&mut self, when: SimTime, node: NodeIdx, timer: N::Timer) {
         assert!(when >= self.time, "cannot schedule in the past");
-        let seq = self.next_seq();
-        self.queue.push(Scheduled {
-            time: when,
-            seq,
-            kind: EventKind::Timer { node, timer },
-        });
+        self.push_event(when, EventKind::Timer { node, timer });
     }
 
     /// Runs a closure against a node with a live [`Context`], then applies
@@ -406,8 +429,8 @@ impl<N: Node> Simulator<N> {
         let Some(event) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(event.time >= self.time, "event queue went backwards");
-        self.time = event.time;
+        debug_assert!(event.time() >= self.time, "event queue went backwards");
+        self.time = event.time();
         self.events_processed += 1;
         match event.kind {
             EventKind::Deliver { from, to, msg } => {
@@ -500,10 +523,15 @@ impl<N: Node> Simulator<N> {
         self.actions = actions;
     }
 
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
+    #[inline]
+    fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Timer>) {
+        let seq = self.seq;
         self.seq += 1;
-        s
+        self.queue.push(Scheduled {
+            key: Scheduled::<N::Msg, N::Timer>::pack(time, seq),
+            kind,
+        });
+        self.queue_peak = self.queue_peak.max(self.queue.len());
     }
 
     fn apply_actions(&mut self, origin: NodeIdx, actions: &mut Vec<Action<N::Msg, N::Timer>>) {
@@ -513,44 +541,38 @@ impl<N: Node> Simulator<N> {
                     // Loss is decided at send time; lost messages were
                     // already counted by Context::send.
                     if self.config.loss_probability > 0.0
-                        && self.rng.gen::<f64>() < self.config.loss_probability
+                        && self.rng.f64() < self.config.loss_probability
                     {
                         continue;
                     }
                     let delay = self.config.delay.sample(&mut self.rng);
-                    let seq = self.next_seq();
-                    self.queue.push(Scheduled {
-                        time: self.time + delay,
-                        seq,
-                        kind: EventKind::Deliver {
+                    self.push_event(
+                        self.time + delay,
+                        EventKind::Deliver {
                             from: origin,
                             to,
                             msg,
                         },
-                    });
+                    );
                 }
                 Action::SendLocal { msg } => {
-                    let seq = self.next_seq();
-                    self.queue.push(Scheduled {
-                        time: self.time,
-                        seq,
-                        kind: EventKind::Deliver {
+                    self.push_event(
+                        self.time,
+                        EventKind::Deliver {
                             from: origin,
                             to: origin,
                             msg,
                         },
-                    });
+                    );
                 }
                 Action::ArmTimer { delay, timer } => {
-                    let seq = self.next_seq();
-                    self.queue.push(Scheduled {
-                        time: self.time + delay,
-                        seq,
-                        kind: EventKind::Timer {
+                    self.push_event(
+                        self.time + delay,
+                        EventKind::Timer {
                             node: origin,
                             timer,
                         },
-                    });
+                    );
                 }
             }
         }
@@ -575,7 +597,7 @@ impl<N: Node> Simulator<N> {
     /// to exactly `until`.
     pub fn run_until(&mut self, until: SimTime) {
         while let Some(head) = self.queue.peek() {
-            if head.time > until {
+            if head.time() > until {
                 break;
             }
             self.step();

@@ -49,7 +49,11 @@ pub struct Tracer {
 impl Tracer {
     /// Creates a tracer retaining at most `capacity` entries.
     pub(crate) fn new(capacity: usize) -> Self {
-        Tracer { capacity, entries: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+        Tracer {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            dropped: 0,
+        }
     }
 
     pub(crate) fn record(&mut self, entry: TraceEntry) {
@@ -99,7 +103,12 @@ mod tests {
     use super::*;
 
     fn entry(t: u64, node: NodeIdx, tag: &'static str) -> TraceEntry {
-        TraceEntry { at: SimTime::from_secs(t), node, kind: TraceKind::Note, tag }
+        TraceEntry {
+            at: SimTime::from_secs(t),
+            node,
+            kind: TraceKind::Note,
+            tag,
+        }
     }
 
     #[test]

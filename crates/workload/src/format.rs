@@ -28,7 +28,11 @@ pub struct ParseTraceError {
 
 impl std::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -80,7 +84,10 @@ pub fn trace_from_str(space: &EventSpace, text: &str) -> Result<Trace, ParseTrac
     let mut ops = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;
-        let err = |message: String| ParseTraceError { line: line_no, message };
+        let err = |message: String| ParseTraceError {
+            line: line_no,
+            message,
+        };
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -104,7 +111,9 @@ pub fn trace_from_str(space: &EventSpace, text: &str) -> Result<Trace, ParseTrac
                     None
                 } else {
                     Some(SimDuration::from_micros(
-                        ttl_field.parse::<u64>().map_err(|e| err(format!("bad ttl: {e}")))?,
+                        ttl_field
+                            .parse::<u64>()
+                            .map_err(|e| err(format!("bad ttl: {e}")))?,
                     ))
                 };
                 let mut constraints = Vec::with_capacity(space.dims());
@@ -187,11 +196,18 @@ mod tests {
     #[test]
     fn wildcards_and_no_ttl_round_trip() {
         let space = EventSpace::paper_default();
-        let sub = Subscription::builder(&space).range("a2", 5, 10).unwrap().build().unwrap();
+        let sub = Subscription::builder(&space)
+            .range("a2", 5, 10)
+            .unwrap()
+            .build()
+            .unwrap();
         let trace = Trace::new(vec![Op {
             at: SimTime::from_millis(1500),
             node: 3,
-            kind: OpKind::Subscribe { sub: sub.clone(), ttl: None },
+            kind: OpKind::Subscribe {
+                sub: sub.clone(),
+                ttl: None,
+            },
         }]);
         let text = trace_to_string(&space, &trace);
         assert!(text.contains("sub 1500000 3 - - - 5:10 -"));

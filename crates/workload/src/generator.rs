@@ -12,12 +12,10 @@
 //! 5s … matching probability is 0.5."
 
 use cbps::{Event, EventSpace, Subscription};
+use cbps_rng::{Rng, Zipf};
 use cbps_sim::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::trace::{Op, OpKind, Trace};
-use crate::zipf::Zipf;
 
 /// Knobs of the paper's synthetic workload.
 #[derive(Clone, Debug)]
@@ -89,7 +87,10 @@ impl WorkloadConfig {
     ///
     /// Panics if `k` exceeds the dimension count.
     pub fn with_selective_attrs(mut self, k: usize) -> Self {
-        assert!(k <= self.selective.len(), "more selective attributes than dimensions");
+        assert!(
+            k <= self.selective.len(),
+            "more selective attributes than dimensions"
+        );
         for (i, flag) in self.selective.iter_mut().enumerate() {
             *flag = i < k;
         }
@@ -109,7 +110,10 @@ impl WorkloadConfig {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn with_matching_probability(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "matching probability {p} out of [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "matching probability {p} out of [0, 1]"
+        );
         self.matching_probability = p;
         self
     }
@@ -137,7 +141,7 @@ impl WorkloadConfig {
 pub struct WorkloadGen {
     space: EventSpace,
     cfg: WorkloadConfig,
-    rng: StdRng,
+    rng: Rng,
     /// Lazily-built Zipf table per selective attribute.
     zipfs: Vec<Option<Zipf>>,
 }
@@ -157,7 +161,12 @@ impl WorkloadGen {
         );
         assert!(cfg.nodes > 0, "workload needs at least one node");
         let zipfs = vec![None; space.dims()];
-        WorkloadGen { space, cfg, rng: StdRng::seed_from_u64(seed), zipfs }
+        WorkloadGen {
+            space,
+            cfg,
+            rng: Rng::seed_from_u64(seed),
+            zipfs,
+        }
     }
 
     /// The event space.
@@ -177,7 +186,7 @@ impl WorkloadGen {
             let mut constraints = Vec::with_capacity(self.space.dims());
             for i in 0..self.space.dims() {
                 if self.cfg.wildcard_probability > 0.0
-                    && self.rng.gen::<f64>() < self.cfg.wildcard_probability
+                    && self.rng.f64() < self.cfg.wildcard_probability
                 {
                     constraints.push(None);
                     continue;
@@ -256,8 +265,7 @@ impl WorkloadGen {
         let mut pub_times = Vec::with_capacity(self.cfg.publications);
         let mut t = self.cfg.start;
         for _ in 0..self.cfg.publications {
-            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-            let gap = -u.ln() * self.cfg.pub_mean.as_secs_f64();
+            let gap = self.rng.exp(self.cfg.pub_mean.as_secs_f64());
             t += SimDuration::from_secs_f64(gap);
             pub_times.push(t);
         }
@@ -265,8 +273,8 @@ impl WorkloadGen {
         // Generate in global time order so "live subscriptions" are exactly
         // those already issued and not yet expired.
         let mut live: Vec<(SimTime, Subscription)> = Vec::new(); // (expiry, sub)
-        // Temporal-locality state: the current seed subscription and how
-        // many more matching events it should still produce.
+                                                                 // Temporal-locality state: the current seed subscription and how
+                                                                 // many more matching events it should still produce.
         let mut streak: Option<(Subscription, u64)> = None;
         let (mut si, mut pi) = (0, 0);
         while si < sub_times.len() || pi < pub_times.len() {
@@ -285,15 +293,16 @@ impl WorkloadGen {
                 ops.push(Op {
                     at,
                     node: self.rng.gen_range(0..self.cfg.nodes),
-                    kind: OpKind::Subscribe { sub, ttl: self.cfg.sub_ttl },
+                    kind: OpKind::Subscribe {
+                        sub,
+                        ttl: self.cfg.sub_ttl,
+                    },
                 });
             } else {
                 let at = pub_times[pi];
                 pi += 1;
                 live.retain(|(expiry, _)| *expiry > at);
-                let event = if !live.is_empty()
-                    && self.rng.gen::<f64>() < self.cfg.matching_probability
-                {
+                let event = if !live.is_empty() && self.rng.f64() < self.cfg.matching_probability {
                     let seed = match streak.take() {
                         Some((sub, left)) if left > 0 => {
                             streak = Some((sub.clone(), left - 1));
@@ -303,8 +312,7 @@ impl WorkloadGen {
                             let k = self.rng.gen_range(0..live.len());
                             let sub = live[k].1.clone();
                             if self.cfg.seed_streak > 1 {
-                                streak =
-                                    Some((sub.clone(), self.cfg.seed_streak - 1));
+                                streak = Some((sub.clone(), self.cfg.seed_streak - 1));
                             }
                             sub
                         }
@@ -367,7 +375,10 @@ mod tests {
         }
         let sel_mean = sel_acc / n;
         let non_mean = non_acc / n;
-        assert!(sel_mean < non_mean / 4, "zipf mean {sel_mean} vs uniform mean {non_mean}");
+        assert!(
+            sel_mean < non_mean / 4,
+            "zipf mean {sel_mean} vs uniform mean {non_mean}"
+        );
     }
 
     #[test]
@@ -394,7 +405,10 @@ mod tests {
             .map(|o| o.at)
             .collect();
         assert_eq!(subs[0], SimTime::from_secs(1));
-        assert_eq!(subs[199], SimTime::from_secs(1) + SimDuration::from_secs(995));
+        assert_eq!(
+            subs[199],
+            SimTime::from_secs(1) + SimDuration::from_secs(995)
+        );
         // Poisson publications average ≈ 5 s apart.
         let pubs: Vec<SimTime> = trace
             .ops()
@@ -404,7 +418,10 @@ mod tests {
             .collect();
         let total = pubs.last().unwrap().saturating_since(SimTime::from_secs(1));
         let mean_gap = total.as_secs_f64() / 199.0;
-        assert!((2.5..10.0).contains(&mean_gap), "mean publication gap {mean_gap}");
+        assert!(
+            (2.5..10.0).contains(&mean_gap),
+            "mean publication gap {mean_gap}"
+        );
     }
 
     #[test]
@@ -432,7 +449,10 @@ mod tests {
             }
         }
         // Publications before the first subscription cannot match.
-        assert!(matched as f64 >= pubs as f64 * 0.8, "{matched}/{pubs} matched");
+        assert!(
+            matched as f64 >= pubs as f64 * 0.8,
+            "{matched}/{pubs} matched"
+        );
     }
 
     #[test]
@@ -454,11 +474,17 @@ mod tests {
     fn determinism() {
         let a = {
             let mut g = gen(1);
-            format!("{:?}", g.gen_trace().ops().iter().take(5).collect::<Vec<_>>())
+            format!(
+                "{:?}",
+                g.gen_trace().ops().iter().take(5).collect::<Vec<_>>()
+            )
         };
         let b = {
             let mut g = gen(1);
-            format!("{:?}", g.gen_trace().ops().iter().take(5).collect::<Vec<_>>())
+            format!(
+                "{:?}",
+                g.gen_trace().ops().iter().take(5).collect::<Vec<_>>()
+            )
         };
         assert_eq!(a, b);
     }

@@ -28,9 +28,8 @@
 mod format;
 pub(crate) mod generator;
 pub(crate) mod trace;
-mod zipf;
 
+pub use cbps_rng::Zipf;
 pub use format::{trace_from_str, trace_to_string, ParseTraceError};
 pub use generator::{WorkloadConfig, WorkloadGen};
 pub use trace::{Op, OpKind, ReplayOutcome, Trace};
-pub use zipf::Zipf;

@@ -62,12 +62,18 @@ impl Trace {
 
     /// Number of subscriptions in the trace.
     pub fn sub_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o.kind, OpKind::Subscribe { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Subscribe { .. }))
+            .count()
     }
 
     /// Number of publications in the trace.
     pub fn pub_count(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o.kind, OpKind::Publish { .. })).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Publish { .. }))
+            .count()
     }
 
     /// The time of the last operation ([`SimTime::ZERO`] when empty).
@@ -104,7 +110,11 @@ impl Trace {
                 }
             }
         }
-        ReplayOutcome { oracle, sub_ids, event_ids }
+        ReplayOutcome {
+            oracle,
+            sub_ids,
+            event_ids,
+        }
     }
 }
 
@@ -127,7 +137,11 @@ mod tests {
     #[test]
     fn trace_sorts_and_counts() {
         let space = EventSpace::paper_default();
-        let sub = Subscription::builder(&space).range("a0", 0, 10).unwrap().build().unwrap();
+        let sub = Subscription::builder(&space)
+            .range("a0", 0, 10)
+            .unwrap()
+            .build()
+            .unwrap();
         let event = Event::new(&space, vec![5, 0, 0, 0]).unwrap();
         let trace = Trace::new(vec![
             Op {
@@ -165,8 +179,16 @@ mod tests {
             .unwrap();
         let hit = Event::new(&space, vec![1, 150, 2, 3]).unwrap();
         let trace = Trace::new(vec![
-            Op { at: SimTime::from_secs(1), node: 0, kind: OpKind::Subscribe { sub, ttl: None } },
-            Op { at: SimTime::from_secs(60), node: 5, kind: OpKind::Publish { event: hit } },
+            Op {
+                at: SimTime::from_secs(1),
+                node: 0,
+                kind: OpKind::Subscribe { sub, ttl: None },
+            },
+            Op {
+                at: SimTime::from_secs(60),
+                node: 5,
+                kind: OpKind::Publish { event: hit },
+            },
         ]);
         let outcome = trace.replay(&mut net);
         net.run_for_secs(60);

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     publish_round(&mut net, 7_000);
     net.run_for_secs(120);
     let after: usize = (0..10).map(|s| net.delivered(s).len()).sum();
-    println!("phase 2 (after churn): {} new notifications delivered", after - before);
+    println!(
+        "phase 2 (after churn): {} new notifications delivered",
+        after - before
+    );
 
     let m = net.metrics();
     println!(
@@ -70,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.messages(TrafficClass::STATE_TRANSFER),
         m.counter("replicas.promoted"),
     );
-    println!("joined node {newcomer} now stores {} subscriptions", net.app(newcomer).store().len());
+    println!(
+        "joined node {newcomer} now stores {} subscriptions",
+        net.app(newcomer).store().len()
+    );
 
     assert!(after > before, "service must keep delivering after churn");
     Ok(())

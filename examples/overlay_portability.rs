@@ -21,8 +21,16 @@ fn main() {
         .with_mapping(MappingKind::SelectiveAttribute)
         .with_primitive(Primitive::MCast);
 
-    let mut chord = PubSubNetwork::builder().nodes(nodes).seed(seed).pubsub(pubsub.clone()).build();
-    let mut pastry = PastryPubSubNetwork::builder().nodes(nodes).seed(seed).pubsub(pubsub).build();
+    let mut chord = PubSubNetwork::builder()
+        .nodes(nodes)
+        .seed(seed)
+        .pubsub(pubsub.clone())
+        .build();
+    let mut pastry = PastryPubSubNetwork::builder()
+        .nodes(nodes)
+        .seed(seed)
+        .pubsub(pubsub)
+        .build();
 
     let wl = WorkloadConfig::paper_default(nodes, 4)
         .with_counts(50, 100)
@@ -55,14 +63,27 @@ fn main() {
     let deliveries = |f: &dyn Fn(usize) -> Vec<(cbps::SubId, cbps::EventId)>| {
         (0..nodes).flat_map(f).collect::<BTreeSet<_>>()
     };
-    let chord_set =
-        deliveries(&|i| chord.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect());
-    let pastry_set =
-        deliveries(&|i| pastry.delivered(i).iter().map(|n| (n.sub_id, n.event_id)).collect());
+    let chord_set = deliveries(&|i| {
+        chord
+            .delivered(i)
+            .iter()
+            .map(|n| (n.sub_id, n.event_id))
+            .collect()
+    });
+    let pastry_set = deliveries(&|i| {
+        pastry
+            .delivered(i)
+            .iter()
+            .map(|n| (n.sub_id, n.event_id))
+            .collect()
+    });
 
     println!("deliveries over Chord : {}", chord_set.len());
     println!("deliveries over Pastry: {}", pastry_set.len());
-    assert_eq!(chord_set, pastry_set, "the overlays must agree on every notification");
+    assert_eq!(
+        chord_set, pastry_set,
+        "the overlays must agree on every notification"
+    );
     println!("identical (sub, event) delivery sets ✓\n");
 
     for (name, m) in [("chord", chord.metrics()), ("pastry", pastry.metrics())] {

@@ -52,7 +52,10 @@ fn main() {
     let subs = subscriptions(&space);
     let keys = KeySpace::new(13);
 
-    println!("sensor network: {} subscriptions, each with an equality on 'kind'\n", subs.len());
+    println!(
+        "sensor network: {} subscriptions, each with an equality on 'kind'\n",
+        subs.len()
+    );
     println!("rendezvous keys per subscription (lower = cheaper to place and store):");
     for kind in [
         MappingKind::AttributeSplit,
@@ -60,8 +63,11 @@ fn main() {
         MappingKind::SelectiveAttribute,
     ] {
         let mapping = AkMapping::new(kind, &space, keys);
-        let mean: f64 =
-            subs.iter().map(|s| mapping.sk(s).count() as f64).sum::<f64>() / subs.len() as f64;
+        let mean: f64 = subs
+            .iter()
+            .map(|s| mapping.sk(s).count() as f64)
+            .sum::<f64>()
+            / subs.len() as f64;
         println!("  {kind}: {mean:.1}");
     }
 

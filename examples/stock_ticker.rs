@@ -89,8 +89,14 @@ fn main() {
         "buffer + collect: {col_msgs:>6} notification one-hop messages, {col_notes} notifications"
     );
 
-    assert_eq!(base_delivered, buf_delivered, "buffering must not lose ticks");
-    assert_eq!(base_delivered, col_delivered, "collecting must not lose ticks");
+    assert_eq!(
+        base_delivered, buf_delivered,
+        "buffering must not lose ticks"
+    );
+    assert_eq!(
+        base_delivered, col_delivered,
+        "collecting must not lose ticks"
+    );
     println!(
         "\nsavings vs immediate: buffering {:.0}%, buffering+collecting {:.0}%",
         100.0 * (1.0 - buf_msgs as f64 / base_msgs as f64),

@@ -8,8 +8,8 @@
 /// Everything a downstream experiment typically needs.
 pub mod prelude {
     pub use cbps::{
-        AkMapping, AttributeDef, Constraint, Event, EventId, EventSpace, MappingKind,
-        NotifyMode, Oracle, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription,
+        AkMapping, AttributeDef, Constraint, Event, EventId, EventSpace, MappingKind, NotifyMode,
+        Oracle, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription,
     };
     pub use cbps_overlay::{Key, KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer};
     pub use cbps_pastry::{PastryConfig, PastryPubSubNetwork};

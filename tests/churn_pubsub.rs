@@ -68,9 +68,16 @@ fn graceful_leave_hands_over_subscriptions() {
     let publisher = (0..net.len())
         .find(|&i| i != 1 && net.is_alive(i))
         .expect("some node besides the subscriber survives");
-    net.publish(publisher, Event::new(&space, vec![230_000, 1, 2, 3]).unwrap());
+    net.publish(
+        publisher,
+        Event::new(&space, vec![230_000, 1, 2, 3]).unwrap(),
+    );
     net.run_for_secs(120);
-    assert_eq!(net.delivered(1).len(), 1, "delivery broke after graceful leaves");
+    assert_eq!(
+        net.delivered(1).len(),
+        1,
+        "delivery broke after graceful leaves"
+    );
 }
 
 #[test]
@@ -167,7 +174,11 @@ fn joining_node_pulls_rendezvous_state() {
         net.run_for_secs(10);
     }
     net.run_for_secs(120);
-    assert_eq!(net.delivered(2).len(), 16, "deliveries lost around the join");
+    assert_eq!(
+        net.delivered(2).len(),
+        16,
+        "deliveries lost around the join"
+    );
 }
 
 #[test]
@@ -186,7 +197,11 @@ fn unsubscribe_cleans_replicas_too() {
 
     net.unsubscribe(4, id);
     net.run_for_secs(60);
-    assert_eq!(primary_copies(&net, id), 0, "primaries survived unsubscription");
+    assert_eq!(
+        primary_copies(&net, id),
+        0,
+        "primaries survived unsubscription"
+    );
     let replicas_after: usize = (0..net.len()).map(|i| net.app(i).replica_count()).sum();
     assert_eq!(replicas_after, 0, "replicas survived unsubscription");
 }

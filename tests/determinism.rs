@@ -1,11 +1,16 @@
 //! Reproducibility: the same seed and configuration must produce
-//! bit-identical metrics and deliveries; different seeds must not.
+//! bit-identical metrics and deliveries; different seeds must not; and
+//! the multi-core experiment runner must not change any result — each
+//! simulation is single-threaded, so farming independent runs out to a
+//! worker pool only reorders wall-clock execution, never outcomes.
 
-use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork};
+use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId};
 use cbps_sim::{NetConfig, SimDuration, TrafficClass};
 use cbps_workload::{WorkloadConfig, WorkloadGen};
 
-fn fingerprint(seed: u64) -> (u64, u64, u64, u64, Vec<usize>) {
+type Fingerprint = (u64, u64, u64, u64, Vec<usize>, Vec<(SubId, cbps::EventId)>);
+
+fn fingerprint(seed: u64) -> Fingerprint {
     let mut net = PubSubNetwork::builder()
         .nodes(50)
         .net_config(NetConfig::new(seed))
@@ -22,6 +27,10 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, u64, Vec<usize>) {
     let trace = gen.gen_trace();
     trace.replay(&mut net);
     net.run_until(trace.end_time() + SimDuration::from_secs(300));
+    let mut delivered: Vec<(SubId, cbps::EventId)> = (0..net.len())
+        .flat_map(|i| net.delivered(i).iter().map(|n| (n.sub_id, n.event_id)))
+        .collect();
+    delivered.sort_unstable();
     let m = net.metrics();
     (
         m.total_messages(),
@@ -29,6 +38,7 @@ fn fingerprint(seed: u64) -> (u64, u64, u64, u64, Vec<usize>) {
         m.counter("matches"),
         m.counter("notifications.delivered"),
         net.peak_stored_counts(),
+        delivered,
     )
 }
 
@@ -41,5 +51,24 @@ fn identical_seeds_are_bit_identical() {
 fn different_seeds_diverge() {
     let a = fingerprint(1);
     let b = fingerprint(2);
-    assert_ne!(a, b, "two seeds produced identical runs — RNG plumbing broken?");
+    assert_ne!(
+        a, b,
+        "two seeds produced identical runs — RNG plumbing broken?"
+    );
+}
+
+/// The same sweep run serially and with `--jobs 4` yields identical
+/// per-point fingerprints in identical order.
+#[test]
+fn parallel_runner_matches_serial() {
+    let seeds: Vec<u64> = vec![11, 22, 33, 44, 55, 66];
+    cbps_bench::runner::set_jobs(1);
+    let serial = cbps_bench::runner::parallel_map(seeds.clone(), fingerprint);
+    cbps_bench::runner::set_jobs(4);
+    let parallel = cbps_bench::runner::parallel_map(seeds, fingerprint);
+    cbps_bench::runner::set_jobs(1);
+    assert_eq!(
+        serial, parallel,
+        "worker pool changed simulation results — runs are not independent"
+    );
 }

@@ -2,14 +2,17 @@
 //! oracle, across all mappings × primitives × notification modes, on
 //! randomized workloads.
 
-use cbps::{
-    MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, SubId,
-};
+use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, SubId};
 use cbps_sim::{NetConfig, SimDuration};
 use cbps_workload::{OpKind, Trace, WorkloadConfig, WorkloadGen};
 use std::collections::BTreeSet;
 
-fn network(kind: MappingKind, primitive: Primitive, notify: NotifyMode, seed: u64) -> PubSubNetwork {
+fn network(
+    kind: MappingKind,
+    primitive: Primitive,
+    notify: NotifyMode,
+    seed: u64,
+) -> PubSubNetwork {
     PubSubNetwork::builder()
         .nodes(60)
         .net_config(NetConfig::new(seed))
@@ -74,7 +77,8 @@ fn check_exactly_once(kind: MappingKind, primitive: Primitive, notify: NotifyMod
         }
     }
     assert_eq!(
-        got, expected,
+        got,
+        expected,
         "{kind}/{primitive:?}/{notify:?}: delivered set diverges from oracle \
          (got {}, expected {})",
         got.len(),
@@ -84,22 +88,42 @@ fn check_exactly_once(kind: MappingKind, primitive: Primitive, notify: NotifyMod
 
 #[test]
 fn exactly_once_mapping1_unicast() {
-    check_exactly_once(MappingKind::AttributeSplit, Primitive::Unicast, NotifyMode::Immediate, 1);
+    check_exactly_once(
+        MappingKind::AttributeSplit,
+        Primitive::Unicast,
+        NotifyMode::Immediate,
+        1,
+    );
 }
 
 #[test]
 fn exactly_once_mapping1_mcast() {
-    check_exactly_once(MappingKind::AttributeSplit, Primitive::MCast, NotifyMode::Immediate, 2);
+    check_exactly_once(
+        MappingKind::AttributeSplit,
+        Primitive::MCast,
+        NotifyMode::Immediate,
+        2,
+    );
 }
 
 #[test]
 fn exactly_once_mapping2_unicast() {
-    check_exactly_once(MappingKind::KeySpaceSplit, Primitive::Unicast, NotifyMode::Immediate, 3);
+    check_exactly_once(
+        MappingKind::KeySpaceSplit,
+        Primitive::Unicast,
+        NotifyMode::Immediate,
+        3,
+    );
 }
 
 #[test]
 fn exactly_once_mapping2_mcast() {
-    check_exactly_once(MappingKind::KeySpaceSplit, Primitive::MCast, NotifyMode::Immediate, 4);
+    check_exactly_once(
+        MappingKind::KeySpaceSplit,
+        Primitive::MCast,
+        NotifyMode::Immediate,
+        4,
+    );
 }
 
 #[test]
@@ -114,12 +138,22 @@ fn exactly_once_mapping3_unicast() {
 
 #[test]
 fn exactly_once_mapping3_mcast() {
-    check_exactly_once(MappingKind::SelectiveAttribute, Primitive::MCast, NotifyMode::Immediate, 6);
+    check_exactly_once(
+        MappingKind::SelectiveAttribute,
+        Primitive::MCast,
+        NotifyMode::Immediate,
+        6,
+    );
 }
 
 #[test]
 fn exactly_once_mapping3_walk() {
-    check_exactly_once(MappingKind::SelectiveAttribute, Primitive::Walk, NotifyMode::Immediate, 7);
+    check_exactly_once(
+        MappingKind::SelectiveAttribute,
+        Primitive::Walk,
+        NotifyMode::Immediate,
+        7,
+    );
 }
 
 #[test]
@@ -127,7 +161,9 @@ fn exactly_once_with_buffering() {
     check_exactly_once(
         MappingKind::SelectiveAttribute,
         Primitive::MCast,
-        NotifyMode::Buffered { period: SimDuration::from_secs(5) },
+        NotifyMode::Buffered {
+            period: SimDuration::from_secs(5),
+        },
         8,
     );
 }
@@ -137,12 +173,19 @@ fn exactly_once_with_collecting() {
     check_exactly_once(
         MappingKind::SelectiveAttribute,
         Primitive::Unicast,
-        NotifyMode::Collecting { period: SimDuration::from_secs(5) },
+        NotifyMode::Collecting {
+            period: SimDuration::from_secs(5),
+        },
         9,
     );
 }
 
 #[test]
 fn exactly_once_mapping1_walk() {
-    check_exactly_once(MappingKind::AttributeSplit, Primitive::Walk, NotifyMode::Immediate, 10);
+    check_exactly_once(
+        MappingKind::AttributeSplit,
+        Primitive::Walk,
+        NotifyMode::Immediate,
+        10,
+    );
 }

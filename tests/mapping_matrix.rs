@@ -139,10 +139,7 @@ fn string_attributes_work_end_to_end() {
 fn tiny_spaces_and_small_keyspaces() {
     // 2-attribute space over small domains with an 8-bit ring exercises
     // the "stretching hash" path (2^l > |Ω_i|).
-    let space = EventSpace::new(vec![
-        AttributeDef::new("x", 50),
-        AttributeDef::new("y", 50),
-    ]);
+    let space = EventSpace::new(vec![AttributeDef::new("x", 50), AttributeDef::new("y", 50)]);
     for kind in [
         MappingKind::AttributeSplit,
         MappingKind::KeySpaceSplit,
@@ -151,9 +148,10 @@ fn tiny_spaces_and_small_keyspaces() {
         let mut net = PubSubNetwork::builder()
             .nodes(20)
             .net_config(NetConfig::new(35))
-            .overlay(cbps_overlay::OverlayConfig::paper_default().with_space(
-                cbps_overlay::KeySpace::new(8),
-            ))
+            .overlay(
+                cbps_overlay::OverlayConfig::paper_default()
+                    .with_space(cbps_overlay::KeySpace::new(8)),
+            )
             .pubsub(
                 PubSubConfig::paper_default()
                     .with_space(space.clone())

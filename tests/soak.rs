@@ -11,13 +11,10 @@
 
 use std::collections::BTreeSet;
 
-use cbps::{
-    EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription,
-};
+use cbps::{EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription};
+use cbps_rng::Rng;
 use cbps_sim::{NetConfig, SimDuration, SimTime};
 use cbps_workload::{WorkloadConfig, WorkloadGen};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Upper bound on end-to-end propagation (hops × delay with slack).
 const MARGIN: SimDuration = SimDuration::from_secs(10);
@@ -36,12 +33,16 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
     let mut net = PubSubNetwork::builder()
         .nodes(nodes)
         .net_config(NetConfig::new(seed))
-        .pubsub(PubSubConfig::paper_default().with_mapping(kind).with_primitive(primitive))
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(kind)
+                .with_primitive(primitive),
+        )
         .build();
     let space = net.config().space.clone();
     let wl = WorkloadConfig::paper_default(nodes, 4).with_matching_probability(1.0);
     let mut gen = WorkloadGen::new(space.clone(), wl, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xABCD);
 
     let mut subs: Vec<SubRecord> = Vec::new();
     let mut pubs: Vec<(EventId, cbps::Event, SimTime)> = Vec::new();
@@ -50,19 +51,25 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
     for step in 0..400u64 {
         let now = SimTime::from_secs(step * 5);
         net.run_until(now);
-        match rng.gen_range(0..10) {
+        match rng.gen_range(0u32..10) {
             // 30%: new subscription, sometimes with a TTL.
             0..=2 => {
                 let sub = gen.gen_subscription();
                 let node = rng.gen_range(0..nodes);
                 let ttl = if rng.gen_bool(0.4) {
-                    Some(SimDuration::from_secs(rng.gen_range(100..600)))
+                    Some(SimDuration::from_secs(rng.gen_range(100u64..600)))
                 } else {
                     None
                 };
                 let id = net.subscribe(node, sub.clone(), ttl);
                 let retired = ttl.map(|d| now + d).unwrap_or(SimTime::MAX);
-                subs.push(SubRecord { id, sub, node, issued: now, retired });
+                subs.push(SubRecord {
+                    id,
+                    sub,
+                    node,
+                    issued: now,
+                    retired,
+                });
             }
             // 10%: unsubscribe a random live subscription.
             3 => {
@@ -109,8 +116,7 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
             {
                 strict.insert((r.id, *eid));
             }
-            if r.issued <= *at + MARGIN
-                && (r.retired == SimTime::MAX || r.retired + MARGIN >= *at)
+            if r.issued <= *at + MARGIN && (r.retired == SimTime::MAX || r.retired + MARGIN >= *at)
             {
                 loose.insert((r.id, *eid));
             }
@@ -122,7 +128,10 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
     for i in 0..nodes {
         for note in net.delivered(i) {
             assert_eq!(note.sub_id.node(), i, "misrouted notification");
-            assert!(got.insert((note.sub_id, note.event_id)), "duplicate delivery");
+            assert!(
+                got.insert((note.sub_id, note.event_id)),
+                "duplicate delivery"
+            );
         }
     }
     for pair in &got {
