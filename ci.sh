@@ -11,6 +11,16 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test --workspace -q
 
+echo "==> cargo test --doc"
+cargo test --workspace --doc -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint"
+fi
+
 if command -v rustfmt >/dev/null 2>&1; then
     echo "==> cargo fmt --check"
     cargo fmt --all --check

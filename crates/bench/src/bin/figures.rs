@@ -1,7 +1,8 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE] [EXPERIMENT...]
+//! figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE]
+//!         [--report FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
@@ -9,67 +10,39 @@
 //!
 //! `--jobs N` farms independent sweep points out to `N` worker threads;
 //! each simulation stays single-threaded and deterministic, so the tables
-//! are byte-identical at any job count. `--json FILE` appends a
-//! machine-readable perf record per experiment (wall time, simulator
-//! events processed, events/sec, peak event-queue depth).
+//! are byte-identical at any job count. `--json FILE` and `--report FILE`
+//! both write the self-describing `cbps-report/v2` document (wall time,
+//! events/sec, peak queue depth per experiment — the v1 baseline fields —
+//! plus, when observability is on, per-stage latency percentiles, named
+//! histograms, and the hottest rendezvous nodes). `--report` additionally
+//! switches observability on (`stages` mode) for every run; `--json`
+//! leaves it off, matching the old flag's zero-overhead behavior.
 
 use std::io::Write as _;
 use std::time::Instant;
 
 use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
+use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner;
 use cbps_bench::Scale;
-
-/// One experiment's perf record for the `--json` report.
-struct PerfRecord {
-    name: String,
-    wall_secs: f64,
-    events: u64,
-    peak_queue_depth: u64,
-}
-
-fn json_report(scale: Scale, jobs: usize, records: &[PerfRecord]) -> String {
-    let mut out = String::from("{\n");
-    out.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        match scale {
-            Scale::Quick => "quick",
-            Scale::Paper => "paper",
-        }
-    ));
-    out.push_str(&format!("  \"jobs\": {jobs},\n"));
-    out.push_str("  \"experiments\": [\n");
-    for (i, r) in records.iter().enumerate() {
-        let events_per_sec = if r.wall_secs > 0.0 {
-            r.events as f64 / r.wall_secs
-        } else {
-            0.0
-        };
-        out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_secs\": {:.3}, \"events\": {}, \
-             \"events_per_sec\": {:.0}, \"peak_queue_depth\": {}}}{}\n",
-            r.name,
-            r.wall_secs,
-            r.events,
-            events_per_sec,
-            r.peak_queue_depth,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ],\n");
-    let total_secs: f64 = records.iter().map(|r| r.wall_secs).sum();
-    let total_events: u64 = records.iter().map(|r| r.events).sum();
-    out.push_str(&format!("  \"total_wall_secs\": {total_secs:.3},\n"));
-    out.push_str(&format!("  \"total_events\": {total_events}\n"));
-    out.push_str("}\n");
-    out
-}
+use cbps_sim::ObsMode;
 
 fn main() {
     let mut scale = Scale::Quick;
     let mut csv_dir: Option<String> = None;
     let mut json_path: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
+
+    // Fail on unwritable output paths before running anything: a
+    // paper-scale sweep can take hours, and losing the report at the end
+    // wastes all of it.
+    let probe_writable = |path: &str| {
+        if let Err(e) = std::fs::File::create(path) {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        }
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,12 +71,7 @@ fn main() {
             },
             "--json" => match args.next() {
                 Some(path) => {
-                    // Fail before running anything: a paper-scale sweep can take
-                    // hours, and losing the report at the end wastes all of it.
-                    if let Err(e) = std::fs::File::create(&path) {
-                        eprintln!("cannot create {path}: {e}");
-                        std::process::exit(2);
-                    }
+                    probe_writable(&path);
                     json_path = Some(path);
                 }
                 None => {
@@ -111,9 +79,20 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--report" => match args.next() {
+                Some(path) => {
+                    probe_writable(&path);
+                    report_path = Some(path);
+                }
+                None => {
+                    eprintln!("--report expects a file path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE] [EXPERIMENT...]\n\
+                    "usage: figures [--scale quick|paper] [--jobs N] [--csv DIR] \
+                     [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
                 );
@@ -125,8 +104,16 @@ fn main() {
     if names.is_empty() {
         names.push("all".to_owned());
     }
+    // Expand "all" so the report carries one record per experiment
+    // (matching the per-name layout of BENCH_baseline.json).
+    if names.iter().any(|n| n == "all") {
+        names = EXPERIMENT_NAMES.iter().map(|&n| n.to_owned()).collect();
+    }
+    if report_path.is_some() {
+        runner::set_observability(ObsMode::Stages);
+    }
 
-    let mut records: Vec<PerfRecord> = Vec::new();
+    let mut records: Vec<ExperimentReport> = Vec::new();
     for name in &names {
         let started = Instant::now();
         runner::reset_perf();
@@ -139,11 +126,16 @@ fn main() {
         };
         let wall_secs = started.elapsed().as_secs_f64();
         let (events, peak_queue_depth) = runner::perf_totals();
-        records.push(PerfRecord {
+        let obs = runner::take_obs().map(|obs| {
+            let hot = runner::take_hot_nodes();
+            ObsReport::distill(&obs, &hot)
+        });
+        records.push(ExperimentReport {
             name: name.clone(),
             wall_secs,
             events,
             peak_queue_depth,
+            obs,
         });
         for table in &tables {
             println!("{}", table.render());
@@ -175,11 +167,20 @@ fn main() {
         eprintln!("[{name} done in {wall_secs:.1}s]\n");
     }
 
-    if let Some(path) = json_path {
-        let report = json_report(scale, runner::jobs(), &records);
-        let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(report.as_bytes()));
+    let report = RunReport {
+        scale: match scale {
+            Scale::Quick => "quick".to_owned(),
+            Scale::Paper => "paper".to_owned(),
+        },
+        jobs: runner::jobs(),
+        observability: runner::observability().name().to_owned(),
+        experiments: records,
+    };
+    for path in json_path.iter().chain(report_path.iter()) {
+        let write =
+            std::fs::File::create(path).and_then(|mut f| f.write_all(report.to_json().as_bytes()));
         match write {
-            Ok(()) => eprintln!("perf report written to {path}"),
+            Ok(()) => eprintln!("run report written to {path}"),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);

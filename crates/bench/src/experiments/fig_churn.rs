@@ -36,7 +36,9 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_replication(replication),
         )
-        .build();
+        .observability(crate::runner::observability())
+        .build()
+        .expect("churn deployment config is valid");
 
     // Only the first half of the nodes subscribe/publish; crashes hit the
     // second half, so subscribers and publishers stay alive.
@@ -78,7 +80,9 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
     for (k, op) in pub_ops.iter().enumerate() {
         net.run_until(base + SimDuration::from_secs(5 * k as u64));
         if let OpKind::Publish { event } = &op.kind {
-            let id = net.publish(op.node, event.clone());
+            let id = net
+                .publish(op.node, event.clone())
+                .expect("experiment nodes and payloads are valid");
             oracle.add_pub(id, event.clone(), net.now());
         }
     }
@@ -100,6 +104,7 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
     };
     let transfer_msgs = net.metrics().messages(TrafficClass::STATE_TRANSFER);
     let promoted = net.metrics().counter("replicas.promoted");
+    crate::runner::record_obs(&mut net);
     (rate, transfer_msgs, promoted)
 }
 

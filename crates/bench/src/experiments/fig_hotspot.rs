@@ -38,7 +38,9 @@ pub fn run(scale: Scale) -> Table {
             .nodes(nodes)
             .net_config(cbps_sim::NetConfig::new(961))
             .pubsub(pubsub)
-            .build();
+            .observability(crate::runner::observability())
+            .build()
+            .expect("hotspot deployment config is valid");
         let cfg = paper_workload(nodes, 1).with_counts(subs, 0);
         let mut gen = workload_gen(cfg, 961);
         let trace = gen.gen_trace();

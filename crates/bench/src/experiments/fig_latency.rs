@@ -59,10 +59,13 @@ pub fn run(scale: Scale) -> Table {
             net.run_until(op.at);
             match &op.kind {
                 OpKind::Subscribe { sub, ttl } => {
-                    net.subscribe(op.node, sub.clone(), *ttl);
+                    net.subscribe(op.node, sub.clone(), *ttl)
+                        .expect("experiment nodes and payloads are valid");
                 }
                 OpKind::Publish { event } => {
-                    let id = net.publish(op.node, event.clone());
+                    let id = net
+                        .publish(op.node, event.clone())
+                        .expect("experiment nodes and payloads are valid");
                     publish_time.insert(id, op.at);
                 }
             }
@@ -82,6 +85,7 @@ pub fn run(scale: Scale) -> Table {
             .get((latencies.len() * 95 / 100).min(latencies.len().saturating_sub(1)))
             .copied()
             .unwrap_or(0.0);
+        crate::runner::record_obs(&mut net);
         let m = net.metrics();
         let msgs = (m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT))
             as f64

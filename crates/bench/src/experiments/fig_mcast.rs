@@ -12,7 +12,7 @@
 //! This regenerates the complexity table of §4.3.1 empirically.
 
 use cbps_overlay::{build_stable, KeyRange, KeyRangeSet, OverlayConfig};
-use cbps_sim::{NetConfig, TrafficClass};
+use cbps_sim::{NetConfig, TraceId, TrafficClass};
 
 use crate::probe::ProbeApp;
 use crate::runner::Scale;
@@ -36,9 +36,9 @@ fn send(
     let targets = KeyRangeSet::of_range(space, range);
     sim.with_node(0, |node, ctx| {
         node.app_call(ctx, |_, svc| match how {
-            "m-cast" => svc.mcast(&targets, TrafficClass::OTHER, 1),
-            "per-key unicast" => svc.ucast_keys(&targets, TrafficClass::OTHER, 1),
-            "successor walk" => svc.walk(range, TrafficClass::OTHER, 1),
+            "m-cast" => svc.mcast(&targets, TrafficClass::OTHER, 1, TraceId::NONE),
+            "per-key unicast" => svc.ucast_keys(&targets, TrafficClass::OTHER, 1, TraceId::NONE),
+            "successor walk" => svc.walk(range, TrafficClass::OTHER, 1, TraceId::NONE),
             other => unreachable!("unknown protocol {other}"),
         })
     });

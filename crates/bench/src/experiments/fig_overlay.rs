@@ -43,14 +43,17 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
                 .nodes(nodes)
                 .net_config(NetConfig::new(seed))
                 .pubsub(pubsub)
-                .build(),
+                .observability(crate::runner::observability())
+                .build()
+                .expect("overlay comparison config is valid"),
         ),
         _ => Net::Pastry(
             PastryPubSubNetwork::builder()
                 .nodes(nodes)
                 .seed(seed)
                 .pubsub(pubsub)
-                .build(),
+                .build()
+                .expect("overlay comparison config is valid"),
         ),
     };
     let space = cbps::EventSpace::paper_default();
@@ -60,19 +63,23 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
         match (&mut net, &op.kind) {
             (Net::Chord(n), OpKind::Subscribe { sub, ttl }) => {
                 n.run_until(op.at);
-                n.subscribe(op.node, sub.clone(), *ttl);
+                n.subscribe(op.node, sub.clone(), *ttl)
+                    .expect("experiment nodes and payloads are valid");
             }
             (Net::Chord(n), OpKind::Publish { event }) => {
                 n.run_until(op.at);
-                n.publish(op.node, event.clone());
+                n.publish(op.node, event.clone())
+                    .expect("experiment nodes and payloads are valid");
             }
             (Net::Pastry(n), OpKind::Subscribe { sub, ttl }) => {
                 n.run_until(op.at);
-                n.subscribe(op.node, sub.clone(), *ttl);
+                n.subscribe(op.node, sub.clone(), *ttl)
+                    .expect("experiment nodes and payloads are valid");
             }
             (Net::Pastry(n), OpKind::Publish { event }) => {
                 n.run_until(op.at);
-                n.publish(op.node, event.clone());
+                n.publish(op.node, event.clone())
+                    .expect("experiment nodes and payloads are valid");
             }
         }
     }
@@ -80,6 +87,10 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
     let metrics = match &mut net {
         Net::Chord(n) => {
             n.run_until(end);
+            // Observability rides the Chord substrate only: `record_obs`
+            // folds `PubSubNetwork` state and the Pastry twin has its own
+            // node-peak shape. The comparison itself is obs-agnostic.
+            crate::runner::record_obs(n);
             n.metrics().clone()
         }
         Net::Pastry(n) => {

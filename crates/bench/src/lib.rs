@@ -18,8 +18,10 @@
 
 pub mod experiments;
 pub mod probe;
+pub mod report;
 pub mod runner;
 pub mod table;
 
+pub use report::{ExperimentReport, ObsReport, RunReport};
 pub use runner::{Deployment, RunStats, Scale};
 pub use table::Table;

@@ -6,12 +6,12 @@
 //! by [`set_jobs`]. Results come back in input order, so a sweep produces
 //! byte-identical tables at any job count.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_overlay::OverlayConfig;
-use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_sim::{NetConfig, ObsMode, Observability, SimDuration, TrafficClass};
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 
 /// Worker count for [`parallel_map`]; 1 = fully serial.
@@ -20,6 +20,17 @@ static JOBS: AtomicUsize = AtomicUsize::new(1);
 static EVENTS_TOTAL: AtomicU64 = AtomicU64::new(0);
 /// Maximum event-queue depth seen by any run since the last reset.
 static QUEUE_PEAK_MAX: AtomicU64 = AtomicU64::new(0);
+/// Observability mode applied to every [`Deployment::build`] network
+/// (discriminant of [`ObsMode`]; 0 = off).
+static OBS_MODE: AtomicU8 = AtomicU8::new(0);
+/// Merged observability registries of every run since the last reset.
+/// Worker threads fold their run's registry in under this lock; the merge
+/// is commutative, so the result is job-count independent.
+static OBS_TOTAL: Mutex<Option<Observability>> = Mutex::new(None);
+/// Per-node peak stored-subscription counts, folded element-wise-max over
+/// every observed run since the last reset (max is commutative, so the
+/// result is job-count independent).
+static HOT_NODES: Mutex<Vec<u64>> = Mutex::new(Vec::new());
 
 /// Sets the worker-pool size used by [`parallel_map`] (clamped to >= 1).
 pub fn set_jobs(n: usize) {
@@ -31,16 +42,79 @@ pub fn jobs() -> usize {
     JOBS.load(Ordering::Relaxed)
 }
 
+/// Sets the observability mode every subsequently built deployment runs
+/// under (and every [`run_trace`] accumulates from).
+pub fn set_observability(mode: ObsMode) {
+    OBS_MODE.store(
+        match mode {
+            ObsMode::Off => 0,
+            ObsMode::Stages => 1,
+            _ => 2,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The observability mode applied to built deployments.
+pub fn observability() -> ObsMode {
+    match OBS_MODE.load(Ordering::Relaxed) {
+        0 => ObsMode::Off,
+        1 => ObsMode::Stages,
+        _ => ObsMode::Full,
+    }
+}
+
 /// Folds one finished run into the global perf accumulators.
 pub fn record_perf(events: u64, queue_peak: usize) {
     EVENTS_TOTAL.fetch_add(events, Ordering::Relaxed);
     QUEUE_PEAK_MAX.fetch_max(queue_peak as u64, Ordering::Relaxed);
 }
 
+/// Folds one finished run's observability registry into the global
+/// accumulator (a no-op when the run recorded nothing).
+pub fn record_obs(net: &mut PubSubNetwork) {
+    if !net.observability().enabled() {
+        return;
+    }
+    let peaks = net.peak_stored_counts();
+    {
+        let mut hot = HOT_NODES.lock().expect("hot-node accumulator poisoned");
+        if hot.len() < peaks.len() {
+            hot.resize(peaks.len(), 0);
+        }
+        for (slot, &peak) in hot.iter_mut().zip(&peaks) {
+            *slot = (*slot).max(peak as u64);
+        }
+    }
+    let run_obs = std::mem::take(net.metrics_mut().obs_mut());
+    let mut total = OBS_TOTAL.lock().expect("obs accumulator poisoned");
+    match total.as_mut() {
+        Some(acc) => acc.merge(&run_obs),
+        None => *total = Some(run_obs),
+    }
+}
+
 /// Clears the perf accumulators (call before a measured batch).
 pub fn reset_perf() {
     EVENTS_TOTAL.store(0, Ordering::Relaxed);
     QUEUE_PEAK_MAX.store(0, Ordering::Relaxed);
+    *OBS_TOTAL.lock().expect("obs accumulator poisoned") = None;
+    HOT_NODES
+        .lock()
+        .expect("hot-node accumulator poisoned")
+        .clear();
+}
+
+/// Takes the merged observability registry accumulated since the last
+/// [`reset_perf`] (leaving it empty).
+pub fn take_obs() -> Option<Observability> {
+    OBS_TOTAL.lock().expect("obs accumulator poisoned").take()
+}
+
+/// Takes the per-node peak stored-subscription counts accumulated by
+/// [`record_obs`] since the last [`reset_perf`] (leaving them empty).
+pub fn take_hot_nodes() -> Vec<u64> {
+    std::mem::take(&mut *HOT_NODES.lock().expect("hot-node accumulator poisoned"))
 }
 
 /// `(events processed, max queue depth)` accumulated since the last
@@ -152,7 +226,8 @@ impl Deployment {
         }
     }
 
-    /// Builds the network.
+    /// Builds the network (under the sweep-wide observability mode, see
+    /// [`set_observability`]).
     pub fn build(&self) -> PubSubNetwork {
         let pubsub = PubSubConfig::paper_default()
             .with_mapping(self.mapping)
@@ -164,7 +239,9 @@ impl Deployment {
             .net_config(NetConfig::new(self.seed))
             .overlay(OverlayConfig::paper_default())
             .pubsub(pubsub)
+            .observability(observability())
             .build()
+            .expect("experiment deployments use validated paper parameters")
     }
 }
 
@@ -202,6 +279,7 @@ pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> Run
     net.run_until(trace.end_time() + SimDuration::from_secs(drain_secs));
     let sim = net.sim_mut();
     record_perf(sim.events_processed(), sim.queue_peak());
+    record_obs(net);
     distill(net, trace.sub_count() as u64, trace.pub_count() as u64)
 }
 

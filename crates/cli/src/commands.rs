@@ -1,7 +1,8 @@
 //! The CLI subcommands.
 
 use cbps::{EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
-use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
+use cbps_sim::{NetConfig, ObsMode, SimDuration, TrafficClass};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
 use crate::args::{ArgError, Args};
@@ -144,7 +145,8 @@ pub fn run_trace(args: &Args) -> Outcome {
                 .with_discretization(discretization)
                 .with_replication(replication),
         )
-        .build();
+        .build()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
 
     let outcome = trace.replay(&mut net);
     net.run_until(trace.end_time() + SimDuration::from_secs(600));
@@ -190,6 +192,89 @@ pub fn run_trace(args: &Args) -> Outcome {
     Ok(())
 }
 
+/// `cbps stats`: replay a trace file with observability on and emit the
+/// structured `cbps-report/v2` JSON document (per-stage latency
+/// percentiles, named histograms, hottest rendezvous nodes).
+pub fn stats(args: &Args) -> Outcome {
+    args.check_flags(&[
+        "nodes",
+        "seed",
+        "mapping",
+        "primitive",
+        "notify",
+        "discretization",
+        "replication",
+        "out",
+    ])?;
+    let file = args
+        .positional()
+        .get(1)
+        .ok_or_else(|| ArgError("stats needs a trace FILE".into()))?;
+    let text =
+        std::fs::read_to_string(file).map_err(|e| ArgError(format!("cannot read {file}: {e}")))?;
+    let space = EventSpace::paper_default();
+    let trace = trace_from_str(&space, &text).map_err(|e| ArgError(format!("bad trace: {e}")))?;
+
+    let nodes: usize = args.get_or("nodes", 100)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let mapping = parse_mapping(args.get("mapping").unwrap_or("m2"))?;
+    let primitive = parse_primitive(args.get("primitive").unwrap_or("mcast"))?;
+    let notify = parse_notify(args.get("notify").unwrap_or("immediate"))?;
+    let discretization: u64 = args.get_or("discretization", 1)?;
+    let replication: usize = args.get_or("replication", 0)?;
+
+    let mut net = PubSubNetwork::builder()
+        .nodes(nodes)
+        .net_config(NetConfig::new(seed))
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(mapping)
+                .with_primitive(primitive)
+                .with_notify_mode(notify)
+                .with_discretization(discretization)
+                .with_replication(replication),
+        )
+        .observability(ObsMode::Full)
+        .build()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+
+    let started = std::time::Instant::now();
+    trace.replay(&mut net);
+    net.run_until(trace.end_time() + SimDuration::from_secs(600));
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let peaks: Vec<u64> = net
+        .peak_stored_counts()
+        .into_iter()
+        .map(|p| p as u64)
+        .collect();
+    let sim = net.sim_mut();
+    let events = sim.events_processed();
+    let peak_queue_depth = sim.queue_peak() as u64;
+    let obs = std::mem::take(net.metrics_mut().obs_mut());
+    let report = RunReport {
+        scale: "trace".to_owned(),
+        jobs: 1,
+        observability: ObsMode::Full.name().to_owned(),
+        experiments: vec![ExperimentReport {
+            name: file.clone(),
+            wall_secs,
+            events,
+            peak_queue_depth,
+            obs: Some(ObsReport::distill(&obs, &peaks)),
+        }],
+    };
+    let json = report.to_json();
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &json).map_err(|e| ArgError(format!("cannot write {out}: {e}")))?;
+            eprintln!("run report written to {out}");
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 /// `cbps ring`: print ring occupancy and one node's routing tables.
 pub fn ring(args: &Args) -> Outcome {
     args.check_flags(&["nodes", "seed", "node"])?;
@@ -200,7 +285,8 @@ pub fn ring(args: &Args) -> Outcome {
         .nodes(nodes)
         .net_config(NetConfig::new(seed))
         .pubsub(PubSubConfig::paper_default())
-        .build();
+        .build()
+        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
     let ring = net.ring();
     println!(
         "ring: {} nodes over {} keys",

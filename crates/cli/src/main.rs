@@ -6,6 +6,7 @@
 //! cbps run-trace FILE [--nodes N] [--seed S] [--mapping m1|m2|m3]
 //!                [--primitive unicast|mcast|walk] [--notify immediate|buffered:S|collecting:S]
 //!                [--discretization W] [--replication R]
+//! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
 //! cbps experiment NAME [--scale quick|paper] [--jobs N]
 //! ```
@@ -25,6 +26,8 @@ usage:
                  [--primitive unicast|mcast|walk]
                  [--notify immediate|buffered:SECS|collecting:SECS]
                  [--discretization W] [--replication R]
+  cbps stats FILE [--out FILE] [run-trace deployment flags]
+                 (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]
   cbps experiment NAME [--scale quick|paper] [--jobs N]   (NAME: route, keys, fig5 … or all)
 ";
@@ -44,6 +47,7 @@ fn main() {
     let outcome = match command {
         "gen-trace" => commands::gen_trace(&args),
         "run-trace" => commands::run_trace(&args),
+        "stats" => commands::stats(&args),
         "ring" => commands::ring(&args),
         "experiment" => commands::experiment(&args),
         "help" | "--help" | "-h" => {

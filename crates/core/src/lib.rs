@@ -25,17 +25,17 @@
 //! ```
 //! use cbps::{Event, PubSubConfig, PubSubNetwork, Subscription};
 //!
-//! let mut net = PubSubNetwork::builder().nodes(64).seed(1).build();
+//! let mut net = PubSubNetwork::builder().nodes(64).seed(1).build().expect("valid network configuration");
 //! let space = net.config().space.clone();
 //!
 //! let sub = Subscription::builder(&space)
 //!     .range("a1", 0, 50_000)?
 //!     .eq("a3", 12_345)
 //!     .build()?;
-//! let sub_id = net.subscribe(5, sub, None);
+//! let sub_id = net.subscribe(5, sub, None).unwrap();
 //! net.run_for_secs(10);
 //!
-//! net.publish(40, Event::new(&space, vec![7, 25_000, 999, 12_345])?);
+//! net.publish(40, Event::new(&space, vec![7, 25_000, 999, 12_345])?).unwrap();
 //! net.run_for_secs(10);
 //!
 //! assert_eq!(net.delivered(5).len(), 1);
@@ -60,7 +60,7 @@ mod subscription;
 mod system;
 
 pub use config::{NotifyMode, Primitive, PubSubConfig};
-pub use error::PubSubError;
+pub use error::{ConfigError, PubSubError};
 pub use event::{Event, EventId};
 pub use index::MatchIndex;
 pub use mapping::{AkMapping, EventKeyChoice, MappingKind};
@@ -70,7 +70,7 @@ pub use oracle::Oracle;
 pub use space::{AttributeDef, EventSpace};
 pub use store::{StoredSub, SubscriptionStore};
 pub use subscription::{Constraint, SubId, Subscription, SubscriptionBuilder};
-pub use system::{PubSubNetwork, PubSubNetworkBuilder};
+pub use system::{NodeHandle, PubSubNetwork, PubSubNetworkBuilder};
 
 #[cfg(test)]
 mod tests {
@@ -87,6 +87,7 @@ mod tests {
                     .with_primitive(primitive),
             )
             .build()
+            .expect("valid network configuration")
     }
 
     fn all_kinds() -> [MappingKind; 3] {
@@ -110,13 +111,13 @@ mod tests {
                     .unwrap()
                     .build()
                     .unwrap();
-                let sub_id = net.subscribe(1, sub, None);
+                let sub_id = net.subscribe(1, sub, None).unwrap();
                 net.run_for_secs(30);
 
                 let hit = Event::new(&space, vec![415_000, 5, 6, 7]).unwrap();
                 let miss = Event::new(&space, vec![500_000, 5, 6, 7]).unwrap();
-                let hit_id = net.publish(2, hit);
-                net.publish(3, miss);
+                let hit_id = net.publish(2, hit).unwrap();
+                net.publish(3, miss).unwrap();
                 net.run_for_secs(30);
 
                 let notes = net.delivered(1);
@@ -141,9 +142,11 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(1, sub, Some(SimDuration::from_secs(60)));
+        net.subscribe(1, sub, Some(SimDuration::from_secs(60)))
+            .unwrap();
         net.run_for_secs(120); // subscription lapses
-        net.publish(2, Event::new(&space, vec![50_000, 1, 2, 3]).unwrap());
+        net.publish(2, Event::new(&space, vec![50_000, 1, 2, 3]).unwrap())
+            .unwrap();
         net.run_for_secs(30);
         assert!(net.delivered(1).is_empty());
     }
@@ -159,12 +162,13 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let id = net.subscribe(4, sub, None);
+        let id = net.subscribe(4, sub, None).unwrap();
         net.run_for_secs(30);
-        assert!(net.unsubscribe(4, id));
-        assert!(!net.unsubscribe(4, id)); // second attempt is a no-op
+        assert!(net.unsubscribe(4, id).unwrap());
+        assert!(!net.unsubscribe(4, id).unwrap()); // second attempt is a no-op
         net.run_for_secs(30);
-        net.publish(5, Event::new(&space, vec![1, 2, 100_000, 3]).unwrap());
+        net.publish(5, Event::new(&space, vec![1, 2, 100_000, 3]).unwrap())
+            .unwrap();
         net.run_for_secs(30);
         assert!(net.delivered(4).is_empty());
     }
@@ -187,9 +191,10 @@ mod tests {
             .eq("a3", 777)
             .build()
             .unwrap();
-        net.subscribe(6, sub, None);
+        net.subscribe(6, sub, None).unwrap();
         net.run_for_secs(30);
-        net.publish(7, Event::new(&space, vec![1, 2, 3, 777]).unwrap());
+        net.publish(7, Event::new(&space, vec![1, 2, 3, 777]).unwrap())
+            .unwrap();
         net.run_for_secs(30);
         assert_eq!(net.delivered(6).len(), 1);
     }
@@ -211,12 +216,12 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(subscriber, sub, None);
+        net.subscribe(subscriber, sub, None).unwrap();
         net.run_for_secs(30);
         let m = net.metrics();
         assert!(m.messages(TrafficClass::SUBSCRIPTION) > 0);
         assert_eq!(m.messages(TrafficClass::PUBLICATION), 0);
-        net.publish(1, event);
+        net.publish(1, event).unwrap();
         net.run_for_secs(30);
         let m = net.metrics();
         assert!(m.messages(TrafficClass::PUBLICATION) > 0);
@@ -235,15 +240,17 @@ mod tests {
                     .with_mapping(MappingKind::SelectiveAttribute)
                     .with_notify_mode(NotifyMode::Buffered { period }),
             )
-            .build();
+            .build()
+            .expect("valid network configuration");
         let space = net.config().space.clone();
         let sub = Subscription::builder(&space).eq("a3", 42).build().unwrap();
-        net.subscribe(2, sub, None);
+        net.subscribe(2, sub, None).unwrap();
         net.run_for_secs(30);
         // Three matching events in a burst → one batched notification
         // message (all land at the same rendezvous within one period).
         for i in 0..3u64 {
-            net.publish(3, Event::new(&space, vec![i, i, i, 42]).unwrap());
+            net.publish(3, Event::new(&space, vec![i, i, i, 42]).unwrap())
+                .unwrap();
         }
         net.run_for_secs(30);
         assert_eq!(net.delivered(2).len(), 3);
@@ -264,7 +271,8 @@ mod tests {
                     .with_primitive(Primitive::MCast)
                     .with_notify_mode(NotifyMode::Collecting { period }),
             )
-            .build();
+            .build()
+            .expect("valid network configuration");
         let space = net.config().space.clone();
         // A wide selective range so the subscription spans many rendezvous
         // nodes on the ring (≈ 1600 keys ≈ a dozen nodes at n = 60).
@@ -273,7 +281,7 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(8, sub, None);
+        net.subscribe(8, sub, None).unwrap();
         net.run_for_secs(30);
         // Publish several events across the subscribed range (they land on
         // different rendezvous nodes).
@@ -281,7 +289,8 @@ mod tests {
             net.publish(
                 9,
                 Event::new(&space, vec![1, 300_000 + i * 40_000, 2, 3]).unwrap(),
-            );
+            )
+            .unwrap();
         }
         net.run_for_secs(120);
         assert_eq!(net.delivered(8).len(), 5, "collecting lost notifications");
@@ -299,13 +308,14 @@ mod tests {
                 .unwrap()
                 .build()
                 .unwrap();
-            net.subscribe(1, sub, None);
+            net.subscribe(1, sub, None).unwrap();
             net.run_for_secs(20);
             for i in 0..10 {
                 net.publish(
                     (i % 7) as usize,
                     Event::new(&space, vec![i * 40_000, 1, 2, 3]).unwrap(),
-                );
+                )
+                .unwrap();
             }
             net.run_for_secs(60);
             (

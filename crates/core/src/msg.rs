@@ -3,7 +3,7 @@
 use std::rc::Rc;
 
 use cbps_overlay::{Key, Peer};
-use cbps_sim::SimTime;
+use cbps_sim::{SimTime, TraceId};
 
 use crate::event::{Event, EventId};
 use crate::store::StoredSub;
@@ -18,6 +18,10 @@ pub struct NotifyItem {
     pub event_id: EventId,
     /// The matching event, shared across every match it produced.
     pub event: Rc<Event>,
+    /// Causal trace of the `pub(e)` operation that produced the match
+    /// (always minted — ids are cheap; recording is what observability
+    /// gates).
+    pub trace: TraceId,
 }
 
 /// One match travelling along the ring toward its subscription's agent node
@@ -35,6 +39,10 @@ pub struct CollectItem {
     pub event_id: EventId,
     /// The matching event, shared across every match it produced.
     pub event: Rc<Event>,
+    /// Causal trace of the `pub(e)` operation that produced the match
+    /// (always minted — ids are cheap; recording is what observability
+    /// gates).
+    pub trace: TraceId,
 }
 
 /// Application payloads carried by the overlay for the pub/sub layer.
@@ -58,6 +66,9 @@ pub enum PubSubMsg {
         id: EventId,
         /// The event.
         event: Event,
+        /// Causal trace of the publishing operation ([`TraceId::NONE`]
+        /// when observability is off).
+        trace: TraceId,
     },
     /// Matches delivered to a subscriber (routed to the subscriber's key).
     Notification {
@@ -109,4 +120,8 @@ pub struct DeliveredNote {
     pub event: Rc<Event>,
     /// Arrival (simulated) time at the subscriber.
     pub at: SimTime,
+    /// Causal trace of the publication that produced this notification,
+    /// usable with [`cbps_sim::TraceLog::chain`] to explain the delivery
+    /// hop-by-hop when observability was enabled during the run.
+    pub trace: TraceId,
 }

@@ -8,7 +8,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use cbps_overlay::{ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayServices, OverlaySvc, Peer};
-use cbps_sim::{SimDuration, SimTime, TrafficClass};
+use cbps_sim::{SimDuration, SimTime, Stage, TraceId, TrafficClass};
 
 use crate::config::{NotifyMode, Primitive, PubSubConfig};
 use crate::event::{Event, EventId};
@@ -120,7 +120,9 @@ impl PubSubNode {
     ) -> SubId {
         let me = svc.me();
         let id = SubId::compose(me.idx, self.next_sub_seq);
+        let trace = TraceId::for_subscription(me.idx, self.next_sub_seq);
         self.next_sub_seq += 1;
+        svc.stage(trace, Stage::Subscribe, TrafficClass::SUBSCRIPTION);
         let sk = self.cfg.mapping.sk(&sub);
         let expires = match ttl.or(self.cfg.default_ttl) {
             Some(d) => svc.now() + d,
@@ -131,6 +133,7 @@ impl PubSubNode {
             subscriber: me,
             expires,
             sk: sk.clone(),
+            trace,
         };
         self.my_subs.insert(id, stored.clone());
         svc.metrics().add("requests.subscribe", 1);
@@ -147,6 +150,7 @@ impl PubSubNode {
             &sk,
             TrafficClass::SUBSCRIPTION,
             PubSubMsg::Subscribe { id, stored },
+            trace,
             svc,
         );
         id
@@ -172,10 +176,12 @@ impl PubSubNode {
         let stored = record.clone();
         svc.metrics().add("requests.refresh", 1);
         svc.arm_timer(half_lease, PubSubTimer::Refresh { id });
+        let trace = stored.trace;
         self.propagate(
             &stored.sk.clone(),
             TrafficClass::SUBSCRIPTION,
             PubSubMsg::Subscribe { id, stored },
+            trace,
             svc,
         );
     }
@@ -192,6 +198,7 @@ impl PubSubNode {
             &stored.sk,
             TrafficClass::SUBSCRIPTION,
             PubSubMsg::Unsubscribe { id },
+            stored.trace,
             svc,
         );
         true
@@ -202,7 +209,9 @@ impl PubSubNode {
     pub fn publish(&mut self, event: Event, svc: &mut DynSvc<'_>) -> EventId {
         let me = svc.me();
         let id = EventId::compose(me.idx, self.next_event_seq);
+        let trace = TraceId::for_publication(me.idx, self.next_event_seq);
         self.next_event_seq += 1;
+        svc.stage(trace, Stage::Publish, TrafficClass::PUBLICATION);
         let ek = self.cfg.mapping.ek(&event);
         svc.metrics().add("requests.publish", 1);
         svc.metrics()
@@ -211,7 +220,8 @@ impl PubSubNode {
         self.propagate(
             &ek,
             TrafficClass::PUBLICATION,
-            PubSubMsg::Publish { id, event },
+            PubSubMsg::Publish { id, event, trace },
+            trace,
             svc,
         );
         id
@@ -222,15 +232,16 @@ impl PubSubNode {
         targets: &KeyRangeSet,
         class: TrafficClass,
         msg: PubSubMsg,
+        trace: TraceId,
         svc: &mut DynSvc<'_>,
     ) {
         match self.cfg.primitive {
-            Primitive::Unicast => svc.ucast_keys(targets, class, msg),
-            Primitive::MCast => svc.mcast(targets, class, msg),
+            Primitive::Unicast => svc.ucast_keys(targets, class, msg, trace),
+            Primitive::MCast => svc.mcast(targets, class, msg, trace),
             Primitive::Walk => {
                 let ranges: Vec<KeyRange> = targets.iter_ranges(svc.space()).collect();
                 for range in ranges {
-                    svc.walk(range, class, msg.clone());
+                    svc.walk(range, class, msg.clone(), trace);
                 }
             }
         }
@@ -241,7 +252,9 @@ impl PubSubNode {
     // ------------------------------------------------------------------
 
     fn handle_store(&mut self, id: SubId, stored: StoredSub, svc: &mut DynSvc<'_>) {
+        svc.stage(stored.trace, Stage::Store, TrafficClass::SUBSCRIPTION);
         let fresh = self.store.insert(id, stored.clone(), svc.now());
+        svc.obs_sample("store.size", self.store.len() as u64);
         if fresh {
             svc.metrics().add("store.insert", 1);
             let replication = self.cfg.replication;
@@ -295,13 +308,15 @@ impl PubSubNode {
         true
     }
 
-    fn handle_publish(&mut self, id: EventId, event: Event, svc: &mut DynSvc<'_>) {
+    fn handle_publish(&mut self, id: EventId, event: Event, trace: TraceId, svc: &mut DynSvc<'_>) {
         if !self.note_event_seen(id) {
             svc.metrics().add("publish.duplicate-delivery", 1);
             return;
         }
         let matches = self.store.match_event(&event, svc.now());
         svc.metrics().add("matches", matches.len() as u64);
+        svc.stage(trace, Stage::RendezvousMatch, TrafficClass::PUBLICATION);
+        svc.obs_sample("rendezvous.fanout", matches.len() as u64);
         // One shared allocation for every match of this event: each item
         // clone below is a reference-count bump, not an event deep copy.
         let event = Rc::new(event);
@@ -310,14 +325,17 @@ impl PubSubNode {
                 sub_id,
                 event_id: id,
                 event: Rc::clone(&event),
+                trace,
             };
             match self.cfg.notify_mode {
                 NotifyMode::Immediate => {
                     svc.metrics().add("notifications.messages", 1);
+                    svc.stage(trace, Stage::NotifyRoute, TrafficClass::NOTIFICATION);
                     svc.send(
                         stored.subscriber.key,
                         TrafficClass::NOTIFICATION,
                         PubSubMsg::Notification { items: vec![item] },
+                        trace,
                     );
                 }
                 NotifyMode::Buffered { period } => {
@@ -367,6 +385,7 @@ impl PubSubNode {
             agent_key,
             event_id: item.event_id,
             event: item.event,
+            trace: item.trace,
         };
         // Nodes covering the part of the range before the midpoint push
         // clockwise; the rest push counter-clockwise.
@@ -393,11 +412,7 @@ impl PubSubNode {
             svc.metrics()
                 .histogram_mut("notifications.batch-size")
                 .record(items.len() as u64);
-            svc.send(
-                subscriber.key,
-                TrafficClass::NOTIFICATION,
-                PubSubMsg::Notification { items },
-            );
+            self.send_notification(subscriber, items, svc);
         }
         // Agent aggregates: one message per subscriber.
         let agent: Vec<(Peer, Vec<NotifyItem>)> = self.agent_buffer.drain().collect();
@@ -406,11 +421,7 @@ impl PubSubNode {
             svc.metrics()
                 .histogram_mut("notifications.batch-size")
                 .record(items.len() as u64);
-            svc.send(
-                subscriber.key,
-                TrafficClass::NOTIFICATION,
-                PubSubMsg::Notification { items },
-            );
+            self.send_notification(subscriber, items, svc);
         }
         // Collect exchanges: one merged message per ring direction.
         let succ_items = std::mem::take(&mut self.collect_succ);
@@ -437,6 +448,33 @@ impl PubSubNode {
         }
     }
 
+    /// Routes one batched notification message to a subscriber, stamping
+    /// each item's trace with the end of its buffer wait and the start of
+    /// the notification route. The envelope carries the item trace when the
+    /// batch is a singleton; a mixed batch routes untraced (each item still
+    /// carries its own trace for the delivery stage).
+    fn send_notification(
+        &mut self,
+        subscriber: Peer,
+        items: Vec<NotifyItem>,
+        svc: &mut DynSvc<'_>,
+    ) {
+        for item in &items {
+            svc.stage(item.trace, Stage::BufferWait, TrafficClass::NOTIFICATION);
+            svc.stage(item.trace, Stage::NotifyRoute, TrafficClass::NOTIFICATION);
+        }
+        let envelope_trace = match items.as_slice() {
+            [only] => only.trace,
+            _ => TraceId::NONE,
+        };
+        svc.send(
+            subscriber.key,
+            TrafficClass::NOTIFICATION,
+            PubSubMsg::Notification { items },
+            envelope_trace,
+        );
+    }
+
     /// Fallback when there is no neighbor to push to (single-node ring):
     /// act as the agent ourselves.
     fn absorb_collect_items(&mut self, items: Vec<CollectItem>, svc: &mut DynSvc<'_>) {
@@ -449,6 +487,7 @@ impl PubSubNode {
                     sub_id: item.sub_id,
                     event_id: item.event_id,
                     event: item.event,
+                    trace: item.trace,
                 });
             touched = true;
         }
@@ -465,6 +504,7 @@ impl PubSubNode {
         let mut touched = false;
         for item in items {
             touched = true;
+            svc.stage(item.trace, Stage::CollectHop, TrafficClass::COLLECT);
             if svc.covers(item.agent_key) {
                 self.agent_buffer
                     .entry(item.subscriber)
@@ -473,6 +513,7 @@ impl PubSubNode {
                         sub_id: item.sub_id,
                         event_id: item.event_id,
                         event: item.event.clone(),
+                        trace: item.trace,
                     });
                 continue;
             }
@@ -507,11 +548,13 @@ impl PubSubNode {
             }
             if self.delivered_dedup.insert((item.sub_id, item.event_id)) {
                 svc.metrics().add("notifications.delivered", 1);
+                svc.stage(item.trace, Stage::Deliver, TrafficClass::NOTIFICATION);
                 self.delivered.push(DeliveredNote {
                     sub_id: item.sub_id,
                     event_id: item.event_id,
                     event: item.event,
                     at: now,
+                    trace: item.trace,
                 });
             } else {
                 svc.metrics().add("notifications.duplicate", 1);
@@ -550,7 +593,7 @@ impl PubSubNode {
         match payload {
             PubSubMsg::Subscribe { id, stored } => self.handle_store(id, stored, svc),
             PubSubMsg::Unsubscribe { id } => self.handle_unsubscribe(id, svc),
-            PubSubMsg::Publish { id, event } => self.handle_publish(id, event, svc),
+            PubSubMsg::Publish { id, event, trace } => self.handle_publish(id, event, trace, svc),
             PubSubMsg::Notification { items } => self.handle_notification(items, svc),
             // These travel as direct one-hop messages; a routed copy would
             // indicate a bug.

@@ -9,7 +9,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use cbps_overlay::{KeyRangeSet, Peer};
-use cbps_sim::SimTime;
+use cbps_sim::{SimTime, TraceId};
 
 use crate::event::Event;
 use crate::index::MatchIndex;
@@ -30,6 +30,10 @@ pub struct StoredSub {
     /// optimization (to locate the range's middle node) and by state
     /// transfer (to decide which node covers which part).
     pub sk: KeyRangeSet,
+    /// Causal trace of the `sub(σ)` operation that created this record
+    /// (always minted — ids are cheap; recording is what observability
+    /// gates).
+    pub trace: TraceId,
 }
 
 /// The subscription store of one rendezvous node.
@@ -39,7 +43,7 @@ pub struct StoredSub {
 /// ```
 /// use cbps::{AttributeDef, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
 /// use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
-/// use cbps_sim::SimTime;
+/// use cbps_sim::{SimTime, TraceId};
 ///
 /// let space = EventSpace::new(vec![AttributeDef::new("x", 100)]);
 /// let mut store = SubscriptionStore::new(&space);
@@ -52,6 +56,7 @@ pub struct StoredSub {
 ///         subscriber: Peer { idx: 0, key: keys.key(5) },
 ///         expires: SimTime::from_secs(60),
 ///         sk: KeyRangeSet::of_key(keys, keys.key(3)),
+///         trace: TraceId::NONE,
 ///     },
 ///     SimTime::ZERO,
 /// );
@@ -195,6 +200,7 @@ mod tests {
             },
             expires,
             sk: KeyRangeSet::of_key(keys, keys.key(2)),
+            trace: TraceId::NONE,
         }
     }
 

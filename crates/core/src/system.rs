@@ -4,10 +4,12 @@
 use std::sync::Arc;
 
 use cbps_overlay::{build_stable, ChordNode, OverlayConfig, Peer, RingView, RoutingState};
-use cbps_sim::{Metrics, NetConfig, NodeIdx, SimDuration, SimTime, Simulator};
+use cbps_sim::{
+    Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, Simulator, StageRecord, TraceId,
+};
 
 use crate::config::PubSubConfig;
-use crate::error::PubSubError;
+use crate::error::{ConfigError, PubSubError};
 use crate::event::{Event, EventId};
 use crate::msg::DeliveredNote;
 use crate::node::PubSubNode;
@@ -28,24 +30,24 @@ use crate::subscription::{SubId, Subscription};
 /// let mut net = PubSubNetwork::builder()
 ///     .nodes(50)
 ///     .seed(7)
-///     .build();
+///     .build()?;
 /// let space = net.config().space.clone();
 ///
 /// // Node 3 subscribes to a0 ∈ [100_000, 200_000].
 /// let sub = Subscription::builder(&space).range("a0", 100_000, 200_000)?.build()?;
-/// let sub_id = net.subscribe(3, sub, None);
+/// let sub_id = net.node(3)?.subscribe(sub, None)?;
 /// net.run_for_secs(5);
 ///
 /// // Node 9 publishes a matching event.
 /// let event = Event::new(&space, vec![150_000, 1, 2, 3])?;
-/// let event_id = net.publish(9, event);
+/// let event_id = net.node(9)?.publish(event)?;
 /// net.run_for_secs(5);
 ///
 /// let notes = net.delivered(3);
 /// assert_eq!(notes.len(), 1);
 /// assert_eq!(notes[0].sub_id, sub_id);
 /// assert_eq!(notes[0].event_id, event_id);
-/// # Ok::<(), cbps::PubSubError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct PubSubNetwork {
@@ -62,6 +64,65 @@ pub struct PubSubNetworkBuilder {
     net: NetConfig,
     overlay: OverlayConfig,
     pubsub: PubSubConfig,
+    obs: ObsMode,
+}
+
+/// A borrowed view of one node of a [`PubSubNetwork`], obtained through
+/// [`PubSubNetwork::node`]. Scopes the application operations (`sub`,
+/// `unsub`, `pub`, delivered-notification access) to a node whose index
+/// has already been validated.
+#[derive(Debug)]
+pub struct NodeHandle<'a> {
+    net: &'a mut PubSubNetwork,
+    idx: NodeIdx,
+}
+
+impl NodeHandle<'_> {
+    /// The node's index in the network.
+    pub fn idx(&self) -> NodeIdx {
+        self.idx
+    }
+
+    /// `true` while this node has not crashed or left.
+    pub fn is_alive(&self) -> bool {
+        self.net.is_alive(self.idx)
+    }
+
+    /// Issues a subscription from this node (see
+    /// [`PubSubNetwork::subscribe`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::InvalidSubscription`] when the subscription was
+    /// built for an event space of a different dimension count.
+    pub fn subscribe(
+        &mut self,
+        sub: Subscription,
+        ttl: Option<SimDuration>,
+    ) -> Result<SubId, PubSubError> {
+        self.net.subscribe(self.idx, sub, ttl)
+    }
+
+    /// Withdraws a subscription previously issued by this node. Returns
+    /// `false` if this node never issued `id` (or already unsubscribed).
+    pub fn unsubscribe(&mut self, id: SubId) -> Result<bool, PubSubError> {
+        self.net.unsubscribe(self.idx, id)
+    }
+
+    /// Publishes an event from this node (see [`PubSubNetwork::publish`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::DimensionMismatch`] when the event carries a
+    /// different number of attribute values than the network's space.
+    pub fn publish(&mut self, event: Event) -> Result<EventId, PubSubError> {
+        self.net.publish(self.idx, event)
+    }
+
+    /// Notifications received so far by this node as a subscriber.
+    pub fn delivered(&self) -> &[DeliveredNote] {
+        self.net.delivered(self.idx)
+    }
 }
 
 impl PubSubNetwork {
@@ -73,6 +134,7 @@ impl PubSubNetwork {
             net: NetConfig::new(0),
             overlay: OverlayConfig::paper_default(),
             pubsub: PubSubConfig::paper_default(),
+            obs: ObsMode::Off,
         }
     }
 
@@ -138,21 +200,53 @@ impl PubSubNetwork {
         self.app(node).delivered()
     }
 
+    /// A validated handle on one node, scoping the application operations
+    /// to it: `net.node(3)?.subscribe(sub, None)?`.
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds.
+    pub fn node(&mut self, node: NodeIdx) -> Result<NodeHandle<'_>, PubSubError> {
+        self.check_node(node)?;
+        Ok(NodeHandle {
+            net: self,
+            idx: node,
+        })
+    }
+
+    fn check_node(&self, node: NodeIdx) -> Result<(), PubSubError> {
+        let nodes = self.sim.len();
+        if node >= nodes {
+            return Err(PubSubError::UnknownNode { node, nodes });
+        }
+        Ok(())
+    }
+
     /// Issues a subscription from `node` with an optional TTL (overriding
     /// the configured default).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of bounds.
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds;
+    /// [`PubSubError::InvalidSubscription`] when the subscription was
+    /// built for an event space of a different dimension count.
     pub fn subscribe(
         &mut self,
         node: NodeIdx,
         sub: Subscription,
         ttl: Option<SimDuration>,
-    ) -> SubId {
-        self.sim.with_node(node, |n, ctx| {
+    ) -> Result<SubId, PubSubError> {
+        self.check_node(node)?;
+        let expected = self.cfg.space.dims();
+        if sub.dims() != expected {
+            return Err(PubSubError::InvalidSubscription {
+                expected,
+                got: sub.dims(),
+            });
+        }
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc))
-        })
+        }))
     }
 
     /// Validates and issues a subscription built from raw constraint slots.
@@ -168,7 +262,7 @@ impl PubSubNetwork {
         ttl: Option<SimDuration>,
     ) -> Result<SubId, PubSubError> {
         let sub = Subscription::from_constraints(&self.cfg.space, constraints)?;
-        Ok(self.subscribe(node, sub, ttl))
+        self.subscribe(node, sub, ttl)
     }
 
     /// Issues a disjunction of subscriptions from `node`: the subscriber
@@ -178,33 +272,54 @@ impl PubSubNetwork {
     /// deduplication guarantees at most one notification per
     /// `(disjunct, event)` pair, so an event matching several disjuncts
     /// notifies once per matching disjunct.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first disjunct that fails validation (earlier
+    /// disjuncts stay issued).
     pub fn subscribe_any(
         &mut self,
         node: NodeIdx,
         subs: impl IntoIterator<Item = Subscription>,
         ttl: Option<SimDuration>,
-    ) -> Vec<SubId> {
+    ) -> Result<Vec<SubId>, PubSubError> {
         subs.into_iter()
             .map(|sub| self.subscribe(node, sub, ttl))
             .collect()
     }
 
-    /// Withdraws a subscription previously issued by `node`.
-    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
-        self.sim.with_node(node, |n, ctx| {
+    /// Withdraws a subscription previously issued by `node`. Returns
+    /// `Ok(false)` if `node` never issued `id` (or already unsubscribed).
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds.
+    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> Result<bool, PubSubError> {
+        self.check_node(node)?;
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.unsubscribe(id, svc))
-        })
+        }))
     }
 
     /// Publishes an event from `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `node` is out of bounds.
-    pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
-        self.sim.with_node(node, |n, ctx| {
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds;
+    /// [`PubSubError::DimensionMismatch`] when the event carries a
+    /// different number of attribute values than the network's space.
+    pub fn publish(&mut self, node: NodeIdx, event: Event) -> Result<EventId, PubSubError> {
+        self.check_node(node)?;
+        let expected = self.cfg.space.dims();
+        if event.dims() != expected {
+            return Err(PubSubError::DimensionMismatch {
+                expected,
+                got: event.dims(),
+            });
+        }
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.publish(event, svc))
-        })
+        }))
     }
 
     /// Validates and publishes an event from raw values.
@@ -214,7 +329,26 @@ impl PubSubNetwork {
     /// Propagates the validation errors of [`Event::new`].
     pub fn try_publish(&mut self, node: NodeIdx, values: Vec<u64>) -> Result<EventId, PubSubError> {
         let event = Event::new(&self.cfg.space, values)?;
-        Ok(self.publish(node, event))
+        self.publish(node, event)
+    }
+
+    /// The active observability mode.
+    pub fn observability(&self) -> ObsMode {
+        self.sim.metrics().obs().mode()
+    }
+
+    /// Switches observability (causal tracing + stage histograms) on or
+    /// off. Observation never alters protocol behavior: the same run
+    /// produces identical results under every mode.
+    pub fn set_observability(&mut self, mode: ObsMode) {
+        self.sim.metrics_mut().obs_mut().set_mode(mode);
+    }
+
+    /// The recorded stage chain of one operation — every `(stage, node,
+    /// time)` record carrying `trace`, in recording order. Empty unless
+    /// observability was enabled while the operation ran.
+    pub fn explain(&self, trace: TraceId) -> Vec<StageRecord> {
+        self.sim.metrics().obs().log().chain(trace)
     }
 
     /// Advances the simulation to the given absolute time.
@@ -292,14 +426,17 @@ impl PubSubNetwork {
 }
 
 impl PubSubNetworkBuilder {
-    /// Sets the number of nodes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Sets the number of nodes (validated in
+    /// [`build`](PubSubNetworkBuilder::build)).
     pub fn nodes(mut self, n: usize) -> Self {
-        assert!(n > 0, "a network needs at least one node");
         self.nodes = n;
+        self
+    }
+
+    /// Sets the observability mode the network starts with (default:
+    /// [`ObsMode::Off`]).
+    pub fn observability(mut self, mode: ObsMode) -> Self {
+        self.obs = mode;
         self
     }
 
@@ -327,35 +464,75 @@ impl PubSubNetworkBuilder {
         self
     }
 
-    /// Builds the network with a converged ring.
+    /// Builds the network with a converged ring, validating the
+    /// configuration first.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::NoNodes`] for an empty network;
+    /// [`ConfigError::KeySpaceMismatch`] when the pub/sub mapping's key
+    /// space differs from the overlay's;
+    /// [`ConfigError::ReplicationTooLarge`] when the replication factor
+    /// exceeds the successor-list length;
+    /// [`ConfigError::ZeroFlushPeriod`] when a buffered or collecting
+    /// notify mode has a zero period.
+    pub fn build(self) -> Result<PubSubNetwork, ConfigError> {
+        self.validate()?;
+        Ok(self.build_unchecked())
+    }
+
+    fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.pubsub.mapping.key_space() != self.overlay.space {
+            return Err(ConfigError::KeySpaceMismatch {
+                mapping_bits: self.pubsub.mapping.key_space().bits(),
+                overlay_bits: self.overlay.space.bits(),
+            });
+        }
+        if self.pubsub.replication > self.overlay.succ_list_len {
+            return Err(ConfigError::ReplicationTooLarge {
+                replication: self.pubsub.replication,
+                succ_list_len: self.overlay.succ_list_len,
+            });
+        }
+        match self.pubsub.notify_mode {
+            crate::config::NotifyMode::Buffered { period }
+            | crate::config::NotifyMode::Collecting { period }
+                if period.is_zero() =>
+            {
+                return Err(ConfigError::ZeroFlushPeriod)
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Builds without validating — the escape hatch for callers that have
+    /// already validated (or deliberately construct a degenerate network).
     ///
     /// # Panics
     ///
-    /// Panics if the pub/sub mapping's key space differs from the
-    /// overlay's, or the replication factor exceeds the successor-list
-    /// length.
-    pub fn build(self) -> PubSubNetwork {
-        assert_eq!(
-            self.pubsub.mapping.key_space(),
-            self.overlay.space,
-            "pub/sub mapping and overlay must share one key space"
-        );
-        assert!(
-            self.pubsub.replication <= self.overlay.succ_list_len,
-            "replication factor {} exceeds successor-list length {}",
-            self.pubsub.replication,
-            self.overlay.succ_list_len
-        );
+    /// Panics on a zero-node network; other invalid configurations
+    /// produce a network whose behavior is unspecified (replicas silently
+    /// dropped, misrouted rendezvous, busy flush loops).
+    pub fn build_unchecked(self) -> PubSubNetwork {
+        assert!(self.nodes > 0, "a network needs at least one node");
         let cfg = self.pubsub.into_shared();
         let apps: Vec<PubSubNode> = (0..self.nodes)
             .map(|_| PubSubNode::new(Arc::clone(&cfg)))
             .collect();
         let (sim, ring) = build_stable(self.net, self.overlay, apps);
-        PubSubNetwork {
+        let mut net = PubSubNetwork {
             sim,
             ring,
             cfg,
             overlay_cfg: self.overlay,
+        };
+        if self.obs.enabled() {
+            net.set_observability(self.obs);
         }
+        net
     }
 }

@@ -21,19 +21,22 @@ fn collect_items_traverse_multiple_ring_hops() {
                     period: SimDuration::from_secs(2),
                 }),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let sub = Subscription::builder(&space)
         .range("a0", 100_000, 500_000) // ~3300 keys ≈ 45+ nodes at n=120
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(3, sub, None);
+    net.subscribe(3, sub, None).unwrap();
     net.run_for_secs(60);
 
     // Publish events near the *edges* of the subscribed range.
-    net.publish(7, Event::new(&space, vec![101_000, 1, 2, 3]).unwrap());
-    net.publish(8, Event::new(&space, vec![499_000, 4, 5, 6]).unwrap());
+    net.publish(7, Event::new(&space, vec![101_000, 1, 2, 3]).unwrap())
+        .unwrap();
+    net.publish(8, Event::new(&space, vec![499_000, 4, 5, 6]).unwrap())
+        .unwrap();
     net.run_for_secs(600);
 
     assert_eq!(net.delivered(3).len(), 2, "collect chain lost matches");
@@ -59,7 +62,8 @@ fn collecting_works_when_subscription_has_one_rendezvous() {
                     period: SimDuration::from_secs(2),
                 }),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let sub = Subscription::builder(&space)
         .range("a0", 200_000, 210_000)
@@ -72,9 +76,10 @@ fn collecting_works_when_subscription_has_one_rendezvous() {
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(2, sub, None);
+    net.subscribe(2, sub, None).unwrap();
     net.run_for_secs(60);
-    net.publish(9, Event::new(&space, vec![205_000, 1, 2, 3]).unwrap());
+    net.publish(9, Event::new(&space, vec![205_000, 1, 2, 3]).unwrap())
+        .unwrap();
     net.run_for_secs(120);
     assert_eq!(net.delivered(2).len(), 1);
 }
@@ -91,20 +96,23 @@ fn buffered_flushes_are_periodic_not_single_shot() {
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_notify_mode(NotifyMode::Buffered { period }),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let sub = Subscription::builder(&space).eq("a3", 500).build().unwrap();
-    net.subscribe(1, sub, None);
+    net.subscribe(1, sub, None).unwrap();
     net.run_for_secs(60);
 
     // Two bursts, separated by far more than the flush period.
     for i in 0..3u64 {
-        net.publish(5, Event::new(&space, vec![i, i, i, 500]).unwrap());
+        net.publish(5, Event::new(&space, vec![i, i, i, 500]).unwrap())
+            .unwrap();
     }
     net.run_for_secs(120);
     let after_first = net.metrics().counter("notifications.messages");
     for i in 10..13u64 {
-        net.publish(5, Event::new(&space, vec![i, i, i, 500]).unwrap());
+        net.publish(5, Event::new(&space, vec![i, i, i, 500]).unwrap())
+            .unwrap();
     }
     net.run_for_secs(120);
     let after_second = net.metrics().counter("notifications.messages");
@@ -132,20 +140,22 @@ fn jittered_delays_preserve_correctness() {
                 .with_mapping(MappingKind::AttributeSplit)
                 .with_primitive(Primitive::MCast),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let sub = Subscription::builder(&space)
         .range("a0", 300_000, 360_000)
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(4, sub, None);
+    net.subscribe(4, sub, None).unwrap();
     net.run_for_secs(60);
     for i in 0..8u64 {
         net.publish(
             (10 + i) as usize,
             Event::new(&space, vec![300_000 + i * 7_000, 1, 2, 3]).unwrap(),
-        );
+        )
+        .unwrap();
     }
     net.run_for_secs(120);
     assert_eq!(net.delivered(4).len(), 8);
@@ -157,7 +167,8 @@ fn disjunctions_notify_once_per_matching_disjunct() {
         .nodes(40)
         .net_config(NetConfig::new(45))
         .pubsub(PubSubConfig::paper_default().with_mapping(MappingKind::SelectiveAttribute))
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     // "a0 < 100k OR a1 < 100k" as two subscriptions.
     let d1 = Subscription::builder(&space)
@@ -170,16 +181,19 @@ fn disjunctions_notify_once_per_matching_disjunct() {
         .unwrap()
         .build()
         .unwrap();
-    let ids = net.subscribe_any(6, [d1, d2], None);
+    let ids = net.subscribe_any(6, [d1, d2], None).unwrap();
     assert_eq!(ids.len(), 2);
     net.run_for_secs(60);
 
     // Matches only the first disjunct.
-    net.publish(9, Event::new(&space, vec![50_000, 900_000, 1, 2]).unwrap());
+    net.publish(9, Event::new(&space, vec![50_000, 900_000, 1, 2]).unwrap())
+        .unwrap();
     // Matches both disjuncts.
-    net.publish(9, Event::new(&space, vec![50_000, 50_000, 1, 2]).unwrap());
+    net.publish(9, Event::new(&space, vec![50_000, 50_000, 1, 2]).unwrap())
+        .unwrap();
     // Matches neither.
-    net.publish(9, Event::new(&space, vec![900_000, 900_000, 1, 2]).unwrap());
+    net.publish(9, Event::new(&space, vec![900_000, 900_000, 1, 2]).unwrap())
+        .unwrap();
     net.run_for_secs(60);
 
     let notes = net.delivered(6);
@@ -201,7 +215,8 @@ fn replication_traffic_scales_with_factor() {
                     .with_mapping(MappingKind::KeySpaceSplit)
                     .with_replication(replication),
             )
-            .build();
+            .build()
+            .expect("valid network configuration");
         let space = net.config().space.clone();
         for i in 0..20u64 {
             let sub = Subscription::builder(&space)
@@ -211,7 +226,7 @@ fn replication_traffic_scales_with_factor() {
                 .unwrap()
                 .build()
                 .unwrap();
-            net.subscribe((i % 10) as usize, sub, None);
+            net.subscribe((i % 10) as usize, sub, None).unwrap();
         }
         net.run_for_secs(120);
         net.metrics().messages(TrafficClass::STATE_TRANSFER)
@@ -238,17 +253,20 @@ fn lease_refresh_keeps_subscriptions_alive_past_their_ttl() {
                     .with_mapping(MappingKind::SelectiveAttribute)
                     .with_lease_refresh(refresh),
             )
-            .build();
+            .build()
+            .expect("valid network configuration");
         let space = net.config().space.clone();
         let sub = Subscription::builder(&space)
             .range("a1", 400_000, 460_000)
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(2, sub, Some(SimDuration::from_secs(100)));
+        net.subscribe(2, sub, Some(SimDuration::from_secs(100)))
+            .unwrap();
         // Far beyond the original 100 s lease.
         net.run_for_secs(450);
-        net.publish(8, Event::new(&space, vec![1, 430_000, 2, 3]).unwrap());
+        net.publish(8, Event::new(&space, vec![1, 430_000, 2, 3]).unwrap())
+            .unwrap();
         net.run_for_secs(60);
         (
             net.delivered(2).len(),
@@ -276,22 +294,26 @@ fn lease_refresh_stops_after_unsubscribe() {
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_lease_refresh(true),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let sub = Subscription::builder(&space)
         .range("a1", 100_000, 130_000)
         .unwrap()
         .build()
         .unwrap();
-    let id = net.subscribe(3, sub, Some(SimDuration::from_secs(100)));
+    let id = net
+        .subscribe(3, sub, Some(SimDuration::from_secs(100)))
+        .unwrap();
     net.run_for_secs(120); // at least one refresh happened
     let refreshes_before = net.metrics().counter("requests.refresh");
     assert!(refreshes_before >= 1);
-    net.unsubscribe(3, id);
+    net.unsubscribe(3, id).unwrap();
     net.run_for_secs(400);
     // The refresh cycle died with the local record.
     assert_eq!(net.metrics().counter("requests.refresh"), refreshes_before);
-    net.publish(9, Event::new(&space, vec![1, 120_000, 2, 3]).unwrap());
+    net.publish(9, Event::new(&space, vec![1, 120_000, 2, 3]).unwrap())
+        .unwrap();
     net.run_for_secs(60);
     assert!(net.delivered(3).is_empty());
 }

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use cbps::{AttributeDef, Event, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
 use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
 use cbps_rng::Rng;
-use cbps_sim::SimTime;
+use cbps_sim::{SimTime, TraceId};
 
 #[derive(Clone, Debug)]
 enum Op {
@@ -79,7 +79,7 @@ impl Model {
 
 #[test]
 fn store_matches_naive_model() {
-    let mut rng = Rng::seed_from_u64(0x5703e_cafe);
+    let mut rng = Rng::seed_from_u64(0x0005_703e_cafe);
     for case in 0..128 {
         let ops: Vec<Op> = {
             let n = rng.gen_range(1usize..120);
@@ -115,6 +115,7 @@ fn store_matches_naive_model() {
                         },
                         expires: expires_at.map(SimTime::from_secs).unwrap_or(SimTime::MAX),
                         sk: KeyRangeSet::of_key(keys, keys.key(2)),
+                        trace: TraceId::NONE,
                     };
                     let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
                     model.purge(clock);

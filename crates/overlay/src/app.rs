@@ -9,7 +9,7 @@
 use std::rc::Rc;
 
 use cbps_rng::Rng;
-use cbps_sim::{Context, SimDuration, SimTime, TrafficClass};
+use cbps_sim::{Context, SimDuration, SimTime, TraceId, TrafficClass};
 
 use crate::key::{Key, KeySpace};
 use crate::msg::{ChordMsg, Envelope};
@@ -31,6 +31,9 @@ pub struct Delivery {
     pub hops: u32,
     /// The node that originated the send.
     pub src: Peer,
+    /// Causal trace of the operation that sent the payload
+    /// ([`TraceId::NONE`] when untraced).
+    pub trace: TraceId,
 }
 
 /// The protocol stacked on top of a Chord node.
@@ -157,14 +160,15 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
 
     /// The overlay `send(m, k)` primitive: routes `payload` to the node
     /// covering `key`. Reaching a key we cover ourselves delivers locally
-    /// without a network hop.
-    pub fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
-        self.send_rc(key, class, Rc::new(payload));
+    /// without a network hop. `trace` ties the message to the application
+    /// operation it serves ([`TraceId::NONE`] for untraced traffic).
+    pub fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId) {
+        self.send_rc(key, class, Rc::new(payload), trace);
     }
 
     /// [`OverlaySvc::send`] over an already-shared payload (no fresh
     /// allocation; used by the per-key fan-out).
-    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>) {
+    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>, trace: TraceId) {
         let me = self.state.me();
         let unicast = |hops| ChordMsg::Unicast {
             key,
@@ -172,6 +176,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
             payload,
             hops,
             src: me,
+            trace,
         };
         match self.state.next_hop(key) {
             None => self.ctx.send_local(Envelope {
@@ -191,7 +196,13 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
 
     /// The paper's `m-cast(M, K)` primitive: every node covering at least
     /// one key in `targets` receives `payload` exactly once.
-    pub fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+    pub fn mcast(
+        &mut self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        payload: P,
+        trace: TraceId,
+    ) {
         if targets.is_empty() {
             return;
         }
@@ -207,6 +218,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                     payload: Rc::clone(&payload),
                     hops: 0,
                     src: me,
+                    trace,
                 },
             });
         }
@@ -222,6 +234,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                         payload: Rc::clone(&payload),
                         hops: 1,
                         src: me,
+                        trace,
                     },
                 },
             );
@@ -232,12 +245,18 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     /// `targets`. This is the baseline the basic architecture is restricted
     /// to (§4.3.1, "aggressive" variant) and the "unicast" series of the
     /// figures.
-    pub fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+    pub fn ucast_keys(
+        &mut self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        payload: P,
+        trace: TraceId,
+    ) {
         let space = self.space();
         let payload = Rc::new(payload);
         let keys: Vec<Key> = targets.iter_keys(space).collect();
         for key in keys {
-            self.send_rc(key, class, Rc::clone(&payload));
+            self.send_rc(key, class, Rc::clone(&payload), trace);
         }
     }
 
@@ -245,7 +264,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     /// key of `range`, then walk covering nodes successor-by-successor.
     /// Same message complexity as `m-cast`, but dilation grows with the
     /// number of covering nodes.
-    pub fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
+    pub fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P, trace: TraceId) {
         let me = self.state.me();
         let msg = Envelope {
             sender: me,
@@ -256,6 +275,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                 hops: 0,
                 src: me,
                 walking: false,
+                trace,
             },
         };
         // Enter through normal routing toward the range start.

@@ -21,7 +21,7 @@
 //! use cbps_overlay::{
 //!     build_stable, ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayConfig, OverlaySvc,
 //! };
-//! use cbps_sim::{NetConfig, TrafficClass};
+//! use cbps_sim::{NetConfig, TraceId, TrafficClass};
 //!
 //! #[derive(Default)]
 //! struct Counter {
@@ -52,7 +52,7 @@
 //!
 //! sim.with_node(0, |node, ctx| {
 //!     node.app_call(ctx, |_app, svc| {
-//!         svc.mcast(&targets, TrafficClass::OTHER, "hello");
+//!         svc.mcast(&targets, TrafficClass::OTHER, "hello", TraceId::NONE);
 //!     })
 //! });
 //! sim.run();
@@ -94,7 +94,7 @@ pub use timer::ChordTimer;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cbps_sim::{NetConfig, NodeIdx, Simulator, TrafficClass};
+    use cbps_sim::{NetConfig, NodeIdx, Simulator, TraceId, TrafficClass};
 
     /// Records every delivery with its metadata.
     #[derive(Default)]
@@ -142,7 +142,7 @@ mod tests {
             let expect = ring.successor(key).idx;
             sim.with_node(5, |node, ctx| {
                 node.app_call(ctx, |_, svc| {
-                    svc.send(key, TrafficClass::OTHER, format!("p{probe}"));
+                    svc.send(key, TrafficClass::OTHER, format!("p{probe}"), TraceId::NONE);
                 })
             });
             sim.run();
@@ -166,7 +166,12 @@ mod tests {
         let own_key = sim.node(7).me().key;
         sim.with_node(7, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.send(own_key, TrafficClass::OTHER, "self".to_owned());
+                svc.send(
+                    own_key,
+                    TrafficClass::OTHER,
+                    "self".to_owned(),
+                    TraceId::NONE,
+                );
             })
         });
         sim.run();
@@ -190,7 +195,12 @@ mod tests {
 
         sim.with_node(2, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.mcast(&targets, TrafficClass::OTHER, "mc".to_owned());
+                svc.mcast(
+                    &targets,
+                    TrafficClass::OTHER,
+                    "mc".to_owned(),
+                    TraceId::NONE,
+                );
             })
         });
         sim.run();
@@ -221,7 +231,12 @@ mod tests {
         let targets = KeyRangeSet::of_range(space, KeyRange::new(space.key(0), space.key(8191)));
         sim.with_node(0, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.mcast(&targets, TrafficClass::OTHER, "all".to_owned());
+                svc.mcast(
+                    &targets,
+                    TrafficClass::OTHER,
+                    "all".to_owned(),
+                    TraceId::NONE,
+                );
             })
         });
         sim.run();
@@ -249,7 +264,7 @@ mod tests {
 
         sim.with_node(1, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.mcast(&targets, TrafficClass::OTHER, "m".to_owned());
+                svc.mcast(&targets, TrafficClass::OTHER, "m".to_owned(), TraceId::NONE);
             })
         });
         sim.run();
@@ -264,7 +279,7 @@ mod tests {
         let (mut sim2, _, _) = network(100, 7);
         sim2.with_node(1, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.ucast_keys(&targets, TrafficClass::OTHER, "u".to_owned());
+                svc.ucast_keys(&targets, TrafficClass::OTHER, "u".to_owned(), TraceId::NONE);
             })
         });
         sim2.run();
@@ -289,7 +304,7 @@ mod tests {
 
         sim.with_node(3, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                svc.walk(range, TrafficClass::OTHER, "w".to_owned());
+                svc.walk(range, TrafficClass::OTHER, "w".to_owned(), TraceId::NONE);
             })
         });
         sim.run();

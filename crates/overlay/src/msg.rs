@@ -7,7 +7,7 @@
 
 use std::rc::Rc;
 
-use cbps_sim::TrafficClass;
+use cbps_sim::{TraceId, TrafficClass};
 
 use crate::key::Key;
 use crate::range::{KeyRange, KeyRangeSet};
@@ -43,6 +43,9 @@ pub enum ChordMsg<P> {
         hops: u32,
         /// The originating node.
         src: Peer,
+        /// Causal trace of the application operation that sent this
+        /// ([`TraceId::NONE`] for untraced traffic).
+        trace: TraceId,
     },
     /// The paper's `m-cast(M, K)` primitive (Figure 4): key-set multicast
     /// with finger-wise recursive splitting.
@@ -57,6 +60,9 @@ pub enum ChordMsg<P> {
         hops: u32,
         /// The originating node.
         src: Peer,
+        /// Causal trace of the application operation that sent this
+        /// ([`TraceId::NONE`] for untraced traffic).
+        trace: TraceId,
     },
     /// Conservative unicast range propagation (§4.3.1): routed to the first
     /// key of the range, then walked successor-by-successor.
@@ -74,6 +80,9 @@ pub enum ChordMsg<P> {
         /// `false` while still routing toward `range.start()`, `true` once
         /// walking the ring.
         walking: bool,
+        /// Causal trace of the application operation that sent this
+        /// ([`TraceId::NONE`] for untraced traffic).
+        trace: TraceId,
     },
     /// One-hop application message to a known peer (used by the
     /// notification-collecting protocol and state transfer).
@@ -160,6 +169,17 @@ impl<P> ChordMsg<P> {
             _ => TrafficClass::MAINTENANCE,
         }
     }
+
+    /// The causal trace this message carries ([`TraceId::NONE`] for
+    /// maintenance and direct messages, whose items carry their own).
+    pub fn trace(&self) -> TraceId {
+        match self {
+            ChordMsg::Unicast { trace, .. }
+            | ChordMsg::MCast { trace, .. }
+            | ChordMsg::Walk { trace, .. } => *trace,
+            _ => TraceId::NONE,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -191,8 +211,10 @@ mod tests {
             payload: Rc::new(9),
             hops: 0,
             src,
+            trace: TraceId::for_publication(0, 1),
         };
         assert_eq!(m.class(), TrafficClass::PUBLICATION);
+        assert_eq!(m.trace(), TraceId::for_publication(0, 1));
         let g: ChordMsg<u8> = ChordMsg::GetPred;
         assert_eq!(g.class(), TrafficClass::MAINTENANCE);
         let p: ChordMsg<u8> = ChordMsg::Ping { token: 7 };

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use cbps_sim::{Context, Node, NodeIdx, TrafficClass};
+use cbps_sim::{Context, Node, NodeIdx, TraceId, TrafficClass};
 
 use crate::app::{ChordApp, Delivery, OverlaySvc};
 use crate::key::Key;
@@ -244,6 +244,7 @@ impl<A: ChordApp> ChordNode<A> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     fn handle_unicast(
         &mut self,
         key: Key,
@@ -251,6 +252,7 @@ impl<A: ChordApp> ChordNode<A> {
         payload: Rc<A::Payload>,
         hops: u32,
         src: Peer,
+        trace: TraceId,
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
     ) {
         if self.ttl_exceeded(hops, ctx) {
@@ -266,6 +268,7 @@ impl<A: ChordApp> ChordNode<A> {
                     class,
                     hops,
                     src,
+                    trace,
                 };
                 let mut svc = OverlaySvc {
                     state: &mut self.state,
@@ -274,20 +277,25 @@ impl<A: ChordApp> ChordNode<A> {
                 self.app
                     .on_deliver(take_payload(payload), delivery, &mut svc);
             }
-            Some(hop) => self.send_body(
-                ctx,
-                hop.idx,
-                ChordMsg::Unicast {
-                    key,
-                    class,
-                    payload,
-                    hops: hops + 1,
-                    src,
-                },
-            ),
+            Some(hop) => {
+                ctx.route_hop(trace, class);
+                self.send_body(
+                    ctx,
+                    hop.idx,
+                    ChordMsg::Unicast {
+                        key,
+                        class,
+                        payload,
+                        hops: hops + 1,
+                        src,
+                        trace,
+                    },
+                )
+            }
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     fn handle_mcast(
         &mut self,
         targets: KeyRangeSet,
@@ -295,12 +303,16 @@ impl<A: ChordApp> ChordNode<A> {
         payload: Rc<A::Payload>,
         hops: u32,
         src: Peer,
+        trace: TraceId,
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
     ) {
         if self.ttl_exceeded(hops, ctx) {
             return;
         }
         let (local, bundles) = self.state.mcast_split(&targets);
+        if !bundles.is_empty() {
+            ctx.route_hop(trace, class);
+        }
         for (peer, subset) in bundles {
             self.send_body(
                 ctx,
@@ -311,6 +323,7 @@ impl<A: ChordApp> ChordNode<A> {
                     payload: Rc::clone(&payload),
                     hops: hops + 1,
                     src,
+                    trace,
                 },
             );
         }
@@ -323,6 +336,7 @@ impl<A: ChordApp> ChordNode<A> {
                 class,
                 hops,
                 src,
+                trace,
             };
             let mut svc = OverlaySvc {
                 state: &mut self.state,
@@ -342,6 +356,7 @@ impl<A: ChordApp> ChordNode<A> {
         hops: u32,
         src: Peer,
         walking: bool,
+        trace: TraceId,
         ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
     ) {
         if self.ttl_exceeded(hops, ctx) {
@@ -351,6 +366,7 @@ impl<A: ChordApp> ChordNode<A> {
         if !walking {
             // Still routing toward the start of the range.
             if let Some(hop) = self.state.next_hop(range.start()) {
+                ctx.route_hop(trace, class);
                 self.send_body(
                     ctx,
                     hop.idx,
@@ -361,6 +377,7 @@ impl<A: ChordApp> ChordNode<A> {
                         hops: hops + 1,
                         src,
                         walking: false,
+                        trace,
                     },
                 );
                 return;
@@ -390,6 +407,7 @@ impl<A: ChordApp> ChordNode<A> {
                     class,
                     hops,
                     src,
+                    trace,
                 };
                 let mut svc = OverlaySvc {
                     state: &mut node.state,
@@ -403,6 +421,7 @@ impl<A: ChordApp> ChordNode<A> {
                 if !local.is_empty() {
                     deliver(self, take_payload(Rc::clone(&payload)), ctx);
                 }
+                ctx.route_hop(trace, class);
                 self.send_body(
                     ctx,
                     succ.idx,
@@ -413,6 +432,7 @@ impl<A: ChordApp> ChordNode<A> {
                         hops: hops + 1,
                         src,
                         walking: true,
+                        trace,
                     },
                 );
             }
@@ -610,9 +630,10 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
                 self.state.learn(src);
-                self.handle_unicast(key, class, payload, hops, src, ctx);
+                self.handle_unicast(key, class, payload, hops, src, trace, ctx);
             }
             ChordMsg::MCast {
                 targets,
@@ -620,9 +641,10 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
                 self.state.learn(src);
-                self.handle_mcast(targets, class, payload, hops, src, ctx);
+                self.handle_mcast(targets, class, payload, hops, src, trace, ctx);
             }
             ChordMsg::Walk {
                 range,
@@ -631,9 +653,10 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 hops,
                 src,
                 walking,
+                trace,
             } => {
                 self.state.learn(src);
-                self.handle_walk(range, class, payload, hops, src, walking, ctx);
+                self.handle_walk(range, class, payload, hops, src, walking, trace, ctx);
             }
             ChordMsg::Direct { payload, class } => {
                 let _ = class;
@@ -726,8 +749,9 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
-                self.handle_unicast(key, class, payload, hops, src, ctx);
+                self.handle_unicast(key, class, payload, hops, src, trace, ctx);
             }
             ChordMsg::MCast {
                 targets,
@@ -735,8 +759,9 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
-                self.handle_mcast(targets, class, payload, hops, src, ctx);
+                self.handle_mcast(targets, class, payload, hops, src, trace, ctx);
             }
             ChordMsg::Walk {
                 range,
@@ -745,8 +770,9 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 hops,
                 src,
                 walking,
+                trace,
             } => {
-                self.handle_walk(range, class, payload, hops, src, walking, ctx);
+                self.handle_walk(range, class, payload, hops, src, walking, trace, ctx);
             }
             ChordMsg::FindSucc {
                 target,

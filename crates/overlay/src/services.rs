@@ -9,7 +9,7 @@
 //! overlay in `cbps-pastry`.
 
 use cbps_rng::Rng;
-use cbps_sim::{Metrics, SimDuration, SimTime, TrafficClass};
+use cbps_sim::{Metrics, SimDuration, SimTime, Stage, TraceId, TrafficClass};
 
 use crate::key::{Key, KeySpace};
 use crate::range::{KeyRange, KeyRangeSet};
@@ -43,17 +43,41 @@ pub trait OverlayServices<P: Clone, T> {
     fn covers(&self, key: Key) -> bool;
     /// Arms an application timer.
     fn arm_timer(&mut self, delay: SimDuration, timer: T);
-    /// Routes `payload` to the node covering `key`.
-    fn send(&mut self, key: Key, class: TrafficClass, payload: P);
+    /// Routes `payload` to the node covering `key`, carrying `trace` for
+    /// causal observability ([`TraceId::NONE`] for untraced traffic).
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId);
     /// One-to-many send: every covering node of `targets` receives the
     /// payload exactly once.
-    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P);
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P, trace: TraceId);
     /// Naive per-key unicast fan-out (the baseline primitive).
-    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P);
+    fn ucast_keys(
+        &mut self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        payload: P,
+        trace: TraceId,
+    );
     /// Conservative neighbor-walk propagation along a contiguous range.
-    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P);
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P, trace: TraceId);
     /// One-hop message to a known peer.
     fn direct(&mut self, to: Peer, class: TrafficClass, payload: P);
+
+    /// Records that `trace` reached `stage` on this node, now. A single
+    /// branch when observability is disabled.
+    #[inline]
+    fn stage(&mut self, trace: TraceId, stage: Stage, class: TrafficClass) {
+        let (node, at) = (self.me().idx, self.now());
+        self.metrics()
+            .obs_mut()
+            .stage(trace, stage, class, node, at);
+    }
+
+    /// Records a sample under a named observability series (fan-out sizes,
+    /// store sizes, …). A single branch when observability is disabled.
+    #[inline]
+    fn obs_sample(&mut self, name: &str, value: u64) {
+        self.metrics().obs_mut().sample(name, value);
+    }
 }
 
 impl<P: Clone, T> OverlayServices<P, T> for crate::app::OverlaySvc<'_, '_, P, T> {
@@ -87,17 +111,23 @@ impl<P: Clone, T> OverlayServices<P, T> for crate::app::OverlaySvc<'_, '_, P, T>
     fn arm_timer(&mut self, delay: SimDuration, timer: T) {
         crate::app::OverlaySvc::arm_timer(self, delay, timer);
     }
-    fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
-        crate::app::OverlaySvc::send(self, key, class, payload);
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId) {
+        crate::app::OverlaySvc::send(self, key, class, payload, trace);
     }
-    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
-        crate::app::OverlaySvc::mcast(self, targets, class, payload);
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P, trace: TraceId) {
+        crate::app::OverlaySvc::mcast(self, targets, class, payload, trace);
     }
-    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
-        crate::app::OverlaySvc::ucast_keys(self, targets, class, payload);
+    fn ucast_keys(
+        &mut self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        payload: P,
+        trace: TraceId,
+    ) {
+        crate::app::OverlaySvc::ucast_keys(self, targets, class, payload, trace);
     }
-    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
-        crate::app::OverlaySvc::walk(self, range, class, payload);
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P, trace: TraceId) {
+        crate::app::OverlaySvc::walk(self, range, class, payload, trace);
     }
     fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
         crate::app::OverlaySvc::direct(self, to, class, payload);

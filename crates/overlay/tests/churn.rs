@@ -9,7 +9,7 @@ use cbps_overlay::{
     build_stable, ChordApp, ChordNode, Delivery, OverlayConfig, OverlaySvc, Peer, RingView,
     RoutingState,
 };
-use cbps_sim::{NetConfig, SimTime, Simulator, TrafficClass};
+use cbps_sim::{NetConfig, SimTime, Simulator, TraceId, TrafficClass};
 
 /// An app that records payload deliveries and predecessor changes.
 #[derive(Default)]
@@ -129,7 +129,9 @@ fn join_integrates_new_node() {
     // Routing to a key the joiner covers reaches the joiner.
     let probe_key = key; // its own key is always covered by it now
     sim.with_node(3, |node, ctx| {
-        node.app_call(ctx, |_, svc| svc.send(probe_key, TrafficClass::OTHER, 77));
+        node.app_call(ctx, |_, svc| {
+            svc.send(probe_key, TrafficClass::OTHER, 77, TraceId::NONE)
+        });
     });
     sim.run_until(SimTime::from_secs(31));
     assert_eq!(sim.node(idx).app().delivered, vec![77]);
@@ -149,7 +151,9 @@ fn crash_heals_ring_and_reroutes() {
 
     // A key formerly covered by the victim now lands on its successor.
     sim.with_node(1, |node, ctx| {
-        node.app_call(ctx, |_, svc| svc.send(victim_key, TrafficClass::OTHER, 55));
+        node.app_call(ctx, |_, svc| {
+            svc.send(victim_key, TrafficClass::OTHER, 55, TraceId::NONE)
+        });
     });
     sim.run_until(SimTime::from_secs(41));
     assert_eq!(sim.node(heir.idx).app().delivered, vec![55]);
@@ -239,7 +243,9 @@ fn mcast_routes_around_unannounced_crashes() {
         cbps_overlay::KeyRange::new(space.key(0), space.key(8191)),
     );
     sim.with_node(2, |node, ctx| {
-        node.app_call(ctx, |_, svc| svc.mcast(&targets, TrafficClass::OTHER, 1))
+        node.app_call(ctx, |_, svc| {
+            svc.mcast(&targets, TrafficClass::OTHER, 1, TraceId::NONE)
+        })
     });
     sim.run();
 
@@ -287,7 +293,9 @@ fn unicast_routes_around_unannounced_crashes() {
             continue;
         }
         sim.with_node(src, |node, ctx| {
-            node.app_call(ctx, |_, svc| svc.send(key, TrafficClass::OTHER, i as u32))
+            node.app_call(ctx, |_, svc| {
+                svc.send(key, TrafficClass::OTHER, i as u32, TraceId::NONE)
+            })
         });
     }
     sim.run();

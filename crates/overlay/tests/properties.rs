@@ -45,7 +45,7 @@ fn random_ranges(rng: &mut Rng, max_count: usize, start_max: u64, len_max: u64) 
 /// cardinality and iteration.
 #[test]
 fn range_set_matches_model() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a1);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a1);
     let space = KeySpace::new(8);
     for case in 0..512 {
         let ranges = random_ranges(&mut rng, 7, 256, 80);
@@ -69,7 +69,7 @@ fn range_set_matches_model() {
 /// extract_arc_oc returns exactly the model subset on the arc.
 #[test]
 fn extract_arc_matches_model() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a2);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a2);
     let space = KeySpace::new(8);
     for case in 0..512 {
         let ranges = random_ranges(&mut rng, 5, 256, 60);
@@ -91,7 +91,7 @@ fn extract_arc_matches_model() {
 /// Union is the model union.
 #[test]
 fn union_matches_model() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a3);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a3);
     let space = KeySpace::new(8);
     for case in 0..512 {
         let ra = random_ranges(&mut rng, 4, 256, 60);
@@ -109,7 +109,7 @@ fn union_matches_model() {
 /// intersects() agrees with the models' disjointness.
 #[test]
 fn intersects_matches_model() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a4);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a4);
     let space = KeySpace::new(8);
     for case in 0..512 {
         let ra = random_ranges(&mut rng, 4, 256, 40);
@@ -179,7 +179,7 @@ fn random_keys(rng: &mut Rng, lo: usize, hi: usize) -> Vec<u64> {
 /// node, monotonically shrinking the clockwise distance.
 #[test]
 fn greedy_routing_reaches_oracle_successor() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a5);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a5);
     for case in 0..256 {
         let keys = random_keys(&mut rng, 2, 40);
         let target = rng.gen_range(0u64..1024);
@@ -216,7 +216,7 @@ fn greedy_routing_reaches_oracle_successor() {
 /// local ∪ bundles = targets, pairwise disjoint, no bundle to self.
 #[test]
 fn mcast_split_is_exact_partition() {
-    let mut rng = Rng::seed_from_u64(0x5e7_a6);
+    let mut rng = Rng::seed_from_u64(0x0005_e7a6);
     for case in 0..256 {
         let keys = random_keys(&mut rng, 1, 40);
         let range_count = rng.gen_range(1usize..4);

@@ -35,5 +35,5 @@ mod state;
 
 pub use builder::build_pastry_stable;
 pub use node::{PastryApp, PastryEnvelope, PastryMsg, PastryNode, PastrySvc};
-pub use pubsub::{PastryPubSubNetwork, PastryPubSubNetworkBuilder};
+pub use pubsub::{PastryNodeHandle, PastryPubSubNetwork, PastryPubSubNetworkBuilder};
 pub use state::{common_prefix_len, PastryConfig, PastryState};

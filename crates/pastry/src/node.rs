@@ -6,7 +6,7 @@ use cbps_overlay::{
     take_payload, Delivery, Key, KeyRange, KeyRangeSet, KeySpace, OverlayServices, Peer,
 };
 use cbps_rng::Rng;
-use cbps_sim::{Context, Metrics, Node, NodeIdx, SimDuration, SimTime, TrafficClass};
+use cbps_sim::{Context, Metrics, Node, NodeIdx, SimDuration, SimTime, TraceId, TrafficClass};
 
 use crate::state::PastryState;
 
@@ -27,6 +27,9 @@ pub enum PastryMsg<P> {
         hops: u32,
         /// Originator.
         src: Peer,
+        /// Causal trace of the sending operation ([`TraceId::NONE`] when
+        /// untraced).
+        trace: TraceId,
     },
     /// One-to-many payload over a key set.
     MCast {
@@ -40,6 +43,9 @@ pub enum PastryMsg<P> {
         hops: u32,
         /// Originator.
         src: Peer,
+        /// Causal trace of the sending operation ([`TraceId::NONE`] when
+        /// untraced).
+        trace: TraceId,
     },
     /// Leaf-walk propagation along a contiguous range.
     Walk {
@@ -55,6 +61,9 @@ pub enum PastryMsg<P> {
         src: Peer,
         /// Whether the walk phase has begun.
         walking: bool,
+        /// Causal trace of the sending operation ([`TraceId::NONE`] when
+        /// untraced).
+        trace: TraceId,
     },
     /// One-hop application message.
     Direct {
@@ -119,7 +128,7 @@ pub struct PastrySvc<'a, 'c, P, T> {
 
 impl<P: Clone, T> PastrySvc<'_, '_, P, T> {
     /// Routes an already-shared payload toward `key`.
-    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>) {
+    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>, trace: TraceId) {
         let me = self.state.me();
         let route = |hops| PastryMsg::Route {
             key,
@@ -127,6 +136,7 @@ impl<P: Clone, T> PastrySvc<'_, '_, P, T> {
             payload,
             hops,
             src: me,
+            trace,
         };
         match self.state.next_hop(key) {
             None => self.ctx.send_local(PastryEnvelope {
@@ -176,10 +186,10 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
     fn arm_timer(&mut self, delay: SimDuration, timer: T) {
         self.ctx.arm_timer(delay, timer);
     }
-    fn send(&mut self, key: Key, class: TrafficClass, payload: P) {
-        self.send_rc(key, class, Rc::new(payload));
+    fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId) {
+        self.send_rc(key, class, Rc::new(payload), trace);
     }
-    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P, trace: TraceId) {
         if targets.is_empty() {
             return;
         }
@@ -195,6 +205,7 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
                     payload: Rc::clone(&payload),
                     hops: 0,
                     src: me,
+                    trace,
                 },
             });
         }
@@ -210,20 +221,27 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
                         payload: Rc::clone(&payload),
                         hops: 1,
                         src: me,
+                        trace,
                     },
                 },
             );
         }
     }
-    fn ucast_keys(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P) {
+    fn ucast_keys(
+        &mut self,
+        targets: &KeyRangeSet,
+        class: TrafficClass,
+        payload: P,
+        trace: TraceId,
+    ) {
         let space = self.state.space();
         let payload = Rc::new(payload);
         let keys: Vec<Key> = targets.iter_keys(space).collect();
         for key in keys {
-            self.send_rc(key, class, Rc::clone(&payload));
+            self.send_rc(key, class, Rc::clone(&payload), trace);
         }
     }
-    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P) {
+    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P, trace: TraceId) {
         let me = self.state.me();
         let payload = Rc::new(payload);
         let body = PastryMsg::Walk {
@@ -233,6 +251,7 @@ impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
             hops: 0,
             src: me,
             walking: false,
+            trace,
         };
         match self.state.next_hop(range.start()) {
             None => self.ctx.send_local(PastryEnvelope { sender: me, body }),
@@ -320,6 +339,7 @@ impl<A: PastryApp> PastryNode<A> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     fn deliver(
         &mut self,
         payload: A::Payload,
@@ -327,6 +347,7 @@ impl<A: PastryApp> PastryNode<A> {
         class: TrafficClass,
         hops: u32,
         src: Peer,
+        trace: TraceId,
         ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
     ) {
         ctx.metrics()
@@ -337,6 +358,7 @@ impl<A: PastryApp> PastryNode<A> {
             class,
             hops,
             src,
+            trace,
         };
         let mut svc = PastrySvc {
             state: &self.state,
@@ -364,6 +386,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
@@ -371,10 +394,11 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 match self.state.next_hop(key) {
                     None => {
                         let here = KeyRangeSet::of_key(self.state.space(), key);
-                        self.deliver(take_payload(payload), here, class, hops, src, ctx);
+                        self.deliver(take_payload(payload), here, class, hops, src, trace, ctx);
                     }
                     Some(hop) => {
                         let me = self.state.me();
+                        ctx.route_hop(trace, class);
                         ctx.send(
                             hop.idx,
                             class,
@@ -386,6 +410,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                                     payload,
                                     hops: hops + 1,
                                     src,
+                                    trace,
                                 },
                             },
                         );
@@ -398,12 +423,16 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 payload,
                 hops,
                 src,
+                trace,
             } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
                 }
                 let (local, bundles) = self.state.mcast_split(&targets);
                 let me = self.state.me();
+                if !bundles.is_empty() {
+                    ctx.route_hop(trace, class);
+                }
                 for (peer, subset) in bundles {
                     ctx.send(
                         peer.idx,
@@ -416,12 +445,13 @@ impl<A: PastryApp> Node for PastryNode<A> {
                                 payload: Rc::clone(&payload),
                                 hops: hops + 1,
                                 src,
+                                trace,
                             },
                         },
                     );
                 }
                 if !local.is_empty() {
-                    self.deliver(take_payload(payload), local, class, hops, src, ctx);
+                    self.deliver(take_payload(payload), local, class, hops, src, trace, ctx);
                 }
             }
             PastryMsg::Walk {
@@ -431,6 +461,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 hops,
                 src,
                 walking,
+                trace,
             } => {
                 if self.ttl_exceeded(hops, ctx) {
                     return;
@@ -439,6 +470,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 if !walking {
                     if let Some(hop) = self.state.next_hop(range.start()) {
                         let me = self.state.me();
+                        ctx.route_hop(trace, class);
                         ctx.send(
                             hop.idx,
                             class,
@@ -451,6 +483,7 @@ impl<A: PastryApp> Node for PastryNode<A> {
                                     hops: hops + 1,
                                     src,
                                     walking: false,
+                                    trace,
                                 },
                             },
                         );
@@ -473,8 +506,9 @@ impl<A: PastryApp> Node for PastryNode<A> {
                     Some(succ) => {
                         if !local.is_empty() {
                             let p = take_payload(Rc::clone(&payload));
-                            self.deliver(p, local, class, hops, src, ctx);
+                            self.deliver(p, local, class, hops, src, trace, ctx);
                         }
+                        ctx.route_hop(trace, class);
                         ctx.send(
                             succ.idx,
                             class,
@@ -487,13 +521,22 @@ impl<A: PastryApp> Node for PastryNode<A> {
                                     hops: hops + 1,
                                     src,
                                     walking: true,
+                                    trace,
                                 },
                             },
                         );
                     }
                     None => {
                         if !local.is_empty() {
-                            self.deliver(take_payload(payload), local, class, hops, src, ctx);
+                            self.deliver(
+                                take_payload(payload),
+                                local,
+                                class,
+                                hops,
+                                src,
+                                trace,
+                                ctx,
+                            );
                         }
                     }
                 }

@@ -6,11 +6,11 @@
 use std::sync::Arc;
 
 use cbps::{
-    DeliveredNote, Event, EventId, PubSubConfig, PubSubMsg, PubSubNode, PubSubTimer, SubId,
-    Subscription,
+    ConfigError, DeliveredNote, Event, EventId, PubSubConfig, PubSubError, PubSubMsg, PubSubNode,
+    PubSubTimer, SubId, Subscription,
 };
 use cbps_overlay::{Delivery, Peer, RingView};
-use cbps_sim::{Metrics, NetConfig, NodeIdx, SimDuration, SimTime, Simulator};
+use cbps_sim::{Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, Simulator};
 
 use crate::builder::build_pastry_stable;
 use crate::node::{PastryApp, PastryNode, PastrySvc};
@@ -56,15 +56,15 @@ impl PastryApp for PubSubNode {
 /// use cbps::{Event, Subscription};
 /// use cbps_pastry::PastryPubSubNetwork;
 ///
-/// let mut net = PastryPubSubNetwork::builder().nodes(40).seed(3).build();
+/// let mut net = PastryPubSubNetwork::builder().nodes(40).seed(3).build()?;
 /// let space = net.config().space.clone();
 /// let sub = Subscription::builder(&space).range("a0", 0, 100_000)?.build()?;
-/// net.subscribe(1, sub, None);
+/// net.node(1)?.subscribe(sub, None)?;
 /// net.run_for_secs(10);
-/// net.publish(7, Event::new(&space, vec![50_000, 1, 2, 3])?);
+/// net.node(7)?.publish(Event::new(&space, vec![50_000, 1, 2, 3])?)?;
 /// net.run_for_secs(10);
 /// assert_eq!(net.delivered(1).len(), 1);
-/// # Ok::<(), cbps::PubSubError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct PastryPubSubNetwork {
@@ -80,6 +80,46 @@ pub struct PastryPubSubNetworkBuilder {
     net: NetConfig,
     pastry: PastryConfig,
     pubsub: PubSubConfig,
+    obs: ObsMode,
+}
+
+/// A borrowed view of one node of a [`PastryPubSubNetwork`] — the Pastry
+/// twin of [`cbps::NodeHandle`].
+#[derive(Debug)]
+pub struct PastryNodeHandle<'a> {
+    net: &'a mut PastryPubSubNetwork,
+    idx: NodeIdx,
+}
+
+impl PastryNodeHandle<'_> {
+    /// The node's index in the network.
+    pub fn idx(&self) -> NodeIdx {
+        self.idx
+    }
+
+    /// Issues a subscription from this node.
+    pub fn subscribe(
+        &mut self,
+        sub: Subscription,
+        ttl: Option<SimDuration>,
+    ) -> Result<SubId, PubSubError> {
+        self.net.subscribe(self.idx, sub, ttl)
+    }
+
+    /// Withdraws a subscription previously issued by this node.
+    pub fn unsubscribe(&mut self, id: SubId) -> Result<bool, PubSubError> {
+        self.net.unsubscribe(self.idx, id)
+    }
+
+    /// Publishes an event from this node.
+    pub fn publish(&mut self, event: Event) -> Result<EventId, PubSubError> {
+        self.net.publish(self.idx, event)
+    }
+
+    /// Notifications received so far by this node as a subscriber.
+    pub fn delivered(&self) -> &[DeliveredNote] {
+        self.net.delivered(self.idx)
+    }
 }
 
 impl PastryPubSubNetwork {
@@ -90,6 +130,7 @@ impl PastryPubSubNetwork {
             net: NetConfig::new(0),
             pastry: PastryConfig::paper_default(),
             pubsub: PubSubConfig::paper_default(),
+            obs: ObsMode::Off,
         }
     }
 
@@ -133,30 +174,92 @@ impl PastryPubSubNetwork {
         self.app(node).delivered()
     }
 
+    /// A validated handle on one node: `net.node(3)?.subscribe(sub, None)?`.
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds.
+    pub fn node(&mut self, node: NodeIdx) -> Result<PastryNodeHandle<'_>, PubSubError> {
+        self.check_node(node)?;
+        Ok(PastryNodeHandle {
+            net: self,
+            idx: node,
+        })
+    }
+
+    fn check_node(&self, node: NodeIdx) -> Result<(), PubSubError> {
+        let nodes = self.sim.len();
+        if node >= nodes {
+            return Err(PubSubError::UnknownNode { node, nodes });
+        }
+        Ok(())
+    }
+
     /// Issues a subscription from `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds;
+    /// [`PubSubError::InvalidSubscription`] when the subscription was
+    /// built for an event space of a different dimension count.
     pub fn subscribe(
         &mut self,
         node: NodeIdx,
         sub: Subscription,
         ttl: Option<SimDuration>,
-    ) -> SubId {
-        self.sim.with_node(node, |n, ctx| {
+    ) -> Result<SubId, PubSubError> {
+        self.check_node(node)?;
+        let expected = self.cfg.space.dims();
+        if sub.dims() != expected {
+            return Err(PubSubError::InvalidSubscription {
+                expected,
+                got: sub.dims(),
+            });
+        }
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc))
-        })
+        }))
     }
 
-    /// Withdraws a subscription previously issued by `node`.
-    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> bool {
-        self.sim.with_node(node, |n, ctx| {
+    /// Withdraws a subscription previously issued by `node`. Returns
+    /// `Ok(false)` if `node` never issued `id`.
+    pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> Result<bool, PubSubError> {
+        self.check_node(node)?;
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.unsubscribe(id, svc))
-        })
+        }))
     }
 
     /// Publishes an event from `node`.
-    pub fn publish(&mut self, node: NodeIdx, event: Event) -> EventId {
-        self.sim.with_node(node, |n, ctx| {
+    ///
+    /// # Errors
+    ///
+    /// [`PubSubError::UnknownNode`] when `node` is out of bounds;
+    /// [`PubSubError::DimensionMismatch`] when the event carries a
+    /// different number of attribute values than the network's space.
+    pub fn publish(&mut self, node: NodeIdx, event: Event) -> Result<EventId, PubSubError> {
+        self.check_node(node)?;
+        let expected = self.cfg.space.dims();
+        if event.dims() != expected {
+            return Err(PubSubError::DimensionMismatch {
+                expected,
+                got: event.dims(),
+            });
+        }
+        Ok(self.sim.with_node(node, |n, ctx| {
             n.app_call(ctx, |app, svc| app.publish(event, svc))
-        })
+        }))
+    }
+
+    /// The active observability mode.
+    pub fn observability(&self) -> ObsMode {
+        self.sim.metrics().obs().mode()
+    }
+
+    /// Switches observability (causal tracing + stage histograms) on or
+    /// off; observation never alters protocol behavior.
+    pub fn set_observability(&mut self, mode: ObsMode) {
+        self.sim.metrics_mut().obs_mut().set_mode(mode);
     }
 
     /// Advances the simulation to `t`.
@@ -180,14 +283,17 @@ impl PastryPubSubNetwork {
 }
 
 impl PastryPubSubNetworkBuilder {
-    /// Sets the node count.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `n` is zero.
+    /// Sets the node count (validated in
+    /// [`build`](PastryPubSubNetworkBuilder::build)).
     pub fn nodes(mut self, n: usize) -> Self {
-        assert!(n > 0, "a network needs at least one node");
         self.nodes = n;
+        self
+    }
+
+    /// Sets the observability mode the network starts with (default:
+    /// [`ObsMode::Off`]).
+    pub fn observability(mut self, mode: ObsMode) -> Self {
+        self.obs = mode;
         self
     }
 
@@ -209,27 +315,57 @@ impl PastryPubSubNetworkBuilder {
         self
     }
 
-    /// Builds the deployment.
+    /// Builds the deployment, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// The same [`ConfigError`] conditions as
+    /// [`cbps::PubSubNetworkBuilder::build`], with the Pastry leaf-set
+    /// length standing in for the successor-list length.
+    pub fn build(self) -> Result<PastryPubSubNetwork, ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::NoNodes);
+        }
+        if self.pubsub.mapping.key_space() != self.pastry.space {
+            return Err(ConfigError::KeySpaceMismatch {
+                mapping_bits: self.pubsub.mapping.key_space().bits(),
+                overlay_bits: self.pastry.space.bits(),
+            });
+        }
+        if self.pubsub.replication > self.pastry.leaf_len {
+            return Err(ConfigError::ReplicationTooLarge {
+                replication: self.pubsub.replication,
+                succ_list_len: self.pastry.leaf_len,
+            });
+        }
+        match self.pubsub.notify_mode {
+            cbps::NotifyMode::Buffered { period } | cbps::NotifyMode::Collecting { period }
+                if period.is_zero() =>
+            {
+                return Err(ConfigError::ZeroFlushPeriod)
+            }
+            _ => {}
+        }
+        Ok(self.build_unchecked())
+    }
+
+    /// Builds without validating — the escape hatch mirroring
+    /// [`cbps::PubSubNetworkBuilder::build_unchecked`].
     ///
     /// # Panics
     ///
-    /// Panics if the pub/sub mapping's key space differs from the
-    /// overlay's, or the replication factor exceeds the leaf-set length.
-    pub fn build(self) -> PastryPubSubNetwork {
-        assert_eq!(
-            self.pubsub.mapping.key_space(),
-            self.pastry.space,
-            "pub/sub mapping and overlay must share one key space"
-        );
-        assert!(
-            self.pubsub.replication <= self.pastry.leaf_len,
-            "replication factor exceeds the leaf-set length"
-        );
+    /// Panics on a zero-node network.
+    pub fn build_unchecked(self) -> PastryPubSubNetwork {
+        assert!(self.nodes > 0, "a network needs at least one node");
         let cfg = self.pubsub.into_shared();
         let apps: Vec<PubSubNode> = (0..self.nodes)
             .map(|_| PubSubNode::new(Arc::clone(&cfg)))
             .collect();
         let (sim, ring) = build_pastry_stable(self.net, self.pastry, apps);
-        PastryPubSubNetwork { sim, ring, cfg }
+        let mut net = PastryPubSubNetwork { sim, ring, cfg };
+        if self.obs.enabled() {
+            net.set_observability(self.obs);
+        }
+        net
     }
 }

@@ -9,7 +9,7 @@ use cbps_overlay::{KeyRange, KeyRangeSet, RingView};
 use cbps_pastry::{
     build_pastry_stable, common_prefix_len, PastryApp, PastryConfig, PastryPubSubNetwork, PastrySvc,
 };
-use cbps_sim::{NetConfig, TrafficClass};
+use cbps_sim::{NetConfig, TraceId, TrafficClass};
 use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
 
 /// Replays the identical workload over both overlays and compares the
@@ -24,12 +24,14 @@ fn cross_overlay_check(kind: MappingKind, primitive: Primitive, seed: u64) {
         .nodes(nodes)
         .net_config(NetConfig::new(seed))
         .pubsub(pubsub.clone())
-        .build();
+        .build()
+        .expect("valid network configuration");
     let mut pastry = PastryPubSubNetwork::builder()
         .nodes(nodes)
         .seed(seed)
         .pubsub(pubsub)
-        .build();
+        .build()
+        .expect("valid network configuration");
 
     // Same ring: the builders share key assignment.
     assert_eq!(
@@ -47,16 +49,16 @@ fn cross_overlay_check(kind: MappingKind, primitive: Primitive, seed: u64) {
     // Subscriptions first, publications after a settling gap, on both.
     for op in trace.ops() {
         if let OpKind::Subscribe { sub, ttl } = &op.kind {
-            chord.subscribe(op.node, sub.clone(), *ttl);
-            pastry.subscribe(op.node, sub.clone(), *ttl);
+            chord.subscribe(op.node, sub.clone(), *ttl).unwrap();
+            pastry.subscribe(op.node, sub.clone(), *ttl).unwrap();
         }
     }
     chord.run_for_secs(120);
     pastry.run_for_secs(120);
     for op in trace.ops() {
         if let OpKind::Publish { event } = &op.kind {
-            chord.publish(op.node, event.clone());
-            pastry.publish(op.node, event.clone());
+            chord.publish(op.node, event.clone()).unwrap();
+            pastry.publish(op.node, event.clone()).unwrap();
         }
     }
     chord.run_for_secs(300);
@@ -158,7 +160,7 @@ fn pastry_routing_reaches_oracle_successor() {
         sim.with_node(i % 60, |node, ctx| {
             node.app_call(ctx, |_, svc| {
                 use cbps_overlay::OverlayServices;
-                svc.send(key, TrafficClass::OTHER, *probe);
+                svc.send(key, TrafficClass::OTHER, *probe, TraceId::NONE);
             })
         });
         sim.run();
@@ -181,7 +183,7 @@ fn pastry_prefix_routing_is_logarithmic() {
         sim.with_node(src, |node, ctx| {
             node.app_call(ctx, |_, svc| {
                 use cbps_overlay::OverlayServices;
-                svc.send(key, TrafficClass::OTHER, i + 100_000);
+                svc.send(key, TrafficClass::OTHER, i + 100_000, TraceId::NONE);
             })
         });
     }
@@ -208,7 +210,7 @@ fn pastry_mcast_exactly_once_over_covering_nodes() {
     sim.with_node(9, |node, ctx| {
         node.app_call(ctx, |_, svc| {
             use cbps_overlay::OverlayServices;
-            svc.mcast(&targets, TrafficClass::OTHER, 1);
+            svc.mcast(&targets, TrafficClass::OTHER, 1, TraceId::NONE);
         })
     });
     sim.run();

@@ -54,12 +54,16 @@
 
 mod config;
 mod metrics;
+mod obs;
 mod sim;
 mod time;
 mod trace;
 
 pub use config::{DelayModel, NetConfig};
 pub use metrics::{Histogram, Metrics, TrafficClass};
+pub use obs::{
+    LogHistogram, ObsMode, ObsSummary, Observability, Stage, StageRecord, TraceId, TraceLog,
+};
 pub use sim::{Context, Node, NodeIdx, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, Tracer};

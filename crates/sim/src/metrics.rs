@@ -10,6 +10,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
+use crate::obs::Observability;
+
 /// A small label identifying what kind of traffic a message belongs to.
 ///
 /// The simulator counts every transmitted message under its class; the
@@ -216,6 +218,7 @@ pub struct Metrics {
     messages: HashMap<TrafficClass, u64>,
     counters: HashMap<String, u64>,
     histograms: HashMap<String, Histogram>,
+    obs: Observability,
 }
 
 impl Metrics {
@@ -271,11 +274,26 @@ impl Metrics {
         self.messages.iter().map(|(&c, &n)| (c, n))
     }
 
-    /// Resets every counter, message count and histogram.
+    /// The causal observability sink (trace log + stage-latency registry).
+    ///
+    /// Disabled by default; enable with
+    /// [`obs_mut().set_mode(..)`](crate::Observability::set_mode).
+    pub fn obs(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Mutable access to the observability sink.
+    pub fn obs_mut(&mut self) -> &mut Observability {
+        &mut self.obs
+    }
+
+    /// Resets every counter, message count, histogram and recorded
+    /// observability data (the observability *mode* is kept).
     pub fn clear(&mut self) {
         self.messages.clear();
         self.counters.clear();
         self.histograms.clear();
+        self.obs.clear();
     }
 }
 

@@ -13,6 +13,7 @@ use cbps_rng::Rng;
 
 use crate::config::NetConfig;
 use crate::metrics::{Metrics, TrafficClass};
+use crate::obs::{Stage, TraceId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEntry, TraceKind, Tracer};
 
@@ -127,6 +128,22 @@ impl<'a, M, T> Context<'a, M, T> {
             kind: TraceKind::Note,
             tag,
         });
+    }
+
+    /// Records that `trace` reached `stage` on this node, now. No-op when
+    /// observability is disabled (a single branch).
+    #[inline]
+    pub fn stage(&mut self, trace: TraceId, stage: Stage, class: TrafficClass) {
+        let (node, at) = (self.node, self.time);
+        self.metrics.obs_mut().stage(trace, stage, class, node, at);
+    }
+
+    /// Records one overlay routing hop taken by `trace` through this node.
+    /// No-op when observability is disabled.
+    #[inline]
+    pub fn route_hop(&mut self, trace: TraceId, class: TrafficClass) {
+        let (node, at) = (self.node, self.time);
+        self.metrics.obs_mut().hop(trace, class, node, at);
     }
 }
 
@@ -432,6 +449,12 @@ impl<N: Node> Simulator<N> {
         debug_assert!(event.time() >= self.time, "event queue went backwards");
         self.time = event.time();
         self.events_processed += 1;
+        // Sample queue depth sparsely (1 in 64 events) into the
+        // observability registry; a single branch when disabled.
+        if self.events_processed & 63 == 0 && self.metrics.obs().enabled() {
+            let depth = self.queue.len() as u64 + 1;
+            self.metrics.obs_mut().sample("queue.depth", depth);
+        }
         match event.kind {
             EventKind::Deliver { from, to, msg } => {
                 if self.alive[to] {

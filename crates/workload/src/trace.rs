@@ -95,7 +95,9 @@ impl Trace {
             net.run_until(op.at);
             match &op.kind {
                 OpKind::Subscribe { sub, ttl } => {
-                    let id = net.subscribe(op.node, sub.clone(), *ttl);
+                    let id = net
+                        .subscribe(op.node, sub.clone(), *ttl)
+                        .expect("trace operations target valid nodes");
                     let expires = match ttl {
                         Some(d) => op.at + *d,
                         None => SimTime::MAX,
@@ -104,7 +106,9 @@ impl Trace {
                     sub_ids.push(id);
                 }
                 OpKind::Publish { event } => {
-                    let id = net.publish(op.node, event.clone());
+                    let id = net
+                        .publish(op.node, event.clone())
+                        .expect("trace operations target valid nodes");
                     oracle.add_pub(id, event.clone(), op.at);
                     event_ids.push(id);
                 }
@@ -168,7 +172,8 @@ mod tests {
             .nodes(20)
             .seed(3)
             .pubsub(PubSubConfig::paper_default())
-            .build();
+            .build()
+            .expect("valid network configuration");
         let space = net.config().space.clone();
         let sub = Subscription::builder(&space)
             .range("a0", 0, 999_999)

@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_replication(2),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
 
     // Ten subscribers on the low indices (they stay alive throughout).
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let sub = Subscription::builder(&space)
             .range("a1", lo, lo + 60_000)?
             .build()?;
-        net.subscribe(s, sub, None);
+        net.subscribe(s, sub, None).unwrap();
         sub_count += 1;
     }
     net.run_for_secs(60);
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let publish_round = |net: &mut PubSubNetwork, base: u64| {
         for i in 0..20u64 {
             let e = Event::new_unchecked(vec![1, (base + i * 25_000) % 560_000, 2, 3]);
-            net.publish(30, e);
+            net.publish(30, e).unwrap();
             net.run_for_secs(5);
         }
     };

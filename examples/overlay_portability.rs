@@ -25,12 +25,14 @@ fn main() {
         .nodes(nodes)
         .seed(seed)
         .pubsub(pubsub.clone())
-        .build();
+        .build()
+        .expect("valid network configuration");
     let mut pastry = PastryPubSubNetwork::builder()
         .nodes(nodes)
         .seed(seed)
         .pubsub(pubsub)
-        .build();
+        .build()
+        .expect("valid network configuration");
 
     let wl = WorkloadConfig::paper_default(nodes, 4)
         .with_counts(50, 100)
@@ -48,12 +50,12 @@ fn main() {
         pastry.run_until(op.at);
         match &op.kind {
             OpKind::Subscribe { sub, ttl } => {
-                chord.subscribe(op.node, sub.clone(), *ttl);
-                pastry.subscribe(op.node, sub.clone(), *ttl);
+                chord.subscribe(op.node, sub.clone(), *ttl).unwrap();
+                pastry.subscribe(op.node, sub.clone(), *ttl).unwrap();
             }
             OpKind::Publish { event } => {
-                chord.publish(op.node, event.clone());
-                pastry.publish(op.node, event.clone());
+                chord.publish(op.node, event.clone()).unwrap();
+                pastry.publish(op.node, event.clone()).unwrap();
             }
         }
     }

@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .with_mapping(MappingKind::KeySpaceSplit)
                 .with_primitive(Primitive::MCast),
         )
-        .build();
+        .build()?;
     let space = net.config().space.clone();
     println!("network: {} nodes over a 2^13 Chord ring", net.len());
     println!("event space: {space}");
@@ -29,15 +29,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .range("a2", 0, 50_000)?
         .build()?;
     println!("node 7 subscribes: {sub}");
-    let sub_id = net.subscribe(7, sub, None);
+    let sub_id = net.node(7)?.subscribe(sub, None)?;
     net.run_for_secs(10);
 
     // Two publications from node 60: one matching, one not.
     let hit = Event::new(&space, vec![200_000, 5, 20_000, 999])?;
     let miss = Event::new(&space, vec![999_000, 5, 20_000, 999])?;
     println!("node 60 publishes {hit} (matches) and {miss} (does not)");
-    net.publish(60, hit);
-    net.publish(60, miss);
+    net.node(60)?.publish(hit)?;
+    net.node(60)?.publish(miss)?;
     net.run_for_secs(10);
 
     // Inspect what the subscriber saw.

@@ -82,9 +82,10 @@ fn main() {
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_primitive(Primitive::MCast),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     for (i, sub) in subs.iter().enumerate() {
-        net.subscribe(i % 20, sub.clone(), None);
+        net.subscribe(i % 20, sub.clone(), None).unwrap();
     }
     net.run_for_secs(30);
 
@@ -101,7 +102,7 @@ fn main() {
             vec![kind, (i * 7) % 64, 10_000 + (i * 449) % 80_000, i % 4_096],
         )
         .unwrap();
-        net.publish(20 + (i % 60) as usize, reading);
+        net.publish(20 + (i % 60) as usize, reading).unwrap();
     }
     net.run_for_secs(120);
 

@@ -39,7 +39,8 @@ fn run(mode: NotifyMode) -> (u64, u64, usize) {
                 .with_primitive(Primitive::MCast)
                 .with_notify_mode(mode),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
 
     // Twenty traders watch ACME price bands around 500.00 (50_000 cents).
     for trader in 0..20usize {
@@ -50,7 +51,7 @@ fn run(mode: NotifyMode) -> (u64, u64, usize) {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(trader, sub, None);
+        net.subscribe(trader, sub, None).unwrap();
     }
     net.run_for_secs(30);
 
@@ -62,7 +63,7 @@ fn run(mode: NotifyMode) -> (u64, u64, usize) {
         price += ((i * 2654435761) % 401) as i64 - 200; // deterministic walk
         price = price.clamp(44_000, 56_000);
         let tick = Event::new(&space, vec![symbol, price as u64, 100 + i]).unwrap();
-        net.publish(100, tick);
+        net.publish(100, tick).unwrap();
         net.run_for_secs(1); // one tick per second
     }
     net.run_for_secs(300); // drain buffers

@@ -18,6 +18,7 @@ fn build(seed: u64) -> PubSubNetwork {
         .net_config(NetConfig::new(seed))
         .pubsub(PubSubConfig::paper_default().with_mapping(MappingKind::SelectiveAttribute))
         .build()
+        .expect("valid network configuration")
 }
 
 fn main() {

@@ -17,6 +17,7 @@ fn maintained(nodes: usize, replication: usize, seed: u64) -> PubSubNetwork {
                 .with_replication(replication),
         )
         .build()
+        .expect("valid network configuration")
 }
 
 /// Total primary copies of a subscription across alive nodes.
@@ -35,7 +36,7 @@ fn graceful_leave_hands_over_subscriptions() {
         .unwrap()
         .build()
         .unwrap();
-    let id = net.subscribe(1, sub, None);
+    let id = net.subscribe(1, sub, None).unwrap();
     net.run_for_secs(60);
     let before = primary_copies(&net, id);
     assert!(before >= 1);
@@ -71,7 +72,8 @@ fn graceful_leave_hands_over_subscriptions() {
     net.publish(
         publisher,
         Event::new(&space, vec![230_000, 1, 2, 3]).unwrap(),
-    );
+    )
+    .unwrap();
     net.run_for_secs(120);
     assert_eq!(
         net.delivered(1).len(),
@@ -89,7 +91,7 @@ fn crash_with_replication_preserves_delivery() {
         .unwrap()
         .build()
         .unwrap();
-    let id = net.subscribe(0, sub, None);
+    let id = net.subscribe(0, sub, None).unwrap();
     net.run_for_secs(60);
 
     // Crash every primary holder (other than the subscriber).
@@ -104,7 +106,8 @@ fn crash_with_replication_preserves_delivery() {
     net.run_for_secs(240);
     assert!(net.metrics().counter("replicas.promoted") >= 1);
 
-    net.publish(3, Event::new(&space, vec![1, 2, 530_000, 4]).unwrap());
+    net.publish(3, Event::new(&space, vec![1, 2, 530_000, 4]).unwrap())
+        .unwrap();
     net.run_for_secs(120);
     assert_eq!(
         net.delivered(0).len(),
@@ -122,7 +125,7 @@ fn crash_without_replication_loses_subscriptions() {
         .unwrap()
         .build()
         .unwrap();
-    let id = net.subscribe(0, sub, None);
+    let id = net.subscribe(0, sub, None).unwrap();
     net.run_for_secs(60);
     let holders: Vec<usize> = (1..net.len())
         .filter(|&i| net.app(i).store().get(id).is_some())
@@ -131,7 +134,8 @@ fn crash_without_replication_loses_subscriptions() {
         net.crash(*h);
     }
     net.run_for_secs(240);
-    net.publish(3, Event::new(&space, vec![1, 2, 530_000, 4]).unwrap());
+    net.publish(3, Event::new(&space, vec![1, 2, 530_000, 4]).unwrap())
+        .unwrap();
     net.run_for_secs(120);
     // Documented failure mode: without replication the state is gone.
     assert!(
@@ -153,7 +157,7 @@ fn joining_node_pulls_rendezvous_state() {
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(2, sub, None);
+    net.subscribe(2, sub, None).unwrap();
     net.run_for_secs(60);
 
     let newcomer = net.join_new_node("joiner-1", 0);
@@ -170,7 +174,8 @@ fn joining_node_pulls_rendezvous_state() {
         net.publish(
             5,
             Event::new(&space, vec![i * 61_000 + 3, 100_000, 1, 2]).unwrap(),
-        );
+        )
+        .unwrap();
         net.run_for_secs(10);
     }
     net.run_for_secs(120);
@@ -190,12 +195,12 @@ fn unsubscribe_cleans_replicas_too() {
         .unwrap()
         .build()
         .unwrap();
-    let id = net.subscribe(4, sub, None);
+    let id = net.subscribe(4, sub, None).unwrap();
     net.run_for_secs(60);
     let replicas_before: usize = (0..net.len()).map(|i| net.app(i).replica_count()).sum();
     assert!(replicas_before >= 1);
 
-    net.unsubscribe(4, id);
+    net.unsubscribe(4, id).unwrap();
     net.run_for_secs(60);
     assert_eq!(
         primary_copies(&net, id),

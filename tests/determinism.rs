@@ -19,7 +19,8 @@ fn fingerprint(seed: u64) -> Fingerprint {
                 .with_mapping(MappingKind::SelectiveAttribute)
                 .with_primitive(Primitive::Unicast),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let wl = WorkloadConfig::paper_default(50, 4)
         .with_counts(60, 120)
         .with_sub_ttl(Some(SimDuration::from_secs(200)));

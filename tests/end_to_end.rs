@@ -23,6 +23,7 @@ fn network(
                 .with_notify_mode(notify),
         )
         .build()
+        .expect("valid network configuration")
 }
 
 /// Replays a two-phase workload (all subscriptions, then all publications,
@@ -54,7 +55,7 @@ fn check_exactly_once(kind: MappingKind, primitive: Primitive, notify: NotifyMod
     for (k, op) in pub_ops.iter().enumerate() {
         net.run_until(base + SimDuration::from_secs(3 * k as u64));
         if let OpKind::Publish { event } = &op.kind {
-            let id = net.publish(op.node, event.clone());
+            let id = net.publish(op.node, event.clone()).unwrap();
             oracle.add_pub(id, event.clone(), net.now());
         }
     }

@@ -14,6 +14,7 @@ fn net_with(cfg: PubSubConfig, seed: u64) -> PubSubNetwork {
         .net_config(NetConfig::new(seed))
         .pubsub(cfg)
         .build()
+        .expect("valid network configuration")
 }
 
 #[test]
@@ -36,10 +37,12 @@ fn partial_subscriptions_deliver_under_every_mapping() {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(3, sub, None);
+        net.subscribe(3, sub, None).unwrap();
         net.run_for_secs(60);
-        net.publish(9, Event::new(&space, vec![5, 6, 720_000, 7]).unwrap());
-        net.publish(9, Event::new(&space, vec![5, 6, 100_000, 7]).unwrap());
+        net.publish(9, Event::new(&space, vec![5, 6, 720_000, 7]).unwrap())
+            .unwrap();
+        net.publish(9, Event::new(&space, vec![5, 6, 100_000, 7]).unwrap())
+            .unwrap();
         net.run_for_secs(60);
         assert_eq!(
             net.delivered(3).len(),
@@ -64,10 +67,12 @@ fn discretization_preserves_correctness() {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(2, sub, None);
+        net.subscribe(2, sub, None).unwrap();
         net.run_for_secs(60);
-        net.publish(7, Event::new(&space, vec![1, 400_000, 2, 3]).unwrap());
-        net.publish(7, Event::new(&space, vec![1, 500_000, 2, 3]).unwrap());
+        net.publish(7, Event::new(&space, vec![1, 400_000, 2, 3]).unwrap())
+            .unwrap();
+        net.publish(7, Event::new(&space, vec![1, 500_000, 2, 3]).unwrap())
+            .unwrap();
         net.run_for_secs(60);
         assert_eq!(
             net.delivered(2).len(),
@@ -94,13 +99,14 @@ fn content_hash_event_keys_preserve_intersection() {
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(4, sub, None);
+    net.subscribe(4, sub, None).unwrap();
     net.run_for_secs(120);
     for i in 0..10u64 {
         net.publish(
             8,
             Event::new(&space, vec![i * 99_991, i * 77_773 % 1_000_001, i, 15_000]).unwrap(),
-        );
+        )
+        .unwrap();
     }
     net.run_for_secs(120);
     assert_eq!(net.delivered(4).len(), 10);
@@ -124,13 +130,16 @@ fn string_attributes_work_end_to_end() {
         .unwrap()
         .build()
         .unwrap();
-    net.subscribe(1, sub, None);
+    net.subscribe(1, sub, None).unwrap();
     net.run_for_secs(60);
     let topic = space.value_of_str(0, "alerts/fire");
     let other = space.value_of_str(0, "alerts/flood");
-    net.publish(5, Event::new(&space, vec![topic, 7]).unwrap());
-    net.publish(5, Event::new(&space, vec![other, 7]).unwrap());
-    net.publish(5, Event::new(&space, vec![topic, 1]).unwrap());
+    net.publish(5, Event::new(&space, vec![topic, 7]).unwrap())
+        .unwrap();
+    net.publish(5, Event::new(&space, vec![other, 7]).unwrap())
+        .unwrap();
+    net.publish(5, Event::new(&space, vec![topic, 1]).unwrap())
+        .unwrap();
     net.run_for_secs(60);
     assert_eq!(net.delivered(1).len(), 1);
 }
@@ -158,7 +167,8 @@ fn tiny_spaces_and_small_keyspaces() {
                     .with_key_space(cbps_overlay::KeySpace::new(8))
                     .with_mapping(kind),
             )
-            .build();
+            .build()
+            .expect("valid network configuration");
         let sub = Subscription::builder(&space)
             .range("x", 10, 20)
             .unwrap()
@@ -166,10 +176,12 @@ fn tiny_spaces_and_small_keyspaces() {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(0, sub, None);
+        net.subscribe(0, sub, None).unwrap();
         net.run_for_secs(60);
-        net.publish(10, Event::new(&space, vec![15, 25]).unwrap());
-        net.publish(10, Event::new(&space, vec![30, 25]).unwrap());
+        net.publish(10, Event::new(&space, vec![15, 25]).unwrap())
+            .unwrap();
+        net.publish(10, Event::new(&space, vec![30, 25]).unwrap())
+            .unwrap();
         net.run_for_secs(60);
         assert_eq!(net.delivered(0).len(), 1, "{kind} failed on a tiny space");
     }
@@ -186,10 +198,11 @@ fn high_fanout_subscriptions_notify_all_subscribers() {
             .unwrap()
             .build()
             .unwrap();
-        net.subscribe(s, sub, None);
+        net.subscribe(s, sub, None).unwrap();
     }
     net.run_for_secs(60);
-    net.publish(40, Event::new(&space, vec![150_000, 1, 2, 3]).unwrap());
+    net.publish(40, Event::new(&space, vec![150_000, 1, 2, 3]).unwrap())
+        .unwrap();
     net.run_for_secs(60);
     for s in 0..30usize {
         assert_eq!(net.delivered(s).len(), 1, "subscriber {s} missed the event");

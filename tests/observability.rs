@@ -1,0 +1,235 @@
+//! Causal-tracing invariants and observation-neutrality.
+//!
+//! Every delivered notification must be explainable: its trace chain has to
+//! start at the application operation, carry monotone sim-time stamps, and
+//! end with a `deliver` stage at the subscriber. And observation must stay
+//! observation: a run with tracing enabled produces byte-identical
+//! protocol behavior (deliveries, per-class message counts) to the same
+//! run with tracing off.
+
+use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork, Subscription};
+use cbps_sim::{NetConfig, ObsMode, SimDuration, Stage, TrafficClass};
+use cbps_workload::{WorkloadConfig, WorkloadGen};
+
+fn network(notify: NotifyMode, seed: u64, obs: ObsMode) -> PubSubNetwork {
+    PubSubNetwork::builder()
+        .nodes(60)
+        .net_config(NetConfig::new(seed))
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(MappingKind::KeySpaceSplit)
+                .with_primitive(Primitive::MCast)
+                .with_notify_mode(notify),
+        )
+        .observability(obs)
+        .build()
+        .expect("valid network configuration")
+}
+
+fn run_workload(net: &mut PubSubNetwork, seed: u64) {
+    let cfg = WorkloadConfig::paper_default(net.len(), 4).with_counts(60, 60);
+    let mut gen = WorkloadGen::new(net.config().space.clone(), cfg, seed);
+    let trace = gen.gen_trace();
+    trace.replay(net);
+    net.run_until(trace.end_time() + SimDuration::from_secs(600));
+}
+
+fn check_chains(net: &PubSubNetwork, notify: NotifyMode) {
+    let mut explained = 0;
+    for node in 0..net.len() {
+        for note in net.delivered(node) {
+            assert!(
+                !note.trace.is_none(),
+                "delivered note carries no trace under enabled observability"
+            );
+            let chain = net.explain(note.trace);
+            assert!(
+                !chain.is_empty(),
+                "no stage records for delivered trace {:?}",
+                note.trace
+            );
+            // The chain starts at the application operation...
+            assert_eq!(
+                chain[0].stage,
+                Stage::Publish,
+                "chain of a publication trace must start at publish"
+            );
+            assert_eq!(chain[0].class, TrafficClass::PUBLICATION);
+            // ...carries monotone timestamps...
+            for pair in chain.windows(2) {
+                assert!(
+                    pair[0].at <= pair[1].at,
+                    "stage timestamps went backwards: {pair:?}"
+                );
+            }
+            // ...and reaches this subscriber with a deliver stage.
+            assert!(
+                chain
+                    .iter()
+                    .any(|r| r.stage == Stage::Deliver && r.node == node),
+                "no deliver stage at node {node} in chain {chain:?}"
+            );
+            // A matched event must have crossed a rendezvous node.
+            assert!(
+                chain.iter().any(|r| r.stage == Stage::RendezvousMatch),
+                "delivery without a rendezvous match in {chain:?}"
+            );
+            if matches!(notify, NotifyMode::Collecting { .. }) {
+                // The collecting protocol may deliver via the agent
+                // directly, but buffered waits must be recorded somewhere
+                // along the way for flushed items.
+                assert!(
+                    chain
+                        .iter()
+                        .all(|r| r.stage != Stage::CollectHop || r.class == TrafficClass::COLLECT),
+                    "collect hops must ride the collect class: {chain:?}"
+                );
+            }
+            explained += 1;
+        }
+    }
+    assert!(explained > 0, "workload produced no deliveries to explain");
+}
+
+#[test]
+fn every_delivery_is_explained_immediate() {
+    let mut net = network(NotifyMode::Immediate, 11, ObsMode::Full);
+    run_workload(&mut net, 11);
+    check_chains(&net, NotifyMode::Immediate);
+}
+
+#[test]
+fn every_delivery_is_explained_buffered() {
+    let notify = NotifyMode::Buffered {
+        period: SimDuration::from_secs(30),
+    };
+    let mut net = network(notify, 12, ObsMode::Full);
+    run_workload(&mut net, 12);
+    check_chains(&net, notify);
+    // Buffered runs must record how long notifications waited.
+    let obs = net.metrics().obs();
+    let waited = obs
+        .stage_histogram(TrafficClass::NOTIFICATION, Stage::BufferWait)
+        .expect("buffered run records buffer waits");
+    assert!(!waited.is_empty());
+}
+
+#[test]
+fn every_delivery_is_explained_collecting() {
+    let notify = NotifyMode::Collecting {
+        period: SimDuration::from_secs(30),
+    };
+    let mut net = network(notify, 13, ObsMode::Full);
+    run_workload(&mut net, 13);
+    check_chains(&net, notify);
+}
+
+#[test]
+fn subscription_traces_chain_from_subscribe_to_store() {
+    let mut net = network(NotifyMode::Immediate, 14, ObsMode::Full);
+    let space = net.config().space.clone();
+    let sub = Subscription::builder(&space)
+        .range("a0", 0, 500_000)
+        .unwrap()
+        .build()
+        .unwrap();
+    net.node(5).unwrap().subscribe(sub, None).unwrap();
+    net.run_for_secs(60);
+    let sub_trace = net
+        .metrics()
+        .obs()
+        .log()
+        .records()
+        .iter()
+        .find(|r| r.stage == Stage::Subscribe)
+        .expect("subscribe stage recorded")
+        .trace;
+    assert!(sub_trace.is_subscription());
+    assert_eq!(sub_trace.node(), Some(5));
+    let chain = net.explain(sub_trace);
+    assert_eq!(chain[0].stage, Stage::Subscribe);
+    assert!(
+        chain.iter().any(|r| r.stage == Stage::Store),
+        "subscription never stored: {chain:?}"
+    );
+}
+
+/// Observation must never alter behavior: same seed, same workload, same
+/// deliveries and per-class message counts at any observability mode.
+#[test]
+fn tracing_is_behavior_neutral() {
+    let mut outcomes = Vec::new();
+    for obs in [ObsMode::Off, ObsMode::Stages, ObsMode::Full] {
+        let notify = NotifyMode::Buffered {
+            period: SimDuration::from_secs(30),
+        };
+        let mut net = network(notify, 21, obs);
+        run_workload(&mut net, 21);
+        let mut deliveries = Vec::new();
+        for node in 0..net.len() {
+            for note in net.delivered(node) {
+                deliveries.push((node, note.sub_id, note.event_id, note.at));
+            }
+        }
+        let m = net.metrics();
+        let messages: Vec<u64> = [
+            TrafficClass::SUBSCRIPTION,
+            TrafficClass::PUBLICATION,
+            TrafficClass::NOTIFICATION,
+            TrafficClass::COLLECT,
+        ]
+        .iter()
+        .map(|&c| m.messages(c))
+        .collect();
+        outcomes.push((deliveries, messages));
+    }
+    assert_eq!(
+        outcomes[0], outcomes[1],
+        "ObsMode::Stages changed protocol behavior"
+    );
+    assert_eq!(
+        outcomes[0], outcomes[2],
+        "ObsMode::Full changed protocol behavior"
+    );
+}
+
+/// The acceptance bar for the whole layer: a figure experiment renders
+/// byte-identical tables whether observability is off or fully on.
+#[test]
+fn figure_tables_identical_under_observation() {
+    use cbps_bench::{experiments::run_named, runner, Scale};
+    let render = |obs: ObsMode| -> Vec<String> {
+        runner::set_observability(obs);
+        runner::reset_perf();
+        let tables = run_named("fig5", Scale::Quick).expect("known experiment");
+        runner::set_observability(ObsMode::Off);
+        let _ = runner::take_obs();
+        let _ = runner::take_hot_nodes();
+        tables.iter().map(|t| t.render()).collect()
+    };
+    let off = render(ObsMode::Off);
+    let on = render(ObsMode::Full);
+    assert_eq!(off, on, "observability changed figure output");
+}
+
+/// With observability off, nothing is recorded: trace ids are still
+/// minted (they are cheap bit-packed counters), but no stage records or
+/// histograms accumulate, and `explain` comes back empty.
+#[test]
+fn disabled_observability_records_nothing() {
+    let mut net = network(NotifyMode::Immediate, 31, ObsMode::Off);
+    run_workload(&mut net, 31);
+    let obs = net.metrics().obs();
+    assert!(obs.log().is_empty());
+    assert_eq!(obs.stage_histograms().count(), 0);
+    assert_eq!(obs.named_histograms().count(), 0);
+    let mut checked = 0;
+    for node in 0..net.len() {
+        let traces: Vec<_> = net.delivered(node).iter().map(|n| n.trace).collect();
+        for trace in traces {
+            assert!(net.explain(trace).is_empty());
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "workload produced no deliveries");
+}

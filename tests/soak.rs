@@ -38,7 +38,8 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
                 .with_mapping(kind)
                 .with_primitive(primitive),
         )
-        .build();
+        .build()
+        .expect("valid network configuration");
     let space = net.config().space.clone();
     let wl = WorkloadConfig::paper_default(nodes, 4).with_matching_probability(1.0);
     let mut gen = WorkloadGen::new(space.clone(), wl, seed);
@@ -61,7 +62,7 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
                 } else {
                     None
                 };
-                let id = net.subscribe(node, sub.clone(), ttl);
+                let id = net.subscribe(node, sub.clone(), ttl).unwrap();
                 let retired = ttl.map(|d| now + d).unwrap_or(SimTime::MAX);
                 subs.push(SubRecord {
                     id,
@@ -82,7 +83,7 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
                 if !live.is_empty() {
                     let k = live[rng.gen_range(0..live.len())];
                     let rec = &subs[k];
-                    if net.unsubscribe(rec.node, rec.id) {
+                    if net.unsubscribe(rec.node, rec.id).unwrap() {
                         subs[k].retired = subs[k].retired.min(now);
                     }
                 }
@@ -97,7 +98,7 @@ fn soak(kind: MappingKind, primitive: Primitive, seed: u64) {
                     gen.gen_matching_event(&r.sub)
                 };
                 let node = rng.gen_range(0..nodes);
-                let id = net.publish(node, event.clone());
+                let id = net.publish(node, event.clone()).unwrap();
                 pubs.push((id, event, now));
             }
         }
