@@ -28,4 +28,44 @@ else
     echo "==> rustfmt not installed; skipping format check"
 fi
 
+# Scheduler A/B smoke: the timing wheel must reproduce the heap's event
+# order exactly, so a quick-scale figures run has to render byte-identical
+# tables under both schedulers, and the simulated event counts must match
+# the recorded baseline (wall times legitimately drift; event counts may
+# not). Uses a small experiment subset to keep the gate fast.
+echo "==> scheduler A/B smoke (figures --scheduler heap|wheel)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+smoke_experiments="route fig6 churn"
+for sched in heap wheel; do
+    # shellcheck disable=SC2086
+    ./target/release/figures --scale quick --jobs "$(nproc)" \
+        --scheduler "$sched" --json "$smoke_dir/$sched.json" \
+        $smoke_experiments >"$smoke_dir/$sched.tables" 2>/dev/null
+done
+if ! diff -u "$smoke_dir/heap.tables" "$smoke_dir/wheel.tables"; then
+    echo "FAIL: heap and wheel render different tables" >&2
+    exit 1
+fi
+# Compare per-experiment event counts against the committed baseline.
+# Reports are one-line JSON; break records apart before extracting fields.
+events_of() {
+    tr '{' '\n' <"$1" |
+        sed -n 's/.*"name": *"\([a-z0-9_]*\)".*"events": *\([0-9]*\).*/\1 \2/p'
+}
+events_of "$smoke_dir/wheel.json" >"$smoke_dir/wheel.events"
+if [ -f BENCH_baseline.json ]; then
+    events_of BENCH_baseline.json >"$smoke_dir/baseline.events"
+    for exp in $smoke_experiments; do
+        base=$(awk -v e="$exp" '$1 == e { print $2 }' "$smoke_dir/baseline.events")
+        got=$(awk -v e="$exp" '$1 == e { print $2 }' "$smoke_dir/wheel.events")
+        # Skip experiments the baseline didn't measure (recorded as 0).
+        if [ -n "$base" ] && [ "$base" != "0" ] && [ "$got" != "$base" ]; then
+            echo "FAIL: $exp simulated $got events, baseline recorded $base" >&2
+            exit 1
+        fi
+    done
+fi
+echo "==> scheduler smoke passed (tables identical, event counts match baseline)"
+
 echo "==> tier-1 gate passed"

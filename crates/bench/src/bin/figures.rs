@@ -1,8 +1,8 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! figures [--scale quick|paper] [--jobs N] [--csv DIR] [--json FILE]
-//!         [--report FILE] [EXPERIMENT...]
+//! figures [--scale quick|paper] [--jobs N] [--scheduler wheel|heap]
+//!         [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
@@ -10,7 +10,10 @@
 //!
 //! `--jobs N` farms independent sweep points out to `N` worker threads;
 //! each simulation stays single-threaded and deterministic, so the tables
-//! are byte-identical at any job count. `--json FILE` and `--report FILE`
+//! are byte-identical at any job count. `--scheduler wheel|heap` selects
+//! the simulator's event queue (default: wheel); the two produce
+//! byte-identical tables — only the wall times differ — which ci.sh
+//! verifies on every run. `--json FILE` and `--report FILE`
 //! both write the self-describing `cbps-report/v2` document (wall time,
 //! events/sec, peak queue depth per experiment — the v1 baseline fields —
 //! plus, when observability is on, per-stage latency percentiles, named
@@ -25,7 +28,7 @@ use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner;
 use cbps_bench::Scale;
-use cbps_sim::ObsMode;
+use cbps_sim::{ObsMode, SchedulerKind};
 
 fn main() {
     let mut scale = Scale::Quick;
@@ -62,6 +65,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--scheduler" => match args.next().as_deref().and_then(SchedulerKind::parse) {
+                Some(kind) => runner::set_scheduler(kind),
+                None => {
+                    eprintln!("--scheduler expects wheel|heap");
+                    std::process::exit(2);
+                }
+            },
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(dir),
                 None => {
@@ -91,7 +101,8 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale quick|paper] [--jobs N] [--csv DIR] \
+                    "usage: figures [--scale quick|paper] [--jobs N] \
+                     [--scheduler wheel|heap] [--csv DIR] \
                      [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -174,6 +185,7 @@ fn main() {
         },
         jobs: runner::jobs(),
         observability: runner::observability().name().to_owned(),
+        scheduler: runner::scheduler().name().to_owned(),
         experiments: records,
     };
     for path in json_path.iter().chain(report_path.iter()) {

@@ -1,0 +1,213 @@
+//! Focused hot-path probes for the two structures this crate leans on:
+//! the event scheduler and the matching index.
+//!
+//! ```text
+//! probe sched [--ops N] [--seed S]    heap vs wheel push/pop throughput
+//! probe match [--subs N] [--seed S]   MatchIndex match throughput
+//! ```
+//!
+//! `probe sched` replays the same seeded mixed-horizon workload (zero-delay
+//! local sends, 50 ms network hops, multi-second timers, rare long-horizon
+//! timers that land in the coarse wheel levels) through both the
+//! `BinaryHeap` and the timing-wheel scheduler, reports ops/sec for each,
+//! and cross-checks a running checksum of the pop order — a mismatch means
+//! the wheel broke the `(time, seq)` total order and the probe exits
+//! non-zero. `probe match` drives `MatchIndex::matches_into` over a
+//! paper-default workload and reports matches/sec; it is the knob to watch
+//! when touching the epoch-stamped scratch counters.
+//!
+//! Unlike `figures`, these numbers are wall-clock measurements of isolated
+//! structures: use them for before/after comparisons on one machine, not as
+//! simulation results.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use cbps::{Event, EventSpace, MatchIndex, SubId, Subscription};
+use cbps_rng::Rng;
+use cbps_sim::TimingWheel;
+use cbps_workload::{WorkloadConfig, WorkloadGen};
+
+/// One scheduler op: push `delay_micros` ahead of the drain time, or pop.
+#[derive(Clone, Copy)]
+enum Op {
+    Push { delay_micros: u64 },
+    Pop,
+}
+
+/// Generates a push/pop script with the mixed delay profile of a real run:
+/// mostly network hops and zero-delay local sends, a tail of timers, and a
+/// sliver of long-horizon timers that exercise the coarse wheel levels.
+fn sched_script(ops: usize, seed: u64) -> Vec<Op> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut script = Vec::with_capacity(ops);
+    let mut pending = 0usize;
+    for _ in 0..ops {
+        // Slight push bias keeps the queue populated, matching the
+        // simulator's steady state of a few thousand in-flight events.
+        let push = pending == 0 || rng.gen_range(0..100u32) < 55;
+        if push {
+            let delay_micros = match rng.gen_range(0..100u32) {
+                0..=29 => 0,                                    // send_local
+                30..=84 => 50_000,                              // network hop
+                85..=98 => rng.gen_range(1..30u64) * 1_000_000, // timer
+                _ => rng.gen_range(300..4_000u64) * 1_000_000,  // long timer
+            };
+            script.push(Op::Push { delay_micros });
+            pending += 1;
+        } else {
+            script.push(Op::Pop);
+            pending -= 1;
+        }
+    }
+    script
+}
+
+/// Minimal scheduler facade so both queues run the identical loop.
+trait Queue {
+    fn push(&mut self, key: u128);
+    fn pop(&mut self) -> Option<u128>;
+}
+
+impl Queue for BinaryHeap<Reverse<u128>> {
+    fn push(&mut self, key: u128) {
+        BinaryHeap::push(self, Reverse(key));
+    }
+    fn pop(&mut self) -> Option<u128> {
+        BinaryHeap::pop(self).map(|Reverse(k)| k)
+    }
+}
+
+impl Queue for TimingWheel<()> {
+    fn push(&mut self, key: u128) {
+        TimingWheel::push(self, key, ());
+    }
+    fn pop(&mut self) -> Option<u128> {
+        TimingWheel::pop(self).map(|(k, ())| k)
+    }
+}
+
+/// Runs the script and returns (elapsed seconds, pop-order checksum).
+/// The checksum folds every popped key, so any ordering difference between
+/// the two schedulers changes it.
+fn run_script(queue: &mut dyn Queue, script: &[Op]) -> (f64, u64) {
+    let mut seq = 0u64;
+    let mut drain_time = 0u64;
+    let mut checksum = 0u64;
+    let started = Instant::now();
+    for op in script {
+        match *op {
+            Op::Push { delay_micros } => {
+                let t = drain_time + delay_micros;
+                queue.push(((t as u128) << 64) | seq as u128);
+                seq += 1;
+            }
+            Op::Pop => {
+                let key = queue.pop().expect("script never pops when empty");
+                drain_time = (key >> 64) as u64;
+                checksum = checksum
+                    .rotate_left(7)
+                    .wrapping_add((key >> 64) as u64)
+                    .wrapping_add(key as u64);
+            }
+        }
+    }
+    // Drain what's left so both schedulers do the same total work and the
+    // checksum covers the full ordering.
+    while let Some(key) = queue.pop() {
+        checksum = checksum
+            .rotate_left(7)
+            .wrapping_add((key >> 64) as u64)
+            .wrapping_add(key as u64);
+    }
+    (started.elapsed().as_secs_f64(), checksum)
+}
+
+fn probe_sched(ops: usize, seed: u64) -> Result<(), String> {
+    let script = sched_script(ops, seed);
+    println!("scheduler probe: {ops} ops, seed {seed}");
+
+    let mut heap: BinaryHeap<Reverse<u128>> = BinaryHeap::new();
+    let (heap_secs, heap_sum) = run_script(&mut heap, &script);
+    let mut wheel: TimingWheel<()> = TimingWheel::new();
+    let (wheel_secs, wheel_sum) = run_script(&mut wheel, &script);
+
+    for (name, secs) in [("heap", heap_secs), ("wheel", wheel_secs)] {
+        println!(
+            "  {name:<6} {:>10.0} ops/sec  ({secs:.3}s)",
+            ops as f64 / secs
+        );
+    }
+    println!("  speedup: {:.2}x", heap_secs / wheel_secs);
+    if heap_sum != wheel_sum {
+        return Err(format!(
+            "pop-order checksum mismatch: heap {heap_sum:#x} != wheel {wheel_sum:#x}"
+        ));
+    }
+    println!("  pop-order checksum: {heap_sum:#x} (identical)");
+    Ok(())
+}
+
+fn probe_match(subs: usize, seed: u64) -> Result<(), String> {
+    let space = EventSpace::paper_default();
+    let cfg = WorkloadConfig::paper_default(100, 4).with_counts(subs, subs);
+    let mut gen = WorkloadGen::new(space.clone(), cfg, seed);
+    let stored: Vec<Subscription> = (0..subs).map(|_| gen.gen_subscription()).collect();
+    let events: Vec<Event> = stored.iter().map(|s| gen.gen_matching_event(s)).collect();
+
+    let mut index = MatchIndex::new(&space);
+    for (i, sub) in stored.iter().enumerate() {
+        index.insert(SubId(i as u64), sub.clone());
+    }
+
+    // Calibrate to a ~1s window.
+    let rounds = (200_000 / events.len()).max(1);
+    let mut out = Vec::new();
+    let mut hits = 0u64;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for event in &events {
+            index.matches_into(event, &mut out);
+            hits += out.len() as u64;
+        }
+    }
+    let secs = started.elapsed().as_secs_f64();
+    let matched = rounds as u64 * events.len() as u64;
+    println!("match probe: {subs} stored subscriptions, seed {seed}");
+    println!(
+        "  {:>10.0} events/sec matched  ({matched} events, {hits} hits, {secs:.3}s)",
+        matched as f64 / secs
+    );
+    Ok(())
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: probe sched [--ops N] [--seed S] | probe match [--subs N] [--seed S]";
+    let outcome = match args.first().map(String::as_str) {
+        Some("sched") => probe_sched(
+            arg_value(&args, "--ops").unwrap_or(2_000_000) as usize,
+            arg_value(&args, "--seed").unwrap_or(7),
+        ),
+        Some("match") => probe_match(
+            arg_value(&args, "--subs").unwrap_or(2_000) as usize,
+            arg_value(&args, "--seed").unwrap_or(7),
+        ),
+        _ => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = outcome {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

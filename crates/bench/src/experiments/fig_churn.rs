@@ -11,7 +11,7 @@
 
 use cbps::{MappingKind, PubSubConfig, PubSubNetwork};
 use cbps_overlay::OverlayConfig;
-use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_sim::{SimDuration, TrafficClass};
 use cbps_workload::{OpKind, Trace, WorkloadConfig, WorkloadGen};
 
 use crate::runner::Scale;
@@ -29,7 +29,7 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
     let pubs = subs;
     let mut net = PubSubNetwork::builder()
         .nodes(n)
-        .net_config(NetConfig::new(seed))
+        .net_config(crate::runner::net_config(seed))
         .overlay(OverlayConfig::paper_default().with_maintenance(true))
         .pubsub(
             PubSubConfig::paper_default()
@@ -104,6 +104,8 @@ fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64,
     };
     let transfer_msgs = net.metrics().messages(TrafficClass::STATE_TRANSFER);
     let promoted = net.metrics().counter("replicas.promoted");
+    let sim = net.sim_mut();
+    crate::runner::record_perf(sim.events_processed(), sim.queue_peak());
     crate::runner::record_obs(&mut net);
     (rate, transfer_msgs, promoted)
 }

@@ -36,7 +36,7 @@ pub fn run(scale: Scale) -> Table {
             .with_rotations(vec![rotation, 0, 0, 0]);
         let mut net = cbps::PubSubNetwork::builder()
             .nodes(nodes)
-            .net_config(cbps_sim::NetConfig::new(961))
+            .net_config(crate::runner::net_config(961))
             .pubsub(pubsub)
             .observability(crate::runner::observability())
             .build()

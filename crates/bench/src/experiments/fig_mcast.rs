@@ -12,7 +12,7 @@
 //! This regenerates the complexity table of §4.3.1 empirically.
 
 use cbps_overlay::{build_stable, KeyRange, KeyRangeSet, OverlayConfig};
-use cbps_sim::{NetConfig, TraceId, TrafficClass};
+use cbps_sim::{TraceId, TrafficClass};
 
 use crate::probe::ProbeApp;
 use crate::runner::Scale;
@@ -30,7 +30,7 @@ fn send(
 ) {
     let cfg = OverlayConfig::paper_default().with_cache_capacity(0);
     let apps: Vec<ProbeApp> = (0..n).map(|_| ProbeApp::default()).collect();
-    let (mut sim, _ring) = build_stable(NetConfig::new(seed), cfg, apps);
+    let (mut sim, _ring) = build_stable(crate::runner::net_config(seed), cfg, apps);
     let space = cfg.space;
     let range = KeyRange::new(space.key(1000), space.key(1000 + width - 1));
     let targets = KeyRangeSet::of_range(space, range);

@@ -6,7 +6,7 @@
 
 use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_pastry::PastryPubSubNetwork;
-use cbps_sim::{NetConfig, SimDuration, TrafficClass};
+use cbps_sim::{SimDuration, TrafficClass};
 use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
 
 use crate::runner::Scale;
@@ -41,7 +41,7 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
         "chord" => Net::Chord(
             PubSubNetwork::builder()
                 .nodes(nodes)
-                .net_config(NetConfig::new(seed))
+                .net_config(crate::runner::net_config(seed))
                 .pubsub(pubsub)
                 .observability(crate::runner::observability())
                 .build()

@@ -146,6 +146,8 @@ pub struct RunReport {
     pub jobs: usize,
     /// Observability mode name the sweep ran under (`off`, `stages`, `full`).
     pub observability: String,
+    /// Event-queue implementation name (`wheel` or `heap`).
+    pub scheduler: String,
     /// Per-experiment records, in run order.
     pub experiments: Vec<ExperimentReport>,
 }
@@ -160,6 +162,10 @@ impl RunReport {
         out.push_str(&format!(
             "  \"observability\": \"{}\",\n",
             escape(&self.observability)
+        ));
+        out.push_str(&format!(
+            "  \"scheduler\": \"{}\",\n",
+            escape(&self.scheduler)
         ));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
@@ -334,6 +340,7 @@ mod tests {
             scale: "quick".into(),
             jobs: 2,
             observability: "full".into(),
+            scheduler: "wheel".into(),
             experiments: vec![
                 ExperimentReport {
                     name: "fig5".into(),

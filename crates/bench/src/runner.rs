@@ -11,7 +11,7 @@ use std::sync::Mutex;
 
 use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_overlay::OverlayConfig;
-use cbps_sim::{NetConfig, ObsMode, Observability, SimDuration, TrafficClass};
+use cbps_sim::{NetConfig, ObsMode, Observability, SchedulerKind, SimDuration, TrafficClass};
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 
 /// Worker count for [`parallel_map`]; 1 = fully serial.
@@ -23,6 +23,9 @@ static QUEUE_PEAK_MAX: AtomicU64 = AtomicU64::new(0);
 /// Observability mode applied to every [`Deployment::build`] network
 /// (discriminant of [`ObsMode`]; 0 = off).
 static OBS_MODE: AtomicU8 = AtomicU8::new(0);
+/// Event-queue implementation applied to every built network
+/// (0 = timing wheel, 1 = binary heap).
+static SCHEDULER: AtomicU8 = AtomicU8::new(0);
 /// Merged observability registries of every run since the last reset.
 /// Worker threads fold their run's registry in under this lock; the merge
 /// is commutative, so the result is job-count independent.
@@ -62,6 +65,33 @@ pub fn observability() -> ObsMode {
         1 => ObsMode::Stages,
         _ => ObsMode::Full,
     }
+}
+
+/// Sets the event-queue implementation every subsequently built network
+/// uses (see `figures --scheduler`; tables are identical either way).
+pub fn set_scheduler(kind: SchedulerKind) {
+    SCHEDULER.store(
+        match kind {
+            SchedulerKind::Wheel => 0,
+            SchedulerKind::Heap => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The event-queue implementation applied to built networks.
+pub fn scheduler() -> SchedulerKind {
+    match SCHEDULER.load(Ordering::Relaxed) {
+        0 => SchedulerKind::Wheel,
+        _ => SchedulerKind::Heap,
+    }
+}
+
+/// A [`NetConfig`] with the given seed and the globally selected
+/// scheduler. Experiments must build networks through this so the
+/// `--scheduler` knob reaches every run.
+pub fn net_config(seed: u64) -> NetConfig {
+    NetConfig::new(seed).with_scheduler(scheduler())
 }
 
 /// Folds one finished run into the global perf accumulators.
@@ -236,7 +266,7 @@ impl Deployment {
             .with_discretization(self.discretization);
         PubSubNetwork::builder()
             .nodes(self.nodes)
-            .net_config(NetConfig::new(self.seed))
+            .net_config(net_config(self.seed))
             .overlay(OverlayConfig::paper_default())
             .pubsub(pubsub)
             .observability(observability())

@@ -2,7 +2,7 @@
 
 use cbps::{EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
-use cbps_sim::{NetConfig, ObsMode, SimDuration, TrafficClass};
+use cbps_sim::{NetConfig, ObsMode, SchedulerKind, SimDuration, TrafficClass};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
 use crate::args::{ArgError, Args};
@@ -80,6 +80,10 @@ fn parse_primitive(s: &str) -> Result<Primitive, ArgError> {
     })
 }
 
+fn parse_scheduler(s: &str) -> Result<SchedulerKind, ArgError> {
+    SchedulerKind::parse(s).ok_or_else(|| ArgError(format!("unknown scheduler {s:?} (wheel|heap)")))
+}
+
 fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
     if s == "immediate" {
         return Ok(NotifyMode::Immediate);
@@ -116,6 +120,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "notify",
         "discretization",
         "replication",
+        "scheduler",
     ])?;
     let file = args
         .positional()
@@ -133,10 +138,11 @@ pub fn run_trace(args: &Args) -> Outcome {
     let notify = parse_notify(args.get("notify").unwrap_or("immediate"))?;
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
+    let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
 
     let mut net = PubSubNetwork::builder()
         .nodes(nodes)
-        .net_config(NetConfig::new(seed))
+        .net_config(NetConfig::new(seed).with_scheduler(scheduler))
         .pubsub(
             PubSubConfig::paper_default()
                 .with_mapping(mapping)
@@ -204,6 +210,7 @@ pub fn stats(args: &Args) -> Outcome {
         "notify",
         "discretization",
         "replication",
+        "scheduler",
         "out",
     ])?;
     let file = args
@@ -222,10 +229,11 @@ pub fn stats(args: &Args) -> Outcome {
     let notify = parse_notify(args.get("notify").unwrap_or("immediate"))?;
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
+    let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
 
     let mut net = PubSubNetwork::builder()
         .nodes(nodes)
-        .net_config(NetConfig::new(seed))
+        .net_config(NetConfig::new(seed).with_scheduler(scheduler))
         .pubsub(
             PubSubConfig::paper_default()
                 .with_mapping(mapping)
@@ -256,6 +264,7 @@ pub fn stats(args: &Args) -> Outcome {
         scale: "trace".to_owned(),
         jobs: 1,
         observability: ObsMode::Full.name().to_owned(),
+        scheduler: scheduler.name().to_owned(),
         experiments: vec![ExperimentReport {
             name: file.clone(),
             wall_secs,

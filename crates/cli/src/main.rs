@@ -5,7 +5,7 @@
 //!                [--selective K] [--match P] [--ttl SECS] [--streak L]
 //! cbps run-trace FILE [--nodes N] [--seed S] [--mapping m1|m2|m3]
 //!                [--primitive unicast|mcast|walk] [--notify immediate|buffered:S|collecting:S]
-//!                [--discretization W] [--replication R]
+//!                [--discretization W] [--replication R] [--scheduler wheel|heap]
 //! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
 //! cbps experiment NAME [--scale quick|paper] [--jobs N]
@@ -25,7 +25,7 @@ usage:
   cbps run-trace FILE [--nodes N] [--seed S] [--mapping m1|m2|m3]
                  [--primitive unicast|mcast|walk]
                  [--notify immediate|buffered:SECS|collecting:SECS]
-                 [--discretization W] [--replication R]
+                 [--discretization W] [--replication R] [--scheduler wheel|heap]
   cbps stats FILE [--out FILE] [run-trace deployment flags]
                  (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]

@@ -44,10 +44,32 @@ pub struct MatchIndex {
     /// on dimension `i` overlaps the bucket.
     per_dim: Vec<Vec<Vec<u32>>>,
     /// Dense slot table; freed slots are recycled.
-    slots: Vec<Option<(SubId, Subscription, u32)>>,
+    slots: Vec<Option<SlotEntry>>,
     free: Vec<u32>,
     /// Id → slot.
     by_id: HashMap<SubId, u32>,
+    /// Scratch for the counting algorithm, reused across `matches` calls:
+    /// `counts[slot]` is current only when `epochs[slot] == epoch`, so one
+    /// counter bump invalidates every stale count instead of zeroing a
+    /// slot-sized vector per event.
+    epoch: u32,
+    epochs: Vec<u32>,
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+/// One indexed subscription.
+#[derive(Clone, Debug)]
+struct SlotEntry {
+    id: SubId,
+    sub: Subscription,
+    /// Number of constrained (non-wildcard) dimensions.
+    constrained: u32,
+    /// This slot's position inside each bucket list it appears in,
+    /// flattened dimension-major (for each constrained dimension, one
+    /// entry per bucket of its span, in ascending bucket order). Kept in
+    /// lockstep by `swap_remove` fix-ups so removal never scans a bucket.
+    positions: Vec<u32>,
 }
 
 impl MatchIndex {
@@ -65,6 +87,10 @@ impl MatchIndex {
             slots: Vec::new(),
             free: Vec::new(),
             by_id: HashMap::new(),
+            epoch: 0,
+            epochs: Vec::new(),
+            counts: Vec::new(),
+            touched: Vec::new(),
         }
     }
 
@@ -85,7 +111,7 @@ impl MatchIndex {
 
     /// Iterates over the indexed `(id, subscription)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (SubId, &Subscription)> {
-        self.slots.iter().flatten().map(|(id, sub, _)| (*id, sub))
+        self.slots.iter().flatten().map(|e| (e.id, &e.sub))
     }
 
     /// Inserts a subscription under `id`. Returns `false` (and leaves the
@@ -101,69 +127,122 @@ impl MatchIndex {
                 (self.slots.len() - 1) as u32
             }
         };
+        let mut positions = Vec::new();
         for (i, c) in sub.constraints().iter().enumerate() {
             if let Some(c) = c {
                 let (blo, bhi) = self.bucket_span(i, c.lo(), c.hi());
                 for b in blo..=bhi {
+                    positions.push(self.per_dim[i][b].len() as u32);
                     self.per_dim[i][b].push(slot);
                 }
             }
         }
         let constrained = sub.constrained_count() as u32;
-        self.slots[slot as usize] = Some((id, sub, constrained));
+        self.slots[slot as usize] = Some(SlotEntry {
+            id,
+            sub,
+            constrained,
+            positions,
+        });
         self.by_id.insert(id, slot);
         true
     }
 
     /// Removes the subscription under `id`, returning it if present.
+    ///
+    /// O(1) per bucket: each bucket entry is evicted by `swap_remove` at
+    /// its recorded position, and the one entry that gets moved has its
+    /// own recorded position fixed up in place.
     pub fn remove(&mut self, id: SubId) -> Option<Subscription> {
         let slot = self.by_id.remove(&id)?;
-        let (_, sub, _) = self.slots[slot as usize].take()?;
-        for (i, c) in sub.constraints().iter().enumerate() {
+        let entry = self.slots[slot as usize].take()?;
+        let mut pi = 0;
+        for (i, c) in entry.sub.constraints().iter().enumerate() {
             if let Some(c) = c {
-                let (blo, bhi) = self.bucket_span(i, c.lo(), c.hi());
+                let (blo, bhi) = bucket_span(&self.widths, i, c.lo(), c.hi());
                 for b in blo..=bhi {
-                    self.per_dim[i][b].retain(|&s| s != slot);
+                    let pos = entry.positions[pi] as usize;
+                    pi += 1;
+                    let list = &mut self.per_dim[i][b];
+                    debug_assert_eq!(list[pos], slot, "stale position record");
+                    list.swap_remove(pos);
+                    if pos < list.len() {
+                        let moved = self.slots[list[pos] as usize]
+                            .as_mut()
+                            .expect("bucket lists only hold live slots");
+                        let off = position_offset(&self.widths, &moved.sub, i, b);
+                        moved.positions[off] = pos as u32;
+                    }
                 }
             }
         }
         self.free.push(slot);
-        Some(sub)
+        Some(entry.sub)
     }
 
     /// The subscription stored under `id`.
     pub fn get(&self, id: SubId) -> Option<&Subscription> {
         let slot = *self.by_id.get(&id)?;
-        self.slots[slot as usize].as_ref().map(|(_, s, _)| s)
+        self.slots[slot as usize].as_ref().map(|e| &e.sub)
     }
 
     /// All subscriptions matched by `event`, in ascending id order.
-    pub fn matches(&self, event: &Event) -> Vec<SubId> {
-        let mut counts = vec![0u32; self.slots.len()];
-        let mut touched: Vec<u32> = Vec::new();
+    ///
+    /// `&mut self` because the counting scratch is owned by the index and
+    /// reused across calls; see [`MatchIndex::matches_into`] for the
+    /// allocation-free form.
+    pub fn matches(&mut self, event: &Event) -> Vec<SubId> {
+        let mut out = Vec::new();
+        self.matches_into(event, &mut out);
+        out
+    }
+
+    /// Writes all subscriptions matched by `event` into `out` (cleared
+    /// first), in ascending id order. Allocation-free at steady state:
+    /// the counting scratch is epoch-stamped rather than re-zeroed, so a
+    /// call touches only the candidate slots.
+    pub fn matches_into(&mut self, event: &Event, out: &mut Vec<SubId>) {
+        out.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrapped: stale stamps could collide, so reset them all.
+            self.epochs.fill(0);
+            self.epoch = 1;
+        }
+        if self.epochs.len() < self.slots.len() {
+            self.epochs.resize(self.slots.len(), 0);
+            self.counts.resize(self.slots.len(), 0);
+        }
+        self.touched.clear();
         for (i, &v) in event.values().iter().enumerate() {
             let b = ((v / self.widths[i]) as usize).min(BUCKETS - 1);
             for &slot in &self.per_dim[i][b] {
-                let (_, sub, _) = self.slots[slot as usize]
+                let entry = self.slots[slot as usize]
                     .as_ref()
                     .expect("bucket lists only hold live slots");
-                if sub.constraint(i).expect("indexed constraint").admits(v) {
-                    if counts[slot as usize] == 0 {
-                        touched.push(slot);
+                if entry
+                    .sub
+                    .constraint(i)
+                    .expect("indexed constraint")
+                    .admits(v)
+                {
+                    let s = slot as usize;
+                    if self.epochs[s] != self.epoch {
+                        self.epochs[s] = self.epoch;
+                        self.counts[s] = 0;
+                        self.touched.push(slot);
                     }
-                    counts[slot as usize] += 1;
+                    self.counts[s] += 1;
                 }
             }
         }
-        let mut out: Vec<SubId> = touched
-            .into_iter()
-            .filter_map(|slot| {
-                let (id, _, constrained) = self.slots[slot as usize].as_ref().expect("live slot");
-                (counts[slot as usize] == *constrained).then_some(*id)
-            })
-            .collect();
+        for &slot in &self.touched {
+            let entry = self.slots[slot as usize].as_ref().expect("live slot");
+            if self.counts[slot as usize] == entry.constrained {
+                out.push(entry.id);
+            }
+        }
         out.sort_unstable();
-        out
     }
 
     /// Reference implementation: linear scan with exact matching. Used by
@@ -173,20 +252,42 @@ impl MatchIndex {
             .slots
             .iter()
             .flatten()
-            .filter(|(_, sub, _)| sub.matches(event))
-            .map(|(id, _, _)| *id)
+            .filter(|e| e.sub.matches(event))
+            .map(|e| e.id)
             .collect();
         out.sort_unstable();
         out
     }
 
     fn bucket_span(&self, dim: usize, lo: u64, hi: u64) -> (usize, usize) {
-        let w = self.widths[dim];
-        (
-            ((lo / w) as usize).min(BUCKETS - 1),
-            ((hi / w) as usize).min(BUCKETS - 1),
-        )
+        bucket_span(&self.widths, dim, lo, hi)
     }
+}
+
+fn bucket_span(widths: &[u64], dim: usize, lo: u64, hi: u64) -> (usize, usize) {
+    let w = widths[dim];
+    (
+        ((lo / w) as usize).min(BUCKETS - 1),
+        ((hi / w) as usize).min(BUCKETS - 1),
+    )
+}
+
+/// Index into a [`SlotEntry::positions`] vector for dimension `dim`,
+/// bucket `bucket`: the sum of earlier constrained dimensions' span widths
+/// plus the offset within `dim`'s own span.
+fn position_offset(widths: &[u64], sub: &Subscription, dim: usize, bucket: usize) -> usize {
+    let mut off = 0;
+    for (i, c) in sub.constraints().iter().enumerate() {
+        if let Some(c) = c {
+            let (blo, bhi) = bucket_span(widths, i, c.lo(), c.hi());
+            if i == dim {
+                debug_assert!((blo..=bhi).contains(&bucket));
+                return off + (bucket - blo);
+            }
+            off += bhi - blo + 1;
+        }
+    }
+    unreachable!("position_offset called for an unconstrained dimension")
 }
 
 #[cfg(test)]
@@ -272,6 +373,46 @@ mod tests {
         idx.insert(SubId(9), sub.clone());
         assert_eq!(idx.get(SubId(9)), Some(&sub));
         assert_eq!(idx.iter().count(), 1);
+    }
+
+    /// Interleaved inserts and removes keep the bucket position records
+    /// consistent: every removal exercises the `swap_remove` fix-up path,
+    /// and matching stays equal to brute force throughout.
+    #[test]
+    fn removal_keeps_index_consistent() {
+        let mut rng = Rng::seed_from_u64(0xdead_5107);
+        let s = space();
+        let mut idx = MatchIndex::new(&s);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..2000 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let xlo = rng.gen_range(0u64..1000);
+                let xw = rng.gen_range(0u64..500);
+                let sub = Subscription::builder(&s)
+                    .range("x", xlo, (xlo + xw).min(999))
+                    .unwrap()
+                    .eq("z", rng.gen_range(0u64..10))
+                    .build()
+                    .unwrap();
+                assert!(idx.insert(SubId(next_id), sub));
+                live.push(next_id);
+                next_id += 1;
+            } else {
+                let k = rng.gen_range(0u64..live.len() as u64) as usize;
+                let id = live.swap_remove(k);
+                assert!(idx.remove(SubId(id)).is_some());
+            }
+            if rng.gen_bool(0.25) {
+                let e = Event::new_unchecked(vec![
+                    rng.gen_range(0u64..1000),
+                    rng.gen_range(0u64..1000),
+                    rng.gen_range(0u64..10),
+                ]);
+                assert_eq!(idx.matches(&e), idx.matches_brute_force(&e));
+            }
+        }
+        assert_eq!(idx.len(), live.len());
     }
 
     /// The bucket index agrees with brute force on random workloads

@@ -55,6 +55,9 @@ pub struct PubSubNode {
     /// Matches aggregated at this node as a range agent.
     agent_buffer: HashMap<Peer, Vec<NotifyItem>>,
     flush_armed: bool,
+    /// Reused match-result buffer for `handle_publish` (hot path; see
+    /// [`SubscriptionStore::match_event_into`]).
+    match_buf: Vec<(SubId, Rc<StoredSub>)>,
 }
 
 impl PubSubNode {
@@ -77,6 +80,7 @@ impl PubSubNode {
             collect_pred: Vec::new(),
             agent_buffer: HashMap::new(),
             flush_armed: false,
+            match_buf: Vec::new(),
         }
     }
 
@@ -313,14 +317,15 @@ impl PubSubNode {
             svc.metrics().add("publish.duplicate-delivery", 1);
             return;
         }
-        let matches = self.store.match_event(&event, svc.now());
+        let mut matches = std::mem::take(&mut self.match_buf);
+        self.store.match_event_into(&event, svc.now(), &mut matches);
         svc.metrics().add("matches", matches.len() as u64);
         svc.stage(trace, Stage::RendezvousMatch, TrafficClass::PUBLICATION);
         svc.obs_sample("rendezvous.fanout", matches.len() as u64);
         // One shared allocation for every match of this event: each item
         // clone below is a reference-count bump, not an event deep copy.
         let event = Rc::new(event);
-        for (sub_id, stored) in matches {
+        for (sub_id, stored) in matches.drain(..) {
             let item = NotifyItem {
                 sub_id,
                 event_id: id,
@@ -351,6 +356,7 @@ impl PubSubNode {
                 }
             }
         }
+        self.match_buf = matches;
     }
 
     /// Queues a match either at this node (if we cover the agent key of the

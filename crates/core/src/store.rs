@@ -7,6 +7,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::rc::Rc;
 
 use cbps_overlay::{KeyRangeSet, Peer};
 use cbps_sim::{SimTime, TraceId};
@@ -69,10 +70,14 @@ pub struct StoredSub {
 #[derive(Clone, Debug)]
 pub struct SubscriptionStore {
     index: MatchIndex,
-    meta: HashMap<SubId, StoredSub>,
+    /// Records are `Rc`-wrapped so matching hands out handles instead of
+    /// cloning the (constraint-vector-owning) record per hit.
+    meta: HashMap<SubId, Rc<StoredSub>>,
     /// Min-heap of (expiry, id); entries may be stale (removed ids).
     expiry: BinaryHeap<Reverse<(SimTime, SubId)>>,
     peak: usize,
+    /// Reused id buffer for [`SubscriptionStore::match_event_into`].
+    scratch: Vec<SubId>,
 }
 
 impl SubscriptionStore {
@@ -83,6 +88,7 @@ impl SubscriptionStore {
             meta: HashMap::new(),
             expiry: BinaryHeap::new(),
             peak: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -108,12 +114,12 @@ impl SubscriptionStore {
 
     /// The stored record under `id`.
     pub fn get(&self, id: SubId) -> Option<&StoredSub> {
-        self.meta.get(&id)
+        self.meta.get(&id).map(|rc| &**rc)
     }
 
     /// Iterates over stored records.
     pub fn iter(&self) -> impl Iterator<Item = (SubId, &StoredSub)> {
-        self.meta.iter().map(|(&id, s)| (id, s))
+        self.meta.iter().map(|(&id, s)| (id, &**s))
     }
 
     /// Inserts (or refreshes) a subscription. Purges expired entries first
@@ -127,10 +133,11 @@ impl SubscriptionStore {
         }
         let fresh = self.index.insert(id, stored.sub.clone());
         if fresh {
-            self.meta.insert(id, stored);
+            self.meta.insert(id, Rc::new(stored));
             self.peak = self.peak.max(self.meta.len());
         } else if let Some(existing) = self.meta.get_mut(&id) {
-            existing.expires = stored.expires;
+            // Clones the record only if a match handle is still holding it.
+            Rc::make_mut(existing).expires = stored.expires;
         }
         fresh
     }
@@ -138,7 +145,9 @@ impl SubscriptionStore {
     /// Removes a subscription (unsubscription), returning its record.
     pub fn remove(&mut self, id: SubId) -> Option<StoredSub> {
         self.index.remove(id);
-        self.meta.remove(&id)
+        self.meta
+            .remove(&id)
+            .map(|rc| Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
     }
 
     /// Drops every subscription whose expiry has passed. Returns the number
@@ -163,15 +172,33 @@ impl SubscriptionStore {
         purged
     }
 
-    /// All live subscriptions matched by `event`, with their records.
-    /// Purges expired entries first.
-    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, StoredSub)> {
+    /// All live subscriptions matched by `event`, with handles to their
+    /// records. Purges expired entries first.
+    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, Rc<StoredSub>)> {
+        let mut out = Vec::new();
+        self.match_event_into(event, now, &mut out);
+        out
+    }
+
+    /// Writes all live subscriptions matched by `event` into `out`
+    /// (cleared first). Purges expired entries first. Allocation-free at
+    /// steady state: the id scratch, the match index scratch, and `out`
+    /// are all reused, and each hit costs one `Rc` bump instead of a
+    /// record clone.
+    pub fn match_event_into(
+        &mut self,
+        event: &Event,
+        now: SimTime,
+        out: &mut Vec<(SubId, Rc<StoredSub>)>,
+    ) {
+        out.clear();
         self.purge_expired(now);
-        self.index
-            .matches(event)
-            .into_iter()
-            .map(|id| (id, self.meta[&id].clone()))
-            .collect()
+        let mut ids = std::mem::take(&mut self.scratch);
+        self.index.matches_into(event, &mut ids);
+        for &id in &ids {
+            out.push((id, Rc::clone(&self.meta[&id])));
+        }
+        self.scratch = ids;
     }
 }
 

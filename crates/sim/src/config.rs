@@ -43,6 +43,40 @@ impl Default for DelayModel {
     }
 }
 
+/// Which event-queue implementation drives a
+/// [`Simulator`](crate::Simulator).
+///
+/// Both produce bit-identical runs — the wheel reproduces the heap's
+/// `(time, seq)` pop order exactly (see [`crate::wheel`]) — so this knob
+/// exists for A/B benchmarking and the scheduler equivalence suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Hierarchical timing wheel: O(1) amortized push/pop. The default.
+    #[default]
+    Wheel,
+    /// Binary min-heap: O(log n) push/pop. The reference implementation.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Parses `"heap"` or `"wheel"` (as accepted by the CLI tools).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "wheel" => Some(SchedulerKind::Wheel),
+            "heap" => Some(SchedulerKind::Heap),
+            _ => None,
+        }
+    }
+
+    /// The name [`SchedulerKind::parse`] accepts for this variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Wheel => "wheel",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+}
+
 /// Top-level configuration for a [`Simulator`](crate::Simulator).
 ///
 /// # Examples
@@ -65,6 +99,8 @@ pub struct NetConfig {
     /// messages still count as sent in the metrics (the sender paid for
     /// them).
     pub loss_probability: f64,
+    /// Event-queue implementation (timing wheel by default).
+    pub scheduler: SchedulerKind,
 }
 
 impl NetConfig {
@@ -74,6 +110,7 @@ impl NetConfig {
             seed,
             delay: DelayModel::default(),
             loss_probability: 0.0,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -94,6 +131,12 @@ impl NetConfig {
             "loss probability {p} out of [0, 1]"
         );
         self.loss_probability = p;
+        self
+    }
+
+    /// Replaces the event-queue implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 }
@@ -136,6 +179,15 @@ mod tests {
             DelayModel::Fixed(SimDuration::from_millis(50))
         );
         assert_eq!(NetConfig::default().loss_probability, 0.0);
+    }
+
+    #[test]
+    fn scheduler_kind_parse_roundtrip() {
+        assert_eq!(NetConfig::default().scheduler, SchedulerKind::Wheel);
+        for kind in [SchedulerKind::Wheel, SchedulerKind::Heap] {
+            assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("bogus"), None);
     }
 
     #[test]

@@ -58,8 +58,9 @@ mod obs;
 mod sim;
 mod time;
 mod trace;
+pub mod wheel;
 
-pub use config::{DelayModel, NetConfig};
+pub use config::{DelayModel, NetConfig, SchedulerKind};
 pub use metrics::{Histogram, Metrics, TrafficClass};
 pub use obs::{
     LogHistogram, ObsMode, ObsSummary, Observability, Stage, StageRecord, TraceId, TraceLog,
@@ -67,6 +68,7 @@ pub use obs::{
 pub use sim::{Context, Node, NodeIdx, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, Tracer};
+pub use wheel::TimingWheel;
 
 #[cfg(test)]
 mod tests {

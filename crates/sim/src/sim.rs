@@ -11,11 +11,12 @@ use std::collections::BinaryHeap;
 
 use cbps_rng::Rng;
 
-use crate::config::NetConfig;
+use crate::config::{NetConfig, SchedulerKind};
 use crate::metrics::{Metrics, TrafficClass};
 use crate::obs::{Stage, TraceId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEntry, TraceKind, Tracer};
+use crate::wheel::TimingWheel;
 
 /// Dense index of a node within a [`Simulator`].
 pub type NodeIdx = usize;
@@ -166,24 +167,22 @@ enum EventKind<M, T> {
     },
 }
 
-struct Scheduled<M, T> {
-    /// `(time << 64) | seq` packed into one word so the heap's sift
-    /// compares resolve with a single branch-free integer comparison
-    /// instead of a lexicographic pair compare.
-    key: u128,
-    kind: EventKind<M, T>,
+/// `(time << 64) | seq` packed into one word so queue ordering resolves
+/// with a single branch-free integer comparison instead of a
+/// lexicographic pair compare.
+#[inline]
+fn pack(time: SimTime, seq: u64) -> u128 {
+    ((time.as_micros() as u128) << 64) | seq as u128
 }
 
-impl<M, T> Scheduled<M, T> {
-    #[inline]
-    fn pack(time: SimTime, seq: u64) -> u128 {
-        ((time.as_micros() as u128) << 64) | seq as u128
-    }
+#[inline]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_micros((key >> 64) as u64)
+}
 
-    #[inline]
-    fn time(&self) -> SimTime {
-        SimTime::from_micros((self.key >> 64) as u64)
-    }
+struct Scheduled<M, T> {
+    key: u128,
+    kind: EventKind<M, T>,
 }
 
 impl<M, T> PartialEq for Scheduled<M, T> {
@@ -202,6 +201,58 @@ impl<M, T> Ord for Scheduled<M, T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
         other.key.cmp(&self.key)
+    }
+}
+
+/// The pluggable event queue: a binary heap (the original, O(log n)
+/// reference) or a hierarchical timing wheel (O(1) amortized; see
+/// [`crate::wheel`]). Both pop in exactly the same `(time, seq)` order,
+/// so a run is bit-identical under either — [`SchedulerKind`] in
+/// [`NetConfig`] selects one for A/B comparison.
+enum EventQueue<M, T> {
+    Heap(BinaryHeap<Scheduled<M, T>>),
+    Wheel(Box<TimingWheel<EventKind<M, T>>>),
+}
+
+impl<M, T> EventQueue<M, T> {
+    fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            // Pre-sized so steady-state simulation almost never regrows
+            // the heap's backing buffer mid-run.
+            SchedulerKind::Heap => EventQueue::Heap(BinaryHeap::with_capacity(4096)),
+            SchedulerKind::Wheel => EventQueue::Wheel(Box::default()),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, key: u128, kind: EventKind<M, T>) {
+        match self {
+            EventQueue::Heap(q) => q.push(Scheduled { key, kind }),
+            EventQueue::Wheel(w) => w.push(key, kind),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(u128, EventKind<M, T>)> {
+        match self {
+            EventQueue::Heap(q) => q.pop().map(|s| (s.key, s.kind)),
+            EventQueue::Wheel(w) => w.pop(),
+        }
+    }
+
+    #[inline]
+    fn peek_key(&mut self) -> Option<u128> {
+        match self {
+            EventQueue::Heap(q) => q.peek().map(|s| s.key),
+            EventQueue::Wheel(w) => w.peek_key(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Heap(q) => q.len(),
+            EventQueue::Wheel(w) => w.len(),
+        }
     }
 }
 
@@ -243,7 +294,7 @@ impl<M, T> Ord for Scheduled<M, T> {
 pub struct Simulator<N: Node> {
     nodes: Vec<N>,
     alive: Vec<bool>,
-    queue: BinaryHeap<Scheduled<N::Msg, N::Timer>>,
+    queue: EventQueue<N::Msg, N::Timer>,
     time: SimTime,
     seq: u64,
     config: NetConfig,
@@ -272,9 +323,7 @@ impl<N: Node> Simulator<N> {
         Simulator {
             nodes: Vec::new(),
             alive: Vec::new(),
-            // Pre-sized so steady-state simulation almost never regrows
-            // the heap's backing buffer mid-run.
-            queue: BinaryHeap::with_capacity(4096),
+            queue: EventQueue::new(config.scheduler),
             time: SimTime::ZERO,
             seq: 0,
             config,
@@ -367,8 +416,9 @@ impl<N: Node> Simulator<N> {
         self.events_processed
     }
 
-    /// The deepest the event queue has ever been (a capacity-planning and
-    /// perf-baseline statistic; see `bench --json`).
+    /// The deepest the event queue has been observed (a capacity-planning
+    /// and perf-baseline statistic; see `bench --json`). Sampled once per
+    /// 64 processed events, so it is a lower bound on the true peak.
     pub fn queue_peak(&self) -> usize {
         self.queue_peak
     }
@@ -443,19 +493,27 @@ impl<N: Node> Simulator<N> {
     /// Processes a single queued event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(event) = self.queue.pop() else {
+        let Some((key, kind)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(event.time() >= self.time, "event queue went backwards");
-        self.time = event.time();
+        let time = key_time(key);
+        debug_assert!(time >= self.time, "event queue went backwards");
+        self.time = time;
         self.events_processed += 1;
-        // Sample queue depth sparsely (1 in 64 events) into the
-        // observability registry; a single branch when disabled.
-        if self.events_processed & 63 == 0 && self.metrics.obs().enabled() {
-            let depth = self.queue.len() as u64 + 1;
-            self.metrics.obs_mut().sample("queue.depth", depth);
+        // Queue depth is tracked sparsely (1 in 64 events): `queue_peak`
+        // is a sampled statistic and the same sample feeds the
+        // observability registry when it is on. Keeping the tracking out
+        // of `push_event` leaves the steady-state push branch-lean.
+        if self.events_processed & 63 == 0 {
+            let depth = self.queue.len() + 1;
+            if depth > self.queue_peak {
+                self.queue_peak = depth;
+            }
+            if self.metrics.obs().enabled() {
+                self.metrics.obs_mut().sample("queue.depth", depth as u64);
+            }
         }
-        match event.kind {
+        match kind {
             EventKind::Deliver { from, to, msg } => {
                 if self.alive[to] {
                     self.upcall_message(from, to, msg);
@@ -550,11 +608,7 @@ impl<N: Node> Simulator<N> {
     fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Timer>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            key: Scheduled::<N::Msg, N::Timer>::pack(time, seq),
-            kind,
-        });
-        self.queue_peak = self.queue_peak.max(self.queue.len());
+        self.queue.push(pack(time, seq), kind);
     }
 
     fn apply_actions(&mut self, origin: NodeIdx, actions: &mut Vec<Action<N::Msg, N::Timer>>) {
@@ -619,8 +673,8 @@ impl<N: Node> Simulator<N> {
     /// Processes every event with `time <= until`, then advances the clock
     /// to exactly `until`.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(head) = self.queue.peek() {
-            if head.time() > until {
+        while let Some(key) = self.queue.peek_key() {
+            if key_time(key) > until {
                 break;
             }
             self.step();

@@ -1,0 +1,261 @@
+//! Heap-vs-wheel scheduler equivalence.
+//!
+//! The timing wheel claims to reproduce the binary heap's `(time, seq)`
+//! pop order *exactly*, so any workload must execute bit-identically under
+//! both schedulers: the same upcalls in the same order at the same times,
+//! the same RNG draw sequence (event order drives RNG consumption, so one
+//! transposed pop desyncs everything downstream), the same metrics, and
+//! the same sampled queue statistics. These tests run seeded storm
+//! workloads — zero-delay local cascades, same-timestamp bursts, timer
+//! storms, crash/revive mid-run, `run_until` boundaries that stop between
+//! events, and long-horizon timers that land in every wheel level — under
+//! both schedulers and compare full execution fingerprints.
+
+use cbps_sim::{
+    Context, NetConfig, Node, NodeIdx, SchedulerKind, SimDuration, SimTime, Simulator, TraceEntry,
+    TrafficClass,
+};
+
+/// A message that fans out until its TTL runs dry.
+#[derive(Clone, Debug)]
+struct Ping {
+    ttl: u8,
+    val: u64,
+}
+
+/// Node that turns every upcall into a deterministic-but-messy mix of
+/// sends, local cascades, and timer storms. All decisions come from the
+/// simulator's RNG, so a single out-of-order event desyncs the run.
+struct StormNode {
+    n: usize,
+    checksum: u64,
+    upcalls: u64,
+}
+
+impl StormNode {
+    fn new(n: usize) -> Self {
+        StormNode {
+            n,
+            checksum: 0,
+            upcalls: 0,
+        }
+    }
+
+    fn fold(&mut self, now: SimTime, a: u64, b: u64) {
+        self.upcalls += 1;
+        self.checksum = self
+            .checksum
+            .rotate_left(9)
+            .wrapping_add(now.as_micros())
+            .wrapping_add(a.wrapping_mul(0x9e37_79b9))
+            .wrapping_add(b);
+    }
+}
+
+impl Node for StormNode {
+    type Msg = Ping;
+    type Timer = u64;
+
+    fn on_message(&mut self, from: NodeIdx, msg: Ping, ctx: &mut Context<'_, Ping, u64>) {
+        self.fold(ctx.now(), from as u64, msg.val);
+        if msg.ttl == 0 {
+            return;
+        }
+        let next = Ping {
+            ttl: msg.ttl - 1,
+            val: msg.val.wrapping_add(1),
+        };
+        match ctx.rng().gen_range(0..6u32) {
+            0 | 1 => {
+                // Network hop to a pseudo-random peer.
+                let to = (from + msg.val as usize) % self.n;
+                ctx.send(to, TrafficClass::OTHER, next);
+            }
+            2 => {
+                // Zero-delay local cascade: a same-timestamp burst.
+                ctx.note("local-burst");
+                for i in 0..3u64 {
+                    ctx.send_local(Ping {
+                        ttl: msg.ttl - 1,
+                        val: msg.val.wrapping_add(i),
+                    });
+                }
+            }
+            3 => {
+                // Timer storm: several timers expiring at the same instant.
+                for i in 0..4u64 {
+                    ctx.arm_timer(SimDuration::from_millis(250), msg.val.wrapping_add(i));
+                }
+            }
+            4 => {
+                // Long-horizon timers: past the fine wheel (>131 ms), past
+                // the L1 window (>537 s), and into L2 territory.
+                let secs = [1u64, 30, 400, 3_600][ctx.rng().gen_range(0..4usize)];
+                ctx.arm_timer(SimDuration::from_secs(secs), msg.val);
+            }
+            _ => {
+                // Fan out two hops at once.
+                let a = (from + 1) % self.n;
+                let b = (from + msg.val as usize + 1) % self.n;
+                ctx.send(a, TrafficClass::OTHER, next.clone());
+                ctx.send(b, TrafficClass::OTHER, next);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: u64, ctx: &mut Context<'_, Ping, u64>) {
+        self.fold(ctx.now(), u64::MAX, timer);
+        ctx.metrics().add("timers.fired", 1);
+        if timer.is_multiple_of(3) {
+            let to = timer as usize % self.n;
+            ctx.send(to, TrafficClass::OTHER, Ping { ttl: 2, val: timer });
+        }
+    }
+
+    fn on_send_failed(&mut self, to: NodeIdx, msg: Ping, ctx: &mut Context<'_, Ping, u64>) {
+        self.fold(ctx.now(), to as u64, msg.val);
+        ctx.note("send-failed");
+    }
+}
+
+/// Everything observable about one run. Equality means the two schedulers
+/// executed the same history.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    events: u64,
+    queue_peak: usize,
+    end_time: SimTime,
+    messages: u64,
+    timers_fired: u64,
+    checksums: Vec<u64>,
+    upcalls: Vec<u64>,
+    trace: Vec<TraceEntry>,
+}
+
+fn fingerprint(sim: &Simulator<StormNode>) -> Fingerprint {
+    Fingerprint {
+        events: sim.events_processed(),
+        queue_peak: sim.queue_peak(),
+        end_time: sim.now(),
+        messages: sim.metrics().messages(TrafficClass::OTHER),
+        timers_fired: sim.metrics().counter("timers.fired"),
+        checksums: sim.nodes().map(|(_, n)| n.checksum).collect(),
+        upcalls: sim.nodes().map(|(_, n)| n.upcalls).collect(),
+        trace: sim.trace().entries().copied().collect(),
+    }
+}
+
+const NODES: usize = 16;
+
+fn build(kind: SchedulerKind, seed: u64) -> Simulator<StormNode> {
+    let mut sim = Simulator::new(NetConfig::new(seed).with_scheduler(kind));
+    sim.enable_trace(1 << 20);
+    for _ in 0..NODES {
+        sim.add_node(StormNode::new(NODES));
+    }
+    sim
+}
+
+/// Seeds a same-timestamp burst (many messages injected at the exact same
+/// instant) plus staggered follow-ups.
+fn seed_workload(sim: &mut Simulator<StormNode>) {
+    for i in 0..48u64 {
+        sim.inject_at(
+            SimTime::ZERO,
+            (i as usize) % NODES,
+            Ping { ttl: 10, val: i },
+        );
+    }
+    for i in 0..16u64 {
+        sim.inject_at(
+            SimTime::from_millis(10 * i),
+            (3 * i as usize) % NODES,
+            Ping {
+                ttl: 8,
+                val: 1_000 + i,
+            },
+        );
+    }
+}
+
+#[test]
+fn storm_runs_identically_under_both_schedulers() {
+    for seed in [1u64, 7, 0xC0FFEE] {
+        let mut fps = Vec::new();
+        for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+            let mut sim = build(kind, seed);
+            seed_workload(&mut sim);
+            sim.run();
+            fps.push(fingerprint(&sim));
+        }
+        assert!(
+            fps[0] == fps[1],
+            "seed {seed}: heap and wheel runs diverged:\n\
+             heap:  events={} peak={} end={}\n\
+             wheel: events={} peak={} end={}",
+            fps[0].events,
+            fps[0].queue_peak,
+            fps[0].end_time,
+            fps[1].events,
+            fps[1].queue_peak,
+            fps[1].end_time,
+        );
+        assert!(fps[0].events > 1_000, "storm too small to be meaningful");
+    }
+}
+
+#[test]
+fn run_until_boundaries_and_crash_revive_are_identical() {
+    let mut fps = Vec::new();
+    for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+        let mut sim = build(kind, 42);
+        seed_workload(&mut sim);
+        // Stop mid-flight at boundaries that fall between events, inside
+        // the same-timestamp burst window, and exactly on a hop boundary.
+        sim.run_until(SimTime::from_millis(50));
+        sim.run_until(SimTime::from_micros(50_001));
+        sim.crash(2);
+        sim.crash(5);
+        sim.run_until(SimTime::from_secs(2));
+        sim.revive(2);
+        // Re-seed the revived node so both halves keep exercising it.
+        let t = sim.now() + SimDuration::from_millis(1);
+        sim.inject_at(t, 2, Ping { ttl: 9, val: 9_999 });
+        sim.run_until(SimTime::from_secs(500));
+        sim.run();
+        fps.push(fingerprint(&sim));
+    }
+    assert_eq!(fps[0], fps[1]);
+    // Crashed node 5 stayed down: sends to it must have failed somewhere.
+    assert!(
+        fps[0].trace.iter().any(|e| e.tag == "send-failed"),
+        "expected at least one failed send after the crash"
+    );
+}
+
+#[test]
+fn long_horizon_timers_cross_every_wheel_level() {
+    let mut fps = Vec::new();
+    for kind in [SchedulerKind::Heap, SchedulerKind::Wheel] {
+        let mut sim = build(kind, 1234);
+        // Timers far beyond the fine wheel: L1 (~537 s window), L2
+        // (~25 d window), and the far heap beyond that — plus a dense
+        // cluster sharing one expiry instant.
+        sim.arm_timer_at(SimTime::from_secs(100), 0, 3);
+        sim.arm_timer_at(SimTime::from_secs(1_000), 1, 6);
+        sim.arm_timer_at(SimTime::from_secs(200_000), 2, 9);
+        sim.arm_timer_at(SimTime::from_secs(2_000_000), 3, 12);
+        for i in 0..8u64 {
+            sim.arm_timer_at(SimTime::from_secs(50), (i % 4) as usize, 100 + i);
+        }
+        sim.inject_at(SimTime::ZERO, 0, Ping { ttl: 6, val: 5 });
+        sim.run();
+        fps.push(fingerprint(&sim));
+    }
+    assert_eq!(fps[0], fps[1]);
+    assert!(
+        fps[0].end_time >= SimTime::from_secs(2_000_000),
+        "far-future timer never fired"
+    );
+    assert!(fps[0].timers_fired >= 12);
+}
