@@ -68,4 +68,35 @@ if [ -f BENCH_baseline.json ]; then
 fi
 echo "==> scheduler smoke passed (tables identical, event counts match baseline)"
 
+# Overlay portability smoke: the generic deployment core must keep the
+# Chord quick-scale figure tables byte-identical to the committed
+# pre-refactor baseline, the same suite must run cleanly over the Pastry
+# substrate (its experiments assert cross-overlay delivery parity
+# internally), and a trace replayed over both substrates must produce the
+# same delivered-set fingerprint.
+echo "==> overlay smoke (figures/cbps --overlay chord|pastry)"
+overlay_experiments="fig5 fig6 fig7 fig8 fig9a latency fig9b mcast partial hotspot vnodes"
+# shellcheck disable=SC2086
+./target/release/figures --scale quick --jobs "$(nproc)" \
+    $overlay_experiments >"$smoke_dir/chord.tables" 2>/dev/null
+if ! diff -u ci/baseline_overlay_chord.tables "$smoke_dir/chord.tables"; then
+    echo "FAIL: chord tables drifted from the pre-refactor baseline" >&2
+    exit 1
+fi
+# shellcheck disable=SC2086
+./target/release/figures --scale quick --jobs "$(nproc)" --overlay pastry \
+    $overlay_experiments >"$smoke_dir/pastry.tables" 2>/dev/null
+./target/release/cbps gen-trace --out "$smoke_dir/smoke.trace" \
+    --nodes 80 --subs 120 --pubs 240 --seed 5 --match 0.7 >/dev/null
+for overlay in chord pastry; do
+    ./target/release/cbps run-trace "$smoke_dir/smoke.trace" --nodes 80 --seed 5 \
+        --overlay "$overlay" |
+        sed -n 's/^delivered-set fingerprint: //p' >"$smoke_dir/$overlay.fp"
+done
+if ! diff "$smoke_dir/chord.fp" "$smoke_dir/pastry.fp"; then
+    echo "FAIL: chord and pastry delivered different notification sets" >&2
+    exit 1
+fi
+echo "==> overlay smoke passed (chord baseline byte-identical, fingerprints match)"
+
 echo "==> tier-1 gate passed"

@@ -1,8 +1,9 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! figures [--scale quick|paper] [--jobs N] [--scheduler wheel|heap]
-//!         [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]
+//! figures [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
+//!         [--scheduler wheel|heap] [--csv DIR] [--json FILE]
+//!         [--report FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
@@ -13,7 +14,10 @@
 //! are byte-identical at any job count. `--scheduler wheel|heap` selects
 //! the simulator's event queue (default: wheel); the two produce
 //! byte-identical tables — only the wall times differ — which ci.sh
-//! verifies on every run. `--json FILE` and `--report FILE`
+//! verifies on every run. `--overlay chord|pastry` selects the routing
+//! substrate the deployment-style experiments run on (default: chord;
+//! `route` and `churn` calibrate Chord-specific machinery and always run
+//! on Chord, and the `overlay` comparison always runs both). `--json FILE` and `--report FILE`
 //! both write the self-describing `cbps-report/v2` document (wall time,
 //! events/sec, peak queue depth per experiment — the v1 baseline fields —
 //! plus, when observability is on, per-stage latency percentiles, named
@@ -72,6 +76,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--overlay" => match args.next().as_deref().and_then(runner::BackendKind::parse) {
+                Some(kind) => runner::set_backend(kind),
+                None => {
+                    eprintln!("--overlay expects chord|pastry");
+                    std::process::exit(2);
+                }
+            },
             "--csv" => match args.next() {
                 Some(dir) => csv_dir = Some(dir),
                 None => {
@@ -101,8 +112,8 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale quick|paper] [--jobs N] \
-                     [--scheduler wheel|heap] [--csv DIR] \
+                    "usage: figures [--scale quick|paper] [--overlay chord|pastry] \
+                     [--jobs N] [--scheduler wheel|heap] [--csv DIR] \
                      [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -186,6 +197,7 @@ fn main() {
         jobs: runner::jobs(),
         observability: runner::observability().name().to_owned(),
         scheduler: runner::scheduler().name().to_owned(),
+        overlay: runner::backend().name().to_owned(),
         experiments: records,
     };
     for path in json_path.iter().chain(report_path.iter()) {

@@ -2,8 +2,9 @@
 //! the event scheduler and the matching index.
 //!
 //! ```text
-//! probe sched [--ops N] [--seed S]    heap vs wheel push/pop throughput
-//! probe match [--subs N] [--seed S]   MatchIndex match throughput
+//! probe sched [--ops N] [--seed S]      heap vs wheel push/pop throughput
+//! probe match [--subs N] [--seed S]     MatchIndex match throughput
+//! probe overlay [--nodes N] [--seed S]  chord vs pastry end-to-end profile
 //! ```
 //!
 //! `probe sched` replays the same seeded mixed-horizon workload (zero-delay
@@ -14,7 +15,11 @@
 //! the wheel broke the `(time, seq)` total order and the probe exits
 //! non-zero. `probe match` drives `MatchIndex::matches_into` over a
 //! paper-default workload and reports matches/sec; it is the knob to watch
-//! when touching the epoch-stamped scratch counters.
+//! when touching the epoch-stamped scratch counters. `probe overlay` runs
+//! the identical pub/sub workload over the Chord and the Pastry substrate
+//! through the one generic deployment façade and reports each substrate's
+//! simulator throughput, one-hop message total and per-request hop costs;
+//! it exits non-zero if the substrates disagree on delivered notifications.
 //!
 //! Unlike `figures`, these numbers are wall-clock measurements of isolated
 //! structures: use them for before/after comparisons on one machine, not as
@@ -182,6 +187,80 @@ fn probe_match(subs: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One substrate's end-to-end profile from the shared overlay workload.
+struct OverlayProfile {
+    events: u64,
+    events_per_sec: f64,
+    one_hop_msgs: u64,
+    stats: cbps_bench::RunStats,
+}
+
+fn overlay_profile<B: cbps::OverlayBackend>(nodes: usize, seed: u64) -> OverlayProfile {
+    use cbps_bench::runner::{paper_workload, run_trace, workload_gen, Deployment};
+    use cbps_sim::TrafficClass;
+
+    let deployment = Deployment::new(nodes, seed);
+    let cfg = paper_workload(nodes, 0)
+        .with_counts(nodes * 2, nodes * 4)
+        .with_matching_probability(0.5);
+    let mut gen = workload_gen(cfg, seed);
+    let trace = gen.gen_trace();
+    let mut net = deployment.build_on::<B>();
+    let started = Instant::now();
+    let stats = run_trace(&mut net, &trace, 300);
+    let secs = started.elapsed().as_secs_f64();
+    let events = net.sim_mut().events_processed();
+    let m = net.metrics();
+    let one_hop_msgs = [
+        TrafficClass::SUBSCRIPTION,
+        TrafficClass::PUBLICATION,
+        TrafficClass::NOTIFICATION,
+        TrafficClass::COLLECT,
+        TrafficClass::MAINTENANCE,
+        TrafficClass::STATE_TRANSFER,
+        TrafficClass::OTHER,
+    ]
+    .iter()
+    .map(|&c| m.messages(c))
+    .sum();
+    OverlayProfile {
+        events,
+        events_per_sec: events as f64 / secs.max(1e-9),
+        one_hop_msgs,
+        stats,
+    }
+}
+
+fn probe_overlay(nodes: usize, seed: u64) -> Result<(), String> {
+    println!("overlay probe: {nodes} nodes, seed {seed}, same workload on both substrates");
+    let chord = overlay_profile::<cbps::ChordBackend>(nodes, seed);
+    let pastry = overlay_profile::<cbps_pastry::PastryBackend>(nodes, seed);
+    for (name, p) in [("chord", &chord), ("pastry", &pastry)] {
+        println!(
+            "  {name:<6} {:>10.0} events/sec  ({} events)  msgs {:>7}  \
+             hops/sub {:.2}  hops/pub {:.2}  hops/notify {:.2}  delivered {}",
+            p.events_per_sec,
+            p.events,
+            p.one_hop_msgs,
+            p.stats.hops_per_sub,
+            p.stats.hops_per_pub,
+            p.stats.hops_per_notification,
+            p.stats.delivered,
+        );
+    }
+    if chord.stats.delivered != pastry.stats.delivered {
+        return Err(format!(
+            "substrates disagree on delivered notifications: chord {} != pastry {}",
+            chord.stats.delivered, pastry.stats.delivered
+        ));
+    }
+    println!(
+        "  delivered notifications: {} (identical)",
+        chord.stats.delivered
+    );
+    Ok(())
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == flag)
@@ -191,7 +270,8 @@ fn arg_value(args: &[String], flag: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: probe sched [--ops N] [--seed S] | probe match [--subs N] [--seed S]";
+    let usage = "usage: probe sched [--ops N] [--seed S] | probe match [--subs N] [--seed S] \
+                 | probe overlay [--nodes N] [--seed S]";
     let outcome = match args.first().map(String::as_str) {
         Some("sched") => probe_sched(
             arg_value(&args, "--ops").unwrap_or(2_000_000) as usize,
@@ -199,6 +279,10 @@ fn main() {
         ),
         Some("match") => probe_match(
             arg_value(&args, "--subs").unwrap_or(2_000) as usize,
+            arg_value(&args, "--seed").unwrap_or(7),
+        ),
+        Some("overlay") => probe_overlay(
+            arg_value(&args, "--nodes").unwrap_or(120) as usize,
             arg_value(&args, "--seed").unwrap_or(7),
         ),
         _ => {

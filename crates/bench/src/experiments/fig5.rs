@@ -45,11 +45,13 @@ pub fn run(scale: Scale) -> Table {
         let mut deployment = Deployment::new(nodes, 501);
         deployment.mapping = mapping;
         deployment.primitive = primitive;
-        let mut net = deployment.build();
         let cfg = paper_workload(nodes, 0).with_counts(subs, pubs);
         let mut gen = workload_gen(cfg, 501);
         let trace = gen.gen_trace();
-        let stats = run_trace(&mut net, &trace, 120);
+        let stats = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            run_trace(&mut net, &trace, 120)
+        });
         vec![
             short_name(mapping).to_owned(),
             format!("{primitive:?}").to_lowercase(),

@@ -55,13 +55,15 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let cells = parallel_map(points, |(ttl, mapping)| {
                 let mut deployment = Deployment::new(nodes, 601);
                 deployment.mapping = mapping;
-                let mut net = deployment.build();
                 let cfg = paper_workload(nodes, selective)
                     .with_counts(subs, 0)
                     .with_sub_ttl(ttl.map(SimDuration::from_secs));
                 let mut gen = workload_gen(cfg, 601);
                 let trace = gen.gen_trace();
-                let stats = run_trace(&mut net, &trace, 60);
+                let stats = crate::with_backend!(B => {
+                    let mut net = deployment.build_on::<B>();
+                    run_trace(&mut net, &trace, 60)
+                });
                 format!("{} ({})", stats.max_stored, fmt_f(stats.avg_stored))
             });
             for (i, ttl) in ttls(scale).into_iter().enumerate() {

@@ -30,13 +30,15 @@ pub fn run(scale: Scale) -> Table {
         let mut deployment = Deployment::new(n, 701);
         deployment.mapping = MappingKind::SelectiveAttribute;
         deployment.primitive = Primitive::Unicast;
-        let mut net = deployment.build();
         let cfg = paper_workload(n, 0)
             .with_counts(0, pubs)
             .with_matching_probability(0.0);
         let mut gen = workload_gen(cfg, 701);
         let trace = gen.gen_trace();
-        let stats = run_trace(&mut net, &trace, 60);
+        let stats = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            run_trace(&mut net, &trace, 60)
+        });
         vec![
             n.to_string(),
             fmt_f(stats.hops_per_pub),

@@ -50,11 +50,13 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let cells = parallel_map(points, |(n, mapping)| {
                 let mut deployment = Deployment::new(n, 801);
                 deployment.mapping = mapping;
-                let mut net = deployment.build();
                 let cfg = paper_workload(n, selective).with_counts(subs, 0);
                 let mut gen = workload_gen(cfg, 801);
                 let trace = gen.gen_trace();
-                let stats = run_trace(&mut net, &trace, 60);
+                let stats = crate::with_backend!(B => {
+                    let mut net = deployment.build_on::<B>();
+                    run_trace(&mut net, &trace, 60)
+                });
                 format!("{} ({})", stats.max_stored, fmt_f(stats.avg_stored))
             });
             for (i, n) in node_counts(scale).into_iter().enumerate() {

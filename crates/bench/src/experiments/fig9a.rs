@@ -52,7 +52,6 @@ pub fn run(scale: Scale) -> Table {
         deployment.mapping = MappingKind::SelectiveAttribute;
         deployment.primitive = Primitive::Unicast;
         deployment.notify = mode;
-        let mut net = deployment.build();
         let cfg = paper_workload(nodes, 0)
             .with_counts(subs, pubs)
             .with_matching_probability(p)
@@ -60,7 +59,10 @@ pub fn run(scale: Scale) -> Table {
         let mut gen = workload_gen(cfg, 901);
         let trace = gen.gen_trace();
         // Long drain: collect chains take several flush periods.
-        let stats = run_trace(&mut net, &trace, 2_000);
+        let stats = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            run_trace(&mut net, &trace, 2_000)
+        });
         (stats.delivered, stats.notify_hops_per_pub)
     });
     let mode_count = modes().len();

@@ -52,11 +52,13 @@ pub fn run(scale: Scale) -> Table {
         deployment.mapping = mapping;
         deployment.primitive = primitive;
         deployment.discretization = width;
-        let mut net = deployment.build();
         let cfg = paper_workload(nodes, 0).with_counts(subs, 0);
         let mut gen = workload_gen(cfg, 911);
         let trace = gen.gen_trace();
-        let stats = run_trace(&mut net, &trace, 60);
+        let stats = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            run_trace(&mut net, &trace, 60)
+        });
         vec![
             config.to_owned(),
             label.to_owned(),

@@ -34,24 +34,27 @@ pub fn run(scale: Scale) -> Table {
         let pubsub = cbps::PubSubConfig::paper_default()
             .with_mapping(MappingKind::SelectiveAttribute)
             .with_rotations(vec![rotation, 0, 0, 0]);
-        let mut net = cbps::PubSubNetwork::builder()
-            .nodes(nodes)
-            .net_config(crate::runner::net_config(961))
-            .pubsub(pubsub)
-            .observability(crate::runner::observability())
-            .build()
-            .expect("hotspot deployment config is valid");
         let cfg = paper_workload(nodes, 1).with_counts(subs, 0);
         let mut gen = workload_gen(cfg, 961);
         let trace = gen.gen_trace();
-        let stats = run_trace(&mut net, &trace, 60);
-        let peaks = net.peak_stored_counts();
-        let hottest = peaks
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &c)| c)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
+        let (stats, hottest) = crate::with_backend!(B => {
+            let mut net = cbps::PubSubNetworkBuilder::<B>::new()
+                .nodes(nodes)
+                .net_config(crate::runner::net_config(961))
+                .pubsub(pubsub)
+                .observability(crate::runner::observability())
+                .build()
+                .expect("hotspot deployment config is valid");
+            let stats = run_trace(&mut net, &trace, 60);
+            let peaks = net.peak_stored_counts();
+            let hottest = peaks
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            (stats, hottest)
+        });
         table.push_row(vec![
             format!("{epoch} (+{rotation} keys)"),
             hottest.to_string(),

@@ -45,7 +45,6 @@ pub fn run(scale: Scale) -> Table {
         deployment.mapping = MappingKind::SelectiveAttribute;
         deployment.primitive = Primitive::Unicast;
         deployment.notify = mode;
-        let mut net = deployment.build();
         let cfg = paper_workload(nodes, 0)
             .with_counts(subs, pubs)
             .with_matching_probability(0.8)
@@ -53,43 +52,47 @@ pub fn run(scale: Scale) -> Table {
         let mut gen = workload_gen(cfg, 941);
         let trace = gen.gen_trace();
 
-        // Replay manually so publish times are captured per event id.
-        let mut publish_time: HashMap<EventId, SimTime> = HashMap::new();
-        for op in trace.ops() {
-            net.run_until(op.at);
-            match &op.kind {
-                OpKind::Subscribe { sub, ttl } => {
-                    net.subscribe(op.node, sub.clone(), *ttl)
-                        .expect("experiment nodes and payloads are valid");
-                }
-                OpKind::Publish { event } => {
-                    let id = net
-                        .publish(op.node, event.clone())
-                        .expect("experiment nodes and payloads are valid");
-                    publish_time.insert(id, op.at);
+        let (mut latencies, msgs) = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            // Replay manually so publish times are captured per event id.
+            let mut publish_time: HashMap<EventId, SimTime> = HashMap::new();
+            for op in trace.ops() {
+                net.run_until(op.at);
+                match &op.kind {
+                    OpKind::Subscribe { sub, ttl } => {
+                        net.subscribe(op.node, sub.clone(), *ttl)
+                            .expect("experiment nodes and payloads are valid");
+                    }
+                    OpKind::Publish { event } => {
+                        let id = net
+                            .publish(op.node, event.clone())
+                            .expect("experiment nodes and payloads are valid");
+                        publish_time.insert(id, op.at);
+                    }
                 }
             }
-        }
-        net.run_until(trace.end_time() + SimDuration::from_secs(2_000));
+            net.run_until(trace.end_time() + SimDuration::from_secs(2_000));
 
-        let mut latencies: Vec<f64> = Vec::new();
-        for i in 0..net.len() {
-            for note in net.delivered(i) {
-                let published = publish_time[&note.event_id];
-                latencies.push(note.at.saturating_since(published).as_secs_f64());
+            let mut latencies: Vec<f64> = Vec::new();
+            for i in 0..net.len() {
+                for note in net.delivered(i) {
+                    let published = publish_time[&note.event_id];
+                    latencies.push(note.at.saturating_since(published).as_secs_f64());
+                }
             }
-        }
+            crate::runner::record_obs(&mut net);
+            let m = net.metrics();
+            let msgs = (m.messages(TrafficClass::NOTIFICATION)
+                + m.messages(TrafficClass::COLLECT)) as f64
+                / pubs as f64;
+            (latencies, msgs)
+        });
         latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
         let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
         let p95 = latencies
             .get((latencies.len() * 95 / 100).min(latencies.len().saturating_sub(1)))
             .copied()
             .unwrap_or(0.0);
-        crate::runner::record_obs(&mut net);
-        let m = net.metrics();
-        let msgs = (m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT))
-            as f64
-            / pubs as f64;
         table.push_row(vec![
             label.to_owned(),
             fmt_f(mean),

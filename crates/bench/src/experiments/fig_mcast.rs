@@ -10,13 +10,27 @@
 //!   dilation.
 //!
 //! This regenerates the complexity table of §4.3.1 empirically.
+//!
+//! The protocols are overlay-generic (they run through the shared routed
+//! handlers), so the ablation honors `--overlay`: the same range sends
+//! measured over the Chord substrate or the Pastry substrate.
 
-use cbps_overlay::{build_stable, KeyRange, KeyRangeSet, OverlayConfig};
+use cbps_overlay::{build_stable, KeyRange, KeyRangeSet, OverlayConfig, OverlayServices};
+use cbps_pastry::{build_pastry_stable, PastryConfig};
 use cbps_sim::{TraceId, TrafficClass};
 
 use crate::probe::ProbeApp;
-use crate::runner::Scale;
+use crate::runner::{BackendKind, Scale};
 use crate::table::Table;
+
+fn fire(svc: &mut dyn OverlayServices<u64, ()>, how: &str, targets: &KeyRangeSet, range: KeyRange) {
+    match how {
+        "m-cast" => svc.mcast(targets, TrafficClass::OTHER, 1, TraceId::NONE),
+        "per-key unicast" => svc.ucast_keys(targets, TrafficClass::OTHER, 1, TraceId::NONE),
+        "successor walk" => svc.walk(range, TrafficClass::OTHER, 1, TraceId::NONE),
+        other => unreachable!("unknown protocol {other}"),
+    }
+}
 
 fn send(
     n: usize,
@@ -28,29 +42,48 @@ fn send(
     u32, /* max dilation */
     u64, /* deliveries */
 ) {
-    let cfg = OverlayConfig::paper_default().with_cache_capacity(0);
     let apps: Vec<ProbeApp> = (0..n).map(|_| ProbeApp::default()).collect();
-    let (mut sim, _ring) = build_stable(crate::runner::net_config(seed), cfg, apps);
-    let space = cfg.space;
-    let range = KeyRange::new(space.key(1000), space.key(1000 + width - 1));
-    let targets = KeyRangeSet::of_range(space, range);
-    sim.with_node(0, |node, ctx| {
-        node.app_call(ctx, |_, svc| match how {
-            "m-cast" => svc.mcast(&targets, TrafficClass::OTHER, 1, TraceId::NONE),
-            "per-key unicast" => svc.ucast_keys(&targets, TrafficClass::OTHER, 1, TraceId::NONE),
-            "successor walk" => svc.walk(range, TrafficClass::OTHER, 1, TraceId::NONE),
-            other => unreachable!("unknown protocol {other}"),
-        })
-    });
-    sim.run();
-    let msgs = sim.metrics().messages(TrafficClass::OTHER);
-    let mut max_hops = 0;
-    let mut deliveries = 0;
-    for (_, node) in sim.nodes() {
-        max_hops = max_hops.max(node.app().max_hops);
-        deliveries += node.app().deliveries;
+    match crate::runner::backend() {
+        BackendKind::Chord => {
+            // Cache disabled: the table measures the raw protocols.
+            let cfg = OverlayConfig::paper_default().with_cache_capacity(0);
+            let (mut sim, _ring) = build_stable(crate::runner::net_config(seed), cfg, apps);
+            let space = cfg.space;
+            let range = KeyRange::new(space.key(1000), space.key(1000 + width - 1));
+            let targets = KeyRangeSet::of_range(space, range);
+            sim.with_node(0, |node, ctx| {
+                node.app_call(ctx, |_, svc| fire(svc, how, &targets, range))
+            });
+            sim.run();
+            let msgs = sim.metrics().messages(TrafficClass::OTHER);
+            let mut max_hops = 0;
+            let mut deliveries = 0;
+            for (_, node) in sim.nodes() {
+                max_hops = max_hops.max(node.app().max_hops);
+                deliveries += node.app().deliveries;
+            }
+            (msgs, max_hops, deliveries)
+        }
+        BackendKind::Pastry => {
+            let cfg = PastryConfig::paper_default();
+            let (mut sim, _ring) = build_pastry_stable(crate::runner::net_config(seed), cfg, apps);
+            let space = cfg.space;
+            let range = KeyRange::new(space.key(1000), space.key(1000 + width - 1));
+            let targets = KeyRangeSet::of_range(space, range);
+            sim.with_node(0, |node, ctx| {
+                node.app_call(ctx, |_, svc| fire(svc, how, &targets, range))
+            });
+            sim.run();
+            let msgs = sim.metrics().messages(TrafficClass::OTHER);
+            let mut max_hops = 0;
+            let mut deliveries = 0;
+            for (_, node) in sim.nodes() {
+                max_hops = max_hops.max(node.app().max_hops);
+                deliveries += node.app().deliveries;
+            }
+            (msgs, max_hops, deliveries)
+        }
     }
-    (msgs, max_hops, deliveries)
 }
 
 /// Runs the ablation and returns its table.

@@ -2,10 +2,16 @@
 //!
 //! The same pub/sub configuration and workload over the Chord substrate
 //! and over the Pastry substrate: logical deliveries must be identical;
-//! message counts differ only by the overlays' routing structure.
+//! message counts differ only by the overlays' routing structure. Both
+//! runs go through the one generic [`PubSubNetwork`]; the substrate is
+//! just a type parameter.
+//!
+//! [`PubSubNetwork`]: cbps::PubSubNetwork
 
-use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork};
-use cbps_pastry::PastryPubSubNetwork;
+use cbps::{
+    ChordBackend, MappingKind, OverlayBackend, Primitive, PubSubConfig, PubSubNetworkBuilder,
+};
+use cbps_pastry::PastryBackend;
 use cbps_sim::{SimDuration, TrafficClass};
 use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
 
@@ -19,7 +25,7 @@ struct Outcome {
     delivered: u64,
 }
 
-fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome {
+fn run_on<B: OverlayBackend>(kind: MappingKind, scale: Scale, seed: u64) -> Outcome {
     let nodes = match scale {
         Scale::Quick => 100,
         Scale::Paper => 500,
@@ -33,71 +39,32 @@ fn run_on(overlay: &str, kind: MappingKind, scale: Scale, seed: u64) -> Outcome 
         .with_counts(subs, pubs)
         .with_matching_probability(0.7);
 
-    enum Net {
-        Chord(PubSubNetwork),
-        Pastry(PastryPubSubNetwork),
-    }
-    let mut net = match overlay {
-        "chord" => Net::Chord(
-            PubSubNetwork::builder()
-                .nodes(nodes)
-                .net_config(crate::runner::net_config(seed))
-                .pubsub(pubsub)
-                .observability(crate::runner::observability())
-                .build()
-                .expect("overlay comparison config is valid"),
-        ),
-        _ => Net::Pastry(
-            PastryPubSubNetwork::builder()
-                .nodes(nodes)
-                .seed(seed)
-                .pubsub(pubsub)
-                .build()
-                .expect("overlay comparison config is valid"),
-        ),
-    };
+    let mut net = PubSubNetworkBuilder::<B>::new()
+        .nodes(nodes)
+        .net_config(crate::runner::net_config(seed))
+        .pubsub(pubsub)
+        .observability(crate::runner::observability())
+        .build()
+        .expect("overlay comparison config is valid");
     let space = cbps::EventSpace::paper_default();
     let mut gen = WorkloadGen::new(space, wl, seed);
     let trace = gen.gen_trace();
     for op in trace.ops() {
-        match (&mut net, &op.kind) {
-            (Net::Chord(n), OpKind::Subscribe { sub, ttl }) => {
-                n.run_until(op.at);
-                n.subscribe(op.node, sub.clone(), *ttl)
+        net.run_until(op.at);
+        match &op.kind {
+            OpKind::Subscribe { sub, ttl } => {
+                net.subscribe(op.node, sub.clone(), *ttl)
                     .expect("experiment nodes and payloads are valid");
             }
-            (Net::Chord(n), OpKind::Publish { event }) => {
-                n.run_until(op.at);
-                n.publish(op.node, event.clone())
-                    .expect("experiment nodes and payloads are valid");
-            }
-            (Net::Pastry(n), OpKind::Subscribe { sub, ttl }) => {
-                n.run_until(op.at);
-                n.subscribe(op.node, sub.clone(), *ttl)
-                    .expect("experiment nodes and payloads are valid");
-            }
-            (Net::Pastry(n), OpKind::Publish { event }) => {
-                n.run_until(op.at);
-                n.publish(op.node, event.clone())
+            OpKind::Publish { event } => {
+                net.publish(op.node, event.clone())
                     .expect("experiment nodes and payloads are valid");
             }
         }
     }
-    let end = trace.end_time() + SimDuration::from_secs(300);
-    let metrics = match &mut net {
-        Net::Chord(n) => {
-            n.run_until(end);
-            // Observability rides the Chord substrate only: `record_obs`
-            // folds `PubSubNetwork` state and the Pastry twin has its own
-            // node-peak shape. The comparison itself is obs-agnostic.
-            crate::runner::record_obs(n);
-            n.metrics().clone()
-        }
-        Net::Pastry(n) => {
-            n.run_until(end);
-            n.metrics().clone()
-        }
-    };
+    net.run_until(trace.end_time() + SimDuration::from_secs(300));
+    crate::runner::record_obs(&mut net);
+    let metrics = net.metrics();
     Outcome {
         hops_per_sub: metrics.messages(TrafficClass::SUBSCRIPTION) as f64 / subs as f64,
         hops_per_pub: metrics.messages(TrafficClass::PUBLICATION) as f64 / pubs as f64,
@@ -122,16 +89,21 @@ pub fn run(scale: Scale) -> Table {
     );
     for kind in [MappingKind::KeySpaceSplit, MappingKind::SelectiveAttribute] {
         let mut delivered = Vec::new();
-        for overlay in ["chord", "pastry"] {
-            let o = run_on(overlay, kind, scale, 991);
-            delivered.push(o.delivered);
+        for (overlay, outcome) in [
+            (ChordBackend::NAME, run_on::<ChordBackend>(kind, scale, 991)),
+            (
+                PastryBackend::NAME,
+                run_on::<PastryBackend>(kind, scale, 991),
+            ),
+        ] {
+            delivered.push(outcome.delivered);
             table.push_row(vec![
                 crate::experiments::fig5::short_name(kind).to_owned(),
                 overlay.to_owned(),
-                fmt_f(o.hops_per_sub),
-                fmt_f(o.hops_per_pub),
-                fmt_f(o.hops_per_notify),
-                o.delivered.to_string(),
+                fmt_f(outcome.hops_per_sub),
+                fmt_f(outcome.hops_per_pub),
+                fmt_f(outcome.hops_per_notify),
+                outcome.delivered.to_string(),
             ]);
         }
         assert_eq!(

@@ -7,6 +7,10 @@
 //! This experiment measures mean lookup hops vs `n`, with the location
 //! cache disabled and enabled, and doubles as the calibration record for
 //! the cache capacity (96 entries by default).
+//!
+//! Calibrates Chord's finger/cache machinery specifically, so it pins the
+//! Chord substrate regardless of `--overlay` (the Pastry routing profile
+//! is covered by its own portability tests).
 
 use cbps_overlay::{build_stable, OverlayConfig};
 

@@ -39,14 +39,16 @@ pub fn run(scale: Scale) -> Table {
         let sim_nodes = machines * v;
         let mut deployment = Deployment::new(sim_nodes, 981);
         deployment.mapping = MappingKind::SelectiveAttribute;
-        let mut net = deployment.build();
         let cfg = paper_workload(sim_nodes, 1).with_counts(subs, 0);
         let mut gen = workload_gen(cfg, 981);
         let trace = gen.gen_trace();
-        let _ = run_trace(&mut net, &trace, 60);
+        let peaks = crate::with_backend!(B => {
+            let mut net = deployment.build_on::<B>();
+            let _ = run_trace(&mut net, &trace, 60);
+            net.peak_stored_counts()
+        });
         // Aggregate virtual identities onto machines: virtual id `i`
         // belongs to machine `i % machines`.
-        let peaks = net.peak_stored_counts();
         let mut per_machine = vec![0usize; machines];
         for (i, p) in peaks.iter().enumerate() {
             per_machine[i % machines] += p;

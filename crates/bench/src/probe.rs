@@ -1,7 +1,7 @@
 //! A minimal overlay application used by the overlay-level experiments
 //! (routing calibration and the multicast ablation).
 
-use cbps_overlay::{ChordApp, Delivery, OverlaySvc, Peer};
+use cbps_overlay::{Delivery, OverlayApp, OverlayServices, Peer};
 
 /// Records deliveries of unit payloads: count and worst dilation.
 #[derive(Debug, Default)]
@@ -12,14 +12,14 @@ pub struct ProbeApp {
     pub max_hops: u32,
 }
 
-impl ChordApp for ProbeApp {
+impl OverlayApp for ProbeApp {
     type Payload = u64;
     type Timer = ();
 
-    fn on_deliver(&mut self, _payload: u64, d: Delivery, _svc: &mut OverlaySvc<'_, '_, u64, ()>) {
+    fn on_deliver(&mut self, _payload: u64, d: Delivery, _svc: &mut dyn OverlayServices<u64, ()>) {
         self.deliveries += 1;
         self.max_hops = self.max_hops.max(d.hops);
     }
 
-    fn on_direct(&mut self, _from: Peer, _payload: u64, _svc: &mut OverlaySvc<'_, '_, u64, ()>) {}
+    fn on_direct(&mut self, _from: Peer, _payload: u64, _svc: &mut dyn OverlayServices<u64, ()>) {}
 }

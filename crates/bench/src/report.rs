@@ -148,6 +148,8 @@ pub struct RunReport {
     pub observability: String,
     /// Event-queue implementation name (`wheel` or `heap`).
     pub scheduler: String,
+    /// Overlay substrate the sweep deployed on (`chord` or `pastry`).
+    pub overlay: String,
     /// Per-experiment records, in run order.
     pub experiments: Vec<ExperimentReport>,
 }
@@ -167,6 +169,7 @@ impl RunReport {
             "  \"scheduler\": \"{}\",\n",
             escape(&self.scheduler)
         ));
+        out.push_str(&format!("  \"overlay\": \"{}\",\n", escape(&self.overlay)));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
             out.push_str(&experiment_json(e, "    "));
@@ -341,6 +344,7 @@ mod tests {
             jobs: 2,
             observability: "full".into(),
             scheduler: "wheel".into(),
+            overlay: "chord".into(),
             experiments: vec![
                 ExperimentReport {
                     name: "fig5".into(),
@@ -360,6 +364,7 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"cbps-report/v2\""));
+        assert!(json.contains("\"overlay\": \"chord\""));
         // v1 fields keep their names so old baselines stay comparable.
         assert!(json.contains("\"wall_secs\": 1.500"));
         assert!(json.contains("\"events_per_sec\": 2000"));

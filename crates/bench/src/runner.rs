@@ -9,8 +9,10 @@
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cbps::{MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
-use cbps_overlay::OverlayConfig;
+use cbps::{
+    ChordBackend, MappingKind, NotifyMode, OverlayBackend, Primitive, PubSubConfig, PubSubNetwork,
+    PubSubNetworkBuilder,
+};
 use cbps_sim::{NetConfig, ObsMode, Observability, SchedulerKind, SimDuration, TrafficClass};
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 
@@ -34,6 +36,87 @@ static OBS_TOTAL: Mutex<Option<Observability>> = Mutex::new(None);
 /// every observed run since the last reset (max is commutative, so the
 /// result is job-count independent).
 static HOT_NODES: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+/// Overlay substrate every deployment-style experiment runs on
+/// (0 = Chord, 1 = Pastry).
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// The overlay substrates the experiment harness can deploy on.
+///
+/// Experiments are written once against the generic
+/// [`PubSubNetwork<B>`] façade; this runtime tag (set from
+/// `--overlay`) picks which monomorphization a run uses — see
+/// [`crate::with_backend!`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// Chord finger-table routing (the paper's substrate; supports churn).
+    Chord,
+    /// Pastry prefix routing (static converged membership).
+    Pastry,
+}
+
+impl BackendKind {
+    /// The backend's name as used on the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Chord => ChordBackend::NAME,
+            BackendKind::Pastry => cbps_pastry::PastryBackend::NAME,
+        }
+    }
+
+    /// Parses a CLI backend name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "chord" => Some(BackendKind::Chord),
+            "pastry" => Some(BackendKind::Pastry),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sets the overlay substrate every subsequent experiment deploys on.
+pub fn set_backend(kind: BackendKind) {
+    BACKEND.store(
+        match kind {
+            BackendKind::Chord => 0,
+            BackendKind::Pastry => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The overlay substrate experiments deploy on.
+pub fn backend() -> BackendKind {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => BackendKind::Chord,
+        _ => BackendKind::Pastry,
+    }
+}
+
+/// Dispatches a generic experiment body over the globally selected
+/// overlay backend: `with_backend!(B => run_on::<B>(scale))` expands to a
+/// match on [`runner::backend`](backend) binding the type alias `B` to
+/// [`cbps::ChordBackend`] or [`cbps_pastry::PastryBackend`].
+#[macro_export]
+macro_rules! with_backend {
+    ($B:ident => $body:expr) => {
+        match $crate::runner::backend() {
+            $crate::runner::BackendKind::Chord => {
+                type $B = ::cbps::ChordBackend;
+                $body
+            }
+            $crate::runner::BackendKind::Pastry => {
+                type $B = ::cbps_pastry::PastryBackend;
+                $body
+            }
+        }
+    };
+}
 
 /// Sets the worker-pool size used by [`parallel_map`] (clamped to >= 1).
 pub fn set_jobs(n: usize) {
@@ -102,7 +185,7 @@ pub fn record_perf(events: u64, queue_peak: usize) {
 
 /// Folds one finished run's observability registry into the global
 /// accumulator (a no-op when the run recorded nothing).
-pub fn record_obs(net: &mut PubSubNetwork) {
+pub fn record_obs<B: OverlayBackend>(net: &mut PubSubNetwork<B>) {
     if !net.observability().enabled() {
         return;
     }
@@ -256,18 +339,26 @@ impl Deployment {
         }
     }
 
-    /// Builds the network (under the sweep-wide observability mode, see
-    /// [`set_observability`]).
+    /// Builds the network on the Chord substrate (under the sweep-wide
+    /// observability mode, see [`set_observability`]).
     pub fn build(&self) -> PubSubNetwork {
+        self.build_on::<ChordBackend>()
+    }
+
+    /// Builds the network on substrate `B` with its paper-default overlay
+    /// parameters. Workload, seeds and pub/sub configuration are
+    /// substrate-independent, so the same deployment descriptor drives
+    /// every backend.
+    pub fn build_on<B: OverlayBackend>(&self) -> PubSubNetwork<B> {
         let pubsub = PubSubConfig::paper_default()
             .with_mapping(self.mapping)
             .with_primitive(self.primitive)
             .with_notify_mode(self.notify)
             .with_discretization(self.discretization);
-        PubSubNetwork::builder()
+        PubSubNetworkBuilder::<B>::new()
             .nodes(self.nodes)
             .net_config(net_config(self.seed))
-            .overlay(OverlayConfig::paper_default())
+            .overlay(B::paper_default())
             .pubsub(pubsub)
             .observability(observability())
             .build()
@@ -303,7 +394,11 @@ pub struct RunStats {
 /// Replays a trace and distills the run's statistics. The network runs
 /// `drain_secs` past the last operation so in-flight messages and buffers
 /// settle.
-pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> RunStats {
+pub fn run_trace<B: OverlayBackend>(
+    net: &mut PubSubNetwork<B>,
+    trace: &Trace,
+    drain_secs: u64,
+) -> RunStats {
     let outcome = trace.replay(net);
     let _ = outcome;
     net.run_until(trace.end_time() + SimDuration::from_secs(drain_secs));
@@ -314,7 +409,7 @@ pub fn run_trace(net: &mut PubSubNetwork, trace: &Trace, drain_secs: u64) -> Run
 }
 
 /// Extracts normalized statistics from a finished network.
-pub fn distill(net: &PubSubNetwork, subs: u64, pubs: u64) -> RunStats {
+pub fn distill<B: OverlayBackend>(net: &PubSubNetwork<B>, subs: u64, pubs: u64) -> RunStats {
     let m = net.metrics();
     let matches = m.counter("matches");
     let notify_msgs = m.messages(TrafficClass::NOTIFICATION) + m.messages(TrafficClass::COLLECT);
@@ -387,6 +482,14 @@ mod tests {
         let serial = parallel_map(items, |x| x * x + 1);
         assert_eq!(parallel, serial);
         assert_eq!(serial[99], 99 * 99 + 1);
+    }
+
+    #[test]
+    fn backend_kind_round_trips() {
+        for kind in [BackendKind::Chord, BackendKind::Pastry] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("bamboo"), None);
     }
 
     #[test]

@@ -1,13 +1,52 @@
 //! The CLI subcommands.
 
-use cbps::{EventSpace, MappingKind, NotifyMode, Primitive, PubSubConfig, PubSubNetwork};
+use cbps::{
+    EventSpace, MappingKind, NotifyMode, OverlayBackend, Primitive, PubSubConfig, PubSubNetwork,
+    PubSubNetworkBuilder,
+};
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
+use cbps_bench::runner::BackendKind;
+use cbps_bench::with_backend;
 use cbps_sim::{NetConfig, ObsMode, SchedulerKind, SimDuration, TrafficClass};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
 use crate::args::{ArgError, Args};
 
 type Outcome = Result<(), ArgError>;
+
+fn parse_overlay(args: &Args) -> Result<BackendKind, ArgError> {
+    let s = args.get("overlay").unwrap_or("chord");
+    BackendKind::parse(s).ok_or_else(|| ArgError(format!("unknown overlay {s:?} (chord|pastry)")))
+}
+
+/// An order- and overlay-independent fingerprint of the logically
+/// delivered set: FNV-1a over the sorted `(node, sub, event)` triples.
+/// Two runs deliver the same notifications iff the fingerprints match, so
+/// `cbps run-trace --overlay chord` vs `--overlay pastry` can be diffed on
+/// this one line.
+fn delivered_fingerprint<B: OverlayBackend>(net: &PubSubNetwork<B>) -> (u64, usize) {
+    let mut triples: Vec<(usize, u64, u64)> = Vec::new();
+    for node in 0..net.len() {
+        for n in net.delivered(node) {
+            triples.push((node, n.sub_id.0, n.event_id.0));
+        }
+    }
+    triples.sort_unstable();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    let count = triples.len();
+    for (node, sub, event) in triples {
+        mix(node as u64);
+        mix(sub);
+        mix(event);
+    }
+    (hash, count)
+}
 
 /// `cbps gen-trace`: generate a §5.1 workload trace file.
 pub fn gen_trace(args: &Args) -> Outcome {
@@ -121,6 +160,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "discretization",
         "replication",
         "scheduler",
+        "overlay",
     ])?;
     let file = args
         .positional()
@@ -139,62 +179,68 @@ pub fn run_trace(args: &Args) -> Outcome {
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
+    let overlay = parse_overlay(args)?;
 
-    let mut net = PubSubNetwork::builder()
-        .nodes(nodes)
-        .net_config(NetConfig::new(seed).with_scheduler(scheduler))
-        .pubsub(
-            PubSubConfig::paper_default()
-                .with_mapping(mapping)
-                .with_primitive(primitive)
-                .with_notify_mode(notify)
-                .with_discretization(discretization)
-                .with_replication(replication),
-        )
-        .build()
-        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+    cbps_bench::runner::set_backend(overlay);
+    with_backend!(B => {
+        let mut net = PubSubNetworkBuilder::<B>::new()
+            .nodes(nodes)
+            .net_config(NetConfig::new(seed).with_scheduler(scheduler))
+            .pubsub(
+                PubSubConfig::paper_default()
+                    .with_mapping(mapping)
+                    .with_primitive(primitive)
+                    .with_notify_mode(notify)
+                    .with_discretization(discretization)
+                    .with_replication(replication),
+            )
+            .build()
+            .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
 
-    let outcome = trace.replay(&mut net);
-    net.run_until(trace.end_time() + SimDuration::from_secs(600));
+        let outcome = trace.replay(&mut net);
+        net.run_until(trace.end_time() + SimDuration::from_secs(600));
 
-    let m = net.metrics();
-    let subs = trace.sub_count().max(1) as f64;
-    let pubs = trace.pub_count().max(1) as f64;
-    println!("deployment: {nodes} nodes, {mapping}, {primitive:?}, {notify:?}");
-    println!(
-        "trace: {} subscriptions, {} publications",
-        trace.sub_count(),
-        trace.pub_count()
-    );
-    println!("one-hop messages:");
-    for class in [
-        TrafficClass::SUBSCRIPTION,
-        TrafficClass::PUBLICATION,
-        TrafficClass::NOTIFICATION,
-        TrafficClass::COLLECT,
-        TrafficClass::STATE_TRANSFER,
-    ] {
-        println!("  {:<14} {}", class.name(), m.messages(class));
-    }
-    println!(
-        "hops/subscription: {:.2}",
-        m.messages(TrafficClass::SUBSCRIPTION) as f64 / subs
-    );
-    println!(
-        "hops/publication:  {:.2}",
-        m.messages(TrafficClass::PUBLICATION) as f64 / pubs
-    );
-    println!("matches: {}", m.counter("matches"));
-    println!(
-        "notifications delivered: {}",
-        m.counter("notifications.delivered")
-    );
-    let peaks = net.peak_stored_counts();
-    let max = peaks.iter().max().copied().unwrap_or(0);
-    let avg = peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64;
-    println!("stored subscriptions/node: max {max}, avg {avg:.1}");
-    let expected = outcome.oracle.expected().len();
-    println!("oracle (timing-agnostic) expected pairs: {expected}");
+        let m = net.metrics();
+        let subs = trace.sub_count().max(1) as f64;
+        let pubs = trace.pub_count().max(1) as f64;
+        println!("deployment: {nodes} nodes, {overlay} overlay, {mapping}, {primitive:?}, {notify:?}");
+        println!(
+            "trace: {} subscriptions, {} publications",
+            trace.sub_count(),
+            trace.pub_count()
+        );
+        println!("one-hop messages:");
+        for class in [
+            TrafficClass::SUBSCRIPTION,
+            TrafficClass::PUBLICATION,
+            TrafficClass::NOTIFICATION,
+            TrafficClass::COLLECT,
+            TrafficClass::STATE_TRANSFER,
+        ] {
+            println!("  {:<14} {}", class.name(), m.messages(class));
+        }
+        println!(
+            "hops/subscription: {:.2}",
+            m.messages(TrafficClass::SUBSCRIPTION) as f64 / subs
+        );
+        println!(
+            "hops/publication:  {:.2}",
+            m.messages(TrafficClass::PUBLICATION) as f64 / pubs
+        );
+        println!("matches: {}", m.counter("matches"));
+        println!(
+            "notifications delivered: {}",
+            m.counter("notifications.delivered")
+        );
+        let peaks = net.peak_stored_counts();
+        let max = peaks.iter().max().copied().unwrap_or(0);
+        let avg = peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64;
+        println!("stored subscriptions/node: max {max}, avg {avg:.1}");
+        let (fp, count) = delivered_fingerprint(&net);
+        println!("delivered-set fingerprint: {fp:#018x} ({count} notifications)");
+        let expected = outcome.oracle.expected().len();
+        println!("oracle (timing-agnostic) expected pairs: {expected}");
+    });
     Ok(())
 }
 
@@ -211,6 +257,7 @@ pub fn stats(args: &Args) -> Outcome {
         "discretization",
         "replication",
         "scheduler",
+        "overlay",
         "out",
     ])?;
     let file = args
@@ -230,48 +277,54 @@ pub fn stats(args: &Args) -> Outcome {
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
+    let overlay = parse_overlay(args)?;
 
-    let mut net = PubSubNetwork::builder()
-        .nodes(nodes)
-        .net_config(NetConfig::new(seed).with_scheduler(scheduler))
-        .pubsub(
-            PubSubConfig::paper_default()
-                .with_mapping(mapping)
-                .with_primitive(primitive)
-                .with_notify_mode(notify)
-                .with_discretization(discretization)
-                .with_replication(replication),
-        )
-        .observability(ObsMode::Full)
-        .build()
-        .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
+    cbps_bench::runner::set_backend(overlay);
+    let record = with_backend!(B => {
+        let mut net = PubSubNetworkBuilder::<B>::new()
+            .nodes(nodes)
+            .net_config(NetConfig::new(seed).with_scheduler(scheduler))
+            .pubsub(
+                PubSubConfig::paper_default()
+                    .with_mapping(mapping)
+                    .with_primitive(primitive)
+                    .with_notify_mode(notify)
+                    .with_discretization(discretization)
+                    .with_replication(replication),
+            )
+            .observability(ObsMode::Full)
+            .build()
+            .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
 
-    let started = std::time::Instant::now();
-    trace.replay(&mut net);
-    net.run_until(trace.end_time() + SimDuration::from_secs(600));
-    let wall_secs = started.elapsed().as_secs_f64();
+        let started = std::time::Instant::now();
+        trace.replay(&mut net);
+        net.run_until(trace.end_time() + SimDuration::from_secs(600));
+        let wall_secs = started.elapsed().as_secs_f64();
 
-    let peaks: Vec<u64> = net
-        .peak_stored_counts()
-        .into_iter()
-        .map(|p| p as u64)
-        .collect();
-    let sim = net.sim_mut();
-    let events = sim.events_processed();
-    let peak_queue_depth = sim.queue_peak() as u64;
-    let obs = std::mem::take(net.metrics_mut().obs_mut());
-    let report = RunReport {
-        scale: "trace".to_owned(),
-        jobs: 1,
-        observability: ObsMode::Full.name().to_owned(),
-        scheduler: scheduler.name().to_owned(),
-        experiments: vec![ExperimentReport {
+        let peaks: Vec<u64> = net
+            .peak_stored_counts()
+            .into_iter()
+            .map(|p| p as u64)
+            .collect();
+        let sim = net.sim_mut();
+        let events = sim.events_processed();
+        let peak_queue_depth = sim.queue_peak() as u64;
+        let obs = std::mem::take(net.metrics_mut().obs_mut());
+        ExperimentReport {
             name: file.clone(),
             wall_secs,
             events,
             peak_queue_depth,
             obs: Some(ObsReport::distill(&obs, &peaks)),
-        }],
+        }
+    });
+    let report = RunReport {
+        scale: "trace".to_owned(),
+        jobs: 1,
+        observability: ObsMode::Full.name().to_owned(),
+        scheduler: scheduler.name().to_owned(),
+        overlay: overlay.name().to_owned(),
+        experiments: vec![record],
     };
     let json = report.to_json();
     match args.get("out") {
@@ -341,7 +394,7 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale", "jobs"])?;
+    args.check_flags(&["scale", "jobs", "overlay"])?;
     let name = args
         .positional()
         .get(1)
@@ -356,6 +409,7 @@ pub fn experiment(args: &Args) -> Outcome {
         return Err(ArgError("--jobs must be at least 1".into()));
     }
     cbps_bench::runner::set_jobs(jobs);
+    cbps_bench::runner::set_backend(parse_overlay(args)?);
     let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
         ArgError(format!(
             "unknown experiment {name:?}; known: {}",

@@ -3,12 +3,13 @@
 //! ```text
 //! cbps gen-trace --out FILE [--subs N] [--pubs N] [--nodes N] [--seed S]
 //!                [--selective K] [--match P] [--ttl SECS] [--streak L]
-//! cbps run-trace FILE [--nodes N] [--seed S] [--mapping m1|m2|m3]
-//!                [--primitive unicast|mcast|walk] [--notify immediate|buffered:S|collecting:S]
+//! cbps run-trace FILE [--nodes N] [--seed S] [--overlay chord|pastry]
+//!                [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
+//!                [--notify immediate|buffered:S|collecting:S]
 //!                [--discretization W] [--replication R] [--scheduler wheel|heap]
 //! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
-//! cbps experiment NAME [--scale quick|paper] [--jobs N]
+//! cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
 //! ```
 
 mod args;
@@ -22,14 +23,15 @@ cbps — content-based pub/sub over structured overlays (ICDCS 2005 reproduction
 usage:
   cbps gen-trace --out FILE [--subs N] [--pubs N] [--nodes N] [--seed S]
                  [--selective K] [--match P] [--ttl SECS] [--streak L]
-  cbps run-trace FILE [--nodes N] [--seed S] [--mapping m1|m2|m3]
-                 [--primitive unicast|mcast|walk]
+  cbps run-trace FILE [--nodes N] [--seed S] [--overlay chord|pastry]
+                 [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
                  [--notify immediate|buffered:SECS|collecting:SECS]
                  [--discretization W] [--replication R] [--scheduler wheel|heap]
   cbps stats FILE [--out FILE] [run-trace deployment flags]
                  (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]
-  cbps experiment NAME [--scale quick|paper] [--jobs N]   (NAME: route, keys, fig5 … or all)
+  cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
+                 (NAME: route, keys, fig5 … or all)
 ";
 
 fn main() {

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod backend;
 mod config;
 mod error;
 mod event;
@@ -59,13 +60,14 @@ mod store;
 mod subscription;
 mod system;
 
+pub use backend::{BackendCtx, ChordBackend, ChordPubSub, OverlayBackend};
 pub use config::{NotifyMode, Primitive, PubSubConfig};
 pub use error::{ConfigError, PubSubError};
 pub use event::{Event, EventId};
 pub use index::MatchIndex;
 pub use mapping::{AkMapping, EventKeyChoice, MappingKind};
 pub use msg::{CollectItem, DeliveredNote, NotifyItem, PubSubMsg, PubSubTimer};
-pub use node::{PubSubNode, Svc};
+pub use node::PubSubNode;
 pub use oracle::Oracle;
 pub use space::{AttributeDef, EventSpace};
 pub use store::{StoredSub, SubscriptionStore};

@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
-use cbps_overlay::{ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayServices, OverlaySvc, Peer};
+use cbps_overlay::{Delivery, KeyRange, KeyRangeSet, OverlayApp, OverlayServices, Peer};
 use cbps_sim::{SimDuration, SimTime, Stage, TraceId, TrafficClass};
 
 use crate::config::{NotifyMode, Primitive, PubSubConfig};
@@ -19,9 +19,6 @@ use crate::subscription::{SubId, Subscription};
 /// Bound on the rendezvous-side event dedup window (events can arrive once
 /// per target key under per-key unicast).
 const SEEN_EVENTS_CAP: usize = 4096;
-
-/// Chord's concrete service handle (used by the [`ChordApp`] impl).
-pub type Svc<'a, 'c> = OverlaySvc<'a, 'c, PubSubMsg, PubSubTimer>;
 
 /// The overlay-neutral service surface the pub/sub logic is written
 /// against — any overlay implementing [`OverlayServices`] can host it
@@ -593,7 +590,7 @@ impl PubSubNode {
 
 impl PubSubNode {
     /// Overlay-neutral entry point for routed payload deliveries. Every
-    /// overlay adapter (Chord's [`ChordApp`] impl below, Pastry's in
+    /// overlay adapter (Chord's [`OverlayApp`] impl below, Pastry's in
     /// `cbps-pastry`) funnels into this.
     pub fn handle_deliver(&mut self, payload: PubSubMsg, svc: &mut DynSvc<'_>) {
         match payload {
@@ -724,19 +721,33 @@ impl PubSubNode {
     }
 }
 
-impl ChordApp for PubSubNode {
+impl OverlayApp for PubSubNode {
     type Payload = PubSubMsg;
     type Timer = PubSubTimer;
 
-    fn on_deliver(&mut self, payload: PubSubMsg, _delivery: Delivery, svc: &mut Svc<'_, '_>) {
+    fn on_deliver(
+        &mut self,
+        payload: PubSubMsg,
+        _delivery: Delivery,
+        svc: &mut dyn OverlayServices<PubSubMsg, PubSubTimer>,
+    ) {
         self.handle_deliver(payload, svc);
     }
 
-    fn on_direct(&mut self, from: Peer, payload: PubSubMsg, svc: &mut Svc<'_, '_>) {
+    fn on_direct(
+        &mut self,
+        from: Peer,
+        payload: PubSubMsg,
+        svc: &mut dyn OverlayServices<PubSubMsg, PubSubTimer>,
+    ) {
         self.handle_direct_msg(from, payload, svc);
     }
 
-    fn on_timer(&mut self, timer: PubSubTimer, svc: &mut Svc<'_, '_>) {
+    fn on_timer(
+        &mut self,
+        timer: PubSubTimer,
+        svc: &mut dyn OverlayServices<PubSubMsg, PubSubTimer>,
+    ) {
         self.handle_timer_fired(timer, svc);
     }
 
@@ -744,12 +755,12 @@ impl ChordApp for PubSubNode {
         &mut self,
         old: Option<Peer>,
         new: Option<Peer>,
-        svc: &mut Svc<'_, '_>,
+        svc: &mut dyn OverlayServices<PubSubMsg, PubSubTimer>,
     ) {
         self.handle_predecessor_changed(old, new, svc);
     }
 
-    fn on_leaving(&mut self, svc: &mut Svc<'_, '_>) {
+    fn on_leaving(&mut self, svc: &mut dyn OverlayServices<PubSubMsg, PubSubTimer>) {
         self.handle_leaving(svc);
     }
 }

@@ -3,11 +3,12 @@
 
 use std::sync::Arc;
 
-use cbps_overlay::{build_stable, ChordNode, OverlayConfig, Peer, RingView, RoutingState};
+use cbps_overlay::{Peer, RingView};
 use cbps_sim::{
     Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, Simulator, StageRecord, TraceId,
 };
 
+use crate::backend::{fresh_apps, ChordBackend, OverlayBackend};
 use crate::config::PubSubConfig;
 use crate::error::{ConfigError, PubSubError};
 use crate::event::{Event, EventId};
@@ -17,10 +18,13 @@ use crate::subscription::{SubId, Subscription};
 
 /// A complete simulated content-based pub/sub deployment.
 ///
-/// Wraps the simulator, the Chord overlay and the pub/sub layer; exposes
-/// the application operations of §4.1 (`sub`, `unsub`, `pub`, `notify` via
-/// [`PubSubNetwork::delivered`]) together with clock control and
-/// measurement access.
+/// Wraps the simulator, one structured-overlay substrate (the
+/// [`OverlayBackend`] type parameter; Chord by default) and the pub/sub
+/// layer; exposes the application operations of §4.1 (`sub`, `unsub`,
+/// `pub`, `notify` via [`PubSubNetwork::delivered`]) together with clock
+/// control and measurement access. The aliases
+/// [`ChordPubSub`](crate::ChordPubSub) and `PastryPubSub` (in
+/// `cbps-pastry`) name the two bundled substrates.
 ///
 /// # Examples
 ///
@@ -50,21 +54,35 @@ use crate::subscription::{SubId, Subscription};
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct PubSubNetwork {
-    sim: Simulator<ChordNode<PubSubNode>>,
+pub struct PubSubNetwork<B: OverlayBackend = ChordBackend> {
+    sim: Simulator<B::Node>,
     ring: RingView,
     cfg: Arc<PubSubConfig>,
-    overlay_cfg: OverlayConfig,
+    overlay_cfg: B::Config,
 }
 
-/// Builder for [`PubSubNetwork`].
-#[derive(Clone, Debug)]
-pub struct PubSubNetworkBuilder {
+/// Builder for [`PubSubNetwork`]. Start from
+/// [`PubSubNetwork::builder`] (Chord) or
+/// [`PubSubNetworkBuilder::new`] with an explicit backend type.
+#[derive(Debug)]
+pub struct PubSubNetworkBuilder<B: OverlayBackend = ChordBackend> {
     nodes: usize,
     net: NetConfig,
-    overlay: OverlayConfig,
+    overlay: B::Config,
     pubsub: PubSubConfig,
     obs: ObsMode,
+}
+
+impl<B: OverlayBackend> Clone for PubSubNetworkBuilder<B> {
+    fn clone(&self) -> Self {
+        PubSubNetworkBuilder {
+            nodes: self.nodes,
+            net: self.net,
+            overlay: self.overlay.clone(),
+            pubsub: self.pubsub.clone(),
+            obs: self.obs,
+        }
+    }
 }
 
 /// A borrowed view of one node of a [`PubSubNetwork`], obtained through
@@ -72,12 +90,12 @@ pub struct PubSubNetworkBuilder {
 /// `unsub`, `pub`, delivered-notification access) to a node whose index
 /// has already been validated.
 #[derive(Debug)]
-pub struct NodeHandle<'a> {
-    net: &'a mut PubSubNetwork,
+pub struct NodeHandle<'a, B: OverlayBackend = ChordBackend> {
+    net: &'a mut PubSubNetwork<B>,
     idx: NodeIdx,
 }
 
-impl NodeHandle<'_> {
+impl<B: OverlayBackend> NodeHandle<'_, B> {
     /// The node's index in the network.
     pub fn idx(&self) -> NodeIdx {
         self.idx
@@ -126,25 +144,23 @@ impl NodeHandle<'_> {
 }
 
 impl PubSubNetwork {
-    /// Starts configuring a network (defaults: paper parameters, 500
-    /// nodes).
+    /// Starts configuring a Chord-backed network (defaults: paper
+    /// parameters, 500 nodes). For another substrate, start from
+    /// [`PubSubNetworkBuilder::new`] with the backend type, e.g.
+    /// `PubSubNetworkBuilder::<PastryBackend>::new()`.
     pub fn builder() -> PubSubNetworkBuilder {
-        PubSubNetworkBuilder {
-            nodes: 500,
-            net: NetConfig::new(0),
-            overlay: OverlayConfig::paper_default(),
-            pubsub: PubSubConfig::paper_default(),
-            obs: ObsMode::Off,
-        }
+        PubSubNetworkBuilder::new()
     }
+}
 
+impl<B: OverlayBackend> PubSubNetwork<B> {
     /// The shared pub/sub configuration.
     pub fn config(&self) -> &PubSubConfig {
         &self.cfg
     }
 
-    /// The overlay configuration.
-    pub fn overlay_config(&self) -> &OverlayConfig {
+    /// The substrate's overlay configuration.
+    pub fn overlay_config(&self) -> &B::Config {
         &self.overlay_cfg
     }
 
@@ -182,7 +198,7 @@ impl PubSubNetwork {
 
     /// Direct access to the underlying simulator (advanced scenarios:
     /// crash/revive, custom timers).
-    pub fn sim_mut(&mut self) -> &mut Simulator<ChordNode<PubSubNode>> {
+    pub fn sim_mut(&mut self) -> &mut Simulator<B::Node> {
         &mut self.sim
     }
 
@@ -192,7 +208,7 @@ impl PubSubNetwork {
     ///
     /// Panics if `node` is out of bounds.
     pub fn app(&self, node: NodeIdx) -> &PubSubNode {
-        self.sim.node(node).app()
+        B::app(self.sim.node(node))
     }
 
     /// Notifications received so far by `node` as a subscriber.
@@ -206,7 +222,7 @@ impl PubSubNetwork {
     /// # Errors
     ///
     /// [`PubSubError::UnknownNode`] when `node` is out of bounds.
-    pub fn node(&mut self, node: NodeIdx) -> Result<NodeHandle<'_>, PubSubError> {
+    pub fn node(&mut self, node: NodeIdx) -> Result<NodeHandle<'_, B>, PubSubError> {
         self.check_node(node)?;
         Ok(NodeHandle {
             net: self,
@@ -245,7 +261,7 @@ impl PubSubNetwork {
             });
         }
         Ok(self.sim.with_node(node, |n, ctx| {
-            n.app_call(ctx, |app, svc| app.subscribe(sub, ttl, svc))
+            B::app_call(n, ctx, |app, svc| app.subscribe(sub, ttl, svc))
         }))
     }
 
@@ -297,7 +313,7 @@ impl PubSubNetwork {
     pub fn unsubscribe(&mut self, node: NodeIdx, id: SubId) -> Result<bool, PubSubError> {
         self.check_node(node)?;
         Ok(self.sim.with_node(node, |n, ctx| {
-            n.app_call(ctx, |app, svc| app.unsubscribe(id, svc))
+            B::app_call(n, ctx, |app, svc| app.unsubscribe(id, svc))
         }))
     }
 
@@ -318,7 +334,7 @@ impl PubSubNetwork {
             });
         }
         Ok(self.sim.with_node(node, |n, ctx| {
-            n.app_call(ctx, |app, svc| app.publish(event, svc))
+            B::app_call(n, ctx, |app, svc| app.publish(event, svc))
         }))
     }
 
@@ -372,7 +388,7 @@ impl PubSubNetwork {
     pub fn stored_counts(&self) -> Vec<usize> {
         self.sim
             .nodes()
-            .map(|(_, n)| n.app().store().len())
+            .map(|(_, n)| B::app(n).store().len())
             .collect()
     }
 
@@ -381,7 +397,7 @@ impl PubSubNetwork {
     pub fn peak_stored_counts(&self) -> Vec<usize> {
         self.sim
             .nodes()
-            .map(|(_, n)| n.app().store().peak())
+            .map(|(_, n)| B::app(n).store().peak())
             .collect()
     }
 
@@ -397,35 +413,75 @@ impl PubSubNetwork {
 
     /// Makes `node` leave gracefully: state is pushed to its successor and
     /// its neighbors are relinked before it goes silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a substrate with static membership
+    /// (`B::SUPPORTS_CHURN == false`).
     pub fn leave(&mut self, node: NodeIdx) {
-        self.sim.with_node(node, |n, ctx| n.start_leave(ctx));
+        assert!(
+            B::SUPPORTS_CHURN,
+            "the {} substrate has static membership: leave() is unsupported",
+            B::NAME
+        );
+        self.sim.with_node(node, |n, ctx| B::start_leave(n, ctx));
         self.sim.crash(node);
     }
 
     /// Adds a brand-new node that joins through `bootstrap`. Requires the
     /// overlay to have maintenance enabled (stabilization integrates the
     /// joiner). Returns the new node's index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a substrate with static membership
+    /// (`B::SUPPORTS_CHURN == false`).
     pub fn join_new_node(&mut self, key_seed: &str, bootstrap: NodeIdx) -> NodeIdx {
-        let space = self.overlay_cfg.space;
+        assert!(
+            B::SUPPORTS_CHURN,
+            "the {} substrate has static membership: join_new_node() is unsupported",
+            B::NAME
+        );
+        let space = B::key_space(&self.overlay_cfg);
         let mut key = cbps_overlay::hash::key_of_bytes(space, key_seed.as_bytes());
-        while self.sim.nodes().any(|(_, n)| n.me().key == key) {
+        while self.sim.nodes().any(|(_, n)| B::me(n).key == key) {
             key = space.add(key, 1);
         }
         let idx = self.sim.len();
         let me = Peer { idx, key };
-        let node = ChordNode::new(
-            RoutingState::new(self.overlay_cfg, me),
+        let node = B::new_node(
+            &self.overlay_cfg,
+            me,
             PubSubNode::new(Arc::clone(&self.cfg)),
         );
         let added = self.sim.add_node(node);
         debug_assert_eq!(added, idx);
-        let boot = self.sim.node(bootstrap).me();
-        self.sim.with_node(idx, |n, ctx| n.start_join(boot, ctx));
+        let boot = B::me(self.sim.node(bootstrap));
+        self.sim
+            .with_node(idx, |n, ctx| B::start_join(n, boot, ctx));
         idx
     }
 }
 
-impl PubSubNetworkBuilder {
+impl<B: OverlayBackend> Default for PubSubNetworkBuilder<B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
+    /// Starts a builder with the substrate's paper-default configuration
+    /// and 500 nodes.
+    pub fn new() -> Self {
+        PubSubNetworkBuilder {
+            nodes: 500,
+            net: NetConfig::new(0),
+            overlay: B::paper_default(),
+            pubsub: PubSubConfig::paper_default(),
+            obs: ObsMode::Off,
+        }
+    }
+
     /// Sets the number of nodes (validated in
     /// [`build`](PubSubNetworkBuilder::build)).
     pub fn nodes(mut self, n: usize) -> Self {
@@ -452,8 +508,8 @@ impl PubSubNetworkBuilder {
         self
     }
 
-    /// Replaces the overlay configuration.
-    pub fn overlay(mut self, overlay: OverlayConfig) -> Self {
+    /// Replaces the substrate's overlay configuration.
+    pub fn overlay(mut self, overlay: B::Config) -> Self {
         self.overlay = overlay;
         self
     }
@@ -476,7 +532,7 @@ impl PubSubNetworkBuilder {
     /// exceeds the successor-list length;
     /// [`ConfigError::ZeroFlushPeriod`] when a buffered or collecting
     /// notify mode has a zero period.
-    pub fn build(self) -> Result<PubSubNetwork, ConfigError> {
+    pub fn build(self) -> Result<PubSubNetwork<B>, ConfigError> {
         self.validate()?;
         Ok(self.build_unchecked())
     }
@@ -485,16 +541,16 @@ impl PubSubNetworkBuilder {
         if self.nodes == 0 {
             return Err(ConfigError::NoNodes);
         }
-        if self.pubsub.mapping.key_space() != self.overlay.space {
+        if self.pubsub.mapping.key_space() != B::key_space(&self.overlay) {
             return Err(ConfigError::KeySpaceMismatch {
                 mapping_bits: self.pubsub.mapping.key_space().bits(),
-                overlay_bits: self.overlay.space.bits(),
+                overlay_bits: B::key_space(&self.overlay).bits(),
             });
         }
-        if self.pubsub.replication > self.overlay.succ_list_len {
+        if self.pubsub.replication > B::replication_capacity(&self.overlay) {
             return Err(ConfigError::ReplicationTooLarge {
                 replication: self.pubsub.replication,
-                succ_list_len: self.overlay.succ_list_len,
+                succ_list_len: B::replication_capacity(&self.overlay),
             });
         }
         match self.pubsub.notify_mode {
@@ -517,13 +573,11 @@ impl PubSubNetworkBuilder {
     /// Panics on a zero-node network; other invalid configurations
     /// produce a network whose behavior is unspecified (replicas silently
     /// dropped, misrouted rendezvous, busy flush loops).
-    pub fn build_unchecked(self) -> PubSubNetwork {
+    pub fn build_unchecked(self) -> PubSubNetwork<B> {
         assert!(self.nodes > 0, "a network needs at least one node");
         let cfg = self.pubsub.into_shared();
-        let apps: Vec<PubSubNode> = (0..self.nodes)
-            .map(|_| PubSubNode::new(Arc::clone(&cfg)))
-            .collect();
-        let (sim, ring) = build_stable(self.net, self.overlay, apps);
+        let apps = fresh_apps(&cfg, self.nodes);
+        let (sim, ring) = B::build(self.net, &self.overlay, apps);
         let mut net = PubSubNetwork {
             sim,
             ring,

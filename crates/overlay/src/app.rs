@@ -1,10 +1,13 @@
 //! The application interface of the overlay.
 //!
-//! A [`ChordApp`] is the protocol layered *above* the overlay (here: the
-//! content-based pub/sub layer). It receives payload deliveries and
-//! neighbor-change notifications, and acts on the world exclusively through
-//! an [`OverlaySvc`] handle — the programming model of §4.1: `send()`,
-//! `m-cast()`, timers and neighbor knowledge, with the KN-mapping hidden.
+//! An [`OverlayApp`] is the protocol layered *above* the overlay (here:
+//! the content-based pub/sub layer). It receives payload deliveries and
+//! neighbor-change notifications, and acts on the world exclusively
+//! through the overlay-neutral [`OverlayServices`] surface — the
+//! programming model of §4.1: `send()`, `m-cast()`, timers and neighbor
+//! knowledge, with the KN-mapping hidden. Because the upcalls take the
+//! service surface as a trait object, the same application type runs
+//! unchanged over every substrate implementing [`RouteTable`].
 
 use std::rc::Rc;
 
@@ -12,11 +15,13 @@ use cbps_rng::Rng;
 use cbps_sim::{Context, SimDuration, SimTime, TraceId, TrafficClass};
 
 use crate::key::{Key, KeySpace};
-use crate::msg::{ChordMsg, Envelope};
+use crate::msg::{Envelope, OverlayMsg};
 use crate::range::{KeyRange, KeyRangeSet};
 use crate::ring::Peer;
+use crate::route::RouteTable;
+use crate::services::OverlayServices;
 use crate::state::RoutingState;
-use crate::timer::ChordTimer;
+use crate::timer::OverlayTimer;
 
 /// Information accompanying a routed payload delivery.
 #[derive(Clone, Debug)]
@@ -36,12 +41,14 @@ pub struct Delivery {
     pub trace: TraceId,
 }
 
-/// The protocol stacked on top of a Chord node.
+/// The protocol stacked on top of an overlay node.
 ///
-/// All methods receive an [`OverlaySvc`] for sending, timer management and
-/// neighbor inspection. Default implementations make every hook optional
-/// except payload delivery.
-pub trait ChordApp: Sized {
+/// All methods receive the overlay-neutral [`OverlayServices`] surface for
+/// sending, timer management and neighbor inspection. Default
+/// implementations make every hook optional except payload delivery.
+/// Membership hooks (`on_predecessor_changed`, `on_leaving`) only fire on
+/// substrates with dynamic membership.
+pub trait OverlayApp: Sized {
     /// The payload the overlay routes for this application.
     type Payload: Clone;
     /// Application timer token.
@@ -53,7 +60,7 @@ pub trait ChordApp: Sized {
         &mut self,
         payload: Self::Payload,
         delivery: Delivery,
-        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+        svc: &mut dyn OverlayServices<Self::Payload, Self::Timer>,
     );
 
     /// A one-hop direct message from a known peer arrived.
@@ -61,16 +68,17 @@ pub trait ChordApp: Sized {
         &mut self,
         from: Peer,
         payload: Self::Payload,
-        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+        svc: &mut dyn OverlayServices<Self::Payload, Self::Timer>,
     ) {
         let _ = (from, payload, svc);
     }
 
-    /// An application timer armed through [`OverlaySvc::arm_timer`] fired.
+    /// An application timer armed through [`OverlayServices::arm_timer`]
+    /// fired.
     fn on_timer(
         &mut self,
         timer: Self::Timer,
-        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+        svc: &mut dyn OverlayServices<Self::Payload, Self::Timer>,
     ) {
         let _ = (timer, svc);
     }
@@ -83,31 +91,41 @@ pub trait ChordApp: Sized {
         &mut self,
         old: Option<Peer>,
         new: Option<Peer>,
-        svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>,
+        svc: &mut dyn OverlayServices<Self::Payload, Self::Timer>,
     ) {
         let _ = (old, new, svc);
     }
 
     /// This node is about to leave gracefully; push state to neighbors now.
-    fn on_leaving(&mut self, svc: &mut OverlaySvc<'_, '_, Self::Payload, Self::Timer>) {
+    fn on_leaving(&mut self, svc: &mut dyn OverlayServices<Self::Payload, Self::Timer>) {
         let _ = svc;
     }
 }
 
-/// The overlay's service interface handed to application upcalls.
+/// The overlay's service handle handed to application upcalls.
 ///
-/// Wraps the node's routing state plus the simulator context, exposing the
-/// extended interface of §4.3.1: classic key unicast, the `m-cast`
-/// primitive, the conservative range walk, naive per-key unicast (the
-/// baseline the paper compares against), one-hop sends, timers, and
-/// neighbor knowledge for state transfer.
+/// Wraps a substrate's routing state ([`RouteTable`]) plus the simulator
+/// context, exposing the extended interface of §4.3.1: classic key
+/// unicast, the `m-cast` primitive, the conservative range walk, naive
+/// per-key unicast (the baseline the paper compares against), one-hop
+/// sends, timers, and neighbor knowledge for state transfer. Implements
+/// [`OverlayServices`], which is how applications receive it.
 #[derive(Debug)]
-pub struct OverlaySvc<'a, 'c, P, T> {
-    pub(crate) state: &'a mut RoutingState,
-    pub(crate) ctx: &'a mut Context<'c, Envelope<P>, ChordTimer<T>>,
+pub struct OverlaySvc<'a, 'c, P, T, S: RouteTable = RoutingState> {
+    pub(crate) state: &'a mut S,
+    pub(crate) ctx: &'a mut Context<'c, Envelope<P>, OverlayTimer<T>>,
 }
 
-impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
+impl<'a, 'c, P: Clone, T, S: RouteTable> OverlaySvc<'a, 'c, P, T, S> {
+    /// Wraps a substrate's routing state and a live simulator context into
+    /// a service handle (how overlay nodes build the surface they hand to
+    /// application upcalls).
+    pub fn new(state: &'a mut S, ctx: &'a mut Context<'c, Envelope<P>, OverlayTimer<T>>) -> Self {
+        OverlaySvc { state, ctx }
+    }
+}
+
+impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
     /// This node's identity.
     pub fn me(&self) -> Peer {
         self.state.me()
@@ -155,7 +173,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
 
     /// Arms an application timer.
     pub fn arm_timer(&mut self, delay: SimDuration, timer: T) {
-        self.ctx.arm_timer(delay, ChordTimer::App(timer));
+        self.ctx.arm_timer(delay, OverlayTimer::App(timer));
     }
 
     /// The overlay `send(m, k)` primitive: routes `payload` to the node
@@ -170,7 +188,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
     /// allocation; used by the per-key fan-out).
     fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>, trace: TraceId) {
         let me = self.state.me();
-        let unicast = |hops| ChordMsg::Unicast {
+        let unicast = |hops| OverlayMsg::Unicast {
             key,
             class,
             payload,
@@ -212,7 +230,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
         if !local.is_empty() {
             self.ctx.send_local(Envelope {
                 sender: me,
-                body: ChordMsg::MCast {
+                body: OverlayMsg::MCast {
                     targets: local,
                     class,
                     payload: Rc::clone(&payload),
@@ -228,7 +246,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
                 class,
                 Envelope {
                     sender: me,
-                    body: ChordMsg::MCast {
+                    body: OverlayMsg::MCast {
                         targets: subset,
                         class,
                         payload: Rc::clone(&payload),
@@ -268,7 +286,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
         let me = self.state.me();
         let msg = Envelope {
             sender: me,
-            body: ChordMsg::Walk {
+            body: OverlayMsg::Walk {
                 range,
                 class,
                 payload: Rc::new(payload),
@@ -283,7 +301,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
             None => self.ctx.send_local(msg),
             Some(hop) => {
                 let mut env = msg;
-                if let ChordMsg::Walk { hops, .. } = &mut env.body {
+                if let OverlayMsg::Walk { hops, .. } = &mut env.body {
                     *hops = 1;
                 }
                 self.ctx.send(hop.idx, class, env);
@@ -301,7 +319,7 @@ impl<P: Clone, T> OverlaySvc<'_, '_, P, T> {
             class,
             Envelope {
                 sender: me,
-                body: ChordMsg::Direct {
+                body: OverlayMsg::Direct {
                     payload: Rc::new(payload),
                     class,
                 },

@@ -11,14 +11,14 @@
 
 use cbps_sim::{NetConfig, SimTime, Simulator};
 
-use crate::app::ChordApp;
+use crate::app::OverlayApp;
 use crate::config::OverlayConfig;
 use crate::hash::key_of_bytes;
 use crate::key::Key;
 use crate::node::ChordNode;
 use crate::ring::{Peer, RingView};
 use crate::state::RoutingState;
-use crate::timer::ChordTimer;
+use crate::timer::OverlayTimer;
 
 /// Assigns distinct ring keys to `n` nodes by consistent hashing of their
 /// names, rehashing on collision (small key spaces collide readily: 500
@@ -54,7 +54,7 @@ pub fn assign_node_keys(cfg: &OverlayConfig, n: usize) -> Vec<Key> {
 /// # Panics
 ///
 /// Panics if `apps` is empty or larger than the key space.
-pub fn build_stable<A: ChordApp>(
+pub fn build_stable<A: OverlayApp>(
     net: NetConfig,
     cfg: OverlayConfig,
     apps: Vec<A>,
@@ -92,8 +92,8 @@ pub fn build_stable<A: ChordApp>(
             let f_off = sim
                 .rng_mut()
                 .gen_range(0..cfg.fix_fingers_period.as_micros().max(1));
-            sim.arm_timer_at(SimTime::from_micros(s_off), idx, ChordTimer::Stabilize);
-            sim.arm_timer_at(SimTime::from_micros(f_off), idx, ChordTimer::FixFingers);
+            sim.arm_timer_at(SimTime::from_micros(s_off), idx, OverlayTimer::Stabilize);
+            sim.arm_timer_at(SimTime::from_micros(f_off), idx, OverlayTimer::FixFingers);
         }
     }
 
@@ -103,8 +103,9 @@ pub fn build_stable<A: ChordApp>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::app::{Delivery, OverlaySvc};
+    use crate::app::Delivery;
     use crate::key::KeySpace;
+    use crate::services::OverlayServices;
 
     /// Minimal app that remembers what it was delivered.
     #[derive(Default)]
@@ -112,14 +113,14 @@ mod tests {
         got: Vec<u64>,
     }
 
-    impl ChordApp for Sink {
+    impl OverlayApp for Sink {
         type Payload = u64;
         type Timer = ();
         fn on_deliver(
             &mut self,
             payload: u64,
             _delivery: Delivery,
-            _svc: &mut OverlaySvc<'_, '_, u64, ()>,
+            _svc: &mut dyn OverlayServices<u64, ()>,
         ) {
             self.got.push(payload);
         }

@@ -11,7 +11,10 @@
 //!   conservative (successor walk) and aggressive (per-key unicast) range
 //!   baselines it is compared against,
 //! * join / leave / stabilization / finger repair for dynamic membership,
-//! * a generic [`ChordApp`] layering interface used by the pub/sub layer.
+//! * a generic [`OverlayApp`] layering interface used by the pub/sub layer,
+//!   with the routed-message mechanics ([`routed`]) and the routing-decision
+//!   surface ([`RouteTable`]) factored out so other substrates (e.g. the
+//!   Pastry overlay in `cbps-pastry`) reuse them wholesale.
 //!
 //! # Examples
 //!
@@ -19,7 +22,7 @@
 //!
 //! ```
 //! use cbps_overlay::{
-//!     build_stable, ChordApp, Delivery, KeyRange, KeyRangeSet, OverlayConfig, OverlaySvc,
+//!     build_stable, Delivery, KeyRange, KeyRangeSet, OverlayApp, OverlayConfig, OverlayServices,
 //! };
 //! use cbps_sim::{NetConfig, TraceId, TrafficClass};
 //!
@@ -28,14 +31,14 @@
 //!     deliveries: u32,
 //! }
 //!
-//! impl ChordApp for Counter {
+//! impl OverlayApp for Counter {
 //!     type Payload = &'static str;
 //!     type Timer = ();
 //!     fn on_deliver(
 //!         &mut self,
 //!         _msg: &'static str,
 //!         _d: Delivery,
-//!         _svc: &mut OverlaySvc<'_, '_, &'static str, ()>,
+//!         _svc: &mut dyn OverlayServices<&'static str, ()>,
 //!     ) {
 //!         self.deliveries += 1;
 //!     }
@@ -74,22 +77,25 @@ mod msg;
 mod node;
 mod range;
 mod ring;
+mod route;
+pub mod routed;
 mod services;
 mod state;
 mod timer;
 
-pub use app::{ChordApp, Delivery, OverlaySvc};
+pub use app::{Delivery, OverlayApp, OverlaySvc};
 pub use builder::{assign_node_keys, build_stable};
 pub use cache::LocationCache;
 pub use config::OverlayConfig;
 pub use key::{Key, KeySpace};
-pub use msg::{take_payload, ChordMsg, Envelope};
+pub use msg::{take_payload, Envelope, OverlayMsg};
 pub use node::ChordNode;
 pub use range::{KeyRange, KeyRangeSet};
 pub use ring::{Peer, RingView};
+pub use route::RouteTable;
 pub use services::OverlayServices;
 pub use state::RoutingState;
-pub use timer::ChordTimer;
+pub use timer::OverlayTimer;
 
 #[cfg(test)]
 mod tests {
@@ -103,7 +109,7 @@ mod tests {
         directs: Vec<(NodeIdx, String)>,
     }
 
-    impl ChordApp for Recorder {
+    impl OverlayApp for Recorder {
         type Payload = String;
         type Timer = ();
 
@@ -111,7 +117,7 @@ mod tests {
             &mut self,
             payload: String,
             d: Delivery,
-            _svc: &mut OverlaySvc<'_, '_, String, ()>,
+            _svc: &mut dyn OverlayServices<String, ()>,
         ) {
             self.deliveries.push((payload, d.hops, d.targets_here));
         }
@@ -120,7 +126,7 @@ mod tests {
             &mut self,
             from: Peer,
             payload: String,
-            _svc: &mut OverlaySvc<'_, '_, String, ()>,
+            _svc: &mut dyn OverlayServices<String, ()>,
         ) {
             self.directs.push((from.idx, payload));
         }

@@ -20,7 +20,7 @@ pub struct Envelope<P> {
     /// the originator).
     pub sender: Peer,
     /// The message itself.
-    pub body: ChordMsg<P>,
+    pub body: OverlayMsg<P>,
 }
 
 /// The overlay protocol messages.
@@ -29,7 +29,7 @@ pub struct Envelope<P> {
 /// variants implement ring maintenance (join, stabilization, finger repair,
 /// liveness).
 #[derive(Clone, Debug, PartialEq)]
-pub enum ChordMsg<P> {
+pub enum OverlayMsg<P> {
     /// Key-routed payload: the overlay's standard `send(m, k)` primitive.
     Unicast {
         /// Destination key; delivered at the node covering it.
@@ -95,7 +95,7 @@ pub enum ChordMsg<P> {
 
     // --- Ring maintenance ---
     /// Recursive lookup of `successor(target)`; the covering node answers
-    /// `reply_to` directly with [`ChordMsg::FindSuccReply`].
+    /// `reply_to` directly with [`OverlayMsg::FindSuccReply`].
     FindSucc {
         /// The key whose successor is sought.
         target: Key,
@@ -106,7 +106,7 @@ pub enum ChordMsg<P> {
         /// One-hop transmissions so far.
         hops: u32,
     },
-    /// Answer to [`ChordMsg::FindSucc`].
+    /// Answer to [`OverlayMsg::FindSucc`].
     FindSuccReply {
         /// Correlation token from the request.
         token: u64,
@@ -117,7 +117,7 @@ pub enum ChordMsg<P> {
     },
     /// Stabilization: ask a node for its predecessor and successor list.
     GetPred,
-    /// Answer to [`ChordMsg::GetPred`].
+    /// Answer to [`OverlayMsg::GetPred`].
     GetPredReply {
         /// The answering node's current predecessor.
         pred: Option<Peer>,
@@ -157,15 +157,15 @@ pub fn take_payload<P: Clone>(rc: Rc<P>) -> P {
     Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
 }
 
-impl<P> ChordMsg<P> {
+impl<P> OverlayMsg<P> {
     /// The traffic class this message should be accounted under when
     /// transmitted (maintenance for all non-payload messages).
     pub fn class(&self) -> TrafficClass {
         match self {
-            ChordMsg::Unicast { class, .. }
-            | ChordMsg::MCast { class, .. }
-            | ChordMsg::Walk { class, .. }
-            | ChordMsg::Direct { class, .. } => *class,
+            OverlayMsg::Unicast { class, .. }
+            | OverlayMsg::MCast { class, .. }
+            | OverlayMsg::Walk { class, .. }
+            | OverlayMsg::Direct { class, .. } => *class,
             _ => TrafficClass::MAINTENANCE,
         }
     }
@@ -174,9 +174,9 @@ impl<P> ChordMsg<P> {
     /// maintenance and direct messages, whose items carry their own).
     pub fn trace(&self) -> TraceId {
         match self {
-            ChordMsg::Unicast { trace, .. }
-            | ChordMsg::MCast { trace, .. }
-            | ChordMsg::Walk { trace, .. } => *trace,
+            OverlayMsg::Unicast { trace, .. }
+            | OverlayMsg::MCast { trace, .. }
+            | OverlayMsg::Walk { trace, .. } => *trace,
             _ => TraceId::NONE,
         }
     }
@@ -205,7 +205,7 @@ mod tests {
             idx: 0,
             key: s.key(1),
         };
-        let m: ChordMsg<u8> = ChordMsg::Unicast {
+        let m: OverlayMsg<u8> = OverlayMsg::Unicast {
             key: s.key(3),
             class: TrafficClass::PUBLICATION,
             payload: Rc::new(9),
@@ -215,9 +215,9 @@ mod tests {
         };
         assert_eq!(m.class(), TrafficClass::PUBLICATION);
         assert_eq!(m.trace(), TraceId::for_publication(0, 1));
-        let g: ChordMsg<u8> = ChordMsg::GetPred;
+        let g: OverlayMsg<u8> = OverlayMsg::GetPred;
         assert_eq!(g.class(), TrafficClass::MAINTENANCE);
-        let p: ChordMsg<u8> = ChordMsg::Ping { token: 7 };
+        let p: OverlayMsg<u8> = OverlayMsg::Ping { token: 7 };
         assert_eq!(p.class(), TrafficClass::MAINTENANCE);
     }
 }

@@ -1,18 +1,21 @@
-//! The Chord node: message handling, routing, maintenance, and the bridge
-//! to the application layered on top.
+//! The Chord node: ring maintenance and the bridge to the application
+//! layered on top. Routed payload handling (unicast, `m-cast`, walks)
+//! lives in the overlay-neutral [`crate::routed`] module; this file is
+//! the Chord-specific remainder — join, stabilization, finger repair,
+//! failure handling.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
-use cbps_sim::{Context, Node, NodeIdx, TraceId, TrafficClass};
+use cbps_sim::{Context, Node, NodeIdx};
 
-use crate::app::{ChordApp, Delivery, OverlaySvc};
+use crate::app::{OverlayApp, OverlaySvc};
 use crate::key::Key;
-use crate::msg::{take_payload, ChordMsg, Envelope};
-use crate::range::KeyRangeSet;
+use crate::msg::{Envelope, OverlayMsg};
 use crate::ring::Peer;
+use crate::routed;
+use crate::services::OverlayServices;
 use crate::state::RoutingState;
-use crate::timer::ChordTimer;
+use crate::timer::OverlayTimer;
 
 /// What an outstanding correlation token is for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,10 +33,10 @@ enum Pending {
 /// A Chord overlay node hosting an application.
 ///
 /// Implements [`cbps_sim::Node`]; all protocol behaviour happens in the
-/// message/timer upcalls. The hosted [`ChordApp`] is reached through
+/// message/timer upcalls. The hosted [`OverlayApp`] is reached through
 /// [`ChordNode::app`]/[`ChordNode::app_call`].
 #[derive(Debug)]
-pub struct ChordNode<A: ChordApp> {
+pub struct ChordNode<A: OverlayApp> {
     state: RoutingState,
     app: A,
     pending: HashMap<u64, Pending>,
@@ -43,7 +46,7 @@ pub struct ChordNode<A: ChordApp> {
     succ_missed: u32,
 }
 
-impl<A: ChordApp> ChordNode<A> {
+impl<A: OverlayApp> ChordNode<A> {
     /// Creates a node that is not yet part of any ring.
     pub fn new(state: RoutingState, app: A) -> Self {
         ChordNode {
@@ -85,13 +88,10 @@ impl<A: ChordApp> ChordNode<A> {
     /// external drivers invoke `sub()` / `pub()` on a node.
     pub fn app_call<R>(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
-        f: impl FnOnce(&mut A, &mut OverlaySvc<'_, '_, A::Payload, A::Timer>) -> R,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
+        f: impl FnOnce(&mut A, &mut dyn OverlayServices<A::Payload, A::Timer>) -> R,
     ) -> R {
-        let mut svc = OverlaySvc {
-            state: &mut self.state,
-            ctx,
-        };
+        let mut svc = OverlaySvc::new(&mut self.state, ctx);
         f(&mut self.app, &mut svc)
     }
 
@@ -99,11 +99,11 @@ impl<A: ChordApp> ChordNode<A> {
     /// maintenance is enabled).
     pub fn start_maintenance(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         let cfg = *self.state.config();
-        ctx.arm_timer(cfg.stabilize_period, ChordTimer::Stabilize);
-        ctx.arm_timer(cfg.fix_fingers_period, ChordTimer::FixFingers);
+        ctx.arm_timer(cfg.stabilize_period, OverlayTimer::Stabilize);
+        ctx.arm_timer(cfg.fix_fingers_period, OverlayTimer::FixFingers);
     }
 
     /// Starts joining the ring through `bootstrap` (an existing member).
@@ -111,14 +111,14 @@ impl<A: ChordApp> ChordNode<A> {
     pub fn start_join(
         &mut self,
         bootstrap: Peer,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         let token = self.claim_token(Pending::Join);
         let me = self.state.me();
         self.send_body(
             ctx,
             bootstrap.idx,
-            ChordMsg::FindSucc {
+            OverlayMsg::FindSucc {
                 target: me.key,
                 reply_to: me,
                 token,
@@ -134,7 +134,7 @@ impl<A: ChordApp> ChordNode<A> {
     pub fn start_lookup(
         &mut self,
         target: Key,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         if self.state.covers(target) {
             ctx.metrics().histogram_mut("lookup.hops").record(0);
@@ -142,7 +142,7 @@ impl<A: ChordApp> ChordNode<A> {
         }
         let token = self.claim_token(Pending::Probe);
         let me = self.state.me();
-        let msg = ChordMsg::FindSucc {
+        let msg = OverlayMsg::FindSucc {
             target,
             reply_to: me,
             token,
@@ -163,13 +163,10 @@ impl<A: ChordApp> ChordNode<A> {
     /// should crash the node in the simulator afterwards.
     pub fn start_leave(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         {
-            let mut svc = OverlaySvc {
-                state: &mut self.state,
-                ctx,
-            };
+            let mut svc = OverlaySvc::new(&mut self.state, ctx);
             self.app.on_leaving(&mut svc);
         }
         let me = self.state.me();
@@ -177,7 +174,7 @@ impl<A: ChordApp> ChordNode<A> {
             self.send_body(
                 ctx,
                 pred.idx,
-                ChordMsg::LeaveNotice {
+                OverlayMsg::LeaveNotice {
                     leaving: me,
                     replacement: succ,
                 },
@@ -185,7 +182,7 @@ impl<A: ChordApp> ChordNode<A> {
             self.send_body(
                 ctx,
                 succ.idx,
-                ChordMsg::LeaveNotice {
+                OverlayMsg::LeaveNotice {
                     leaving: me,
                     replacement: pred,
                 },
@@ -202,9 +199,9 @@ impl<A: ChordApp> ChordNode<A> {
 
     fn send_body(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
         to: NodeIdx,
-        body: ChordMsg<A::Payload>,
+        body: OverlayMsg<A::Payload>,
     ) {
         let class = body.class();
         let me = self.state.me();
@@ -214,235 +211,15 @@ impl<A: ChordApp> ChordNode<A> {
     fn set_predecessor_with_hook(
         &mut self,
         new: Option<Peer>,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         let old = self.state.predecessor();
         if old == new {
             return;
         }
         self.state.set_predecessor(new);
-        let mut svc = OverlaySvc {
-            state: &mut self.state,
-            ctx,
-        };
+        let mut svc = OverlaySvc::new(&mut self.state, ctx);
         self.app.on_predecessor_changed(old, new, &mut svc);
-    }
-
-    /// `true` (and counts the drop) when a routed message has exceeded the
-    /// configured hop TTL — the backstop against routing cycles while the
-    /// ring is damaged.
-    fn ttl_exceeded(
-        &self,
-        hops: u32,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
-    ) -> bool {
-        if hops >= self.state.config().max_route_hops {
-            ctx.metrics().add("routing.ttl-drop", 1);
-            true
-        } else {
-            false
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
-    fn handle_unicast(
-        &mut self,
-        key: Key,
-        class: TrafficClass,
-        payload: Rc<A::Payload>,
-        hops: u32,
-        src: Peer,
-        trace: TraceId,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
-    ) {
-        if self.ttl_exceeded(hops, ctx) {
-            return;
-        }
-        match self.state.next_hop(key) {
-            None => {
-                ctx.metrics()
-                    .histogram_mut(dilation_series(class))
-                    .record(u64::from(hops));
-                let delivery = Delivery {
-                    targets_here: KeyRangeSet::of_key(self.state.space(), key),
-                    class,
-                    hops,
-                    src,
-                    trace,
-                };
-                let mut svc = OverlaySvc {
-                    state: &mut self.state,
-                    ctx,
-                };
-                self.app
-                    .on_deliver(take_payload(payload), delivery, &mut svc);
-            }
-            Some(hop) => {
-                ctx.route_hop(trace, class);
-                self.send_body(
-                    ctx,
-                    hop.idx,
-                    ChordMsg::Unicast {
-                        key,
-                        class,
-                        payload,
-                        hops: hops + 1,
-                        src,
-                        trace,
-                    },
-                )
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
-    fn handle_mcast(
-        &mut self,
-        targets: KeyRangeSet,
-        class: TrafficClass,
-        payload: Rc<A::Payload>,
-        hops: u32,
-        src: Peer,
-        trace: TraceId,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
-    ) {
-        if self.ttl_exceeded(hops, ctx) {
-            return;
-        }
-        let (local, bundles) = self.state.mcast_split(&targets);
-        if !bundles.is_empty() {
-            ctx.route_hop(trace, class);
-        }
-        for (peer, subset) in bundles {
-            self.send_body(
-                ctx,
-                peer.idx,
-                ChordMsg::MCast {
-                    targets: subset,
-                    class,
-                    payload: Rc::clone(&payload),
-                    hops: hops + 1,
-                    src,
-                    trace,
-                },
-            );
-        }
-        if !local.is_empty() {
-            ctx.metrics()
-                .histogram_mut(dilation_series(class))
-                .record(u64::from(hops));
-            let delivery = Delivery {
-                targets_here: local,
-                class,
-                hops,
-                src,
-                trace,
-            };
-            let mut svc = OverlaySvc {
-                state: &mut self.state,
-                ctx,
-            };
-            self.app
-                .on_deliver(take_payload(payload), delivery, &mut svc);
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
-    fn handle_walk(
-        &mut self,
-        range: crate::range::KeyRange,
-        class: TrafficClass,
-        payload: Rc<A::Payload>,
-        hops: u32,
-        src: Peer,
-        walking: bool,
-        trace: TraceId,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
-    ) {
-        if self.ttl_exceeded(hops, ctx) {
-            return;
-        }
-        let space = self.state.space();
-        if !walking {
-            // Still routing toward the start of the range.
-            if let Some(hop) = self.state.next_hop(range.start()) {
-                ctx.route_hop(trace, class);
-                self.send_body(
-                    ctx,
-                    hop.idx,
-                    ChordMsg::Walk {
-                        range,
-                        class,
-                        payload,
-                        hops: hops + 1,
-                        src,
-                        walking: false,
-                        trace,
-                    },
-                );
-                return;
-            }
-        }
-        // We cover part of the range: deliver our portion. Decide first
-        // whether the walk continues so a terminal delivery can take the
-        // payload without copying it.
-        let me = self.state.me();
-        let pred = self.state.predecessor().unwrap_or(me);
-        let full = KeyRangeSet::of_range(space, range);
-        let local = full.extract_arc_oc(space, pred.key, me.key);
-        let next = if range.contains(space, me.key) && me.key != range.end() {
-            self.state.successor()
-        } else {
-            None
-        };
-        let deliver =
-            |node: &mut Self,
-             payload: A::Payload,
-             ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>| {
-                ctx.metrics()
-                    .histogram_mut(dilation_series(class))
-                    .record(u64::from(hops));
-                let delivery = Delivery {
-                    targets_here: local.clone(),
-                    class,
-                    hops,
-                    src,
-                    trace,
-                };
-                let mut svc = OverlaySvc {
-                    state: &mut node.state,
-                    ctx,
-                };
-                node.app.on_deliver(payload, delivery, &mut svc);
-            };
-        match next {
-            // Continue walking while range keys remain beyond our own key.
-            Some(succ) => {
-                if !local.is_empty() {
-                    deliver(self, take_payload(Rc::clone(&payload)), ctx);
-                }
-                ctx.route_hop(trace, class);
-                self.send_body(
-                    ctx,
-                    succ.idx,
-                    ChordMsg::Walk {
-                        range,
-                        class,
-                        payload,
-                        hops: hops + 1,
-                        src,
-                        walking: true,
-                        trace,
-                    },
-                );
-            }
-            // Terminal node of the walk: the payload can be taken whole.
-            None => {
-                if !local.is_empty() {
-                    deliver(self, take_payload(payload), ctx);
-                }
-            }
-        }
     }
 
     fn handle_find_succ(
@@ -451,9 +228,9 @@ impl<A: ChordApp> ChordNode<A> {
         reply_to: Peer,
         token: u64,
         hops: u32,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
-        if self.ttl_exceeded(hops, ctx) {
+        if routed::ttl_exceeded::<RoutingState, A>(&self.state, hops, ctx) {
             return;
         }
         match self.state.next_hop(target) {
@@ -462,7 +239,7 @@ impl<A: ChordApp> ChordNode<A> {
                 self.send_body(
                     ctx,
                     reply_to.idx,
-                    ChordMsg::FindSuccReply {
+                    OverlayMsg::FindSuccReply {
                         token,
                         succ: me,
                         hops,
@@ -472,7 +249,7 @@ impl<A: ChordApp> ChordNode<A> {
             Some(hop) => self.send_body(
                 ctx,
                 hop.idx,
-                ChordMsg::FindSucc {
+                OverlayMsg::FindSucc {
                     target,
                     reply_to,
                     token,
@@ -487,7 +264,7 @@ impl<A: ChordApp> ChordNode<A> {
         token: u64,
         succ: Peer,
         hops: u32,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         self.state.learn(succ);
         match self.pending.remove(&token) {
@@ -495,7 +272,7 @@ impl<A: ChordApp> ChordNode<A> {
                 self.state.set_successors(vec![succ]);
                 // Announce ourselves so stabilization can integrate us.
                 let me = self.state.me();
-                self.send_body(ctx, succ.idx, ChordMsg::Notify { peer: me });
+                self.send_body(ctx, succ.idx, OverlayMsg::Notify { peer: me });
                 if self.state.config().maintenance {
                     self.start_maintenance(ctx);
                 }
@@ -514,7 +291,7 @@ impl<A: ChordApp> ChordNode<A> {
 
     fn handle_stabilize(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         let cfg = *self.state.config();
         if let Some(succ) = self.state.successor() {
@@ -526,17 +303,20 @@ impl<A: ChordApp> ChordNode<A> {
         }
         if let Some(succ) = self.state.successor() {
             self.succ_missed += 1; // cleared by the GetPredReply
-            self.send_body(ctx, succ.idx, ChordMsg::GetPred);
+            self.send_body(ctx, succ.idx, OverlayMsg::GetPred);
         }
         // Probe the predecessor; an unanswered probe clears it so that the
         // true predecessor's next Notify can take its place (and our app is
         // told it now covers the dead node's arc).
         if let Some(pred) = self.state.predecessor() {
             let token = self.claim_token(Pending::Ping(pred));
-            self.send_body(ctx, pred.idx, ChordMsg::Ping { token });
-            ctx.arm_timer(cfg.stabilize_period / 2, ChordTimer::ProbeTimeout { token });
+            self.send_body(ctx, pred.idx, OverlayMsg::Ping { token });
+            ctx.arm_timer(
+                cfg.stabilize_period / 2,
+                OverlayTimer::ProbeTimeout { token },
+            );
         }
-        ctx.arm_timer(cfg.stabilize_period, ChordTimer::Stabilize);
+        ctx.arm_timer(cfg.stabilize_period, OverlayTimer::Stabilize);
     }
 
     fn handle_get_pred_reply(
@@ -544,7 +324,7 @@ impl<A: ChordApp> ChordNode<A> {
         pred: Option<Peer>,
         succ_list: Vec<Peer>,
         from_idx: NodeIdx,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         self.succ_missed = 0;
         let me = self.state.me();
@@ -564,13 +344,13 @@ impl<A: ChordApp> ChordNode<A> {
         list.extend(succ_list);
         self.state.set_successors(list);
         if let Some(s) = self.state.successor() {
-            self.send_body(ctx, s.idx, ChordMsg::Notify { peer: me });
+            self.send_body(ctx, s.idx, OverlayMsg::Notify { peer: me });
         }
     }
 
     fn handle_fix_fingers(
         &mut self,
-        ctx: &mut Context<'_, Envelope<A::Payload>, ChordTimer<A::Timer>>,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
     ) {
         let cfg = *self.state.config();
         let space = cfg.space;
@@ -585,7 +365,7 @@ impl<A: ChordApp> ChordNode<A> {
                 self.send_body(
                     ctx,
                     hop.idx,
-                    ChordMsg::FindSucc {
+                    OverlayMsg::FindSucc {
                         target,
                         reply_to: me,
                         token,
@@ -594,26 +374,13 @@ impl<A: ChordApp> ChordNode<A> {
                 );
             }
         }
-        ctx.arm_timer(cfg.fix_fingers_period, ChordTimer::FixFingers);
+        ctx.arm_timer(cfg.fix_fingers_period, OverlayTimer::FixFingers);
     }
 }
 
-/// Name of the dilation histogram for a traffic class.
-fn dilation_series(class: TrafficClass) -> &'static str {
-    match class {
-        TrafficClass::SUBSCRIPTION => "dilation.subscription",
-        TrafficClass::PUBLICATION => "dilation.publication",
-        TrafficClass::NOTIFICATION => "dilation.notification",
-        TrafficClass::COLLECT => "dilation.collect",
-        TrafficClass::MAINTENANCE => "dilation.maintenance",
-        TrafficClass::STATE_TRANSFER => "dilation.state-transfer",
-        _ => "dilation.other",
-    }
-}
-
-impl<A: ChordApp> Node for ChordNode<A> {
+impl<A: OverlayApp> Node for ChordNode<A> {
     type Msg = Envelope<A::Payload>;
-    type Timer = ChordTimer<A::Timer>;
+    type Timer = OverlayTimer<A::Timer>;
 
     fn on_message(
         &mut self,
@@ -624,7 +391,7 @@ impl<A: ChordApp> Node for ChordNode<A> {
         let sender = envelope.sender;
         self.state.learn(sender);
         match envelope.body {
-            ChordMsg::Unicast {
+            OverlayMsg::Unicast {
                 key,
                 class,
                 payload,
@@ -633,9 +400,19 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 trace,
             } => {
                 self.state.learn(src);
-                self.handle_unicast(key, class, payload, hops, src, trace, ctx);
+                routed::handle_unicast(
+                    &mut self.state,
+                    &mut self.app,
+                    key,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            ChordMsg::MCast {
+            OverlayMsg::MCast {
                 targets,
                 class,
                 payload,
@@ -644,9 +421,19 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 trace,
             } => {
                 self.state.learn(src);
-                self.handle_mcast(targets, class, payload, hops, src, trace, ctx);
+                routed::handle_mcast(
+                    &mut self.state,
+                    &mut self.app,
+                    targets,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            ChordMsg::Walk {
+            OverlayMsg::Walk {
                 range,
                 class,
                 payload,
@@ -656,17 +443,24 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 trace,
             } => {
                 self.state.learn(src);
-                self.handle_walk(range, class, payload, hops, src, walking, trace, ctx);
-            }
-            ChordMsg::Direct { payload, class } => {
-                let _ = class;
-                let mut svc = OverlaySvc {
-                    state: &mut self.state,
+                routed::handle_walk(
+                    &mut self.state,
+                    &mut self.app,
+                    range,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    walking,
+                    trace,
                     ctx,
-                };
-                self.app.on_direct(sender, take_payload(payload), &mut svc);
+                );
             }
-            ChordMsg::FindSucc {
+            OverlayMsg::Direct { payload, class } => {
+                let _ = class;
+                routed::handle_direct(&mut self.state, &mut self.app, sender, payload, ctx);
+            }
+            OverlayMsg::FindSucc {
                 target,
                 reply_to,
                 token,
@@ -675,18 +469,22 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 self.state.learn(reply_to);
                 self.handle_find_succ(target, reply_to, token, hops, ctx);
             }
-            ChordMsg::FindSuccReply { token, succ, hops } => {
+            OverlayMsg::FindSuccReply { token, succ, hops } => {
                 self.handle_find_succ_reply(token, succ, hops, ctx);
             }
-            ChordMsg::GetPred => {
+            OverlayMsg::GetPred => {
                 let pred = self.state.predecessor();
                 let succ_list = self.state.successors().to_vec();
-                self.send_body(ctx, sender.idx, ChordMsg::GetPredReply { pred, succ_list });
+                self.send_body(
+                    ctx,
+                    sender.idx,
+                    OverlayMsg::GetPredReply { pred, succ_list },
+                );
             }
-            ChordMsg::GetPredReply { pred, succ_list } => {
+            OverlayMsg::GetPredReply { pred, succ_list } => {
                 self.handle_get_pred_reply(pred, succ_list, sender.idx, ctx);
             }
-            ChordMsg::Notify { peer } => {
+            OverlayMsg::Notify { peer } => {
                 let me = self.state.me();
                 let space = self.state.space();
                 let adopt = match self.state.predecessor() {
@@ -701,7 +499,7 @@ impl<A: ChordApp> Node for ChordNode<A> {
                     self.state.set_successors(vec![peer]);
                 }
             }
-            ChordMsg::LeaveNotice {
+            OverlayMsg::LeaveNotice {
                 leaving,
                 replacement,
             } => {
@@ -723,10 +521,10 @@ impl<A: ChordApp> Node for ChordNode<A> {
                     self.state.forget(leaving);
                 }
             }
-            ChordMsg::Ping { token } => {
-                self.send_body(ctx, sender.idx, ChordMsg::Pong { token });
+            OverlayMsg::Ping { token } => {
+                self.send_body(ctx, sender.idx, OverlayMsg::Pong { token });
             }
-            ChordMsg::Pong { token } => {
+            OverlayMsg::Pong { token } => {
                 self.pending.remove(&token);
             }
         }
@@ -743,7 +541,7 @@ impl<A: ChordApp> Node for ChordNode<A> {
         // state (maintenance traffic is periodic and simply retries later).
         self.state.forget_idx(to);
         match envelope.body {
-            ChordMsg::Unicast {
+            OverlayMsg::Unicast {
                 key,
                 class,
                 payload,
@@ -751,9 +549,19 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 src,
                 trace,
             } => {
-                self.handle_unicast(key, class, payload, hops, src, trace, ctx);
+                routed::handle_unicast(
+                    &mut self.state,
+                    &mut self.app,
+                    key,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            ChordMsg::MCast {
+            OverlayMsg::MCast {
                 targets,
                 class,
                 payload,
@@ -761,9 +569,19 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 src,
                 trace,
             } => {
-                self.handle_mcast(targets, class, payload, hops, src, trace, ctx);
+                routed::handle_mcast(
+                    &mut self.state,
+                    &mut self.app,
+                    targets,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            ChordMsg::Walk {
+            OverlayMsg::Walk {
                 range,
                 class,
                 payload,
@@ -772,9 +590,20 @@ impl<A: ChordApp> Node for ChordNode<A> {
                 walking,
                 trace,
             } => {
-                self.handle_walk(range, class, payload, hops, src, walking, trace, ctx);
+                routed::handle_walk(
+                    &mut self.state,
+                    &mut self.app,
+                    range,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    walking,
+                    trace,
+                    ctx,
+                );
             }
-            ChordMsg::FindSucc {
+            OverlayMsg::FindSucc {
                 target,
                 reply_to,
                 token,
@@ -788,19 +617,15 @@ impl<A: ChordApp> Node for ChordNode<A> {
 
     fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>) {
         match timer {
-            ChordTimer::Stabilize => self.handle_stabilize(ctx),
-            ChordTimer::FixFingers => self.handle_fix_fingers(ctx),
-            ChordTimer::ProbeTimeout { token } => {
+            OverlayTimer::Stabilize => self.handle_stabilize(ctx),
+            OverlayTimer::FixFingers => self.handle_fix_fingers(ctx),
+            OverlayTimer::ProbeTimeout { token } => {
                 if let Some(Pending::Ping(peer)) = self.pending.remove(&token) {
                     self.state.forget(peer);
                 }
             }
-            ChordTimer::App(t) => {
-                let mut svc = OverlaySvc {
-                    state: &mut self.state,
-                    ctx,
-                };
-                self.app.on_timer(t, &mut svc);
+            OverlayTimer::App(t) => {
+                routed::handle_app_timer(&mut self.state, &mut self.app, t, ctx);
             }
         }
     }

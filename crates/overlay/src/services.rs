@@ -80,7 +80,9 @@ pub trait OverlayServices<P: Clone, T> {
     }
 }
 
-impl<P: Clone, T> OverlayServices<P, T> for crate::app::OverlaySvc<'_, '_, P, T> {
+impl<P: Clone, T, S: crate::route::RouteTable> OverlayServices<P, T>
+    for crate::app::OverlaySvc<'_, '_, P, T, S>
+{
     fn me(&self) -> Peer {
         crate::app::OverlaySvc::me(self)
     }

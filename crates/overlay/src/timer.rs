@@ -2,7 +2,7 @@
 
 /// Timers a [`crate::ChordNode`] arms, wrapping the application's own.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ChordTimer<T> {
+pub enum OverlayTimer<T> {
     /// Periodic stabilization (successor check + notify).
     Stabilize,
     /// Periodic finger repair (one finger per fire, round-robin).

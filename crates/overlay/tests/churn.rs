@@ -6,7 +6,7 @@
 //! liveness probing and leave notices.
 
 use cbps_overlay::{
-    build_stable, ChordApp, ChordNode, Delivery, OverlayConfig, OverlaySvc, Peer, RingView,
+    build_stable, ChordNode, Delivery, OverlayApp, OverlayConfig, OverlayServices, Peer, RingView,
     RoutingState,
 };
 use cbps_sim::{NetConfig, SimTime, Simulator, TraceId, TrafficClass};
@@ -18,11 +18,11 @@ struct Probe {
     pred_changes: u32,
 }
 
-impl ChordApp for Probe {
+impl OverlayApp for Probe {
     type Payload = u32;
     type Timer = ();
 
-    fn on_deliver(&mut self, payload: u32, _d: Delivery, _svc: &mut OverlaySvc<'_, '_, u32, ()>) {
+    fn on_deliver(&mut self, payload: u32, _d: Delivery, _svc: &mut dyn OverlayServices<u32, ()>) {
         self.delivered.push(payload);
     }
 
@@ -30,7 +30,7 @@ impl ChordApp for Probe {
         &mut self,
         _old: Option<Peer>,
         _new: Option<Peer>,
-        _svc: &mut OverlaySvc<'_, '_, u32, ()>,
+        _svc: &mut dyn OverlayServices<u32, ()>,
     ) {
         self.pred_changes += 1;
     }

@@ -1,9 +1,9 @@
 //! Building static Pastry networks inside a simulator.
 
-use cbps_overlay::{assign_node_keys, OverlayConfig, Peer, RingView};
+use cbps_overlay::{assign_node_keys, OverlayApp, OverlayConfig, Peer, RingView};
 use cbps_sim::{NetConfig, Simulator};
 
-use crate::node::{PastryApp, PastryNode};
+use crate::node::PastryNode;
 use crate::state::{PastryConfig, PastryState};
 
 /// Builds a converged Pastry network of `apps.len()` nodes and returns
@@ -14,7 +14,7 @@ use crate::state::{PastryConfig, PastryState};
 /// # Panics
 ///
 /// Panics if `apps` is empty or larger than the key space.
-pub fn build_pastry_stable<A: PastryApp>(
+pub fn build_pastry_stable<A: OverlayApp>(
     net: NetConfig,
     cfg: PastryConfig,
     apps: Vec<A>,
@@ -43,18 +43,17 @@ pub fn build_pastry_stable<A: PastryApp>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::node::PastrySvc;
-    use cbps_overlay::Delivery;
+    use cbps_overlay::{Delivery, OverlayServices};
 
     #[derive(Default)]
     struct Sink {
         got: u32,
     }
 
-    impl PastryApp for Sink {
+    impl OverlayApp for Sink {
         type Payload = u8;
         type Timer = ();
-        fn on_deliver(&mut self, _p: u8, _d: Delivery, _svc: &mut PastrySvc<'_, '_, u8, ()>) {
+        fn on_deliver(&mut self, _p: u8, _d: Delivery, _svc: &mut dyn OverlayServices<u8, ()>) {
             self.got += 1;
         }
     }

@@ -8,6 +8,12 @@
 //! [`cbps`] crate through the overlay-neutral
 //! [`cbps_overlay::OverlayServices`] surface.
 //!
+//! The substrate plugs into the generic deployment layer through
+//! [`cbps::OverlayBackend`]: [`PastryPubSub`] is the *same*
+//! `PubSubNetwork` type as the Chord deployment, instantiated with
+//! [`PastryBackend`] — one façade, builder, handle and observability
+//! surface for both overlays.
+//!
 //! Scope notes (documented simplifications):
 //!
 //! * membership is static (the converged-network mode the paper's
@@ -22,18 +28,31 @@
 //!
 //! # Examples
 //!
-//! See [`PastryPubSubNetwork`] for an end-to-end pub/sub deployment over
-//! Pastry.
+//! ```
+//! use cbps::{Event, Subscription};
+//! use cbps_pastry::PastryPubSubBuilder;
+//!
+//! let mut net = PastryPubSubBuilder::new().nodes(40).seed(7).build()?;
+//! let space = net.config().space.clone();
+//! let sub = Subscription::builder(&space).range("a0", 100_000, 200_000)?.build()?;
+//! let sub_id = net.node(3)?.subscribe(sub, None)?;
+//! net.run_for_secs(5);
+//! net.node(9)?.publish(Event::new(&space, vec![150_000, 1, 2, 3])?)?;
+//! net.run_for_secs(5);
+//! assert_eq!(net.delivered(3).len(), 1);
+//! assert_eq!(net.delivered(3)[0].sub_id, sub_id);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod backend;
 mod builder;
 mod node;
-mod pubsub;
 mod state;
 
+pub use backend::{PastryBackend, PastryPubSub, PastryPubSubBuilder};
 pub use builder::build_pastry_stable;
-pub use node::{PastryApp, PastryEnvelope, PastryMsg, PastryNode, PastrySvc};
-pub use pubsub::{PastryNodeHandle, PastryPubSubNetwork, PastryPubSubNetworkBuilder};
+pub use node::PastryNode;
 pub use state::{common_prefix_len, PastryConfig, PastryState};

@@ -1,292 +1,34 @@
-//! The Pastry node: message handling and the application bridge.
+//! The Pastry node: a thin shell over the shared routed-message handlers.
+//!
+//! All payload mechanics (unicast forwarding, `m-cast` splitting, the
+//! conservative range walk, delivery staging and dilation accounting) live
+//! in [`cbps_overlay::routed`], written once against the [`RouteTable`]
+//! surface that [`PastryState`] implements. What remains here is the
+//! substrate's identity: wiring the simulator upcalls to those handlers.
+//! Membership is static (the converged-network mode the paper's
+//! experiments run in), so the Chord maintenance messages an
+//! [`OverlayMsg`] can carry are ignored and only application timers fire.
 
-use std::rc::Rc;
-
+use cbps_overlay::routed;
 use cbps_overlay::{
-    take_payload, Delivery, Key, KeyRange, KeyRangeSet, KeySpace, OverlayServices, Peer,
+    Envelope, OverlayApp, OverlayMsg, OverlayServices, OverlaySvc, OverlayTimer, Peer,
 };
-use cbps_rng::Rng;
-use cbps_sim::{Context, Metrics, Node, NodeIdx, SimDuration, SimTime, TraceId, TrafficClass};
+use cbps_sim::{Context, Node, NodeIdx};
 
 use crate::state::PastryState;
 
-/// Wire messages of the Pastry overlay (static membership: payload
-/// routing only).
-#[derive(Clone, Debug, PartialEq)]
-pub enum PastryMsg<P> {
-    /// Key-routed payload.
-    Route {
-        /// Destination key.
-        key: Key,
-        /// Traffic class for hop accounting.
-        class: TrafficClass,
-        /// Application payload, shared across hops (a clone of this
-        /// message bumps a refcount instead of deep-copying the payload).
-        payload: Rc<P>,
-        /// One-hop transmissions so far.
-        hops: u32,
-        /// Originator.
-        src: Peer,
-        /// Causal trace of the sending operation ([`TraceId::NONE`] when
-        /// untraced).
-        trace: TraceId,
-    },
-    /// One-to-many payload over a key set.
-    MCast {
-        /// Remaining target keys of this branch.
-        targets: KeyRangeSet,
-        /// Traffic class for hop accounting.
-        class: TrafficClass,
-        /// Application payload, shared across branches.
-        payload: Rc<P>,
-        /// One-hop transmissions so far.
-        hops: u32,
-        /// Originator.
-        src: Peer,
-        /// Causal trace of the sending operation ([`TraceId::NONE`] when
-        /// untraced).
-        trace: TraceId,
-    },
-    /// Leaf-walk propagation along a contiguous range.
-    Walk {
-        /// Full target range.
-        range: KeyRange,
-        /// Traffic class for hop accounting.
-        class: TrafficClass,
-        /// Application payload, shared along the walk.
-        payload: Rc<P>,
-        /// One-hop transmissions so far.
-        hops: u32,
-        /// Originator.
-        src: Peer,
-        /// Whether the walk phase has begun.
-        walking: bool,
-        /// Causal trace of the sending operation ([`TraceId::NONE`] when
-        /// untraced).
-        trace: TraceId,
-    },
-    /// One-hop application message.
-    Direct {
-        /// Application payload.
-        payload: Rc<P>,
-    },
-}
-
-/// An envelope stamping the transmitting node.
-#[derive(Clone, Debug, PartialEq)]
-pub struct PastryEnvelope<P> {
-    /// The transmitting node.
-    pub sender: Peer,
-    /// The message.
-    pub body: PastryMsg<P>,
-}
-
-/// The application stacked on a Pastry node (mirror of the Chord-side
-/// `ChordApp`, without dynamic-membership hooks: the Pastry substrate is
-/// built statically).
-pub trait PastryApp: Sized {
-    /// Routed payload type.
-    type Payload: Clone;
-    /// Application timer token.
-    type Timer;
-
-    /// A routed payload arrived at a key this node covers.
-    fn on_deliver(
-        &mut self,
-        payload: Self::Payload,
-        delivery: Delivery,
-        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
-    );
-
-    /// A one-hop direct message arrived.
-    fn on_direct(
-        &mut self,
-        from: Peer,
-        payload: Self::Payload,
-        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
-    ) {
-        let _ = (from, payload, svc);
-    }
-
-    /// An application timer fired.
-    fn on_timer(
-        &mut self,
-        timer: Self::Timer,
-        svc: &mut PastrySvc<'_, '_, Self::Payload, Self::Timer>,
-    ) {
-        let _ = (timer, svc);
-    }
-}
-
-/// The service handle handed to Pastry application upcalls; implements
-/// the overlay-neutral [`OverlayServices`] surface.
-#[derive(Debug)]
-pub struct PastrySvc<'a, 'c, P, T> {
-    state: &'a PastryState,
-    ctx: &'a mut Context<'c, PastryEnvelope<P>, T>,
-}
-
-impl<P: Clone, T> PastrySvc<'_, '_, P, T> {
-    /// Routes an already-shared payload toward `key`.
-    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>, trace: TraceId) {
-        let me = self.state.me();
-        let route = |hops| PastryMsg::Route {
-            key,
-            class,
-            payload,
-            hops,
-            src: me,
-            trace,
-        };
-        match self.state.next_hop(key) {
-            None => self.ctx.send_local(PastryEnvelope {
-                sender: me,
-                body: route(0),
-            }),
-            Some(hop) => self.ctx.send(
-                hop.idx,
-                class,
-                PastryEnvelope {
-                    sender: me,
-                    body: route(1),
-                },
-            ),
-        }
-    }
-}
-
-impl<P: Clone, T> OverlayServices<P, T> for PastrySvc<'_, '_, P, T> {
-    fn me(&self) -> Peer {
-        self.state.me()
-    }
-    fn space(&self) -> KeySpace {
-        self.state.space()
-    }
-    fn now(&self) -> SimTime {
-        self.ctx.now()
-    }
-    fn rng(&mut self) -> &mut Rng {
-        self.ctx.rng()
-    }
-    fn metrics(&mut self) -> &mut Metrics {
-        self.ctx.metrics()
-    }
-    fn successor(&self) -> Option<Peer> {
-        self.state.successor()
-    }
-    fn predecessor(&self) -> Option<Peer> {
-        self.state.predecessor()
-    }
-    fn successors(&self) -> &[Peer] {
-        self.state.successors()
-    }
-    fn covers(&self, key: Key) -> bool {
-        self.state.covers(key)
-    }
-    fn arm_timer(&mut self, delay: SimDuration, timer: T) {
-        self.ctx.arm_timer(delay, timer);
-    }
-    fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId) {
-        self.send_rc(key, class, Rc::new(payload), trace);
-    }
-    fn mcast(&mut self, targets: &KeyRangeSet, class: TrafficClass, payload: P, trace: TraceId) {
-        if targets.is_empty() {
-            return;
-        }
-        let me = self.state.me();
-        let payload = Rc::new(payload);
-        let (local, bundles) = self.state.mcast_split(targets);
-        if !local.is_empty() {
-            self.ctx.send_local(PastryEnvelope {
-                sender: me,
-                body: PastryMsg::MCast {
-                    targets: local,
-                    class,
-                    payload: Rc::clone(&payload),
-                    hops: 0,
-                    src: me,
-                    trace,
-                },
-            });
-        }
-        for (peer, subset) in bundles {
-            self.ctx.send(
-                peer.idx,
-                class,
-                PastryEnvelope {
-                    sender: me,
-                    body: PastryMsg::MCast {
-                        targets: subset,
-                        class,
-                        payload: Rc::clone(&payload),
-                        hops: 1,
-                        src: me,
-                        trace,
-                    },
-                },
-            );
-        }
-    }
-    fn ucast_keys(
-        &mut self,
-        targets: &KeyRangeSet,
-        class: TrafficClass,
-        payload: P,
-        trace: TraceId,
-    ) {
-        let space = self.state.space();
-        let payload = Rc::new(payload);
-        let keys: Vec<Key> = targets.iter_keys(space).collect();
-        for key in keys {
-            self.send_rc(key, class, Rc::clone(&payload), trace);
-        }
-    }
-    fn walk(&mut self, range: KeyRange, class: TrafficClass, payload: P, trace: TraceId) {
-        let me = self.state.me();
-        let payload = Rc::new(payload);
-        let body = PastryMsg::Walk {
-            range,
-            class,
-            payload,
-            hops: 0,
-            src: me,
-            walking: false,
-            trace,
-        };
-        match self.state.next_hop(range.start()) {
-            None => self.ctx.send_local(PastryEnvelope { sender: me, body }),
-            Some(hop) => {
-                let mut env = PastryEnvelope { sender: me, body };
-                if let PastryMsg::Walk { hops, .. } = &mut env.body {
-                    *hops = 1;
-                }
-                self.ctx.send(hop.idx, class, env);
-            }
-        }
-    }
-    fn direct(&mut self, to: Peer, class: TrafficClass, payload: P) {
-        let me = self.state.me();
-        self.ctx.send(
-            to.idx,
-            class,
-            PastryEnvelope {
-                sender: me,
-                body: PastryMsg::Direct {
-                    payload: Rc::new(payload),
-                },
-            },
-        );
-    }
-}
-
 /// A Pastry overlay node hosting an application.
+///
+/// Speaks the same wire [`Envelope`]/[`OverlayMsg`] language and hosts the
+/// same [`OverlayApp`] type as the Chord node, so applications and
+/// deployment layers are substrate-generic.
 #[derive(Debug)]
-pub struct PastryNode<A: PastryApp> {
+pub struct PastryNode<A: OverlayApp> {
     state: PastryState,
     app: A,
 }
 
-impl<A: PastryApp> PastryNode<A> {
+impl<A: OverlayApp> PastryNode<A> {
     /// Creates a node from converged routing state.
     pub fn new(state: PastryState, app: A) -> Self {
         PastryNode { state, app }
@@ -312,75 +54,31 @@ impl<A: PastryApp> PastryNode<A> {
         &mut self.app
     }
 
-    /// Runs an application-level call with a live [`PastrySvc`].
+    /// Runs an application-level call with a live service handle — the way
+    /// external drivers invoke `sub()` / `pub()` on a node.
     pub fn app_call<R>(
         &mut self,
-        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
-        f: impl FnOnce(&mut A, &mut PastrySvc<'_, '_, A::Payload, A::Timer>) -> R,
+        ctx: &mut Context<'_, Envelope<A::Payload>, OverlayTimer<A::Timer>>,
+        f: impl FnOnce(&mut A, &mut dyn OverlayServices<A::Payload, A::Timer>) -> R,
     ) -> R {
-        let mut svc = PastrySvc {
-            state: &self.state,
-            ctx,
-        };
+        let mut svc = OverlaySvc::new(&mut self.state, ctx);
         f(&mut self.app, &mut svc)
-    }
-
-    /// `true` (and counts the drop) when `hops` exceeds the configured TTL.
-    fn ttl_exceeded(
-        &self,
-        hops: u32,
-        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
-    ) -> bool {
-        if hops >= self.state.config().max_route_hops {
-            ctx.metrics().add("routing.ttl-drop", 1);
-            true
-        } else {
-            false
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
-    fn deliver(
-        &mut self,
-        payload: A::Payload,
-        targets_here: KeyRangeSet,
-        class: TrafficClass,
-        hops: u32,
-        src: Peer,
-        trace: TraceId,
-        ctx: &mut Context<'_, PastryEnvelope<A::Payload>, A::Timer>,
-    ) {
-        ctx.metrics()
-            .histogram_mut("pastry.dilation")
-            .record(u64::from(hops));
-        let delivery = Delivery {
-            targets_here,
-            class,
-            hops,
-            src,
-            trace,
-        };
-        let mut svc = PastrySvc {
-            state: &self.state,
-            ctx,
-        };
-        self.app.on_deliver(payload, delivery, &mut svc);
     }
 }
 
-impl<A: PastryApp> Node for PastryNode<A> {
-    type Msg = PastryEnvelope<A::Payload>;
-    type Timer = A::Timer;
+impl<A: OverlayApp> Node for PastryNode<A> {
+    type Msg = Envelope<A::Payload>;
+    type Timer = OverlayTimer<A::Timer>;
 
     fn on_message(
         &mut self,
         _from: NodeIdx,
-        envelope: PastryEnvelope<A::Payload>,
+        envelope: Envelope<A::Payload>,
         ctx: &mut Context<'_, Self::Msg, Self::Timer>,
     ) {
         let sender = envelope.sender;
         match envelope.body {
-            PastryMsg::Route {
+            OverlayMsg::Unicast {
                 key,
                 class,
                 payload,
@@ -388,36 +86,19 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 src,
                 trace,
             } => {
-                if self.ttl_exceeded(hops, ctx) {
-                    return;
-                }
-                match self.state.next_hop(key) {
-                    None => {
-                        let here = KeyRangeSet::of_key(self.state.space(), key);
-                        self.deliver(take_payload(payload), here, class, hops, src, trace, ctx);
-                    }
-                    Some(hop) => {
-                        let me = self.state.me();
-                        ctx.route_hop(trace, class);
-                        ctx.send(
-                            hop.idx,
-                            class,
-                            PastryEnvelope {
-                                sender: me,
-                                body: PastryMsg::Route {
-                                    key,
-                                    class,
-                                    payload,
-                                    hops: hops + 1,
-                                    src,
-                                    trace,
-                                },
-                            },
-                        );
-                    }
-                }
+                routed::handle_unicast(
+                    &mut self.state,
+                    &mut self.app,
+                    key,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            PastryMsg::MCast {
+            OverlayMsg::MCast {
                 targets,
                 class,
                 payload,
@@ -425,36 +106,19 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 src,
                 trace,
             } => {
-                if self.ttl_exceeded(hops, ctx) {
-                    return;
-                }
-                let (local, bundles) = self.state.mcast_split(&targets);
-                let me = self.state.me();
-                if !bundles.is_empty() {
-                    ctx.route_hop(trace, class);
-                }
-                for (peer, subset) in bundles {
-                    ctx.send(
-                        peer.idx,
-                        class,
-                        PastryEnvelope {
-                            sender: me,
-                            body: PastryMsg::MCast {
-                                targets: subset,
-                                class,
-                                payload: Rc::clone(&payload),
-                                hops: hops + 1,
-                                src,
-                                trace,
-                            },
-                        },
-                    );
-                }
-                if !local.is_empty() {
-                    self.deliver(take_payload(payload), local, class, hops, src, trace, ctx);
-                }
+                routed::handle_mcast(
+                    &mut self.state,
+                    &mut self.app,
+                    targets,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    trace,
+                    ctx,
+                );
             }
-            PastryMsg::Walk {
+            OverlayMsg::Walk {
                 range,
                 class,
                 payload,
@@ -463,100 +127,33 @@ impl<A: PastryApp> Node for PastryNode<A> {
                 walking,
                 trace,
             } => {
-                if self.ttl_exceeded(hops, ctx) {
-                    return;
-                }
-                let space = self.state.space();
-                if !walking {
-                    if let Some(hop) = self.state.next_hop(range.start()) {
-                        let me = self.state.me();
-                        ctx.route_hop(trace, class);
-                        ctx.send(
-                            hop.idx,
-                            class,
-                            PastryEnvelope {
-                                sender: me,
-                                body: PastryMsg::Walk {
-                                    range,
-                                    class,
-                                    payload,
-                                    hops: hops + 1,
-                                    src,
-                                    walking: false,
-                                    trace,
-                                },
-                            },
-                        );
-                        return;
-                    }
-                }
-                let me = self.state.me();
-                let pred = self.state.predecessor().unwrap_or(me);
-                let full = KeyRangeSet::of_range(space, range);
-                let local = full.extract_arc_oc(space, pred.key, me.key);
-                // Decide whether the walk continues before delivering, so
-                // the terminal hop can move the payload out of its Rc
-                // instead of deep-copying it.
-                let next = if range.contains(space, me.key) && me.key != range.end() {
-                    self.state.successor()
-                } else {
-                    None
-                };
-                match next {
-                    Some(succ) => {
-                        if !local.is_empty() {
-                            let p = take_payload(Rc::clone(&payload));
-                            self.deliver(p, local, class, hops, src, trace, ctx);
-                        }
-                        ctx.route_hop(trace, class);
-                        ctx.send(
-                            succ.idx,
-                            class,
-                            PastryEnvelope {
-                                sender: me,
-                                body: PastryMsg::Walk {
-                                    range,
-                                    class,
-                                    payload,
-                                    hops: hops + 1,
-                                    src,
-                                    walking: true,
-                                    trace,
-                                },
-                            },
-                        );
-                    }
-                    None => {
-                        if !local.is_empty() {
-                            self.deliver(
-                                take_payload(payload),
-                                local,
-                                class,
-                                hops,
-                                src,
-                                trace,
-                                ctx,
-                            );
-                        }
-                    }
-                }
-            }
-            PastryMsg::Direct { payload } => {
-                let payload = take_payload(payload);
-                let mut svc = PastrySvc {
-                    state: &self.state,
+                routed::handle_walk(
+                    &mut self.state,
+                    &mut self.app,
+                    range,
+                    class,
+                    payload,
+                    hops,
+                    src,
+                    walking,
+                    trace,
                     ctx,
-                };
-                self.app.on_direct(sender, payload, &mut svc);
+                );
             }
+            OverlayMsg::Direct { payload, class } => {
+                let _ = class;
+                routed::handle_direct(&mut self.state, &mut self.app, sender, payload, ctx);
+            }
+            // Chord ring-maintenance messages; never sent on the static
+            // Pastry substrate.
+            _ => {}
         }
     }
 
     fn on_timer(&mut self, timer: Self::Timer, ctx: &mut Context<'_, Self::Msg, Self::Timer>) {
-        let mut svc = PastrySvc {
-            state: &self.state,
-            ctx,
-        };
-        self.app.on_timer(timer, &mut svc);
+        // Maintenance timers are never armed on the static substrate.
+        if let OverlayTimer::App(t) = timer {
+            routed::handle_app_timer(&mut self.state, &mut self.app, t, ctx);
+        }
     }
 }

@@ -266,6 +266,38 @@ impl PastryState {
     }
 }
 
+impl cbps_overlay::RouteTable for PastryState {
+    fn me(&self) -> Peer {
+        PastryState::me(self)
+    }
+    fn space(&self) -> KeySpace {
+        PastryState::space(self)
+    }
+    fn max_route_hops(&self) -> u32 {
+        self.config().max_route_hops
+    }
+    fn predecessor(&self) -> Option<Peer> {
+        PastryState::predecessor(self)
+    }
+    fn successor(&self) -> Option<Peer> {
+        PastryState::successor(self)
+    }
+    fn successors(&self) -> &[Peer] {
+        PastryState::successors(self)
+    }
+    fn covers(&self, key: Key) -> bool {
+        PastryState::covers(self, key)
+    }
+    fn next_hop(&mut self, key: Key) -> Option<Peer> {
+        PastryState::next_hop(self, key)
+    }
+    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+        PastryState::mcast_split(self, targets)
+    }
+    // Pastry's routing table is computed at convergence; no opportunistic
+    // learning, so `learn` keeps the default no-op.
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,117 +1,165 @@
 //! The portability demonstration: the same pub/sub layer, workload and
 //! seeds over Chord and over Pastry must produce the same logical
 //! deliveries — only the routing paths (and hence message counts) differ.
+//!
+//! The core of the suite is a table-driven cross-overlay parity matrix:
+//! every ak-mapping × every notification mode × discretization on/off,
+//! asserting identical delivered sets, duplicate-suppression counts and
+//! stored-subscription totals on both substrates.
 
 use std::collections::BTreeSet;
 
-use cbps::{EventId, MappingKind, Primitive, PubSubConfig, PubSubNetwork, SubId};
-use cbps_overlay::{KeyRange, KeyRangeSet, RingView};
-use cbps_pastry::{
-    build_pastry_stable, common_prefix_len, PastryApp, PastryConfig, PastryPubSubNetwork, PastrySvc,
+use cbps::{
+    ChordBackend, EventId, MappingKind, NotifyMode, OverlayBackend, Primitive, PubSubConfig,
+    PubSubNetwork, PubSubNetworkBuilder, SubId,
 };
-use cbps_sim::{NetConfig, TraceId, TrafficClass};
-use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
+use cbps_overlay::{KeyRange, KeyRangeSet, OverlayServices, RingView};
+use cbps_pastry::{build_pastry_stable, common_prefix_len, PastryBackend, PastryConfig};
+use cbps_sim::{NetConfig, SimDuration, TraceId, TrafficClass};
+use cbps_workload::{OpKind, Trace, WorkloadConfig, WorkloadGen};
 
-/// Replays the identical workload over both overlays and compares the
-/// delivered (sub, event) sets.
-fn cross_overlay_check(kind: MappingKind, primitive: Primitive, seed: u64) {
-    let nodes = 50;
-    let pubsub = PubSubConfig::paper_default()
-        .with_mapping(kind)
-        .with_primitive(primitive);
+/// What one run of the shared workload produced, in overlay-independent
+/// terms.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    delivered: BTreeSet<(usize, SubId, EventId)>,
+    duplicates: u64,
+    stored_total: usize,
+}
 
-    let mut chord = PubSubNetwork::builder()
+fn run_on<B: OverlayBackend>(
+    pubsub: PubSubConfig,
+    seed: u64,
+    nodes: usize,
+    trace: &Trace,
+) -> Outcome {
+    let mut net = PubSubNetworkBuilder::<B>::new()
         .nodes(nodes)
         .net_config(NetConfig::new(seed))
-        .pubsub(pubsub.clone())
-        .build()
-        .expect("valid network configuration");
-    let mut pastry = PastryPubSubNetwork::builder()
-        .nodes(nodes)
-        .seed(seed)
         .pubsub(pubsub)
         .build()
         .expect("valid network configuration");
+    // Subscriptions first, publications after a settling gap.
+    for op in trace.ops() {
+        if let OpKind::Subscribe { sub, ttl } = &op.kind {
+            net.subscribe(op.node, sub.clone(), *ttl).unwrap();
+        }
+    }
+    net.run_for_secs(120);
+    for op in trace.ops() {
+        if let OpKind::Publish { event } = &op.kind {
+            net.publish(op.node, event.clone()).unwrap();
+        }
+    }
+    net.run_for_secs(600);
 
-    // Same ring: the builders share key assignment.
-    assert_eq!(
-        chord.ring().peers(),
-        pastry.ring().peers(),
-        "overlays must see the same ring for a like-for-like comparison"
-    );
+    let mut delivered = BTreeSet::new();
+    for i in 0..nodes {
+        for n in net.delivered(i) {
+            assert!(
+                delivered.insert((i, n.sub_id, n.event_id)),
+                "duplicate delivery at node {i}"
+            );
+        }
+    }
+    Outcome {
+        delivered,
+        duplicates: net.metrics().counter("notifications.duplicate"),
+        stored_total: net.stored_counts().iter().sum(),
+    }
+}
 
+/// One parity-matrix cell: identical logical outcomes over both overlays.
+fn parity_cell(kind: MappingKind, notify: NotifyMode, discretization: u64, seed: u64) {
+    let nodes = 40;
+    let mut pubsub = PubSubConfig::paper_default()
+        .with_mapping(kind)
+        .with_primitive(Primitive::MCast)
+        .with_notify_mode(notify);
+    if discretization > 1 {
+        pubsub = pubsub.with_discretization(discretization);
+    }
     let wl = WorkloadConfig::paper_default(nodes, 4)
         .with_counts(30, 60)
         .with_matching_probability(0.8);
-    let mut gen = WorkloadGen::new(chord.config().space.clone(), wl, seed);
+    let mut gen = WorkloadGen::new(pubsub.space.clone(), wl, seed);
     let trace = gen.gen_trace();
 
-    // Subscriptions first, publications after a settling gap, on both.
-    for op in trace.ops() {
-        if let OpKind::Subscribe { sub, ttl } = &op.kind {
-            chord.subscribe(op.node, sub.clone(), *ttl).unwrap();
-            pastry.subscribe(op.node, sub.clone(), *ttl).unwrap();
-        }
-    }
-    chord.run_for_secs(120);
-    pastry.run_for_secs(120);
-    for op in trace.ops() {
-        if let OpKind::Publish { event } = &op.kind {
-            chord.publish(op.node, event.clone()).unwrap();
-            pastry.publish(op.node, event.clone()).unwrap();
-        }
-    }
-    chord.run_for_secs(300);
-    pastry.run_for_secs(300);
+    let chord = run_on::<ChordBackend>(pubsub.clone(), seed, nodes, &trace);
+    let pastry = run_on::<PastryBackend>(pubsub, seed, nodes, &trace);
 
-    let collect = |delivered: &dyn Fn(usize) -> Vec<(SubId, EventId)>| {
-        let mut set: BTreeSet<(SubId, EventId)> = BTreeSet::new();
-        for i in 0..nodes {
-            for pair in delivered(i) {
-                assert!(set.insert(pair), "duplicate delivery {pair:?}");
-            }
-        }
-        set
-    };
-    let chord_set = collect(&|i| {
-        chord
-            .delivered(i)
-            .iter()
-            .map(|n| (n.sub_id, n.event_id))
-            .collect()
-    });
-    let pastry_set = collect(&|i| {
-        pastry
-            .delivered(i)
-            .iter()
-            .map(|n| (n.sub_id, n.event_id))
-            .collect()
-    });
-    assert!(!chord_set.is_empty(), "workload produced no deliveries");
+    assert!(
+        !chord.delivered.is_empty(),
+        "{kind}/{notify:?}/disc={discretization}: workload produced no deliveries"
+    );
     assert_eq!(
-        chord_set, pastry_set,
-        "{kind}/{primitive:?}: overlays disagree on delivered notifications"
+        chord, pastry,
+        "{kind}/{notify:?}/disc={discretization}: overlays disagree"
     );
 }
 
-#[test]
-fn same_deliveries_mapping1_mcast() {
-    cross_overlay_check(MappingKind::AttributeSplit, Primitive::MCast, 71);
+/// The full matrix: 3 ak-mappings × 3 notification modes × discretization
+/// on/off. Split into one test per mapping so failures localize and the
+/// cells run in parallel.
+fn parity_matrix_for(kind: MappingKind, base_seed: u64) {
+    let period = SimDuration::from_secs(20);
+    let modes = [
+        NotifyMode::Immediate,
+        NotifyMode::Buffered { period },
+        NotifyMode::Collecting { period },
+    ];
+    for (i, notify) in modes.into_iter().enumerate() {
+        for (j, disc) in [1u64, 64].into_iter().enumerate() {
+            parity_cell(kind, notify, disc, base_seed + (i * 2 + j) as u64);
+        }
+    }
 }
 
 #[test]
-fn same_deliveries_mapping2_unicast() {
-    cross_overlay_check(MappingKind::KeySpaceSplit, Primitive::Unicast, 72);
+fn parity_matrix_attribute_split() {
+    parity_matrix_for(MappingKind::AttributeSplit, 710);
 }
 
 #[test]
-fn same_deliveries_mapping3_mcast() {
-    cross_overlay_check(MappingKind::SelectiveAttribute, Primitive::MCast, 73);
+fn parity_matrix_key_space_split() {
+    parity_matrix_for(MappingKind::KeySpaceSplit, 720);
 }
 
 #[test]
-fn same_deliveries_mapping3_walk() {
-    cross_overlay_check(MappingKind::SelectiveAttribute, Primitive::Walk, 74);
+fn parity_matrix_selective_attribute() {
+    parity_matrix_for(MappingKind::SelectiveAttribute, 730);
+}
+
+/// The non-default propagation primitives stay in parity too.
+#[test]
+fn same_deliveries_unicast_and_walk() {
+    for (primitive, seed) in [(Primitive::Unicast, 72), (Primitive::Walk, 74)] {
+        let nodes = 50;
+        let pubsub = PubSubConfig::paper_default()
+            .with_mapping(MappingKind::SelectiveAttribute)
+            .with_primitive(primitive);
+        let wl = WorkloadConfig::paper_default(nodes, 4)
+            .with_counts(30, 60)
+            .with_matching_probability(0.8);
+        let mut gen = WorkloadGen::new(pubsub.space.clone(), wl, seed);
+        let trace = gen.gen_trace();
+        let chord = run_on::<ChordBackend>(pubsub.clone(), seed, nodes, &trace);
+        let pastry = run_on::<PastryBackend>(pubsub, seed, nodes, &trace);
+        assert!(!chord.delivered.is_empty());
+        assert_eq!(chord, pastry, "{primitive:?}: overlays disagree");
+    }
+}
+
+/// Both builders share key assignment: same seed, same ring.
+#[test]
+fn same_seed_same_ring_across_backends() {
+    let chord = PubSubNetwork::builder().nodes(50).seed(91).build().unwrap();
+    let pastry = PubSubNetworkBuilder::<PastryBackend>::new()
+        .nodes(50)
+        .seed(91)
+        .build()
+        .unwrap();
+    assert_eq!(chord.ring().peers(), pastry.ring().peers());
 }
 
 // ---------------------------------------------------------------------
@@ -123,14 +171,14 @@ struct Probe {
     delivered: Vec<(u64, u32)>,
 }
 
-impl PastryApp for Probe {
+impl cbps_overlay::OverlayApp for Probe {
     type Payload = u64;
     type Timer = ();
     fn on_deliver(
         &mut self,
         payload: u64,
         d: cbps_overlay::Delivery,
-        _svc: &mut PastrySvc<'_, '_, u64, ()>,
+        _svc: &mut dyn OverlayServices<u64, ()>,
     ) {
         self.delivered.push((payload, d.hops));
     }
@@ -159,7 +207,6 @@ fn pastry_routing_reaches_oracle_successor() {
         let expect = ring.successor(key).idx;
         sim.with_node(i % 60, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                use cbps_overlay::OverlayServices;
                 svc.send(key, TrafficClass::OTHER, *probe, TraceId::NONE);
             })
         });
@@ -182,13 +229,14 @@ fn pastry_prefix_routing_is_logarithmic() {
         let key = space.key((i * 131 + 7) % space.size());
         sim.with_node(src, |node, ctx| {
             node.app_call(ctx, |_, svc| {
-                use cbps_overlay::OverlayServices;
                 svc.send(key, TrafficClass::OTHER, i + 100_000, TraceId::NONE);
             })
         });
     }
     sim.run();
-    let h = sim.metrics().histogram("pastry.dilation").unwrap();
+    // Routed through the shared handlers, dilation lands in the same
+    // per-class histograms as on Chord (observability parity).
+    let h = sim.metrics().histogram("dilation.other").unwrap();
     assert_eq!(h.len(), 500);
     // Prefix routing gains ≥ 1 bit per hop: ≤ m hops hard, ~log2(n) typical.
     assert!(h.mean() < 7.0, "mean dilation {}", h.mean());
@@ -209,7 +257,6 @@ fn pastry_mcast_exactly_once_over_covering_nodes() {
         .collect();
     sim.with_node(9, |node, ctx| {
         node.app_call(ctx, |_, svc| {
-            use cbps_overlay::OverlayServices;
             svc.mcast(&targets, TrafficClass::OTHER, 1, TraceId::NONE);
         })
     });

@@ -1,6 +1,6 @@
 //! Timed operation traces and their replay against a network.
 
-use cbps::{Event, Oracle, PubSubNetwork, SubId, Subscription};
+use cbps::{Event, Oracle, OverlayBackend, PubSubNetwork, SubId, Subscription};
 use cbps_sim::{SimDuration, SimTime};
 
 /// One workload operation.
@@ -87,7 +87,7 @@ impl Trace {
     ///
     /// The caller should afterwards run the network past the last delivery
     /// (e.g. [`PubSubNetwork::run_for_secs`]) before comparing.
-    pub fn replay(&self, net: &mut PubSubNetwork) -> ReplayOutcome {
+    pub fn replay<B: OverlayBackend>(&self, net: &mut PubSubNetwork<B>) -> ReplayOutcome {
         let mut oracle = Oracle::new();
         let mut sub_ids = Vec::new();
         let mut event_ids = Vec::new();

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use cbps::{MappingKind, Primitive, PubSubConfig, PubSubNetwork};
-use cbps_pastry::PastryPubSubNetwork;
+use cbps_pastry::PastryPubSubBuilder;
 use cbps_sim::TrafficClass;
 use cbps_workload::{OpKind, WorkloadConfig, WorkloadGen};
 
@@ -27,7 +27,9 @@ fn main() {
         .pubsub(pubsub.clone())
         .build()
         .expect("valid network configuration");
-    let mut pastry = PastryPubSubNetwork::builder()
+    // Same deployment façade, different type parameter: `PastryPubSub`
+    // is `PubSubNetwork<PastryBackend>`.
+    let mut pastry = PastryPubSubBuilder::new()
         .nodes(nodes)
         .seed(seed)
         .pubsub(pubsub)

@@ -8,11 +8,12 @@
 /// Everything a downstream experiment typically needs.
 pub mod prelude {
     pub use cbps::{
-        AkMapping, AttributeDef, Constraint, Event, EventId, EventSpace, MappingKind, NotifyMode,
-        Oracle, Primitive, PubSubConfig, PubSubNetwork, SubId, Subscription,
+        AkMapping, AttributeDef, ChordBackend, ChordPubSub, Constraint, Event, EventId, EventSpace,
+        MappingKind, NotifyMode, Oracle, OverlayBackend, Primitive, PubSubConfig, PubSubNetwork,
+        PubSubNetworkBuilder, SubId, Subscription,
     };
     pub use cbps_overlay::{Key, KeyRange, KeyRangeSet, KeySpace, OverlayConfig, Peer};
-    pub use cbps_pastry::{PastryConfig, PastryPubSubNetwork};
+    pub use cbps_pastry::{PastryBackend, PastryConfig, PastryPubSub, PastryPubSubBuilder};
     pub use cbps_sim::{NetConfig, SimDuration, SimTime, TrafficClass};
     pub use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 }
