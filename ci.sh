@@ -99,4 +99,31 @@ if ! diff "$smoke_dir/chord.fp" "$smoke_dir/pastry.fp"; then
 fi
 echo "==> overlay smoke passed (chord baseline byte-identical, fingerprints match)"
 
+# Shard A/B smoke: the conservative-lookahead sharded engine must be an
+# exact drop-in for the single-threaded loop. A quick-scale figures run
+# has to render byte-identical tables at --shards 1 and --shards 4, and a
+# replayed trace must print byte-identical run-trace output (including the
+# delivered-set fingerprint) at both shard counts. Only stdout tables and
+# fingerprints are diffed — NOT the report JSON: per-shard 1-in-64 queue
+# sampling legitimately changes peak_queue_depth across shard counts.
+echo "==> shard A/B smoke (figures/cbps --shards 1|4)"
+shard_experiments="route fig6 mcast"
+for shards in 1 4; do
+    # shellcheck disable=SC2086
+    ./target/release/figures --scale quick --jobs "$(nproc)" \
+        --shards "$shards" \
+        $shard_experiments >"$smoke_dir/shards$shards.tables" 2>/dev/null
+    ./target/release/cbps run-trace "$smoke_dir/smoke.trace" --nodes 80 --seed 5 \
+        --shards "$shards" >"$smoke_dir/shards$shards.rt"
+done
+if ! diff -u "$smoke_dir/shards1.tables" "$smoke_dir/shards4.tables"; then
+    echo "FAIL: --shards 1 and --shards 4 render different tables" >&2
+    exit 1
+fi
+if ! diff -u "$smoke_dir/shards1.rt" "$smoke_dir/shards4.rt"; then
+    echo "FAIL: --shards 1 and --shards 4 replay a trace differently" >&2
+    exit 1
+fi
+echo "==> shard smoke passed (tables and trace replay identical at 1 and 4 shards)"
+
 echo "==> tier-1 gate passed"

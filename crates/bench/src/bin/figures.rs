@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! figures [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
-//!         [--scheduler wheel|heap] [--csv DIR] [--json FILE]
+//!         [--scheduler wheel|heap] [--shards N] [--csv DIR] [--json FILE]
 //!         [--report FILE] [EXPERIMENT...]
 //! ```
 //!
@@ -14,7 +14,11 @@
 //! are byte-identical at any job count. `--scheduler wheel|heap` selects
 //! the simulator's event queue (default: wheel); the two produce
 //! byte-identical tables — only the wall times differ — which ci.sh
-//! verifies on every run. `--overlay chord|pastry` selects the routing
+//! verifies on every run. `--shards N` partitions every simulated network
+//! into `N` event-loop shards run on worker threads with conservative
+//! lookahead (default: 1, the classic single-threaded loop); delivered
+//! sets and tables stay identical at any shard count, which ci.sh also
+//! verifies. `--overlay chord|pastry` selects the routing
 //! substrate the deployment-style experiments run on (default: chord;
 //! `route` and `churn` calibrate Chord-specific machinery and always run
 //! on Chord, and the `overlay` comparison always runs both). `--json FILE` and `--report FILE`
@@ -76,6 +80,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => runner::set_shards(n),
+                _ => {
+                    eprintln!("--shards expects a positive integer");
+                    std::process::exit(2);
+                }
+            },
             "--overlay" => match args.next().as_deref().and_then(runner::BackendKind::parse) {
                 Some(kind) => runner::set_backend(kind),
                 None => {
@@ -113,7 +124,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--scale quick|paper] [--overlay chord|pastry] \
-                     [--jobs N] [--scheduler wheel|heap] [--csv DIR] \
+                     [--jobs N] [--scheduler wheel|heap] [--shards N] [--csv DIR] \
                      [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -197,6 +208,7 @@ fn main() {
         jobs: runner::jobs(),
         observability: runner::observability().name().to_owned(),
         scheduler: runner::scheduler().name().to_owned(),
+        shards: runner::shards(),
         overlay: runner::backend().name().to_owned(),
         experiments: records,
     };

@@ -5,6 +5,8 @@
 //! probe sched [--ops N] [--seed S]      heap vs wheel push/pop throughput
 //! probe match [--subs N] [--seed S]     MatchIndex match throughput
 //! probe overlay [--nodes N] [--seed S]  chord vs pastry end-to-end profile
+//! probe shard [--nodes N] [--seed S] [--json FILE]
+//!                                       sharded-engine scaling sweep
 //! ```
 //!
 //! `probe sched` replays the same seeded mixed-horizon workload (zero-delay
@@ -20,6 +22,13 @@
 //! through the one generic deployment façade and reports each substrate's
 //! simulator throughput, one-hop message total and per-request hop costs;
 //! it exits non-zero if the substrates disagree on delivered notifications.
+//! `probe shard` replays one fixed Chord workload with the event loop split
+//! into 1, 2, 4 and 8 conservative-lookahead shards, reports each run's
+//! events/sec and its speedup over the single-shard baseline, and exits
+//! non-zero if any shard count changes the delivered-set fingerprint; with
+//! `--json FILE` it also writes the sweep (plus the host's core count, so
+//! numbers from different machines are never compared blind) as a small
+//! JSON document.
 //!
 //! Unlike `figures`, these numbers are wall-clock measurements of isolated
 //! structures: use them for before/after comparisons on one machine, not as
@@ -261,6 +270,127 @@ fn probe_overlay(nodes: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// One shard count's measurement from the fixed shard-sweep workload.
+struct ShardPoint {
+    shards: usize,
+    events: u64,
+    secs: f64,
+    fingerprint: u64,
+    delivered: u64,
+}
+
+/// Replays the fixed workload with the engine split into `shards` shards
+/// and returns throughput plus an order-insensitive FNV-1a fingerprint of
+/// the delivered `(node, sub, event)` set — the same digest `cbps
+/// run-trace` prints, so a mismatch here is a correctness bug, not noise.
+fn shard_point(nodes: usize, seed: u64, shards: usize) -> ShardPoint {
+    use cbps_bench::runner::{self, paper_workload, run_trace, workload_gen, Deployment};
+
+    runner::set_shards(shards);
+    let deployment = Deployment::new(nodes, seed);
+    let cfg = paper_workload(nodes, 0)
+        .with_counts(nodes * 2, nodes * 4)
+        .with_matching_probability(0.5);
+    let mut gen = workload_gen(cfg, seed);
+    let trace = gen.gen_trace();
+    let mut net = deployment.build_on::<cbps::ChordBackend>();
+    let started = Instant::now();
+    let stats = run_trace(&mut net, &trace, 300);
+    let secs = started.elapsed().as_secs_f64();
+    let events = net.sim_mut().events_processed();
+
+    let mut delivered: Vec<(usize, u64, u64)> = Vec::new();
+    for idx in 0..nodes {
+        for note in net.delivered(idx) {
+            delivered.push((idx, note.sub_id.0, note.event_id.0));
+        }
+    }
+    delivered.sort_unstable();
+    let mut fingerprint = 0xcbf2_9ce4_8422_2325u64;
+    for (node, sub, event) in &delivered {
+        for word in [*node as u64, *sub, *event] {
+            for byte in word.to_le_bytes() {
+                fingerprint ^= u64::from(byte);
+                fingerprint = fingerprint.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    ShardPoint {
+        shards,
+        events,
+        secs,
+        fingerprint,
+        delivered: stats.delivered,
+    }
+}
+
+fn probe_shard(nodes: usize, seed: u64, json_out: Option<&str>) -> Result<(), String> {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "shard probe: {nodes} nodes, seed {seed}, fixed chord workload, \
+         host has {host_cores} core(s)"
+    );
+    let sweep = [1usize, 2, 4, 8];
+    let mut points = Vec::with_capacity(sweep.len());
+    for &shards in &sweep {
+        points.push(shard_point(nodes, seed, shards));
+    }
+    cbps_bench::runner::set_shards(1);
+
+    let base = points[0].events as f64 / points[0].secs.max(1e-9);
+    for p in &points {
+        let evs = p.events as f64 / p.secs.max(1e-9);
+        println!(
+            "  shards {:<2} {:>10.0} events/sec  ({} events, {:.3}s)  \
+             speedup {:.2}x  fingerprint {:#018x}",
+            p.shards,
+            evs,
+            p.events,
+            p.secs,
+            evs / base,
+            p.fingerprint,
+        );
+    }
+    if let Some(path) = json_out {
+        let mut doc = String::from("{\n  \"probe\": \"shard\",\n");
+        doc.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+        doc.push_str(&format!("  \"nodes\": {nodes},\n  \"seed\": {seed},\n"));
+        doc.push_str("  \"results\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            let evs = p.events as f64 / p.secs.max(1e-9);
+            doc.push_str(&format!(
+                "    {{\"shards\": {}, \"events\": {}, \"wall_secs\": {:.3}, \
+                 \"events_per_sec\": {:.0}, \"speedup_vs_1\": {:.2}, \
+                 \"fingerprint\": \"{:#018x}\"}}{}\n",
+                p.shards,
+                p.events,
+                p.secs,
+                evs,
+                evs / base,
+                p.fingerprint,
+                if i + 1 == points.len() { "" } else { "," },
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  sweep written to {path}");
+    }
+    for p in &points[1..] {
+        if p.fingerprint != points[0].fingerprint || p.delivered != points[0].delivered {
+            return Err(format!(
+                "shards {} changed the delivered set: fingerprint {:#x} != {:#x} \
+                 (delivered {} vs {})",
+                p.shards, p.fingerprint, points[0].fingerprint, p.delivered, points[0].delivered
+            ));
+        }
+    }
+    println!(
+        "  delivered-set fingerprint: {:#018x} (identical across shard counts)",
+        points[0].fingerprint
+    );
+    Ok(())
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == flag)
@@ -271,7 +401,8 @@ fn arg_value(args: &[String], flag: &str) -> Option<u64> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = "usage: probe sched [--ops N] [--seed S] | probe match [--subs N] [--seed S] \
-                 | probe overlay [--nodes N] [--seed S]";
+                 | probe overlay [--nodes N] [--seed S] \
+                 | probe shard [--nodes N] [--seed S] [--json FILE]";
     let outcome = match args.first().map(String::as_str) {
         Some("sched") => probe_sched(
             arg_value(&args, "--ops").unwrap_or(2_000_000) as usize,
@@ -284,6 +415,14 @@ fn main() {
         Some("overlay") => probe_overlay(
             arg_value(&args, "--nodes").unwrap_or(120) as usize,
             arg_value(&args, "--seed").unwrap_or(7),
+        ),
+        Some("shard") => probe_shard(
+            arg_value(&args, "--nodes").unwrap_or(256) as usize,
+            arg_value(&args, "--seed").unwrap_or(7),
+            args.iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str),
         ),
         _ => {
             eprintln!("{usage}");

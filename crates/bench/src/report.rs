@@ -148,6 +148,8 @@ pub struct RunReport {
     pub observability: String,
     /// Event-queue implementation name (`wheel` or `heap`).
     pub scheduler: String,
+    /// Event-loop shard count the networks ran with (1 = single-threaded).
+    pub shards: usize,
     /// Overlay substrate the sweep deployed on (`chord` or `pastry`).
     pub overlay: String,
     /// Per-experiment records, in run order.
@@ -169,6 +171,7 @@ impl RunReport {
             "  \"scheduler\": \"{}\",\n",
             escape(&self.scheduler)
         ));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str(&format!("  \"overlay\": \"{}\",\n", escape(&self.overlay)));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
@@ -344,6 +347,7 @@ mod tests {
             jobs: 2,
             observability: "full".into(),
             scheduler: "wheel".into(),
+            shards: 1,
             overlay: "chord".into(),
             experiments: vec![
                 ExperimentReport {
@@ -365,6 +369,7 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"cbps-report/v2\""));
         assert!(json.contains("\"overlay\": \"chord\""));
+        assert!(json.contains("\"shards\": 1"));
         // v1 fields keep their names so old baselines stay comparable.
         assert!(json.contains("\"wall_secs\": 1.500"));
         assert!(json.contains("\"events_per_sec\": 2000"));

@@ -28,6 +28,9 @@ static OBS_MODE: AtomicU8 = AtomicU8::new(0);
 /// Event-queue implementation applied to every built network
 /// (0 = timing wheel, 1 = binary heap).
 static SCHEDULER: AtomicU8 = AtomicU8::new(0);
+/// Event-loop shard count applied to every built network (1 = the classic
+/// single-threaded engine).
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
 /// Merged observability registries of every run since the last reset.
 /// Worker threads fold their run's registry in under this lock; the merge
 /// is commutative, so the result is job-count independent.
@@ -170,11 +173,26 @@ pub fn scheduler() -> SchedulerKind {
     }
 }
 
+/// Sets the event-loop shard count every subsequently built network uses
+/// (see `figures --shards`; `0` is coerced to 1). Tables and delivered
+/// sets are identical at any shard count under the paper's fixed-delay
+/// model.
+pub fn set_shards(n: usize) {
+    SHARDS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The event-loop shard count applied to built networks.
+pub fn shards() -> usize {
+    SHARDS.load(Ordering::Relaxed)
+}
+
 /// A [`NetConfig`] with the given seed and the globally selected
-/// scheduler. Experiments must build networks through this so the
-/// `--scheduler` knob reaches every run.
+/// scheduler and shard count. Experiments must build networks through
+/// this so the `--scheduler` and `--shards` knobs reach every run.
 pub fn net_config(seed: u64) -> NetConfig {
-    NetConfig::new(seed).with_scheduler(scheduler())
+    NetConfig::new(seed)
+        .with_scheduler(scheduler())
+        .with_shards(shards())
 }
 
 /// Folds one finished run into the global perf accumulators.

@@ -160,6 +160,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "discretization",
         "replication",
         "scheduler",
+        "shards",
         "overlay",
     ])?;
     let file = args
@@ -179,13 +180,14 @@ pub fn run_trace(args: &Args) -> Outcome {
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
+    let shards: usize = args.get_or("shards", 1)?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
     with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
-            .net_config(NetConfig::new(seed).with_scheduler(scheduler))
+            .net_config(NetConfig::new(seed).with_scheduler(scheduler).with_shards(shards))
             .pubsub(
                 PubSubConfig::paper_default()
                     .with_mapping(mapping)
@@ -257,6 +259,7 @@ pub fn stats(args: &Args) -> Outcome {
         "discretization",
         "replication",
         "scheduler",
+        "shards",
         "overlay",
         "out",
     ])?;
@@ -277,13 +280,14 @@ pub fn stats(args: &Args) -> Outcome {
     let discretization: u64 = args.get_or("discretization", 1)?;
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
+    let shards: usize = args.get_or("shards", 1)?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
     let record = with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
-            .net_config(NetConfig::new(seed).with_scheduler(scheduler))
+            .net_config(NetConfig::new(seed).with_scheduler(scheduler).with_shards(shards))
             .pubsub(
                 PubSubConfig::paper_default()
                     .with_mapping(mapping)
@@ -323,6 +327,7 @@ pub fn stats(args: &Args) -> Outcome {
         jobs: 1,
         observability: ObsMode::Full.name().to_owned(),
         scheduler: scheduler.name().to_owned(),
+        shards: shards.max(1),
         overlay: overlay.name().to_owned(),
         experiments: vec![record],
     };
@@ -394,7 +399,7 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale", "jobs", "overlay"])?;
+    args.check_flags(&["scale", "jobs", "shards", "overlay"])?;
     let name = args
         .positional()
         .get(1)
@@ -409,6 +414,7 @@ pub fn experiment(args: &Args) -> Outcome {
         return Err(ArgError("--jobs must be at least 1".into()));
     }
     cbps_bench::runner::set_jobs(jobs);
+    cbps_bench::runner::set_shards(args.get_or("shards", 1)?);
     cbps_bench::runner::set_backend(parse_overlay(args)?);
     let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
         ArgError(format!(

@@ -1,6 +1,6 @@
 //! Wire payloads of the CB-pub/sub layer, routed by the overlay.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cbps_overlay::{Key, Peer};
 use cbps_sim::{SimTime, TraceId};
@@ -17,7 +17,7 @@ pub struct NotifyItem {
     /// The matching event's id.
     pub event_id: EventId,
     /// The matching event, shared across every match it produced.
-    pub event: Rc<Event>,
+    pub event: Arc<Event>,
     /// Causal trace of the `pub(e)` operation that produced the match
     /// (always minted — ids are cheap; recording is what observability
     /// gates).
@@ -38,7 +38,7 @@ pub struct CollectItem {
     /// The matching event's id.
     pub event_id: EventId,
     /// The matching event, shared across every match it produced.
-    pub event: Rc<Event>,
+    pub event: Arc<Event>,
     /// Causal trace of the `pub(e)` operation that produced the match
     /// (always minted — ids are cheap; recording is what observability
     /// gates).
@@ -117,7 +117,7 @@ pub struct DeliveredNote {
     /// The event's id.
     pub event_id: EventId,
     /// The event content (shared with the rendezvous-side match items).
-    pub event: Rc<Event>,
+    pub event: Arc<Event>,
     /// Arrival (simulated) time at the subscriber.
     pub at: SimTime,
     /// Causal trace of the publication that produced this notification,

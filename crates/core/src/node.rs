@@ -4,7 +4,6 @@
 //! collecting protocol), and transferring state across membership changes.
 
 use std::collections::{HashMap, HashSet, VecDeque};
-use std::rc::Rc;
 use std::sync::Arc;
 
 use cbps_overlay::{Delivery, KeyRange, KeyRangeSet, OverlayApp, OverlayServices, Peer};
@@ -54,7 +53,7 @@ pub struct PubSubNode {
     flush_armed: bool,
     /// Reused match-result buffer for `handle_publish` (hot path; see
     /// [`SubscriptionStore::match_event_into`]).
-    match_buf: Vec<(SubId, Rc<StoredSub>)>,
+    match_buf: Vec<(SubId, Arc<StoredSub>)>,
 }
 
 impl PubSubNode {
@@ -321,12 +320,12 @@ impl PubSubNode {
         svc.obs_sample("rendezvous.fanout", matches.len() as u64);
         // One shared allocation for every match of this event: each item
         // clone below is a reference-count bump, not an event deep copy.
-        let event = Rc::new(event);
+        let event = Arc::new(event);
         for (sub_id, stored) in matches.drain(..) {
             let item = NotifyItem {
                 sub_id,
                 event_id: id,
-                event: Rc::clone(&event),
+                event: Arc::clone(&event),
                 trace,
             };
             match self.cfg.notify_mode {

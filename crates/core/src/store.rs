@@ -7,7 +7,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cbps_overlay::{KeyRangeSet, Peer};
 use cbps_sim::{SimTime, TraceId};
@@ -70,9 +70,9 @@ pub struct StoredSub {
 #[derive(Clone, Debug)]
 pub struct SubscriptionStore {
     index: MatchIndex,
-    /// Records are `Rc`-wrapped so matching hands out handles instead of
+    /// Records are `Arc`-wrapped so matching hands out handles instead of
     /// cloning the (constraint-vector-owning) record per hit.
-    meta: HashMap<SubId, Rc<StoredSub>>,
+    meta: HashMap<SubId, Arc<StoredSub>>,
     /// Min-heap of (expiry, id); entries may be stale (removed ids).
     expiry: BinaryHeap<Reverse<(SimTime, SubId)>>,
     peak: usize,
@@ -133,11 +133,11 @@ impl SubscriptionStore {
         }
         let fresh = self.index.insert(id, stored.sub.clone());
         if fresh {
-            self.meta.insert(id, Rc::new(stored));
+            self.meta.insert(id, Arc::new(stored));
             self.peak = self.peak.max(self.meta.len());
         } else if let Some(existing) = self.meta.get_mut(&id) {
             // Clones the record only if a match handle is still holding it.
-            Rc::make_mut(existing).expires = stored.expires;
+            Arc::make_mut(existing).expires = stored.expires;
         }
         fresh
     }
@@ -147,7 +147,7 @@ impl SubscriptionStore {
         self.index.remove(id);
         self.meta
             .remove(&id)
-            .map(|rc| Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
+            .map(|rc| Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
     }
 
     /// Drops every subscription whose expiry has passed. Returns the number
@@ -174,7 +174,7 @@ impl SubscriptionStore {
 
     /// All live subscriptions matched by `event`, with handles to their
     /// records. Purges expired entries first.
-    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, Rc<StoredSub>)> {
+    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, Arc<StoredSub>)> {
         let mut out = Vec::new();
         self.match_event_into(event, now, &mut out);
         out
@@ -183,20 +183,20 @@ impl SubscriptionStore {
     /// Writes all live subscriptions matched by `event` into `out`
     /// (cleared first). Purges expired entries first. Allocation-free at
     /// steady state: the id scratch, the match index scratch, and `out`
-    /// are all reused, and each hit costs one `Rc` bump instead of a
+    /// are all reused, and each hit costs one `Arc` bump instead of a
     /// record clone.
     pub fn match_event_into(
         &mut self,
         event: &Event,
         now: SimTime,
-        out: &mut Vec<(SubId, Rc<StoredSub>)>,
+        out: &mut Vec<(SubId, Arc<StoredSub>)>,
     ) {
         out.clear();
         self.purge_expired(now);
         let mut ids = std::mem::take(&mut self.scratch);
         self.index.matches_into(event, &mut ids);
         for &id in &ids {
-            out.push((id, Rc::clone(&self.meta[&id])));
+            out.push((id, Arc::clone(&self.meta[&id])));
         }
         self.scratch = ids;
     }

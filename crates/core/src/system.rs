@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use cbps_overlay::{Peer, RingView};
 use cbps_sim::{
-    Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, Simulator, StageRecord, TraceId,
+    Engine, Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, StageRecord, TraceId,
 };
 
 use crate::backend::{fresh_apps, ChordBackend, OverlayBackend};
@@ -55,7 +55,7 @@ use crate::subscription::{SubId, Subscription};
 /// ```
 #[derive(Debug)]
 pub struct PubSubNetwork<B: OverlayBackend = ChordBackend> {
-    sim: Simulator<B::Node>,
+    sim: Engine<B::Node>,
     ring: RingView,
     cfg: Arc<PubSubConfig>,
     overlay_cfg: B::Config,
@@ -196,10 +196,16 @@ impl<B: OverlayBackend> PubSubNetwork<B> {
         self.sim.metrics_mut()
     }
 
-    /// Direct access to the underlying simulator (advanced scenarios:
-    /// crash/revive, custom timers).
-    pub fn sim_mut(&mut self) -> &mut Simulator<B::Node> {
+    /// Direct access to the underlying simulation engine (advanced
+    /// scenarios: crash/revive, custom timers).
+    pub fn sim_mut(&mut self) -> &mut Engine<B::Node> {
         &mut self.sim
+    }
+
+    /// Number of event-loop shards driving this network (1 = the classic
+    /// single-threaded engine).
+    pub fn shards(&self) -> usize {
+        self.sim.shard_count()
     }
 
     /// The pub/sub state of a node.
@@ -508,6 +514,16 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
         self
     }
 
+    /// Sets the number of event-loop shards (default 1, the classic
+    /// single-threaded engine; `0` is coerced to 1). Values above 1 run
+    /// the conservative parallel engine, which
+    /// [`build`](PubSubNetworkBuilder::build) rejects unless the delay
+    /// model has a strictly positive minimum delay.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.net = self.net.with_shards(n);
+        self
+    }
+
     /// Replaces the substrate's overlay configuration.
     pub fn overlay(mut self, overlay: B::Config) -> Self {
         self.overlay = overlay;
@@ -562,6 +578,9 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
             }
             _ => {}
         }
+        if self.net.shards > 1 && self.net.lookahead().is_zero() {
+            return Err(ConfigError::ZeroLookahead);
+        }
         Ok(())
     }
 
@@ -579,7 +598,7 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
         let apps = fresh_apps(&cfg, self.nodes);
         let (sim, ring) = B::build(self.net, &self.overlay, apps);
         let mut net = PubSubNetwork {
-            sim,
+            sim: Engine::from_simulator(sim, self.net.shards),
             ring,
             cfg,
             overlay_cfg: self.overlay,

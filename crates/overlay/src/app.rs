@@ -9,7 +9,7 @@
 //! service surface as a trait object, the same application type runs
 //! unchanged over every substrate implementing [`RouteTable`].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cbps_rng::Rng;
 use cbps_sim::{Context, SimDuration, SimTime, TraceId, TrafficClass};
@@ -181,12 +181,12 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
     /// without a network hop. `trace` ties the message to the application
     /// operation it serves ([`TraceId::NONE`] for untraced traffic).
     pub fn send(&mut self, key: Key, class: TrafficClass, payload: P, trace: TraceId) {
-        self.send_rc(key, class, Rc::new(payload), trace);
+        self.send_rc(key, class, Arc::new(payload), trace);
     }
 
     /// [`OverlaySvc::send`] over an already-shared payload (no fresh
     /// allocation; used by the per-key fan-out).
-    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Rc<P>, trace: TraceId) {
+    fn send_rc(&mut self, key: Key, class: TrafficClass, payload: Arc<P>, trace: TraceId) {
         let me = self.state.me();
         let unicast = |hops| OverlayMsg::Unicast {
             key,
@@ -224,7 +224,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
         if targets.is_empty() {
             return;
         }
-        let payload = Rc::new(payload);
+        let payload = Arc::new(payload);
         let me = self.state.me();
         let (local, bundles) = self.state.mcast_split(targets);
         if !local.is_empty() {
@@ -233,7 +233,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
                 body: OverlayMsg::MCast {
                     targets: local,
                     class,
-                    payload: Rc::clone(&payload),
+                    payload: Arc::clone(&payload),
                     hops: 0,
                     src: me,
                     trace,
@@ -249,7 +249,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
                     body: OverlayMsg::MCast {
                         targets: subset,
                         class,
-                        payload: Rc::clone(&payload),
+                        payload: Arc::clone(&payload),
                         hops: 1,
                         src: me,
                         trace,
@@ -271,10 +271,10 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
         trace: TraceId,
     ) {
         let space = self.space();
-        let payload = Rc::new(payload);
+        let payload = Arc::new(payload);
         let keys: Vec<Key> = targets.iter_keys(space).collect();
         for key in keys {
-            self.send_rc(key, class, Rc::clone(&payload), trace);
+            self.send_rc(key, class, Arc::clone(&payload), trace);
         }
     }
 
@@ -289,7 +289,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
             body: OverlayMsg::Walk {
                 range,
                 class,
-                payload: Rc::new(payload),
+                payload: Arc::new(payload),
                 hops: 0,
                 src: me,
                 walking: false,
@@ -320,7 +320,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
             Envelope {
                 sender: me,
                 body: OverlayMsg::Direct {
-                    payload: Rc::new(payload),
+                    payload: Arc::new(payload),
                     class,
                 },
             },

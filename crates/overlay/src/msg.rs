@@ -5,7 +5,7 @@
 //! "finger caching" of §5.1). Application payloads are generic: the overlay
 //! routes them without inspecting them.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cbps_sim::{TraceId, TrafficClass};
 
@@ -38,7 +38,7 @@ pub enum OverlayMsg<P> {
         class: TrafficClass,
         /// Application payload, shared so every hop and branch bumps a
         /// reference count instead of deep-copying.
-        payload: Rc<P>,
+        payload: Arc<P>,
         /// One-hop transmissions so far (delivery dilation).
         hops: u32,
         /// The originating node.
@@ -55,7 +55,7 @@ pub enum OverlayMsg<P> {
         /// Traffic class used to count every hop of this message.
         class: TrafficClass,
         /// Application payload, shared across the branches of the split.
-        payload: Rc<P>,
+        payload: Arc<P>,
         /// One-hop transmissions so far on this branch.
         hops: u32,
         /// The originating node.
@@ -72,7 +72,7 @@ pub enum OverlayMsg<P> {
         /// Traffic class used to count every hop of this message.
         class: TrafficClass,
         /// Application payload, shared along the walk.
-        payload: Rc<P>,
+        payload: Arc<P>,
         /// One-hop transmissions so far.
         hops: u32,
         /// The originating node.
@@ -88,7 +88,7 @@ pub enum OverlayMsg<P> {
     /// notification-collecting protocol and state transfer).
     Direct {
         /// Application payload.
-        payload: Rc<P>,
+        payload: Arc<P>,
         /// Traffic class the hop was counted under.
         class: TrafficClass,
     },
@@ -153,8 +153,8 @@ pub enum OverlayMsg<P> {
 /// this is the last live reference (the common unicast case), one deep
 /// clone when sibling branches are still in flight.
 #[inline]
-pub fn take_payload<P: Clone>(rc: Rc<P>) -> P {
-    Rc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
+pub fn take_payload<P: Clone>(rc: Arc<P>) -> P {
+    Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone())
 }
 
 impl<P> OverlayMsg<P> {
@@ -189,11 +189,11 @@ mod tests {
 
     #[test]
     fn take_payload_avoids_copy_when_sole_owner() {
-        let rc = Rc::new(vec![1u8, 2, 3]);
+        let rc = Arc::new(vec![1u8, 2, 3]);
         let out = take_payload(rc);
         assert_eq!(out, vec![1, 2, 3]);
-        let shared = Rc::new(7u32);
-        let other = Rc::clone(&shared);
+        let shared = Arc::new(7u32);
+        let other = Arc::clone(&shared);
         assert_eq!(take_payload(shared), 7);
         assert_eq!(*other, 7);
     }
@@ -208,7 +208,7 @@ mod tests {
         let m: OverlayMsg<u8> = OverlayMsg::Unicast {
             key: s.key(3),
             class: TrafficClass::PUBLICATION,
-            payload: Rc::new(9),
+            payload: Arc::new(9),
             hops: 0,
             src,
             trace: TraceId::for_publication(0, 1),

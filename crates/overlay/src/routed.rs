@@ -9,7 +9,7 @@
 //! `on_message` just destructures the wire message and calls in here;
 //! backend-specific code shrinks to ring maintenance.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use cbps_sim::{Context, TraceId, TrafficClass};
 
@@ -75,7 +75,7 @@ pub fn handle_unicast<S: RouteTable, A: OverlayApp>(
     app: &mut A,
     key: Key,
     class: TrafficClass,
-    payload: Rc<A::Payload>,
+    payload: Arc<A::Payload>,
     hops: u32,
     src: Peer,
     trace: TraceId,
@@ -127,7 +127,7 @@ pub fn handle_mcast<S: RouteTable, A: OverlayApp>(
     app: &mut A,
     targets: KeyRangeSet,
     class: TrafficClass,
-    payload: Rc<A::Payload>,
+    payload: Arc<A::Payload>,
     hops: u32,
     src: Peer,
     trace: TraceId,
@@ -148,7 +148,7 @@ pub fn handle_mcast<S: RouteTable, A: OverlayApp>(
             OverlayMsg::MCast {
                 targets: subset,
                 class,
-                payload: Rc::clone(&payload),
+                payload: Arc::clone(&payload),
                 hops: hops + 1,
                 src,
                 trace,
@@ -180,7 +180,7 @@ pub fn handle_walk<S: RouteTable, A: OverlayApp>(
     app: &mut A,
     range: KeyRange,
     class: TrafficClass,
-    payload: Rc<A::Payload>,
+    payload: Arc<A::Payload>,
     hops: u32,
     src: Peer,
     walking: bool,
@@ -242,7 +242,7 @@ pub fn handle_walk<S: RouteTable, A: OverlayApp>(
         // Continue walking while range keys remain beyond our own key.
         Some(succ) => {
             if !local.is_empty() {
-                deliver(state, app, take_payload(Rc::clone(&payload)), ctx);
+                deliver(state, app, take_payload(Arc::clone(&payload)), ctx);
             }
             ctx.route_hop(trace, class);
             send_body::<S, A>(
@@ -275,7 +275,7 @@ pub fn handle_direct<S: RouteTable, A: OverlayApp>(
     state: &mut S,
     app: &mut A,
     sender: Peer,
-    payload: Rc<A::Payload>,
+    payload: Arc<A::Payload>,
     ctx: &mut RoutedCtx<'_, A>,
 ) {
     let mut svc = OverlaySvc::new(state, ctx);

@@ -34,6 +34,17 @@ impl DelayModel {
             }
         }
     }
+
+    /// The smallest delay this model can produce — the conservative
+    /// **lookahead** of the sharded engine: no message sent at time `t` can
+    /// arrive before `t + min_delay()`, so shards may run `min_delay()`
+    /// ahead of each other without risking a causality violation.
+    pub fn min_delay(&self) -> SimDuration {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { min, .. } => min,
+        }
+    }
 }
 
 impl Default for DelayModel {
@@ -101,6 +112,13 @@ pub struct NetConfig {
     pub loss_probability: f64,
     /// Event-queue implementation (timing wheel by default).
     pub scheduler: SchedulerKind,
+    /// Number of event-loop shards the node universe is partitioned into.
+    ///
+    /// `1` (the default) runs the classic single-threaded simulator.
+    /// Larger values run one worker thread per shard in bounded epochs of
+    /// the delay model's [`DelayModel::min_delay`] (conservative parallel
+    /// DES); requires a strictly positive minimum delay.
+    pub shards: usize,
 }
 
 impl NetConfig {
@@ -111,6 +129,7 @@ impl NetConfig {
             delay: DelayModel::default(),
             loss_probability: 0.0,
             scheduler: SchedulerKind::default(),
+            shards: 1,
         }
     }
 
@@ -138,6 +157,18 @@ impl NetConfig {
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Replaces the shard count (`0` is coerced to `1`).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// The conservative lookahead window available to the sharded engine
+    /// (the delay model's minimum delay).
+    pub fn lookahead(&self) -> SimDuration {
+        self.delay.min_delay()
     }
 }
 
@@ -194,5 +225,19 @@ mod tests {
     #[should_panic(expected = "out of [0, 1]")]
     fn loss_probability_validated() {
         let _ = NetConfig::new(0).with_loss_probability(1.5);
+    }
+
+    #[test]
+    fn shards_default_and_lookahead() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.shards, 1);
+        assert_eq!(cfg.lookahead(), SimDuration::from_millis(50));
+        assert_eq!(NetConfig::new(0).with_shards(0).shards, 1);
+        assert_eq!(NetConfig::new(0).with_shards(4).shards, 4);
+        let jitter = DelayModel::Uniform {
+            min: SimDuration::from_millis(10),
+            max: SimDuration::from_millis(20),
+        };
+        assert_eq!(jitter.min_delay(), SimDuration::from_millis(10));
     }
 }

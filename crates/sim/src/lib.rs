@@ -55,6 +55,7 @@
 mod config;
 mod metrics;
 mod obs;
+mod shard;
 mod sim;
 mod time;
 mod trace;
@@ -65,6 +66,7 @@ pub use metrics::{Histogram, Metrics, TrafficClass};
 pub use obs::{
     LogHistogram, ObsMode, ObsSummary, Observability, Stage, StageRecord, TraceId, TraceLog,
 };
+pub use shard::{Engine, ShardedSimulator};
 pub use sim::{Context, Node, NodeIdx, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceKind, Tracer};

@@ -72,13 +72,33 @@ pub struct Context<'a, M, T> {
 }
 
 #[derive(Debug)]
-enum Action<M, T> {
+pub(crate) enum Action<M, T> {
     Send { to: NodeIdx, msg: M },
     SendLocal { msg: M },
     ArmTimer { delay: SimDuration, timer: T },
 }
 
 impl<'a, M, T> Context<'a, M, T> {
+    /// Assembles a context for one upcall (shared with the sharded engine,
+    /// which drives upcalls from per-shard state).
+    pub(crate) fn assemble(
+        node: NodeIdx,
+        time: SimTime,
+        rng: &'a mut Rng,
+        metrics: &'a mut Metrics,
+        tracer: &'a mut Tracer,
+        actions: &'a mut Vec<Action<M, T>>,
+    ) -> Self {
+        Context {
+            node,
+            time,
+            rng,
+            metrics,
+            tracer,
+            actions,
+        }
+    }
+
     /// Index of the node this upcall runs on.
     pub fn self_idx(&self) -> NodeIdx {
         self.node
@@ -149,7 +169,7 @@ impl<'a, M, T> Context<'a, M, T> {
 }
 
 #[derive(Debug)]
-enum EventKind<M, T> {
+pub(crate) enum EventKind<M, T> {
     Deliver {
         from: NodeIdx,
         to: NodeIdx,
@@ -171,16 +191,16 @@ enum EventKind<M, T> {
 /// with a single branch-free integer comparison instead of a
 /// lexicographic pair compare.
 #[inline]
-fn pack(time: SimTime, seq: u64) -> u128 {
+pub(crate) fn pack(time: SimTime, seq: u64) -> u128 {
     ((time.as_micros() as u128) << 64) | seq as u128
 }
 
 #[inline]
-fn key_time(key: u128) -> SimTime {
+pub(crate) fn key_time(key: u128) -> SimTime {
     SimTime::from_micros((key >> 64) as u64)
 }
 
-struct Scheduled<M, T> {
+pub(crate) struct Scheduled<M, T> {
     key: u128,
     kind: EventKind<M, T>,
 }
@@ -209,13 +229,13 @@ impl<M, T> Ord for Scheduled<M, T> {
 /// [`crate::wheel`]). Both pop in exactly the same `(time, seq)` order,
 /// so a run is bit-identical under either — [`SchedulerKind`] in
 /// [`NetConfig`] selects one for A/B comparison.
-enum EventQueue<M, T> {
+pub(crate) enum EventQueue<M, T> {
     Heap(BinaryHeap<Scheduled<M, T>>),
     Wheel(Box<TimingWheel<EventKind<M, T>>>),
 }
 
 impl<M, T> EventQueue<M, T> {
-    fn new(kind: SchedulerKind) -> Self {
+    pub(crate) fn new(kind: SchedulerKind) -> Self {
         match kind {
             // Pre-sized so steady-state simulation almost never regrows
             // the heap's backing buffer mid-run.
@@ -225,7 +245,7 @@ impl<M, T> EventQueue<M, T> {
     }
 
     #[inline]
-    fn push(&mut self, key: u128, kind: EventKind<M, T>) {
+    pub(crate) fn push(&mut self, key: u128, kind: EventKind<M, T>) {
         match self {
             EventQueue::Heap(q) => q.push(Scheduled { key, kind }),
             EventQueue::Wheel(w) => w.push(key, kind),
@@ -233,7 +253,7 @@ impl<M, T> EventQueue<M, T> {
     }
 
     #[inline]
-    fn pop(&mut self) -> Option<(u128, EventKind<M, T>)> {
+    pub(crate) fn pop(&mut self) -> Option<(u128, EventKind<M, T>)> {
         match self {
             EventQueue::Heap(q) => q.pop().map(|s| (s.key, s.kind)),
             EventQueue::Wheel(w) => w.pop(),
@@ -241,19 +261,37 @@ impl<M, T> EventQueue<M, T> {
     }
 
     #[inline]
-    fn peek_key(&mut self) -> Option<u128> {
+    pub(crate) fn peek_key(&mut self) -> Option<u128> {
         match self {
             EventQueue::Heap(q) => q.peek().map(|s| s.key),
             EventQueue::Wheel(w) => w.peek_key(),
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             EventQueue::Heap(q) => q.len(),
             EventQueue::Wheel(w) => w.len(),
         }
     }
+}
+
+/// A queued event paired with its packed `(time, seq)` key.
+pub(crate) type KeyedEvent<M, T> = (u128, EventKind<M, T>);
+
+/// Raw decomposition of a [`Simulator`] consumed by the sharded engine.
+pub(crate) struct SimParts<N: Node> {
+    pub(crate) nodes: Vec<N>,
+    pub(crate) alive: Vec<bool>,
+    /// Queued events in `(time, seq)` pop order.
+    pub(crate) events: Vec<KeyedEvent<N::Msg, N::Timer>>,
+    pub(crate) config: NetConfig,
+    pub(crate) time: SimTime,
+    pub(crate) rng: Rng,
+    pub(crate) metrics: Metrics,
+    pub(crate) tracer: Tracer,
+    pub(crate) events_processed: u64,
+    pub(crate) queue_peak: usize,
 }
 
 /// A deterministic discrete-event simulator over a fixed node universe.
@@ -652,6 +690,28 @@ impl<N: Node> Simulator<N> {
                     );
                 }
             }
+        }
+    }
+
+    /// Decomposes the simulator into its raw parts so the sharded engine
+    /// can redistribute them (queued events are drained in `(time, seq)`
+    /// order, preserving determinism when they are re-sequenced per shard).
+    pub(crate) fn into_parts(mut self) -> SimParts<N> {
+        let mut events = Vec::with_capacity(self.queue.len());
+        while let Some(ev) = self.queue.pop() {
+            events.push(ev);
+        }
+        SimParts {
+            nodes: self.nodes,
+            alive: self.alive,
+            events,
+            config: self.config,
+            time: self.time,
+            rng: self.rng,
+            metrics: self.metrics,
+            tracer: self.tracer,
+            events_processed: self.events_processed,
+            queue_peak: self.queue_peak,
         }
     }
 

@@ -96,6 +96,27 @@ impl Tracer {
     pub fn with_tag<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
         self.entries.iter().filter(move |e| e.tag == tag)
     }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Folds per-shard tracers into this one in global time order (stable on
+    /// ties: lower shard index first), re-applying the ring-buffer bound.
+    pub(crate) fn absorb_shards(&mut self, parts: &mut [Tracer]) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut merged: Vec<TraceEntry> = Vec::new();
+        for part in parts.iter_mut() {
+            merged.extend(part.entries.drain(..));
+            self.dropped += part.dropped;
+        }
+        merged.sort_by_key(|e| e.at);
+        for entry in merged {
+            self.record(entry);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,109 @@
+//! End-to-end shard parity: a full pub/sub deployment — overlay, mappings,
+//! notification pipeline, churn — must deliver exactly the same
+//! notifications, count exactly the same messages and process exactly the
+//! same events whether the event loop runs single-threaded or split into
+//! conservative-lookahead shards. The sim-crate suite checks raw event
+//! ordering on toy nodes; this one checks everything layered on top,
+//! including the rendered experiment tables `ci.sh` diffs on every run.
+//!
+//! Deliberately NOT compared: `queue_peak` and the `queue.depth`
+//! observability histogram. Queue depth is sampled every 64th event *per
+//! shard*, so the sampling cadence legitimately changes with the shard
+//! count even though the event set does not.
+
+use cbps::{MappingKind, NotifyMode, PubSubConfig, PubSubNetwork, SubId};
+use cbps_sim::{SimDuration, TrafficClass};
+use cbps_workload::{WorkloadConfig, WorkloadGen};
+
+/// Replays a seeded workload with the event loop split into `shards`
+/// shards and renders every shard-invariant observable as one string.
+fn run_digest(shards: usize, seed: u64) -> String {
+    let mut net = PubSubNetwork::builder()
+        .nodes(40)
+        .seed(seed)
+        .shards(shards)
+        .pubsub(
+            PubSubConfig::paper_default()
+                .with_mapping(MappingKind::SelectiveAttribute)
+                .with_notify_mode(NotifyMode::Collecting {
+                    period: SimDuration::from_secs(10),
+                })
+                .with_replication(1),
+        )
+        .build()
+        .expect("valid network configuration");
+    let wl = WorkloadConfig::paper_default(40, 4)
+        .with_counts(80, 160)
+        .with_sub_ttl(Some(SimDuration::from_secs(300)));
+    let mut gen = WorkloadGen::new(net.config().space.clone(), wl, seed);
+    let trace = gen.gen_trace();
+    trace.replay(&mut net);
+    // Crash a node and join a fresh one mid-run so failure handling, state
+    // transfer and the sharded engine's queue rebuild are all compared.
+    net.crash(35);
+    net.run_for_secs(60);
+    net.join_new_node("parity-joiner", 0);
+    net.run_until(trace.end_time() + SimDuration::from_secs(300));
+
+    let mut deliveries: Vec<(usize, SubId, cbps::EventId)> = Vec::new();
+    for idx in 0..40 {
+        for note in net.delivered(idx) {
+            deliveries.push((idx, note.sub_id, note.event_id));
+        }
+    }
+    let messages: Vec<u64> = [
+        TrafficClass::SUBSCRIPTION,
+        TrafficClass::PUBLICATION,
+        TrafficClass::NOTIFICATION,
+        TrafficClass::COLLECT,
+        TrafficClass::STATE_TRANSFER,
+    ]
+    .iter()
+    .map(|&c| net.metrics().messages(c))
+    .collect();
+    let matches = net.metrics().counter("matches");
+    let delivered = net.metrics().counter("notifications.delivered");
+    let peaks = net.peak_stored_counts();
+    let events = net.sim_mut().events_processed();
+    format!(
+        "matches {matches} delivered {delivered} events {events} \
+         msgs {messages:?} peaks {peaks:?} deliveries {deliveries:?}"
+    )
+}
+
+#[test]
+fn pubsub_deployment_is_shard_count_independent() {
+    for seed in [3u64, 17] {
+        let single = run_digest(1, seed);
+        for shards in [2usize, 4] {
+            let sharded = run_digest(shards, seed);
+            assert_eq!(
+                single, sharded,
+                "seed {seed}: {shards}-shard run diverged from single-threaded"
+            );
+        }
+        // Guard against a degenerate workload that compared nothing.
+        assert!(
+            single.contains("delivered") && !single.contains("deliveries []"),
+            "workload delivered nothing: {single}"
+        );
+    }
+}
+
+/// The experiment harness path: the runner's process-wide shard knob must
+/// not change a single byte of a rendered experiment table. Kept as one
+/// test because the knob is global to the process.
+#[test]
+fn experiment_tables_are_shard_count_independent() {
+    let render = |shards: usize| {
+        cbps_bench::runner::set_shards(shards);
+        let tables = cbps_bench::experiments::run_named("route", cbps_bench::Scale::Quick)
+            .expect("route is a known experiment");
+        let out: Vec<String> = tables.iter().map(|t| t.render()).collect();
+        out.join("\n")
+    };
+    let single = render(1);
+    let sharded = render(4);
+    cbps_bench::runner::set_shards(1);
+    assert_eq!(single, sharded, "route tables differ between shard counts");
+}
