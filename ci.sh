@@ -126,4 +126,32 @@ if ! diff -u "$smoke_dir/shards1.rt" "$smoke_dir/shards4.rt"; then
 fi
 echo "==> shard smoke passed (tables and trace replay identical at 1 and 4 shards)"
 
+# Match-engine A/B smoke: the sorted-segment index must be an exact
+# drop-in for the counting index at rendezvous nodes. A quick-scale
+# figures run has to render byte-identical tables under both engines, and
+# a replayed trace must print byte-identical run-trace output (including
+# the delivered-set fingerprint). A small `probe match` run then
+# differentially checks both engines plus the covering store on a
+# skewed workload — it exits non-zero on any match-set mismatch.
+echo "==> match-engine A/B smoke (figures/cbps --match-engine counting|sorted)"
+engine_experiments="route fig6 mcast"
+for engine in counting sorted; do
+    # shellcheck disable=SC2086
+    ./target/release/figures --scale quick --jobs "$(nproc)" \
+        --match-engine "$engine" \
+        $engine_experiments >"$smoke_dir/$engine.tables" 2>/dev/null
+    ./target/release/cbps run-trace "$smoke_dir/smoke.trace" --nodes 80 --seed 5 \
+        --match-engine "$engine" >"$smoke_dir/$engine.rt"
+done
+if ! diff -u "$smoke_dir/counting.tables" "$smoke_dir/sorted.tables"; then
+    echo "FAIL: counting and sorted engines render different tables" >&2
+    exit 1
+fi
+if ! diff -u "$smoke_dir/counting.rt" "$smoke_dir/sorted.rt"; then
+    echo "FAIL: counting and sorted engines replay a trace differently" >&2
+    exit 1
+fi
+./target/release/probe match --subs 20000 --seed 7 >/dev/null
+echo "==> match-engine smoke passed (tables and trace replay identical, probe differential clean)"
+
 echo "==> tier-1 gate passed"

@@ -9,7 +9,9 @@
 
 use std::time::{Duration, Instant};
 
-use cbps::{AkMapping, Event, EventSpace, MappingKind, MatchIndex, SubId, Subscription};
+use cbps::{
+    AkMapping, Event, EventSpace, MappingKind, MatchIndex, SortedIndex, SubId, Subscription,
+};
 use cbps_overlay::{
     hash::sha1, KeyRangeSet, KeySpace, OverlayConfig, Peer, RingView, RoutingState,
 };
@@ -80,14 +82,25 @@ fn bench_mappings() {
 fn bench_matching() {
     let (space, subs, events) = workload(2000);
     let mut index = MatchIndex::new(&space);
+    let mut sorted = SortedIndex::new(&space);
     for (i, s) in subs.iter().enumerate() {
         index.insert(SubId(i as u64), s.clone());
+        sorted.insert(SubId(i as u64), s.clone());
     }
+    let mut hits = Vec::new();
     let mut i = 0;
     bench("matching-2000-subs/counting-index", || {
         let e = &events[i % events.len()];
         i += 1;
-        std::hint::black_box(index.matches(e));
+        index.matches_into(e, &mut hits);
+        std::hint::black_box(hits.len());
+    });
+    let mut i = 0;
+    bench("matching-2000-subs/sorted-index", || {
+        let e = &events[i % events.len()];
+        i += 1;
+        sorted.matches_into(e, &mut hits);
+        std::hint::black_box(hits.len());
     });
     let mut i = 0;
     bench("matching-2000-subs/brute-force", || {

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! figures [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
-//!         [--scheduler wheel|heap] [--shards N] [--csv DIR] [--json FILE]
-//!         [--report FILE] [EXPERIMENT...]
+//!         [--scheduler wheel|heap] [--shards N] [--match-engine counting|sorted]
+//!         [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
@@ -18,7 +18,11 @@
 //! into `N` event-loop shards run on worker threads with conservative
 //! lookahead (default: 1, the classic single-threaded loop); delivered
 //! sets and tables stay identical at any shard count, which ci.sh also
-//! verifies. `--overlay chord|pastry` selects the routing
+//! verifies. `--match-engine counting|sorted` selects the rendezvous
+//! matching engine (default: counting); the engines return identical
+//! match sets — only matching cost and memory layout change — so tables
+//! are byte-identical either way, a third invariant ci.sh checks.
+//! `--overlay chord|pastry` selects the routing
 //! substrate the deployment-style experiments run on (default: chord;
 //! `route` and `churn` calibrate Chord-specific machinery and always run
 //! on Chord, and the `overlay` comparison always runs both). `--json FILE` and `--report FILE`
@@ -36,7 +40,7 @@ use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner;
 use cbps_bench::Scale;
-use cbps_sim::{ObsMode, SchedulerKind};
+use cbps_sim::{MatchEngineKind, ObsMode, SchedulerKind};
 
 fn main() {
     let mut scale = Scale::Quick;
@@ -87,6 +91,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--match-engine" => match args.next().as_deref().and_then(MatchEngineKind::parse) {
+                Some(kind) => runner::set_match_engine(kind),
+                None => {
+                    eprintln!("--match-engine expects counting|sorted");
+                    std::process::exit(2);
+                }
+            },
             "--overlay" => match args.next().as_deref().and_then(runner::BackendKind::parse) {
                 Some(kind) => runner::set_backend(kind),
                 None => {
@@ -124,7 +135,8 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [--scale quick|paper] [--overlay chord|pastry] \
-                     [--jobs N] [--scheduler wheel|heap] [--shards N] [--csv DIR] \
+                     [--jobs N] [--scheduler wheel|heap] [--shards N] \
+                     [--match-engine counting|sorted] [--csv DIR] \
                      [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -209,6 +221,7 @@ fn main() {
         observability: runner::observability().name().to_owned(),
         scheduler: runner::scheduler().name().to_owned(),
         shards: runner::shards(),
+        match_engine: runner::match_engine().name().to_owned(),
         overlay: runner::backend().name().to_owned(),
         experiments: records,
     };

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! probe sched [--ops N] [--seed S]      heap vs wheel push/pop throughput
-//! probe match [--subs N] [--seed S]     MatchIndex match throughput
+//! probe match [--subs N] [--seed S] [--json FILE]
+//!                                       counting vs sorted engine sweep
 //! probe overlay [--nodes N] [--seed S]  chord vs pastry end-to-end profile
 //! probe shard [--nodes N] [--seed S] [--json FILE]
 //!                                       sharded-engine scaling sweep
@@ -15,9 +16,15 @@
 //! `BinaryHeap` and the timing-wheel scheduler, reports ops/sec for each,
 //! and cross-checks a running checksum of the pop order — a mismatch means
 //! the wheel broke the `(time, seq)` total order and the probe exits
-//! non-zero. `probe match` drives `MatchIndex::matches_into` over a
-//! paper-default workload and reports matches/sec; it is the knob to watch
-//! when touching the epoch-stamped scratch counters. `probe overlay` runs
+//! non-zero. `probe match` sweeps stored-subscription populations up to
+//! `--subs` (default 10^6) through both matching engines — the counting
+//! index and the sorted index — over the Zipf-skewed paper workload,
+//! reports each engine's matched events/sec and build time, and builds the
+//! same population through the covering `SubscriptionStore` to report how
+//! many physical entries covering leaves. Match sets are cross-checked
+//! event by event between the engines (and against the covering store), so
+//! a disagreement exits non-zero; with `--json FILE` the sweep is written
+//! as a small JSON document. `probe overlay` runs
 //! the identical pub/sub workload over the Chord and the Pastry substrate
 //! through the one generic deployment façade and reports each substrate's
 //! simulator throughput, one-hop message total and per-request hop costs;
@@ -163,35 +170,237 @@ fn probe_sched(ops: usize, seed: u64) -> Result<(), String> {
     Ok(())
 }
 
-fn probe_match(subs: usize, seed: u64) -> Result<(), String> {
-    let space = EventSpace::paper_default();
-    let cfg = WorkloadConfig::paper_default(100, 4).with_counts(subs, subs);
-    let mut gen = WorkloadGen::new(space.clone(), cfg, seed);
-    let stored: Vec<Subscription> = (0..subs).map(|_| gen.gen_subscription()).collect();
-    let events: Vec<Event> = stored.iter().map(|s| gen.gen_matching_event(s)).collect();
+/// One sweep point of the match probe.
+struct MatchPoint {
+    subs: usize,
+    counting_build_secs: f64,
+    sorted_build_secs: f64,
+    counting_secs: f64,
+    sorted_secs: f64,
+    matched: u64,
+    hits: u64,
+    physical: usize,
+    covering_build_secs: f64,
+}
 
-    let mut index = MatchIndex::new(&space);
-    for (i, sub) in stored.iter().enumerate() {
-        index.insert(SubId(i as u64), sub.clone());
+/// Measures both engines (and the covering store) over `n` stored
+/// subscriptions of the Zipf-skewed paper workload. Match sets are
+/// cross-checked event by event before any timing, so a disagreement is a
+/// hard error, never a skewed number.
+fn match_point(n: usize, seed: u64) -> Result<MatchPoint, String> {
+    use cbps::{MatchEngineKind, SortedIndex, StoredSub, SubscriptionStore};
+    use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
+    use cbps_sim::{SimTime, TraceId};
+
+    let space = EventSpace::paper_default();
+    // Two Zipf-skewed selective attributes plus per-dimension wildcards:
+    // the regime where covering bites (broad partially-specified
+    // subscriptions subsume narrow ones clustered on the same hotspots).
+    let cfg = WorkloadConfig::paper_default(100, 4)
+        .with_counts(n, n)
+        .with_selective_attrs(2)
+        .with_wildcard_probability(0.5);
+    let mut gen = WorkloadGen::new(space.clone(), cfg, seed);
+    let stored: Vec<Subscription> = (0..n).map(|_| gen.gen_subscription()).collect();
+    // A fixed probe set mixing hit-heavy events (targeted at a sample of
+    // the stored population) with uniform misses.
+    let mut events: Vec<Event> = stored
+        .iter()
+        .step_by((n / 128).max(1))
+        .take(128)
+        .map(|s| gen.gen_matching_event(s))
+        .collect();
+    while events.len() < 256 {
+        events.push(gen.gen_random_event());
     }
 
-    // Calibrate to a ~1s window.
-    let rounds = (200_000 / events.len()).max(1);
+    let started = Instant::now();
+    let mut counting = MatchIndex::new(&space);
+    for (i, sub) in stored.iter().enumerate() {
+        counting.insert(SubId(i as u64), sub.clone());
+    }
+    let counting_build_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let mut sorted = SortedIndex::new(&space);
+    for (i, sub) in stored.iter().enumerate() {
+        sorted.insert(SubId(i as u64), sub.clone());
+    }
+    let sorted_build_secs = started.elapsed().as_secs_f64();
+
+    // Differential pass: the two engines must agree on every probe event.
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for (i, event) in events.iter().enumerate() {
+        counting.matches_into(event, &mut a);
+        sorted.matches_into(event, &mut b);
+        if a != b {
+            return Err(format!(
+                "engines disagree at {n} subs on probe event {i}: \
+                 counting {} hits != sorted {} hits",
+                a.len(),
+                b.len()
+            ));
+        }
+    }
+
+    // Timed passes, identical loops over the same events.
+    let rounds = (2_000_000 / n).max(1);
     let mut out = Vec::new();
     let mut hits = 0u64;
     let started = Instant::now();
     for _ in 0..rounds {
         for event in &events {
-            index.matches_into(event, &mut out);
+            counting.matches_into(event, &mut out);
             hits += out.len() as u64;
         }
     }
-    let secs = started.elapsed().as_secs_f64();
+    let counting_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    for _ in 0..rounds {
+        for event in &events {
+            sorted.matches_into(event, &mut out);
+        }
+    }
+    let sorted_secs = started.elapsed().as_secs_f64();
     let matched = rounds as u64 * events.len() as u64;
-    println!("match probe: {subs} stored subscriptions, seed {seed}");
+
+    // Covering: the same population through the rendezvous store, which
+    // collapses covered subscriptions onto shared physical entries.
+    let keys = KeySpace::new(8);
+    let subscriber = Peer {
+        idx: 0,
+        key: keys.key(1),
+    };
+    let sk = KeyRangeSet::of_key(keys, keys.key(2));
+    let mut store = SubscriptionStore::with_options(&space, MatchEngineKind::Sorted, true);
+    let started = Instant::now();
+    for (i, sub) in stored.iter().enumerate() {
+        store.insert(
+            SubId(i as u64),
+            StoredSub {
+                sub: sub.clone(),
+                subscriber,
+                expires: SimTime::MAX,
+                sk: sk.clone(),
+                trace: TraceId::NONE,
+            },
+            SimTime::ZERO,
+        );
+    }
+    let covering_build_secs = started.elapsed().as_secs_f64();
+    // Spot-check: the covering store must deliver the raw engine's sets.
+    let mut store_out = Vec::new();
+    for (i, event) in events.iter().take(8).enumerate() {
+        counting.matches_into(event, &mut a);
+        store.match_event_into(event, SimTime::ZERO, &mut store_out);
+        let got: Vec<SubId> = store_out.iter().map(|(id, _)| *id).collect();
+        if got != a {
+            return Err(format!(
+                "covering store disagrees with raw engine at {n} subs on probe event {i}: \
+                 {} hits != {} hits",
+                got.len(),
+                a.len()
+            ));
+        }
+    }
+
+    Ok(MatchPoint {
+        subs: n,
+        counting_build_secs,
+        sorted_build_secs,
+        counting_secs,
+        sorted_secs,
+        matched,
+        hits,
+        physical: store.physical_len(),
+        covering_build_secs,
+    })
+}
+
+fn probe_match(subs: usize, seed: u64, json_out: Option<&str>) -> Result<(), String> {
     println!(
-        "  {:>10.0} events/sec matched  ({matched} events, {hits} hits, {secs:.3}s)",
-        matched as f64 / secs
+        "match probe: counting vs sorted engine, covering store, \
+         Zipf paper workload, seed {seed}"
+    );
+    let mut sweep: Vec<usize> = [subs / 10, subs / 3, subs]
+        .into_iter()
+        .filter(|&n| n >= 1)
+        .collect();
+    sweep.dedup();
+    let mut points = Vec::with_capacity(sweep.len());
+    for &n in &sweep {
+        points.push(match_point(n, seed)?);
+    }
+
+    for p in &points {
+        let counting_evs = p.matched as f64 / p.counting_secs.max(1e-9);
+        let sorted_evs = p.matched as f64 / p.sorted_secs.max(1e-9);
+        println!(
+            "  subs {:>8}  counting {:>9.0} events/sec  sorted {:>9.0} events/sec  \
+             sorted speedup {:.2}x  ({} events, {} hits)",
+            p.subs,
+            counting_evs,
+            sorted_evs,
+            sorted_evs / counting_evs.max(1e-9),
+            p.matched,
+            p.hits,
+        );
+        println!(
+            "  {:>13} build: counting {:.2}s, sorted {:.2}s; covering store: \
+             {} physical entries for {} subscriptions ({:.1}% saved, built in {:.2}s)",
+            "",
+            p.counting_build_secs,
+            p.sorted_build_secs,
+            p.physical,
+            p.subs,
+            100.0 * (1.0 - p.physical as f64 / p.subs as f64),
+            p.covering_build_secs,
+        );
+    }
+    if let Some(path) = json_out {
+        let mut doc = String::from("{\n  \"probe\": \"match\",\n");
+        doc.push_str(&format!(
+            "  \"host_cores\": {},\n",
+            std::thread::available_parallelism().map_or(1, |c| c.get())
+        ));
+        doc.push_str(&format!("  \"seed\": {seed},\n"));
+        doc.push_str("  \"results\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            let counting_evs = p.matched as f64 / p.counting_secs.max(1e-9);
+            let sorted_evs = p.matched as f64 / p.sorted_secs.max(1e-9);
+            doc.push_str(&format!(
+                "    {{\"subs\": {}, \"counting_events_per_sec\": {:.0}, \
+                 \"sorted_events_per_sec\": {:.0}, \"sorted_speedup\": {:.2}, \
+                 \"matched_events\": {}, \"hits\": {}, \
+                 \"counting_build_secs\": {:.3}, \"sorted_build_secs\": {:.3}, \
+                 \"covering_physical_entries\": {}, \"covering_saved_pct\": {:.1}, \
+                 \"covering_build_secs\": {:.3}}}{}\n",
+                p.subs,
+                counting_evs,
+                sorted_evs,
+                sorted_evs / counting_evs.max(1e-9),
+                p.matched,
+                p.hits,
+                p.counting_build_secs,
+                p.sorted_build_secs,
+                p.physical,
+                100.0 * (1.0 - p.physical as f64 / p.subs as f64),
+                p.covering_build_secs,
+                if i + 1 == points.len() { "" } else { "," },
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  sweep written to {path}");
+    }
+    let last = points.last().expect("sweep is never empty");
+    println!(
+        "  at {} subs the sorted engine is {:.2}x the counting engine; \
+         covering keeps {} physical entries ({:.1}% saved)",
+        last.subs,
+        (last.matched as f64 / last.sorted_secs.max(1e-9))
+            / (last.matched as f64 / last.counting_secs.max(1e-9)).max(1e-9),
+        last.physical,
+        100.0 * (1.0 - last.physical as f64 / last.subs as f64),
     );
     Ok(())
 }
@@ -400,7 +609,8 @@ fn arg_value(args: &[String], flag: &str) -> Option<u64> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: probe sched [--ops N] [--seed S] | probe match [--subs N] [--seed S] \
+    let usage = "usage: probe sched [--ops N] [--seed S] \
+                 | probe match [--subs N] [--seed S] [--json FILE] \
                  | probe overlay [--nodes N] [--seed S] \
                  | probe shard [--nodes N] [--seed S] [--json FILE]";
     let outcome = match args.first().map(String::as_str) {
@@ -409,8 +619,12 @@ fn main() {
             arg_value(&args, "--seed").unwrap_or(7),
         ),
         Some("match") => probe_match(
-            arg_value(&args, "--subs").unwrap_or(2_000) as usize,
+            arg_value(&args, "--subs").unwrap_or(1_000_000) as usize,
             arg_value(&args, "--seed").unwrap_or(7),
+            args.iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str),
         ),
         Some("overlay") => probe_overlay(
             arg_value(&args, "--nodes").unwrap_or(120) as usize,

@@ -150,6 +150,8 @@ pub struct RunReport {
     pub scheduler: String,
     /// Event-loop shard count the networks ran with (1 = single-threaded).
     pub shards: usize,
+    /// Matching engine rendezvous nodes ran (`counting` or `sorted`).
+    pub match_engine: String,
     /// Overlay substrate the sweep deployed on (`chord` or `pastry`).
     pub overlay: String,
     /// Per-experiment records, in run order.
@@ -172,6 +174,10 @@ impl RunReport {
             escape(&self.scheduler)
         ));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!(
+            "  \"match_engine\": \"{}\",\n",
+            escape(&self.match_engine)
+        ));
         out.push_str(&format!("  \"overlay\": \"{}\",\n", escape(&self.overlay)));
         out.push_str("  \"experiments\": [\n");
         for (i, e) in self.experiments.iter().enumerate() {
@@ -348,6 +354,7 @@ mod tests {
             observability: "full".into(),
             scheduler: "wheel".into(),
             shards: 1,
+            match_engine: "counting".into(),
             overlay: "chord".into(),
             experiments: vec![
                 ExperimentReport {
@@ -370,6 +377,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"cbps-report/v2\""));
         assert!(json.contains("\"overlay\": \"chord\""));
         assert!(json.contains("\"shards\": 1"));
+        assert!(json.contains("\"match_engine\": \"counting\""));
         // v1 fields keep their names so old baselines stay comparable.
         assert!(json.contains("\"wall_secs\": 1.500"));
         assert!(json.contains("\"events_per_sec\": 2000"));

@@ -13,7 +13,9 @@ use cbps::{
     ChordBackend, MappingKind, NotifyMode, OverlayBackend, Primitive, PubSubConfig, PubSubNetwork,
     PubSubNetworkBuilder,
 };
-use cbps_sim::{NetConfig, ObsMode, Observability, SchedulerKind, SimDuration, TrafficClass};
+use cbps_sim::{
+    MatchEngineKind, NetConfig, ObsMode, Observability, SchedulerKind, SimDuration, TrafficClass,
+};
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 
 /// Worker count for [`parallel_map`]; 1 = fully serial.
@@ -31,6 +33,9 @@ static SCHEDULER: AtomicU8 = AtomicU8::new(0);
 /// Event-loop shard count applied to every built network (1 = the classic
 /// single-threaded engine).
 static SHARDS: AtomicUsize = AtomicUsize::new(1);
+/// Matching engine every rendezvous node of a built network runs
+/// (0 = counting index, 1 = sorted index).
+static MATCH_ENGINE: AtomicU8 = AtomicU8::new(0);
 /// Merged observability registries of every run since the last reset.
 /// Worker threads fold their run's registry in under this lock; the merge
 /// is commutative, so the result is job-count independent.
@@ -186,13 +191,36 @@ pub fn shards() -> usize {
     SHARDS.load(Ordering::Relaxed)
 }
 
+/// Sets the matching engine every subsequently built network's rendezvous
+/// nodes use (see `figures --match-engine`; tables are identical either
+/// way — only matching cost and memory layout change).
+pub fn set_match_engine(kind: MatchEngineKind) {
+    MATCH_ENGINE.store(
+        match kind {
+            MatchEngineKind::Sorted => 1,
+            _ => 0,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The matching engine applied to built networks.
+pub fn match_engine() -> MatchEngineKind {
+    match MATCH_ENGINE.load(Ordering::Relaxed) {
+        1 => MatchEngineKind::Sorted,
+        _ => MatchEngineKind::Counting,
+    }
+}
+
 /// A [`NetConfig`] with the given seed and the globally selected
-/// scheduler and shard count. Experiments must build networks through
-/// this so the `--scheduler` and `--shards` knobs reach every run.
+/// scheduler, shard count, and matching engine. Experiments must build
+/// networks through this so the `--scheduler`, `--shards`, and
+/// `--match-engine` knobs reach every run.
 pub fn net_config(seed: u64) -> NetConfig {
     NetConfig::new(seed)
         .with_scheduler(scheduler())
         .with_shards(shards())
+        .with_match_engine(match_engine())
 }
 
 /// Folds one finished run into the global perf accumulators.

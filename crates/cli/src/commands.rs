@@ -7,7 +7,7 @@ use cbps::{
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner::BackendKind;
 use cbps_bench::with_backend;
-use cbps_sim::{NetConfig, ObsMode, SchedulerKind, SimDuration, TrafficClass};
+use cbps_sim::{MatchEngineKind, NetConfig, ObsMode, SchedulerKind, SimDuration, TrafficClass};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
 use crate::args::{ArgError, Args};
@@ -123,6 +123,11 @@ fn parse_scheduler(s: &str) -> Result<SchedulerKind, ArgError> {
     SchedulerKind::parse(s).ok_or_else(|| ArgError(format!("unknown scheduler {s:?} (wheel|heap)")))
 }
 
+fn parse_match_engine(s: &str) -> Result<MatchEngineKind, ArgError> {
+    MatchEngineKind::parse(s)
+        .ok_or_else(|| ArgError(format!("unknown match engine {s:?} (counting|sorted)")))
+}
+
 fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
     if s == "immediate" {
         return Ok(NotifyMode::Immediate);
@@ -161,6 +166,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "replication",
         "scheduler",
         "shards",
+        "match-engine",
         "overlay",
     ])?;
     let file = args
@@ -181,13 +187,19 @@ pub fn run_trace(args: &Args) -> Outcome {
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
     let shards: usize = args.get_or("shards", 1)?;
+    let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
     with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
-            .net_config(NetConfig::new(seed).with_scheduler(scheduler).with_shards(shards))
+            .net_config(
+                NetConfig::new(seed)
+                    .with_scheduler(scheduler)
+                    .with_shards(shards)
+                    .with_match_engine(match_engine),
+            )
             .pubsub(
                 PubSubConfig::paper_default()
                     .with_mapping(mapping)
@@ -260,6 +272,7 @@ pub fn stats(args: &Args) -> Outcome {
         "replication",
         "scheduler",
         "shards",
+        "match-engine",
         "overlay",
         "out",
     ])?;
@@ -281,13 +294,19 @@ pub fn stats(args: &Args) -> Outcome {
     let replication: usize = args.get_or("replication", 0)?;
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
     let shards: usize = args.get_or("shards", 1)?;
+    let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
     let record = with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
-            .net_config(NetConfig::new(seed).with_scheduler(scheduler).with_shards(shards))
+            .net_config(
+                NetConfig::new(seed)
+                    .with_scheduler(scheduler)
+                    .with_shards(shards)
+                    .with_match_engine(match_engine),
+            )
             .pubsub(
                 PubSubConfig::paper_default()
                     .with_mapping(mapping)
@@ -328,6 +347,7 @@ pub fn stats(args: &Args) -> Outcome {
         observability: ObsMode::Full.name().to_owned(),
         scheduler: scheduler.name().to_owned(),
         shards: shards.max(1),
+        match_engine: match_engine.name().to_owned(),
         overlay: overlay.name().to_owned(),
         experiments: vec![record],
     };
@@ -399,7 +419,7 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale", "jobs", "shards", "overlay"])?;
+    args.check_flags(&["scale", "jobs", "shards", "match-engine", "overlay"])?;
     let name = args
         .positional()
         .get(1)
@@ -415,6 +435,9 @@ pub fn experiment(args: &Args) -> Outcome {
     }
     cbps_bench::runner::set_jobs(jobs);
     cbps_bench::runner::set_shards(args.get_or("shards", 1)?);
+    cbps_bench::runner::set_match_engine(parse_match_engine(
+        args.get("match-engine").unwrap_or("counting"),
+    )?);
     cbps_bench::runner::set_backend(parse_overlay(args)?);
     let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
         ArgError(format!(

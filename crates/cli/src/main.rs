@@ -7,11 +7,11 @@
 //!                [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
 //!                [--notify immediate|buffered:S|collecting:S]
 //!                [--discretization W] [--replication R] [--scheduler wheel|heap]
-//!                [--shards N]
+//!                [--shards N] [--match-engine counting|sorted]
 //! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
 //! cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
-//!                [--shards N]
+//!                [--shards N] [--match-engine counting|sorted]
 //! ```
 
 mod args;
@@ -29,12 +29,13 @@ usage:
                  [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
                  [--notify immediate|buffered:SECS|collecting:SECS]
                  [--discretization W] [--replication R] [--scheduler wheel|heap]
-                 [--shards N]
+                 [--shards N] [--match-engine counting|sorted]
   cbps stats FILE [--out FILE] [run-trace deployment flags]
                  (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]
   cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
-                 [--shards N] (NAME: route, keys, fig5 … or all)
+                 [--shards N] [--match-engine counting|sorted]
+                 (NAME: route, keys, fig5 … or all)
 ";
 
 fn main() {

@@ -80,6 +80,13 @@ pub struct PubSubConfig {
     /// paper uses expiration to "simulate possible requests for
     /// unsubscriptions"; refresh turns that into a lease protocol).
     pub lease_refresh: bool,
+    /// Subscription covering at rendezvous nodes: subscriptions covered by
+    /// (or covering) already-stored ones share one physical matching-engine
+    /// entry. On by default — it changes memory and matching cost only,
+    /// never the delivered sets (see [`SubscriptionStore`]).
+    ///
+    /// [`SubscriptionStore`]: crate::SubscriptionStore
+    pub covering: bool,
 }
 
 impl PubSubConfig {
@@ -97,6 +104,7 @@ impl PubSubConfig {
             replication: 0,
             default_ttl: None,
             lease_refresh: false,
+            covering: true,
         }
     }
 
@@ -173,6 +181,12 @@ impl PubSubConfig {
     /// Enables or disables lease refresh of TTL-bearing subscriptions.
     pub fn with_lease_refresh(mut self, on: bool) -> Self {
         self.lease_refresh = on;
+        self
+    }
+
+    /// Enables or disables subscription covering at rendezvous nodes.
+    pub fn with_covering(mut self, on: bool) -> Self {
+        self.covering = on;
         self
     }
 

@@ -121,6 +121,15 @@ pub enum ConfigError {
     /// admits zero-delay hops, leaving the conservative parallel engine no
     /// lookahead window to run epochs in.
     ZeroLookahead,
+    /// The sorted matching engine was selected for an event space with
+    /// more dimensions than its per-row constrained-dimension bitmask can
+    /// hold.
+    TooManyDimensions {
+        /// Dimensions of the configured event space.
+        dims: usize,
+        /// The engine's limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -147,6 +156,10 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroLookahead => write!(
                 f,
                 "sharded simulation needs a delay model with a positive minimum delay"
+            ),
+            ConfigError::TooManyDimensions { dims, limit } => write!(
+                f,
+                "sorted matching engine supports at most {limit} dimensions, space has {dims}"
             ),
         }
     }

@@ -32,7 +32,8 @@ const BUCKETS: usize = 64;
 /// let mut index = MatchIndex::new(&space);
 /// let sub = Subscription::builder(&space).range("x", 10, 20)?.build()?;
 /// index.insert(SubId(1), sub);
-/// let hits = index.matches(&Event::new(&space, vec![15, 99])?);
+/// let mut hits = Vec::new();
+/// index.matches_into(&Event::new(&space, vec![15, 99])?, &mut hits);
 /// assert_eq!(hits, vec![SubId(1)]);
 /// # Ok::<(), cbps::PubSubError>(())
 /// ```
@@ -186,17 +187,6 @@ impl MatchIndex {
         self.slots[slot as usize].as_ref().map(|e| &e.sub)
     }
 
-    /// All subscriptions matched by `event`, in ascending id order.
-    ///
-    /// `&mut self` because the counting scratch is owned by the index and
-    /// reused across calls; see [`MatchIndex::matches_into`] for the
-    /// allocation-free form.
-    pub fn matches(&mut self, event: &Event) -> Vec<SubId> {
-        let mut out = Vec::new();
-        self.matches_into(event, &mut out);
-        out
-    }
-
     /// Writes all subscriptions matched by `event` into `out` (cleared
     /// first), in ascending id order. Allocation-free at steady state:
     /// the counting scratch is epoch-stamped rather than re-zeroed, so a
@@ -293,6 +283,7 @@ fn position_offset(widths: &[u64], sub: &Subscription, dim: usize, bucket: usize
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::MatchEngine;
     use crate::space::AttributeDef;
     use cbps_rng::Rng;
 

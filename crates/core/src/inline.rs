@@ -1,0 +1,124 @@
+//! A tiny small-vector: the first `N` elements live inline, longer lists
+//! spill to the heap. Used for covering-group member lists, where the
+//! overwhelming majority of groups hold a handful of subscriptions and a
+//! heap allocation per group would dominate the memory win of covering.
+//!
+//! The crate forbids `unsafe`, so instead of `MaybeUninit` tricks the
+//! inline buffer requires `T: Copy + Default` and keeps unused slots at
+//! `T::default()`.
+
+/// Inline-first vector of `Copy` elements.
+#[derive(Clone, Debug)]
+pub(crate) enum InlineVec<T: Copy + Default, const N: usize> {
+    /// Up to `N` elements stored in place.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Backing array; slots at `len..` hold `T::default()`.
+        buf: [T; N],
+    },
+    /// Spilled representation (never shrinks back inline).
+    Heap(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector. `N` must fit the inline length byte.
+    pub(crate) fn new() -> Self {
+        debug_assert!(N > 0 && N <= u8::MAX as usize);
+        InlineVec::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Number of elements.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len as usize,
+            InlineVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// `true` when no element is stored.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The elements as a slice.
+    pub(crate) fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { len, buf } => &buf[..*len as usize],
+            InlineVec::Heap(v) => v,
+        }
+    }
+
+    /// The elements as a mutable slice.
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [T] {
+        match self {
+            InlineVec::Inline { len, buf } => &mut buf[..*len as usize],
+            InlineVec::Heap(v) => v,
+        }
+    }
+
+    /// Appends an element, spilling to the heap on overflow.
+    pub(crate) fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                if (*len as usize) < N {
+                    buf[*len as usize] = value;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(N * 2);
+                    v.extend_from_slice(buf);
+                    v.push(value);
+                    *self = InlineVec::Heap(v);
+                }
+            }
+            InlineVec::Heap(v) => v.push(value),
+        }
+    }
+
+    /// Removes and returns the element at `i`, replacing it with the last
+    /// element (like [`Vec::swap_remove`]).
+    pub(crate) fn swap_remove(&mut self, i: usize) -> T {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                let last = *len as usize - 1;
+                assert!(i <= last, "swap_remove index {i} out of bounds");
+                let out = buf[i];
+                buf[i] = buf[last];
+                buf[last] = T::default();
+                *len -= 1;
+                out
+            }
+            InlineVec::Heap(v) => v.swap_remove(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_spills_and_swap_remove_everywhere() {
+        let mut v: InlineVec<u32, 4> = InlineVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(v.swap_remove(0), 0);
+        assert_eq!(v.as_slice(), &[3, 1, 2]);
+        for i in 4..10 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Heap(_)));
+        assert_eq!(v.len(), 9);
+        assert_eq!(v.swap_remove(1), 1);
+        assert_eq!(v.as_slice(), &[3, 9, 2, 4, 5, 6, 7, 8]);
+        v.as_mut_slice()[0] = 42;
+        assert_eq!(v.as_slice()[0], 42);
+    }
+}

@@ -48,20 +48,26 @@
 
 mod backend;
 mod config;
+mod covering;
+mod engine;
 mod error;
 mod event;
 mod index;
+mod inline;
 mod mapping;
 mod msg;
 mod node;
 mod oracle;
+mod sorted;
 mod space;
 mod store;
 mod subscription;
 mod system;
 
 pub use backend::{BackendCtx, ChordBackend, ChordPubSub, OverlayBackend};
+pub use cbps_sim::MatchEngineKind;
 pub use config::{NotifyMode, Primitive, PubSubConfig};
+pub use engine::{AnyMatchEngine, MatchEngine};
 pub use error::{ConfigError, PubSubError};
 pub use event::{Event, EventId};
 pub use index::MatchIndex;
@@ -69,6 +75,7 @@ pub use mapping::{AkMapping, EventKeyChoice, MappingKind};
 pub use msg::{CollectItem, DeliveredNote, NotifyItem, PubSubMsg, PubSubTimer};
 pub use node::PubSubNode;
 pub use oracle::Oracle;
+pub use sorted::SortedIndex;
 pub use space::{AttributeDef, EventSpace};
 pub use store::{StoredSub, SubscriptionStore};
 pub use subscription::{Constraint, SubId, Subscription, SubscriptionBuilder};

@@ -7,7 +7,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use cbps_overlay::{Delivery, KeyRange, KeyRangeSet, OverlayApp, OverlayServices, Peer};
-use cbps_sim::{SimDuration, SimTime, Stage, TraceId, TrafficClass};
+use cbps_sim::{MatchEngineKind, SimDuration, SimTime, Stage, TraceId, TrafficClass};
 
 use crate::config::{NotifyMode, Primitive, PubSubConfig};
 use crate::event::{Event, EventId};
@@ -57,9 +57,16 @@ pub struct PubSubNode {
 }
 
 impl PubSubNode {
-    /// Creates the pub/sub state for one node under a shared configuration.
+    /// Creates the pub/sub state for one node under a shared configuration,
+    /// using the default matching engine.
     pub fn new(cfg: Arc<PubSubConfig>) -> Self {
-        let store = SubscriptionStore::new(&cfg.space);
+        PubSubNode::with_engine(cfg, MatchEngineKind::default())
+    }
+
+    /// Creates the pub/sub state for one node with an explicit matching
+    /// engine (the configuration's covering flag applies either way).
+    pub fn with_engine(cfg: Arc<PubSubConfig>, engine: MatchEngineKind) -> Self {
+        let store = SubscriptionStore::with_options(&cfg.space, engine, cfg.covering);
         PubSubNode {
             cfg,
             store,

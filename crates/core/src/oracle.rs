@@ -94,6 +94,25 @@ impl Oracle {
         out
     }
 
+    /// The subscriptions active at `at` that match `event`, by brute
+    /// force, sorted by id.
+    ///
+    /// This is the per-event slice of [`expected`](Oracle::expected),
+    /// shaped for differential tests of the matching engines: feed the
+    /// same sub/unsub stream to an engine and the oracle, then compare
+    /// each probe's match set against `matching_at(event, now)`.
+    pub fn matching_at(&self, event: &Event, at: SimTime) -> Vec<SubId> {
+        let mut out: Vec<SubId> = self
+            .subs
+            .iter()
+            .filter(|s| s.issued <= at && at < s.expires && s.sub.matches(event))
+            .map(|s| s.id)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
     /// Number of recorded subscriptions.
     pub fn sub_count(&self) -> usize {
         self.subs.len()

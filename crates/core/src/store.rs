@@ -10,10 +10,11 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
 
 use cbps_overlay::{KeyRangeSet, Peer};
-use cbps_sim::{SimTime, TraceId};
+use cbps_sim::{MatchEngineKind, SimTime, TraceId};
 
+use crate::covering::CoveringTable;
+use crate::engine::{AnyMatchEngine, MatchEngine};
 use crate::event::Event;
-use crate::index::MatchIndex;
 use crate::space::EventSpace;
 use crate::subscription::{SubId, Subscription};
 
@@ -69,9 +70,15 @@ pub struct StoredSub {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SubscriptionStore {
-    index: MatchIndex,
+    /// The physical matching engine (counting or sorted).
+    engine: AnyMatchEngine,
+    /// Covering layer, when enabled: the engine then holds one physical
+    /// entry per covering *group* instead of one per subscription.
+    covering: Option<CoveringTable>,
     /// Records are `Arc`-wrapped so matching hands out handles instead of
-    /// cloning the (constraint-vector-owning) record per hit.
+    /// cloning the (constraint-vector-owning) record per hit. This map is
+    /// the *logical* store: `len`/`peak`/expiry always count every
+    /// subscription, grouped or not.
     meta: HashMap<SubId, Arc<StoredSub>>,
     /// Min-heap of (expiry, id); entries may be stale (removed ids).
     expiry: BinaryHeap<Reverse<(SimTime, SubId)>>,
@@ -81,10 +88,19 @@ pub struct SubscriptionStore {
 }
 
 impl SubscriptionStore {
-    /// Creates an empty store for subscriptions over `space`.
+    /// Creates an empty store for subscriptions over `space` with the
+    /// default engine (counting index) and covering enabled.
     pub fn new(space: &EventSpace) -> Self {
+        SubscriptionStore::with_options(space, MatchEngineKind::default(), true)
+    }
+
+    /// Creates an empty store with an explicit engine kind and covering
+    /// toggle. Both knobs change memory and speed only — never the match
+    /// sets.
+    pub fn with_options(space: &EventSpace, engine: MatchEngineKind, covering: bool) -> Self {
         SubscriptionStore {
-            index: MatchIndex::new(space),
+            engine: AnyMatchEngine::new(engine, space),
+            covering: covering.then(CoveringTable::new),
             meta: HashMap::new(),
             expiry: BinaryHeap::new(),
             peak: 0,
@@ -92,9 +108,25 @@ impl SubscriptionStore {
         }
     }
 
+    /// The engine kind this store runs.
+    pub fn match_engine(&self) -> MatchEngineKind {
+        self.engine.kind()
+    }
+
     /// Number of live subscriptions (assuming expired ones were purged).
     pub fn len(&self) -> usize {
         self.meta.len()
+    }
+
+    /// Number of entries in the physical matching engine. Equals
+    /// [`SubscriptionStore::len`] without covering; with covering it is
+    /// the number of groups — at most `len()`, far fewer on workloads
+    /// with duplicate or nested subscriptions.
+    pub fn physical_len(&self) -> usize {
+        match &self.covering {
+            Some(table) => table.physical_len(),
+            None => self.engine.len(),
+        }
     }
 
     /// `true` when nothing is stored.
@@ -130,24 +162,35 @@ impl SubscriptionStore {
         self.purge_expired(now);
         if stored.expires != SimTime::MAX {
             self.expiry.push(Reverse((stored.expires, id)));
+            self.shrink_expiry_heap();
         }
-        let fresh = self.index.insert(id, stored.sub.clone());
-        if fresh {
-            self.meta.insert(id, Arc::new(stored));
-            self.peak = self.peak.max(self.meta.len());
-        } else if let Some(existing) = self.meta.get_mut(&id) {
-            // Clones the record only if a match handle is still holding it.
+        if let Some(existing) = self.meta.get_mut(&id) {
+            // Refresh: the physical entry is untouched. Clones the record
+            // only if a match handle is still holding it.
             Arc::make_mut(existing).expires = stored.expires;
+            return false;
         }
-        fresh
+        match &mut self.covering {
+            Some(table) => table.insert(&mut self.engine, id, &stored.sub),
+            None => {
+                self.engine.insert(id, stored.sub.clone());
+            }
+        }
+        self.meta.insert(id, Arc::new(stored));
+        self.peak = self.peak.max(self.meta.len());
+        true
     }
 
     /// Removes a subscription (unsubscription), returning its record.
     pub fn remove(&mut self, id: SubId) -> Option<StoredSub> {
-        self.index.remove(id);
-        self.meta
-            .remove(&id)
-            .map(|rc| Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
+        let rc = self.meta.remove(&id)?;
+        match &mut self.covering {
+            Some(table) => table.remove(&mut self.engine, id, &rc.sub),
+            None => {
+                self.engine.remove(id);
+            }
+        }
+        Some(Arc::try_unwrap(rc).unwrap_or_else(|rc| (*rc).clone()))
     }
 
     /// Drops every subscription whose expiry has passed. Returns the number
@@ -161,30 +204,43 @@ impl SubscriptionStore {
             self.expiry.pop();
             // The entry is stale if the sub was removed or re-inserted with
             // a later expiry.
-            if let Some(stored) = self.meta.get(&id) {
-                if stored.expires <= now {
-                    self.meta.remove(&id);
-                    self.index.remove(id);
-                    purged += 1;
+            let live = self.meta.get(&id).is_some_and(|s| s.expires <= now);
+            if live {
+                let rc = self.meta.remove(&id).expect("checked above");
+                match &mut self.covering {
+                    Some(table) => table.remove(&mut self.engine, id, &rc.sub),
+                    None => {
+                        self.engine.remove(id);
+                    }
                 }
+                purged += 1;
             }
         }
         purged
     }
 
-    /// All live subscriptions matched by `event`, with handles to their
-    /// records. Purges expired entries first.
-    pub fn match_event(&mut self, event: &Event, now: SimTime) -> Vec<(SubId, Arc<StoredSub>)> {
-        let mut out = Vec::new();
-        self.match_event_into(event, now, &mut out);
-        out
+    /// Rebuilds the expiry heap when stale entries dominate. Refreshes and
+    /// removals leave `(expiry, id)` entries behind for ids whose record
+    /// changed or vanished (e.g. lease-refresh loops over covered
+    /// subscriptions); without an occasional sweep the heap would grow
+    /// without bound relative to the live population.
+    fn shrink_expiry_heap(&mut self) {
+        if self.expiry.len() <= 2 * self.meta.len() + 64 {
+            return;
+        }
+        let meta = &self.meta;
+        let mut entries = std::mem::take(&mut self.expiry).into_vec();
+        entries.retain(|&Reverse((t, id))| meta.get(&id).is_some_and(|s| s.expires == t));
+        self.expiry = entries.into();
     }
 
     /// Writes all live subscriptions matched by `event` into `out`
     /// (cleared first). Purges expired entries first. Allocation-free at
-    /// steady state: the id scratch, the match index scratch, and `out`
-    /// are all reused, and each hit costs one `Arc` bump instead of a
-    /// record clone.
+    /// steady state: the id scratch, the engine scratch, and `out` are
+    /// all reused, and each hit costs one `Arc` bump instead of a record
+    /// clone. This is the store's single matching entry point; the
+    /// engines' [`MatchEngine::matches`](crate::MatchEngine::matches)
+    /// wrapper exists for tests and examples.
     pub fn match_event_into(
         &mut self,
         event: &Event,
@@ -194,7 +250,10 @@ impl SubscriptionStore {
         out.clear();
         self.purge_expired(now);
         let mut ids = std::mem::take(&mut self.scratch);
-        self.index.matches_into(event, &mut ids);
+        match &mut self.covering {
+            Some(table) => table.matches_into(&mut self.engine, &self.meta, event, &mut ids),
+            None => self.engine.matches_into(event, &mut ids),
+        }
         for &id in &ids {
             out.push((id, Arc::clone(&self.meta[&id])));
         }
@@ -231,16 +290,139 @@ mod tests {
         }
     }
 
+    fn match_ids(st: &mut SubscriptionStore, e: &Event, now: SimTime) -> Vec<SubId> {
+        let mut out = Vec::new();
+        st.match_event_into(e, now, &mut out);
+        out.iter().map(|(id, _)| *id).collect()
+    }
+
     #[test]
     fn insert_and_match() {
         let mut st = SubscriptionStore::new(&space());
         st.insert(SubId(1), stored(0, 100, SimTime::MAX), SimTime::ZERO);
         st.insert(SubId(2), stored(50, 60, SimTime::MAX), SimTime::ZERO);
-        let hits = st.match_event(&Event::new_unchecked(vec![55]), SimTime::ZERO);
-        let ids: Vec<SubId> = hits.iter().map(|(id, _)| *id).collect();
+        let ids = match_ids(&mut st, &Event::new_unchecked(vec![55]), SimTime::ZERO);
         assert_eq!(ids, vec![SubId(1), SubId(2)]);
-        let hits = st.match_event(&Event::new_unchecked(vec![99]), SimTime::ZERO);
-        assert_eq!(hits.len(), 1);
+        let ids = match_ids(&mut st, &Event::new_unchecked(vec![99]), SimTime::ZERO);
+        assert_eq!(ids, vec![SubId(1)]);
+    }
+
+    /// `[50, 60] ⊆ [0, 100]`: with covering the two subscriptions share
+    /// one physical entry, without it they do not — and the logical match
+    /// sets are identical either way.
+    #[test]
+    fn covering_shares_physical_entries_without_changing_matches() {
+        for (engine, covering, phys) in [
+            (MatchEngineKind::Counting, true, 1),
+            (MatchEngineKind::Counting, false, 2),
+            (MatchEngineKind::Sorted, true, 1),
+            (MatchEngineKind::Sorted, false, 2),
+        ] {
+            let mut st = SubscriptionStore::with_options(&space(), engine, covering);
+            assert_eq!(st.match_engine(), engine);
+            st.insert(SubId(1), stored(0, 100, SimTime::MAX), SimTime::ZERO);
+            st.insert(SubId(2), stored(50, 60, SimTime::MAX), SimTime::ZERO);
+            assert_eq!(st.len(), 2);
+            assert_eq!(
+                st.physical_len(),
+                phys,
+                "engine {engine:?} covering {covering}"
+            );
+            assert_eq!(
+                match_ids(&mut st, &Event::new_unchecked(vec![55]), SimTime::ZERO),
+                vec![SubId(1), SubId(2)]
+            );
+            // 99 matches only the representative's own shape: the covered
+            // member must be re-verified and filtered out.
+            assert_eq!(
+                match_ids(&mut st, &Event::new_unchecked(vec![99]), SimTime::ZERO),
+                vec![SubId(1)]
+            );
+            // Un-cover: removing the representative's subscription keeps
+            // the covered one matching.
+            assert!(st.remove(SubId(1)).is_some());
+            assert_eq!(
+                match_ids(&mut st, &Event::new_unchecked(vec![55]), SimTime::ZERO),
+                vec![SubId(2)]
+            );
+            assert!(match_ids(&mut st, &Event::new_unchecked(vec![99]), SimTime::ZERO).is_empty());
+        }
+    }
+
+    /// A broader subscription arriving second absorbs the existing group
+    /// (reverse covering) instead of creating a new physical entry.
+    #[test]
+    fn reverse_absorption_widens_existing_group() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(50, 60, SimTime::MAX), SimTime::ZERO);
+        st.insert(SubId(2), stored(40, 80, SimTime::MAX), SimTime::ZERO);
+        assert_eq!(st.physical_len(), 1);
+        assert_eq!(
+            match_ids(&mut st, &Event::new_unchecked(vec![70]), SimTime::ZERO),
+            vec![SubId(2)]
+        );
+        assert_eq!(
+            match_ids(&mut st, &Event::new_unchecked(vec![55]), SimTime::ZERO),
+            vec![SubId(1), SubId(2)]
+        );
+    }
+
+    /// Covered subscriptions expire independently of their representative.
+    #[test]
+    fn covered_subscription_expiry_is_independent() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(
+            SubId(1),
+            stored(0, 100, SimTime::from_secs(10)),
+            SimTime::ZERO,
+        );
+        st.insert(
+            SubId(2),
+            stored(50, 60, SimTime::from_secs(100)),
+            SimTime::ZERO,
+        );
+        assert_eq!(st.physical_len(), 1);
+        assert_eq!(st.purge_expired(SimTime::from_secs(11)), 1);
+        assert_eq!(st.len(), 1);
+        assert_eq!(
+            match_ids(
+                &mut st,
+                &Event::new_unchecked(vec![55]),
+                SimTime::from_secs(11)
+            ),
+            vec![SubId(2)]
+        );
+        assert_eq!(st.purge_expired(SimTime::from_secs(101)), 1);
+        assert_eq!(st.len(), 0);
+        assert_eq!(st.physical_len(), 0);
+        assert_eq!(st.peak(), 2);
+    }
+
+    /// Lease-refresh loops must not grow the expiry heap without bound:
+    /// stale `(expiry, id)` entries are swept once they dominate.
+    #[test]
+    fn expiry_heap_sheds_stale_refresh_entries() {
+        let mut st = SubscriptionStore::new(&space());
+        for round in 0..1000u64 {
+            st.insert(
+                SubId(1),
+                stored(0, 10, SimTime::from_secs(1000 + round)),
+                SimTime::ZERO,
+            );
+        }
+        assert_eq!(st.len(), 1);
+        assert!(
+            st.expiry.len() <= 2 * st.len() + 64,
+            "heap kept {} entries for {} live subs",
+            st.expiry.len(),
+            st.len()
+        );
+        // The surviving entry is the *current* expiry: purging at the old
+        // deadlines drops nothing, at the refreshed one drops the sub.
+        assert_eq!(st.purge_expired(SimTime::from_secs(1500)), 0);
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.purge_expired(SimTime::from_secs(2000)), 1);
+        assert_eq!(st.len(), 0);
     }
 
     #[test]
@@ -280,7 +462,11 @@ mod tests {
         // Peak is a high-water mark: unaffected by purges.
         assert_eq!(st.peak(), 10);
         // Matching also purges.
-        let hits = st.match_event(&Event::new_unchecked(vec![5]), SimTime::from_secs(100));
+        let hits = match_ids(
+            &mut st,
+            &Event::new_unchecked(vec![5]),
+            SimTime::from_secs(100),
+        );
         assert!(hits.is_empty());
         assert_eq!(st.len(), 0);
     }
@@ -299,9 +485,7 @@ mod tests {
         st.insert(SubId(1), stored(0, 10, SimTime::MAX), SimTime::ZERO);
         assert!(st.remove(SubId(1)).is_some());
         assert!(st.remove(SubId(1)).is_none());
-        assert!(st
-            .match_event(&Event::new_unchecked(vec![5]), SimTime::ZERO)
-            .is_empty());
+        assert!(match_ids(&mut st, &Event::new_unchecked(vec![5]), SimTime::ZERO).is_empty());
     }
 
     #[test]

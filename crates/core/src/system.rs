@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use cbps_overlay::{Peer, RingView};
 use cbps_sim::{
-    Engine, Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime, StageRecord, TraceId,
+    Engine, MatchEngineKind, Metrics, NetConfig, NodeIdx, ObsMode, SimDuration, SimTime,
+    StageRecord, TraceId,
 };
 
 use crate::backend::{fresh_apps, ChordBackend, OverlayBackend};
@@ -59,6 +60,9 @@ pub struct PubSubNetwork<B: OverlayBackend = ChordBackend> {
     ring: RingView,
     cfg: Arc<PubSubConfig>,
     overlay_cfg: B::Config,
+    /// Matching engine newly joining nodes are created with (the same one
+    /// the initial population runs).
+    match_engine: MatchEngineKind,
 }
 
 /// Builder for [`PubSubNetwork`]. Start from
@@ -458,7 +462,7 @@ impl<B: OverlayBackend> PubSubNetwork<B> {
         let node = B::new_node(
             &self.overlay_cfg,
             me,
-            PubSubNode::new(Arc::clone(&self.cfg)),
+            PubSubNode::with_engine(Arc::clone(&self.cfg), self.match_engine),
         );
         let added = self.sim.add_node(node);
         debug_assert_eq!(added, idx);
@@ -524,6 +528,14 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
         self
     }
 
+    /// Sets the subscription-matching engine every node runs (default:
+    /// the counting index). Both engines deliver identical notification
+    /// sets; see [`MatchEngineKind`].
+    pub fn match_engine(mut self, engine: MatchEngineKind) -> Self {
+        self.net = self.net.with_match_engine(engine);
+        self
+    }
+
     /// Replaces the substrate's overlay configuration.
     pub fn overlay(mut self, overlay: B::Config) -> Self {
         self.overlay = overlay;
@@ -547,7 +559,9 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
     /// [`ConfigError::ReplicationTooLarge`] when the replication factor
     /// exceeds the successor-list length;
     /// [`ConfigError::ZeroFlushPeriod`] when a buffered or collecting
-    /// notify mode has a zero period.
+    /// notify mode has a zero period;
+    /// [`ConfigError::TooManyDimensions`] when the sorted matching engine
+    /// is selected for an event space of more than 64 dimensions.
     pub fn build(self) -> Result<PubSubNetwork<B>, ConfigError> {
         self.validate()?;
         Ok(self.build_unchecked())
@@ -581,6 +595,12 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
         if self.net.shards > 1 && self.net.lookahead().is_zero() {
             return Err(ConfigError::ZeroLookahead);
         }
+        if self.net.match_engine == MatchEngineKind::Sorted && self.pubsub.space.dims() > 64 {
+            return Err(ConfigError::TooManyDimensions {
+                dims: self.pubsub.space.dims(),
+                limit: 64,
+            });
+        }
         Ok(())
     }
 
@@ -595,13 +615,14 @@ impl<B: OverlayBackend> PubSubNetworkBuilder<B> {
     pub fn build_unchecked(self) -> PubSubNetwork<B> {
         assert!(self.nodes > 0, "a network needs at least one node");
         let cfg = self.pubsub.into_shared();
-        let apps = fresh_apps(&cfg, self.nodes);
+        let apps = fresh_apps(&cfg, self.nodes, self.net.match_engine);
         let (sim, ring) = B::build(self.net, &self.overlay, apps);
         let mut net = PubSubNetwork {
             sim: Engine::from_simulator(sim, self.net.shards),
             ring,
             cfg,
             overlay_cfg: self.overlay,
+            match_engine: self.net.match_engine,
         };
         if self.obs.enabled() {
             net.set_observability(self.obs);

@@ -8,7 +8,10 @@
 
 use std::collections::HashMap;
 
-use cbps::{AttributeDef, Event, EventSpace, StoredSub, SubId, Subscription, SubscriptionStore};
+use cbps::{
+    AttributeDef, Event, EventSpace, MatchEngineKind, StoredSub, SubId, Subscription,
+    SubscriptionStore,
+};
 use cbps_overlay::{KeyRangeSet, KeySpace, Peer};
 use cbps_rng::Rng;
 use cbps_sim::{SimTime, TraceId};
@@ -85,93 +88,110 @@ fn store_matches_naive_model() {
             let n = rng.gen_range(1usize..120);
             (0..n).map(|_| random_op(&mut rng)).collect()
         };
-        let space = EventSpace::new(vec![AttributeDef::new("x", 1000)]);
-        let keys = KeySpace::new(8);
-        let mut store = SubscriptionStore::new(&space);
-        let mut model = Model::default();
-        // Operations are applied at non-decreasing times; track a clock so
-        // purge/match times never go backwards (matching real usage).
-        let mut clock = 0u64;
+        // Every engine × covering combination must satisfy the model: the
+        // physical organization of the store is unobservable through its
+        // public API.
+        for (engine, covering) in [
+            (MatchEngineKind::Counting, false),
+            (MatchEngineKind::Counting, true),
+            (MatchEngineKind::Sorted, false),
+            (MatchEngineKind::Sorted, true),
+        ] {
+            check_against_model(case, engine, covering, &ops);
+        }
+    }
+}
 
-        for op in ops {
-            match op {
-                Op::Insert {
-                    id,
-                    lo,
-                    hi,
-                    expires,
-                } => {
-                    let expires_at = expires.map(|d| clock + d);
-                    let sub = Subscription::builder(&space)
-                        .range("x", lo, hi)
-                        .unwrap()
-                        .build()
-                        .unwrap();
-                    let stored = StoredSub {
-                        sub,
-                        subscriber: Peer {
-                            idx: 0,
-                            key: keys.key(1),
-                        },
-                        expires: expires_at.map(SimTime::from_secs).unwrap_or(SimTime::MAX),
-                        sk: KeyRangeSet::of_key(keys, keys.key(2)),
-                        trace: TraceId::NONE,
-                    };
-                    let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
-                    model.purge(clock);
-                    let model_fresh = !model.live.contains_key(&id);
-                    assert_eq!(
-                        fresh, model_fresh,
-                        "case {case}: insert freshness for id {id}"
-                    );
-                    let e = expires_at.unwrap_or(u64::MAX);
-                    if model_fresh {
-                        model.live.insert(id, (lo, hi, e));
-                        model.peak = model.peak.max(model.live.len());
-                    } else if let Some(rec) = model.live.get_mut(&id) {
-                        rec.2 = e; // duplicate insert refreshes the expiry
-                    }
-                }
-                Op::Remove { id } => {
-                    let got = store.remove(SubId(id)).is_some();
-                    let expect = model.live.remove(&id).is_some();
-                    assert_eq!(got, expect, "case {case}: remove {id}");
-                }
-                Op::Purge { at } => {
-                    clock = clock.max(at);
-                    store.purge_expired(SimTime::from_secs(clock));
-                    model.purge(clock);
-                    assert_eq!(
-                        store.len(),
-                        model.live.len(),
-                        "case {case}: len after purge"
-                    );
-                }
-                Op::Match { value, at } => {
-                    clock = clock.max(at);
-                    let hits = store.match_event(
-                        &Event::new_unchecked(vec![value]),
-                        SimTime::from_secs(clock),
-                    );
-                    model.purge(clock);
-                    let mut got: Vec<u64> = hits.iter().map(|(id, _)| id.0).collect();
-                    got.sort_unstable();
-                    let mut expect: Vec<u64> = model
-                        .live
-                        .iter()
-                        .filter(|(_, &(lo, hi, _))| lo <= value && value <= hi)
-                        .map(|(&id, _)| id)
-                        .collect();
-                    expect.sort_unstable();
-                    assert_eq!(got, expect, "case {case}: match at value {value}");
+fn check_against_model(case: usize, engine: MatchEngineKind, covering: bool, ops: &[Op]) {
+    let space = EventSpace::new(vec![AttributeDef::new("x", 1000)]);
+    let keys = KeySpace::new(8);
+    let mut store = SubscriptionStore::with_options(&space, engine, covering);
+    let mut model = Model::default();
+    let mut match_buf = Vec::new();
+    // Operations are applied at non-decreasing times; track a clock so
+    // purge/match times never go backwards (matching real usage).
+    let mut clock = 0u64;
+
+    for op in ops.iter().cloned() {
+        match op {
+            Op::Insert {
+                id,
+                lo,
+                hi,
+                expires,
+            } => {
+                let expires_at = expires.map(|d| clock + d);
+                let sub = Subscription::builder(&space)
+                    .range("x", lo, hi)
+                    .unwrap()
+                    .build()
+                    .unwrap();
+                let stored = StoredSub {
+                    sub,
+                    subscriber: Peer {
+                        idx: 0,
+                        key: keys.key(1),
+                    },
+                    expires: expires_at.map(SimTime::from_secs).unwrap_or(SimTime::MAX),
+                    sk: KeyRangeSet::of_key(keys, keys.key(2)),
+                    trace: TraceId::NONE,
+                };
+                let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
+                model.purge(clock);
+                let model_fresh = !model.live.contains_key(&id);
+                assert_eq!(
+                    fresh, model_fresh,
+                    "case {case}: insert freshness for id {id}"
+                );
+                let e = expires_at.unwrap_or(u64::MAX);
+                if model_fresh {
+                    model.live.insert(id, (lo, hi, e));
+                    model.peak = model.peak.max(model.live.len());
+                } else if let Some(rec) = model.live.get_mut(&id) {
+                    rec.2 = e; // duplicate insert refreshes the expiry
                 }
             }
+            Op::Remove { id } => {
+                let got = store.remove(SubId(id)).is_some();
+                let expect = model.live.remove(&id).is_some();
+                assert_eq!(got, expect, "case {case}: remove {id}");
+            }
+            Op::Purge { at } => {
+                clock = clock.max(at);
+                store.purge_expired(SimTime::from_secs(clock));
+                model.purge(clock);
+                assert_eq!(
+                    store.len(),
+                    model.live.len(),
+                    "case {case}: len after purge"
+                );
+            }
+            Op::Match { value, at } => {
+                clock = clock.max(at);
+                store.match_event_into(
+                    &Event::new_unchecked(vec![value]),
+                    SimTime::from_secs(clock),
+                    &mut match_buf,
+                );
+                model.purge(clock);
+                let mut got: Vec<u64> = match_buf.iter().map(|(id, _)| id.0).collect();
+                got.sort_unstable();
+                let mut expect: Vec<u64> = model
+                    .live
+                    .iter()
+                    .filter(|(_, &(lo, hi, _))| lo <= value && value <= hi)
+                    .map(|(&id, _)| id)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(got, expect, "case {case}: match at value {value}");
+            }
         }
-        // Final invariants.
-        assert_eq!(store.len(), model.live.len(), "case {case}: final len");
-        assert!(
-            store.peak() >= model.peak,
-            "case {case}: real peak may only exceed the model's (sweeps are lazier)"
-        );
     }
+    // Final invariants.
+    assert_eq!(store.len(), model.live.len(), "case {case}: final len");
+    assert!(
+        store.peak() >= model.peak,
+        "case {case}: real peak may only exceed the model's (sweeps are lazier), \
+         engine {engine:?} covering {covering}"
+    );
 }

@@ -88,6 +88,44 @@ impl SchedulerKind {
     }
 }
 
+/// Which subscription-matching engine rendezvous nodes run.
+///
+/// Both engines produce identical match sets — the counting index is the
+/// reference implementation and the sorted index must reproduce it exactly
+/// (see the differential suites in `cbps-core`) — so this knob exists for
+/// A/B benchmarking, mirroring [`SchedulerKind`]. Defined here because
+/// [`NetConfig`] is the single source of deployment-wide knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum MatchEngineKind {
+    /// Counting algorithm over per-dimension bucket lists (Fabret et al.).
+    /// The default and the byte-identical oracle.
+    #[default]
+    Counting,
+    /// Flat struct-of-arrays table, span-class sorted segments, linear
+    /// early-exit scans. Built for 10^5–10^6 subscriptions per node.
+    Sorted,
+}
+
+impl MatchEngineKind {
+    /// Parses `"counting"` or `"sorted"` (as accepted by the CLI tools).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "counting" => Some(MatchEngineKind::Counting),
+            "sorted" => Some(MatchEngineKind::Sorted),
+            _ => None,
+        }
+    }
+
+    /// The name [`MatchEngineKind::parse`] accepts for this variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            MatchEngineKind::Counting => "counting",
+            MatchEngineKind::Sorted => "sorted",
+        }
+    }
+}
+
 /// Top-level configuration for a [`Simulator`](crate::Simulator).
 ///
 /// # Examples
@@ -112,6 +150,10 @@ pub struct NetConfig {
     pub loss_probability: f64,
     /// Event-queue implementation (timing wheel by default).
     pub scheduler: SchedulerKind,
+    /// Subscription-matching engine run by rendezvous nodes (counting
+    /// index by default). Purely an implementation knob: both engines
+    /// deliver identical notification sets.
+    pub match_engine: MatchEngineKind,
     /// Number of event-loop shards the node universe is partitioned into.
     ///
     /// `1` (the default) runs the classic single-threaded simulator.
@@ -129,6 +171,7 @@ impl NetConfig {
             delay: DelayModel::default(),
             loss_probability: 0.0,
             scheduler: SchedulerKind::default(),
+            match_engine: MatchEngineKind::default(),
             shards: 1,
         }
     }
@@ -156,6 +199,12 @@ impl NetConfig {
     /// Replaces the event-queue implementation.
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Replaces the subscription-matching engine.
+    pub fn with_match_engine(mut self, engine: MatchEngineKind) -> Self {
+        self.match_engine = engine;
         self
     }
 
@@ -219,6 +268,17 @@ mod tests {
             assert_eq!(SchedulerKind::parse(kind.name()), Some(kind));
         }
         assert_eq!(SchedulerKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn match_engine_kind_parse_roundtrip() {
+        assert_eq!(NetConfig::default().match_engine, MatchEngineKind::Counting);
+        for kind in [MatchEngineKind::Counting, MatchEngineKind::Sorted] {
+            assert_eq!(MatchEngineKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(MatchEngineKind::parse("bogus"), None);
+        let cfg = NetConfig::new(0).with_match_engine(MatchEngineKind::Sorted);
+        assert_eq!(cfg.match_engine, MatchEngineKind::Sorted);
     }
 
     #[test]

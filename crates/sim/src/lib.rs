@@ -61,7 +61,7 @@ mod time;
 mod trace;
 pub mod wheel;
 
-pub use config::{DelayModel, NetConfig, SchedulerKind};
+pub use config::{DelayModel, MatchEngineKind, NetConfig, SchedulerKind};
 pub use metrics::{Histogram, Metrics, TrafficClass};
 pub use obs::{
     LogHistogram, ObsMode, ObsSummary, Observability, Stage, StageRecord, TraceId, TraceLog,

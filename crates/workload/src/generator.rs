@@ -124,6 +124,24 @@ impl WorkloadConfig {
         self
     }
 
+    /// Sets the per-dimension wildcard probability. The paper's
+    /// subscriptions constrain every attribute (0.0); non-zero values
+    /// model partially-specified subscriptions, which is also what makes
+    /// subscription covering bite — a broadly-constrained subscription
+    /// can then subsume narrower ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_wildcard_probability(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "wildcard probability {p} out of [0, 1]"
+        );
+        self.wildcard_probability = p;
+        self
+    }
+
     /// Sets the mean matching-event streak length (temporal locality).
     ///
     /// # Panics
