@@ -154,4 +154,33 @@ fi
 ./target/release/probe match --subs 20000 --seed 7 >/dev/null
 echo "==> match-engine smoke passed (tables and trace replay identical, probe differential clean)"
 
+# Pool A/B smoke: the slab pool recycling in-flight envelope/timer slots
+# is a pure allocation strategy, so a quick-scale figures run must render
+# byte-identical tables with pooling on (reuse) and off (fresh), and a
+# replayed trace must print byte-identical run-trace output (including
+# the delivered-set fingerprint) under both modes. The allocation audit
+# then re-runs the fixed workload under a counting global allocator —
+# `probe alloc` exits non-zero unless the steady-state window after
+# warmup performs exactly zero heap allocations with the reuse pool.
+echo "==> pool A/B smoke (figures/cbps --pool reuse|fresh) and allocation audit"
+pool_experiments="route fig6 mcast"
+for pool in reuse fresh; do
+    # shellcheck disable=SC2086
+    ./target/release/figures --scale quick --jobs "$(nproc)" \
+        --pool "$pool" \
+        $pool_experiments >"$smoke_dir/pool-$pool.tables" 2>/dev/null
+    ./target/release/cbps run-trace "$smoke_dir/smoke.trace" --nodes 80 --seed 5 \
+        --pool "$pool" >"$smoke_dir/pool-$pool.rt"
+done
+if ! diff -u "$smoke_dir/pool-reuse.tables" "$smoke_dir/pool-fresh.tables"; then
+    echo "FAIL: --pool reuse and --pool fresh render different tables" >&2
+    exit 1
+fi
+if ! diff -u "$smoke_dir/pool-reuse.rt" "$smoke_dir/pool-fresh.rt"; then
+    echo "FAIL: --pool reuse and --pool fresh replay a trace differently" >&2
+    exit 1
+fi
+./target/release/probe alloc --nodes 120 --seed 7 >/dev/null
+echo "==> pool smoke passed (tables and trace replay identical, steady state allocation-free)"
+
 echo "==> tier-1 gate passed"

@@ -98,6 +98,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--pool" => match args.next().as_deref().and_then(cbps_sim::PoolMode::parse) {
+                Some(mode) => runner::set_pool(mode),
+                None => {
+                    eprintln!("--pool expects reuse|fresh");
+                    std::process::exit(2);
+                }
+            },
             "--overlay" => match args.next().as_deref().and_then(runner::BackendKind::parse) {
                 Some(kind) => runner::set_backend(kind),
                 None => {
@@ -136,7 +143,7 @@ fn main() {
                 println!(
                     "usage: figures [--scale quick|paper] [--overlay chord|pastry] \
                      [--jobs N] [--scheduler wheel|heap] [--shards N] \
-                     [--match-engine counting|sorted] [--csv DIR] \
+                     [--match-engine counting|sorted] [--pool reuse|fresh] [--csv DIR] \
                      [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -181,6 +188,7 @@ fn main() {
             events,
             peak_queue_depth,
             obs,
+            alloc: None,
         });
         for table in &tables {
             println!("{}", table.render());

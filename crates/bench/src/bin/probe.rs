@@ -8,6 +8,8 @@
 //! probe overlay [--nodes N] [--seed S]  chord vs pastry end-to-end profile
 //! probe shard [--nodes N] [--seed S] [--json FILE]
 //!                                       sharded-engine scaling sweep
+//! probe alloc [--nodes N] [--seed S] [--pool reuse|fresh] [--json FILE]
+//!                                       heap-allocation audit
 //! ```
 //!
 //! `probe sched` replays the same seeded mixed-horizon workload (zero-delay
@@ -35,20 +37,72 @@
 //! non-zero if any shard count changes the delivered-set fingerprint; with
 //! `--json FILE` it also writes the sweep (plus the host's core count, so
 //! numbers from different machines are never compared blind) as a small
-//! JSON document.
+//! JSON document. `probe alloc` runs the whole binary under a counting
+//! global allocator, replays the fixed chord workload, and reports heap
+//! allocations per simulated event — for the full replay and for a
+//! steady-state publication window injected after warmup, which must be
+//! exactly zero with the default reuse pool (the probe exits non-zero
+//! otherwise); `--pool fresh` is the always-allocate control and `--json
+//! FILE` emits the audit as a `cbps-report/v2` document.
 //!
 //! Unlike `figures`, these numbers are wall-clock measurements of isolated
 //! structures: use them for before/after comparisons on one machine, not as
 //! simulation results.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cbps::{Event, EventSpace, MatchIndex, SubId, Subscription};
 use cbps_rng::Rng;
-use cbps_sim::TimingWheel;
+use cbps_sim::{PoolMode, TimingWheel};
 use cbps_workload::{WorkloadConfig, WorkloadGen};
+
+/// Counting wrapper around the system allocator. Every heap allocation in
+/// the probe process bumps two relaxed counters that `probe alloc`
+/// snapshots around its measurement windows; the cost is two relaxed
+/// atomic adds per allocation, which is noise for the other probes.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `(allocator calls, bytes requested)` since process start.
+fn alloc_totals() -> (u64, u64) {
+    (
+        ALLOC_CALLS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 /// One scheduler op: push `delay_micros` ahead of the drain time, or pop.
 #[derive(Clone, Copy)]
@@ -272,20 +326,24 @@ fn match_point(n: usize, seed: u64) -> Result<MatchPoint, String> {
     };
     let sk = KeyRangeSet::of_key(keys, keys.key(2));
     let mut store = SubscriptionStore::with_options(&space, MatchEngineKind::Sorted, true);
+    let items: Vec<(SubId, StoredSub)> = stored
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| {
+            (
+                SubId(i as u64),
+                StoredSub {
+                    sub: sub.clone(),
+                    subscriber,
+                    expires: SimTime::MAX,
+                    sk: sk.clone(),
+                    trace: TraceId::NONE,
+                },
+            )
+        })
+        .collect();
     let started = Instant::now();
-    for (i, sub) in stored.iter().enumerate() {
-        store.insert(
-            SubId(i as u64),
-            StoredSub {
-                sub: sub.clone(),
-                subscriber,
-                expires: SimTime::MAX,
-                sk: sk.clone(),
-                trace: TraceId::NONE,
-            },
-            SimTime::ZERO,
-        );
-    }
+    store.insert_bulk(items, SimTime::ZERO);
     let covering_build_secs = started.elapsed().as_secs_f64();
     // Spot-check: the covering store must deliver the raw engine's sets.
     let mut store_out = Vec::new();
@@ -600,6 +658,160 @@ fn probe_shard(nodes: usize, seed: u64, json_out: Option<&str>) -> Result<(), St
     Ok(())
 }
 
+/// Replays the fixed figures workload under the counting allocator and
+/// reports allocations per simulated event — once over the whole replay
+/// (cold buildup included) and once over a steady-state publication
+/// window injected after a warmup pass. With `--pool reuse` (the
+/// default) the steady-state window must perform **zero** heap
+/// allocations: the slab pool, inline range sets and warm capacities
+/// leave nothing to allocate, and any regression exits non-zero.
+/// `--pool fresh` is the always-allocate control for before/after
+/// comparisons.
+fn probe_alloc(
+    nodes: usize,
+    seed: u64,
+    pool: PoolMode,
+    json_out: Option<&str>,
+) -> Result<(), String> {
+    use cbps_bench::report::{AllocReport, ExperimentReport, RunReport};
+    use cbps_bench::runner::{self, paper_workload, run_trace, workload_gen, Deployment};
+    use cbps_sim::SimDuration;
+
+    runner::set_pool(pool);
+    println!(
+        "alloc probe: {nodes} nodes, seed {seed}, pool {}, chord workload",
+        pool.name()
+    );
+
+    let deployment = Deployment::new(nodes, seed);
+    let cfg = paper_workload(nodes, 0)
+        .with_counts(nodes * 2, nodes * 4)
+        .with_matching_probability(0.5);
+    let mut gen = workload_gen(cfg, seed);
+    let trace = gen.gen_trace();
+    let mut net = deployment.build_on::<cbps::ChordBackend>();
+
+    // Whole-replay audit: the figures workload end to end, including the
+    // cold buildup (subscription storage, pool and queue growth to peak).
+    let started = Instant::now();
+    let (a0, b0) = alloc_totals();
+    run_trace(&mut net, &trace, 300);
+    let (a1, b1) = alloc_totals();
+    let wall_secs = started.elapsed().as_secs_f64();
+    let replay_events = net.sim_mut().events_processed();
+    let (replay_allocs, replay_bytes) = (a1 - a0, b1 - b0);
+
+    // Steady-state audit. Publication events are pre-generated, and each
+    // one is injected *outside* the measured region, then drained with a
+    // bounded `run_until` that is measured — so the audit covers exactly
+    // the simulator's own work per event: queue pops, routing hops,
+    // matching, delivery, timer cascades. Traffic is spread one
+    // publication per two simulated seconds (steady state, not a
+    // thundering herd), and the warmup pass is twice the measured length
+    // so every recycled capacity — pool slab, wheel slots across a full
+    // L1 ring revolution, per-node delivery logs, metric tables — has hit
+    // its high-water mark before counting starts. The delivery logs are
+    // drained in place (capacity retained) between the passes.
+    const BATCH: usize = 256;
+    let events: Vec<Event> = (0..3 * BATCH).map(|_| gen.gen_random_event()).collect();
+    for (i, ev) in events[..2 * BATCH].iter().enumerate() {
+        net.publish(i % nodes, ev.clone())
+            .map_err(|e| format!("warmup publish failed: {e}"))?;
+        let until = net.now() + SimDuration::from_secs(2);
+        net.run_until(until);
+    }
+    for idx in 0..nodes {
+        net.clear_delivered(idx);
+        // Pre-fault nodes that did not see a publication during warmup:
+        // their first one would otherwise charge cold-start growth (event
+        // dedup window, match scratch) to the measured window.
+        net.warm_node(idx);
+    }
+    let (mut steady_allocs, mut steady_bytes, mut steady_events) = (0u64, 0u64, 0u64);
+    for (i, ev) in events[2 * BATCH..].iter().enumerate() {
+        net.publish((2 * BATCH + i) % nodes, ev.clone())
+            .map_err(|e| format!("steady publish failed: {e}"))?;
+        let until = net.now() + SimDuration::from_secs(2);
+        let ev0 = net.sim_mut().events_processed();
+        let (sa0, sb0) = alloc_totals();
+        net.run_until(until);
+        let (sa1, sb1) = alloc_totals();
+        steady_events += net.sim_mut().events_processed() - ev0;
+        steady_allocs += sa1 - sa0;
+        steady_bytes += sb1 - sb0;
+    }
+
+    let report = AllocReport {
+        pool: pool.name().to_owned(),
+        replay_allocs,
+        replay_bytes,
+        replay_events,
+        steady_allocs,
+        steady_bytes,
+        steady_events,
+    };
+    println!(
+        "  replay  {:>9} events  {:>9} allocs  {:>11} bytes  ({:.3} allocs/event, {:.1} bytes/event)",
+        report.replay_events,
+        report.replay_allocs,
+        report.replay_bytes,
+        report.replay_allocs_per_event(),
+        report.replay_bytes as f64 / report.replay_events.max(1) as f64,
+    );
+    println!(
+        "  steady  {:>9} events  {:>9} allocs  {:>11} bytes  ({:.3} allocs/event)",
+        report.steady_events,
+        report.steady_allocs,
+        report.steady_bytes,
+        report.steady_allocs_per_event(),
+    );
+    if steady_events == 0 {
+        return Err("steady-state window processed no events".into());
+    }
+
+    if let Some(path) = json_out {
+        let peak_queue_depth = net.sim_mut().queue_peak() as u64;
+        let doc = RunReport {
+            scale: "probe".to_owned(),
+            jobs: 1,
+            observability: "off".to_owned(),
+            scheduler: "wheel".to_owned(),
+            shards: 1,
+            match_engine: "counting".to_owned(),
+            overlay: "chord".to_owned(),
+            experiments: vec![ExperimentReport {
+                name: "alloc-audit".to_owned(),
+                wall_secs,
+                events: replay_events,
+                peak_queue_depth,
+                obs: None,
+                alloc: Some(report.clone()),
+            }],
+        }
+        .to_json();
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  report written to {path}");
+    }
+
+    let steady_per_event = report.steady_allocs_per_event();
+    match pool {
+        PoolMode::Reuse => {
+            if steady_allocs != 0 {
+                return Err(format!(
+                    "steady-state window performed {steady_allocs} heap allocations \
+                     ({steady_bytes} bytes) over {steady_events} events; expected zero \
+                     with the reuse pool"
+                ));
+            }
+            println!("  steady state is allocation-free (0 allocs over {steady_events} events)");
+        }
+        PoolMode::Fresh => {
+            println!("  fresh pool control: {steady_per_event:.3} allocs/event at steady state");
+        }
+    }
+    Ok(())
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<u64> {
     args.iter()
         .position(|a| a == flag)
@@ -612,7 +824,8 @@ fn main() {
     let usage = "usage: probe sched [--ops N] [--seed S] \
                  | probe match [--subs N] [--seed S] [--json FILE] \
                  | probe overlay [--nodes N] [--seed S] \
-                 | probe shard [--nodes N] [--seed S] [--json FILE]";
+                 | probe shard [--nodes N] [--seed S] [--json FILE] \
+                 | probe alloc [--nodes N] [--seed S] [--pool reuse|fresh] [--json FILE]";
     let outcome = match args.first().map(String::as_str) {
         Some("sched") => probe_sched(
             arg_value(&args, "--ops").unwrap_or(2_000_000) as usize,
@@ -630,6 +843,31 @@ fn main() {
             arg_value(&args, "--nodes").unwrap_or(120) as usize,
             arg_value(&args, "--seed").unwrap_or(7),
         ),
+        Some("alloc") => {
+            let pool = match args
+                .iter()
+                .position(|a| a == "--pool")
+                .and_then(|i| args.get(i + 1))
+            {
+                None => PoolMode::Reuse,
+                Some(v) => match PoolMode::parse(v) {
+                    Some(mode) => mode,
+                    None => {
+                        eprintln!("--pool expects reuse|fresh, got {v:?}");
+                        std::process::exit(2);
+                    }
+                },
+            };
+            probe_alloc(
+                arg_value(&args, "--nodes").unwrap_or(120) as usize,
+                arg_value(&args, "--seed").unwrap_or(7),
+                pool,
+                args.iter()
+                    .position(|a| a == "--json")
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str),
+            )
+        }
         Some("shard") => probe_shard(
             arg_value(&args, "--nodes").unwrap_or(256) as usize,
             arg_value(&args, "--seed").unwrap_or(7),

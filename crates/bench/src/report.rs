@@ -121,6 +121,40 @@ impl ObsReport {
     }
 }
 
+/// The allocation audit of one run (`probe alloc`): counting-allocator
+/// totals for the whole figures-workload replay and for a steady-state
+/// window injected after the replay drained. Counts are exact allocator
+/// calls (alloc + alloc_zeroed + realloc), not sampled.
+#[derive(Clone, Debug)]
+pub struct AllocReport {
+    /// Event-pool recycling policy the run used (`reuse` or `fresh`).
+    pub pool: String,
+    /// Heap allocations during the whole trace replay (buildup included).
+    pub replay_allocs: u64,
+    /// Bytes requested by those allocations.
+    pub replay_bytes: u64,
+    /// Simulated events processed during the replay.
+    pub replay_events: u64,
+    /// Heap allocations while draining the steady-state window.
+    pub steady_allocs: u64,
+    /// Bytes requested during the steady-state window.
+    pub steady_bytes: u64,
+    /// Simulated events processed in the steady-state window.
+    pub steady_events: u64,
+}
+
+impl AllocReport {
+    /// Allocations per simulated event over the whole replay.
+    pub fn replay_allocs_per_event(&self) -> f64 {
+        self.replay_allocs as f64 / self.replay_events.max(1) as f64
+    }
+
+    /// Allocations per simulated event in the steady-state window.
+    pub fn steady_allocs_per_event(&self) -> f64 {
+        self.steady_allocs as f64 / self.steady_events.max(1) as f64
+    }
+}
+
 /// One experiment's record in the report: the v1 perf fields plus the
 /// optional observability distillate.
 #[derive(Clone, Debug)]
@@ -135,6 +169,8 @@ pub struct ExperimentReport {
     pub peak_queue_depth: u64,
     /// Observability distillate; `None` when the run had tracing off.
     pub obs: Option<ObsReport>,
+    /// Allocation audit; `None` outside `probe alloc` runs.
+    pub alloc: Option<AllocReport>,
 }
 
 /// A whole `figures` invocation's report.
@@ -213,6 +249,24 @@ fn experiment_json(e: &ExperimentReport, indent: &str) -> String {
         events_per_sec,
         e.peak_queue_depth,
     );
+    if let Some(a) = &e.alloc {
+        out.push_str(&format!(
+            ",\n{indent}  \"alloc\": {{\"pool\": \"{}\", \
+             \"replay_allocs\": {}, \"replay_bytes\": {}, \"replay_events\": {}, \
+             \"replay_allocs_per_event\": {:.3}, \
+             \"steady_allocs\": {}, \"steady_bytes\": {}, \"steady_events\": {}, \
+             \"steady_allocs_per_event\": {:.3}}}",
+            escape(&a.pool),
+            a.replay_allocs,
+            a.replay_bytes,
+            a.replay_events,
+            a.replay_allocs_per_event(),
+            a.steady_allocs,
+            a.steady_bytes,
+            a.steady_events,
+            a.steady_allocs_per_event(),
+        ));
+    }
     if let Some(obs) = &e.obs {
         let inner = format!("{indent}  ");
         out.push_str(",\n");
@@ -363,6 +417,7 @@ mod tests {
                     events: 3000,
                     peak_queue_depth: 17,
                     obs: Some(ObsReport::distill(&obs, &[0, 4])),
+                    alloc: None,
                 },
                 ExperimentReport {
                     name: "keys".into(),
@@ -370,6 +425,15 @@ mod tests {
                     events: 0,
                     peak_queue_depth: 0,
                     obs: None,
+                    alloc: Some(AllocReport {
+                        pool: "reuse".into(),
+                        replay_allocs: 120,
+                        replay_bytes: 4096,
+                        replay_events: 60,
+                        steady_allocs: 0,
+                        steady_bytes: 0,
+                        steady_events: 500,
+                    }),
                 },
             ],
         };
@@ -384,6 +448,9 @@ mod tests {
         assert!(json.contains("\"peak_queue_depth\": 17"));
         assert!(json.contains("\"total_events\": 3000"));
         // v2 additions.
+        assert!(json.contains("\"steady_allocs_per_event\": 0.000"));
+        assert!(json.contains("\"replay_allocs_per_event\": 2.000"));
+        assert!(json.contains("\"pool\": \"reuse\""));
         assert!(json.contains("\"stage\": \"deliver\""));
         assert!(json.contains("\"p99\""));
         assert!(json.contains("\"hot_nodes\": [{\"node\": 1, \"peak_stored\": 4}]"));

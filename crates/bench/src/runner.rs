@@ -14,7 +14,8 @@ use cbps::{
     PubSubNetworkBuilder,
 };
 use cbps_sim::{
-    MatchEngineKind, NetConfig, ObsMode, Observability, SchedulerKind, SimDuration, TrafficClass,
+    MatchEngineKind, NetConfig, ObsMode, Observability, PoolMode, SchedulerKind, SimDuration,
+    TrafficClass,
 };
 use cbps_workload::{Trace, WorkloadConfig, WorkloadGen};
 
@@ -36,6 +37,9 @@ static SHARDS: AtomicUsize = AtomicUsize::new(1);
 /// Matching engine every rendezvous node of a built network runs
 /// (0 = counting index, 1 = sorted index).
 static MATCH_ENGINE: AtomicU8 = AtomicU8::new(0);
+/// Event-pool recycling policy applied to every built network
+/// (0 = reuse, 1 = fresh).
+static POOL: AtomicU8 = AtomicU8::new(0);
 /// Merged observability registries of every run since the last reset.
 /// Worker threads fold their run's registry in under this lock; the merge
 /// is commutative, so the result is job-count independent.
@@ -212,15 +216,38 @@ pub fn match_engine() -> MatchEngineKind {
     }
 }
 
+/// Sets the event-pool recycling policy every subsequently built network
+/// uses (see `figures --pool`; tables and delivered sets are identical
+/// either way — `fresh` only exists as the always-allocate control for
+/// the allocation audit).
+pub fn set_pool(mode: PoolMode) {
+    POOL.store(
+        match mode {
+            PoolMode::Reuse => 0,
+            PoolMode::Fresh => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The event-pool recycling policy applied to built networks.
+pub fn pool() -> PoolMode {
+    match POOL.load(Ordering::Relaxed) {
+        1 => PoolMode::Fresh,
+        _ => PoolMode::Reuse,
+    }
+}
+
 /// A [`NetConfig`] with the given seed and the globally selected
-/// scheduler, shard count, and matching engine. Experiments must build
-/// networks through this so the `--scheduler`, `--shards`, and
-/// `--match-engine` knobs reach every run.
+/// scheduler, shard count, matching engine, and pool policy. Experiments
+/// must build networks through this so the `--scheduler`, `--shards`,
+/// `--match-engine`, and `--pool` knobs reach every run.
 pub fn net_config(seed: u64) -> NetConfig {
     NetConfig::new(seed)
         .with_scheduler(scheduler())
         .with_shards(shards())
         .with_match_engine(match_engine())
+        .with_pool(pool())
 }
 
 /// Folds one finished run into the global perf accumulators.

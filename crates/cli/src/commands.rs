@@ -7,7 +7,9 @@ use cbps::{
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner::BackendKind;
 use cbps_bench::with_backend;
-use cbps_sim::{MatchEngineKind, NetConfig, ObsMode, SchedulerKind, SimDuration, TrafficClass};
+use cbps_sim::{
+    MatchEngineKind, NetConfig, ObsMode, PoolMode, SchedulerKind, SimDuration, TrafficClass,
+};
 use cbps_workload::{trace_from_str, trace_to_string, WorkloadConfig, WorkloadGen};
 
 use crate::args::{ArgError, Args};
@@ -128,6 +130,10 @@ fn parse_match_engine(s: &str) -> Result<MatchEngineKind, ArgError> {
         .ok_or_else(|| ArgError(format!("unknown match engine {s:?} (counting|sorted)")))
 }
 
+fn parse_pool(s: &str) -> Result<PoolMode, ArgError> {
+    PoolMode::parse(s).ok_or_else(|| ArgError(format!("unknown pool mode {s:?} (reuse|fresh)")))
+}
+
 fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
     if s == "immediate" {
         return Ok(NotifyMode::Immediate);
@@ -167,6 +173,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "scheduler",
         "shards",
         "match-engine",
+        "pool",
         "overlay",
     ])?;
     let file = args
@@ -188,6 +195,7 @@ pub fn run_trace(args: &Args) -> Outcome {
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
     let shards: usize = args.get_or("shards", 1)?;
     let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
+    let pool = parse_pool(args.get("pool").unwrap_or("reuse"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
@@ -198,7 +206,8 @@ pub fn run_trace(args: &Args) -> Outcome {
                 NetConfig::new(seed)
                     .with_scheduler(scheduler)
                     .with_shards(shards)
-                    .with_match_engine(match_engine),
+                    .with_match_engine(match_engine)
+                    .with_pool(pool),
             )
             .pubsub(
                 PubSubConfig::paper_default()
@@ -273,6 +282,7 @@ pub fn stats(args: &Args) -> Outcome {
         "scheduler",
         "shards",
         "match-engine",
+        "pool",
         "overlay",
         "out",
     ])?;
@@ -295,6 +305,7 @@ pub fn stats(args: &Args) -> Outcome {
     let scheduler = parse_scheduler(args.get("scheduler").unwrap_or("wheel"))?;
     let shards: usize = args.get_or("shards", 1)?;
     let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
+    let pool = parse_pool(args.get("pool").unwrap_or("reuse"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
@@ -305,7 +316,8 @@ pub fn stats(args: &Args) -> Outcome {
                 NetConfig::new(seed)
                     .with_scheduler(scheduler)
                     .with_shards(shards)
-                    .with_match_engine(match_engine),
+                    .with_match_engine(match_engine)
+                    .with_pool(pool),
             )
             .pubsub(
                 PubSubConfig::paper_default()
@@ -339,6 +351,7 @@ pub fn stats(args: &Args) -> Outcome {
             events,
             peak_queue_depth,
             obs: Some(ObsReport::distill(&obs, &peaks)),
+            alloc: None,
         }
     });
     let report = RunReport {
@@ -419,7 +432,7 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale", "jobs", "shards", "match-engine", "overlay"])?;
+    args.check_flags(&["scale", "jobs", "shards", "match-engine", "pool", "overlay"])?;
     let name = args
         .positional()
         .get(1)
@@ -438,6 +451,7 @@ pub fn experiment(args: &Args) -> Outcome {
     cbps_bench::runner::set_match_engine(parse_match_engine(
         args.get("match-engine").unwrap_or("counting"),
     )?);
+    cbps_bench::runner::set_pool(parse_pool(args.get("pool").unwrap_or("reuse"))?);
     cbps_bench::runner::set_backend(parse_overlay(args)?);
     let tables = cbps_bench::experiments::run_named(name, scale).ok_or_else(|| {
         ArgError(format!(

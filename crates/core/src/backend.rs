@@ -74,6 +74,9 @@ pub trait OverlayBackend: fmt::Debug + Sized + 'static {
     /// The hosted pub/sub application of a node.
     fn app(node: &Self::Node) -> &PubSubNode;
 
+    /// Exclusive access to a node's hosted pub/sub state.
+    fn app_mut(node: &mut Self::Node) -> &mut PubSubNode;
+
     /// A node's identity.
     fn me(node: &Self::Node) -> Peer;
 
@@ -132,6 +135,10 @@ impl OverlayBackend for ChordBackend {
 
     fn app(node: &Self::Node) -> &PubSubNode {
         node.app()
+    }
+
+    fn app_mut(node: &mut Self::Node) -> &mut PubSubNode {
+        node.app_mut()
     }
 
     fn me(node: &Self::Node) -> Peer {

@@ -32,9 +32,9 @@ use std::sync::Arc;
 
 use crate::engine::{AnyMatchEngine, MatchEngine};
 use crate::event::Event;
-use crate::inline::InlineVec;
 use crate::store::StoredSub;
 use crate::subscription::{SubId, Subscription};
+use cbps_overlay::InlineVec;
 
 /// Cap on reverse-absorption candidates examined per insert.
 const PROBE_CAP: usize = 64;
@@ -94,21 +94,20 @@ impl CoveringTable {
             return;
         }
         // Covered by an existing representative? Every true cover matches
-        // the lower-corner event, so the engine enumerates all candidates.
+        // the lower-corner event, so an engine query over it enumerates all
+        // candidates; `find_match` stops at the first one that actually
+        // covers. Which covering group is picked when several qualify is
+        // engine-specific (but deterministic) — group membership never
+        // affects covers, the probe order, or delivered sets, so any
+        // covering group is equally correct.
         let corner = Event::new_unchecked(
             sub.constraints()
                 .iter()
                 .map(|c| c.map_or(0, |c| c.lo()))
                 .collect(),
         );
-        let mut hits = std::mem::take(&mut self.scratch);
-        engine.matches_into(&corner, &mut hits);
-        let cover = hits
-            .iter()
-            .copied()
-            .find(|phys| self.groups[phys].cover.covers(sub));
-        hits.clear();
-        self.scratch = hits;
+        let groups = &self.groups;
+        let cover = engine.find_match(&corner, &mut |phys| groups[&phys].cover.covers(sub));
         if let Some(phys) = cover {
             self.join(phys, id, sub);
             return;
@@ -151,6 +150,77 @@ impl CoveringTable {
         self.by_shape.insert(sub.clone(), (phys, 1));
     }
 
+    /// Registers a batch of fresh logical subscriptions at once.
+    ///
+    /// Equivalent to calling [`CoveringTable::insert`] for each item in
+    /// order — the groups, covers, probe entries and by-shape map come out
+    /// identical — but the expensive half of the decision procedure (the
+    /// lower-corner engine query) runs once per *distinct shape* instead of
+    /// once per item. Duplicate shapes are grouped up front by sorting on a
+    /// shape digest; every non-first occurrence attaches to its shape's
+    /// group with O(1) work, exactly as the sequential `by_shape` fast
+    /// path would. The maps sized by the logical population are reserved
+    /// up front, so the build never pays an incremental rehash of a
+    /// million-entry table.
+    ///
+    /// The equivalence holds because duplicates never change the engine,
+    /// probe set, or group covers: replaying only each shape's first
+    /// occurrence, in original order, puts the table through the same
+    /// sequence of decision states as a one-at-a-time build.
+    pub(crate) fn insert_bulk(
+        &mut self,
+        engine: &mut AnyMatchEngine,
+        items: &[(SubId, &Subscription)],
+    ) {
+        self.member_of.reserve(items.len());
+        self.by_shape.reserve(items.len());
+        // Sort item indices by shape digest, ties broken by position, so
+        // equal shapes form runs led by their first occurrence. Runs split
+        // on full shape inequality, so a digest collision yields two runs
+        // whose later head simply takes the `by_shape` fast path —
+        // correctness never rests on the digest.
+        let mut order: Vec<(u64, u32)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (_, sub))| {
+                (
+                    shape_digest(sub),
+                    u32::try_from(i).expect("bulk batches exceed u32 items"),
+                )
+            })
+            .collect();
+        order.sort_unstable();
+        let mut runs: Vec<(u32, u32)> = Vec::new(); // (start, end) into `order`
+        let mut start = 0;
+        while start < order.len() {
+            let (digest, head) = order[start];
+            let head_sub = items[head as usize].1;
+            let mut end = start + 1;
+            while end < order.len()
+                && order[end].0 == digest
+                && items[order[end].1 as usize].1 == head_sub
+            {
+                end += 1;
+            }
+            runs.push((start as u32, end as u32));
+            start = end;
+        }
+        // Replay one head per distinct shape in first-occurrence order,
+        // then attach that shape's duplicates to wherever the head landed.
+        runs.sort_unstable_by_key(|&(start, _)| order[start as usize].1);
+        for &(start, end) in &runs {
+            let (head_id, head_sub) = items[order[start as usize].1 as usize];
+            self.insert(engine, head_id, head_sub);
+            if end - start > 1 {
+                let phys = self.member_of[&head_id].0;
+                for &(_, i) in &order[start as usize + 1..end as usize] {
+                    let (id, sub) = items[i as usize];
+                    self.join(phys, id, sub);
+                }
+            }
+        }
+    }
+
     /// Removes a logical subscription; drops the group's physical entry
     /// when its last member leaves.
     pub(crate) fn remove(&mut self, engine: &mut AnyMatchEngine, id: SubId, sub: &Subscription) {
@@ -186,6 +256,16 @@ impl CoveringTable {
             let lo = g.cover.constraint(first).expect("constrained").lo();
             self.probe.remove(&(first as u32, lo, phys));
             engine.remove(phys);
+        }
+    }
+
+    /// Grows the physical-hit scratch to its steady-state bound (every
+    /// group matching at once) so [`CoveringTable::matches_into`] never
+    /// reallocates afterwards.
+    pub(crate) fn warm(&mut self) {
+        let need = self.groups.len();
+        if self.scratch.capacity() < need {
+            self.scratch.reserve(need - self.scratch.len());
         }
     }
 
@@ -255,4 +335,19 @@ impl CoveringTable {
         ));
         g.cover = cover.clone();
     }
+}
+
+/// FNV-1a digest of a subscription's shape for duplicate grouping: equal
+/// shapes always digest equally, so sorting by digest makes duplicates
+/// adjacent. (Distinct shapes colliding is tolerated by the caller.)
+fn shape_digest(sub: &Subscription) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for c in sub.constraints() {
+        let (tag, lo, hi) = c.map_or((0, 0, 0), |c| (1, c.lo(), c.hi()));
+        for word in [tag, lo, hi] {
+            h ^= word;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }

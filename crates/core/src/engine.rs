@@ -37,6 +37,21 @@ pub trait MatchEngine {
     /// Number of indexed subscriptions.
     fn len(&self) -> usize;
 
+    /// Returns some subscription matching `event` that satisfies `pred`,
+    /// or `None` when there is none.
+    ///
+    /// Which of several acceptable subscriptions is returned is
+    /// engine-specific but deterministic for a given operation history.
+    /// Engines with a lazily scannable layout override this to stop at the
+    /// first acceptable candidate instead of enumerating the full match
+    /// set; the default falls back to [`MatchEngine::matches_into`]. The
+    /// covering table's group search is the intended caller.
+    fn find_match(&mut self, event: &Event, pred: &mut dyn FnMut(SubId) -> bool) -> Option<SubId> {
+        let mut out = Vec::new();
+        self.matches_into(event, &mut out);
+        out.into_iter().find(|&id| pred(id))
+    }
+
     /// `true` when nothing is stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -125,6 +140,16 @@ impl AnyMatchEngine {
             AnyMatchEngine::Sorted(_) => MatchEngineKind::Sorted,
         }
     }
+
+    /// Grows engine-internal scratch to its steady-state size so matching
+    /// never reallocates afterwards. The sorted engine keeps no per-match
+    /// scratch; the counting engine's is bounded by its slot count.
+    pub fn warm(&mut self) {
+        match self {
+            AnyMatchEngine::Counting(e) => e.warm(),
+            AnyMatchEngine::Sorted(_) => {}
+        }
+    }
 }
 
 impl MatchEngine for AnyMatchEngine {
@@ -146,6 +171,13 @@ impl MatchEngine for AnyMatchEngine {
         match self {
             AnyMatchEngine::Counting(e) => MatchIndex::matches_into(e, event, out),
             AnyMatchEngine::Sorted(e) => SortedIndex::matches_into(e, event, out),
+        }
+    }
+
+    fn find_match(&mut self, event: &Event, pred: &mut dyn FnMut(SubId) -> bool) -> Option<SubId> {
+        match self {
+            AnyMatchEngine::Counting(e) => MatchEngine::find_match(e, event, pred),
+            AnyMatchEngine::Sorted(e) => SortedIndex::find_match_where(e, event, pred),
         }
     }
 

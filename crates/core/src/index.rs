@@ -187,6 +187,22 @@ impl MatchIndex {
         self.slots[slot as usize].as_ref().map(|e| &e.sub)
     }
 
+    /// Grows the counting scratch to its steady-state size (bounded by the
+    /// slot count) so subsequent [`MatchIndex::matches_into`] calls never
+    /// reallocate. `matches_into` warms the same buffers incrementally;
+    /// this lets a measurement harness pre-fault nodes that have not
+    /// matched an event yet.
+    pub fn warm(&mut self) {
+        let need = self.slots.len();
+        if self.epochs.len() < need {
+            self.epochs.resize(need, 0);
+            self.counts.resize(need, 0);
+        }
+        if self.touched.capacity() < need {
+            self.touched.reserve(need - self.touched.len());
+        }
+    }
+
     /// Writes all subscriptions matched by `event` into `out` (cleared
     /// first), in ascending id order. Allocation-free at steady state:
     /// the counting scratch is epoch-stamped rather than re-zeroed, so a

@@ -53,7 +53,6 @@ mod engine;
 mod error;
 mod event;
 mod index;
-mod inline;
 mod mapping;
 mod msg;
 mod node;
@@ -72,7 +71,7 @@ pub use error::{ConfigError, PubSubError};
 pub use event::{Event, EventId};
 pub use index::MatchIndex;
 pub use mapping::{AkMapping, EventKeyChoice, MappingKind};
-pub use msg::{CollectItem, DeliveredNote, NotifyItem, PubSubMsg, PubSubTimer};
+pub use msg::{CollectItem, DeliveredNote, NotifyBatch, NotifyItem, PubSubMsg, PubSubTimer};
 pub use node::PubSubNode;
 pub use oracle::Oracle;
 pub use sorted::SortedIndex;

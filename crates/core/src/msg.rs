@@ -24,6 +24,84 @@ pub struct NotifyItem {
     pub trace: TraceId,
 }
 
+/// Notification payload: a singleton item travels inline, a buffered
+/// batch spills to a `Vec`.
+///
+/// The immediate notify mode sends exactly one match per message, and
+/// that path is the steady-state hot loop of the allocation audit — an
+/// always-`Vec` payload would cost one heap allocation per delivered
+/// notification. The buffered and collecting modes batch per subscriber
+/// and ship the accumulated `Vec` as-is.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NotifyBatch {
+    /// A single match, stored inline (no heap allocation).
+    One(NotifyItem),
+    /// A buffered batch: one flush interval's matches for one subscriber.
+    Many(Vec<NotifyItem>),
+}
+
+impl NotifyBatch {
+    /// Number of matches carried.
+    pub fn len(&self) -> usize {
+        match self {
+            NotifyBatch::One(_) => 1,
+            NotifyBatch::Many(v) => v.len(),
+        }
+    }
+
+    /// `true` when no match is carried (only possible for an empty batch).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The matches as a slice.
+    pub fn as_slice(&self) -> &[NotifyItem] {
+        match self {
+            NotifyBatch::One(item) => std::slice::from_ref(item),
+            NotifyBatch::Many(v) => v,
+        }
+    }
+}
+
+impl IntoIterator for NotifyBatch {
+    type Item = NotifyItem;
+    type IntoIter = NotifyBatchIter;
+
+    fn into_iter(self) -> NotifyBatchIter {
+        match self {
+            NotifyBatch::One(item) => NotifyBatchIter::One(std::iter::once(item)),
+            NotifyBatch::Many(v) => NotifyBatchIter::Many(v.into_iter()),
+        }
+    }
+}
+
+/// Consuming iterator over a [`NotifyBatch`].
+#[derive(Debug)]
+pub enum NotifyBatchIter {
+    /// Iterating a singleton.
+    One(std::iter::Once<NotifyItem>),
+    /// Iterating a spilled batch.
+    Many(std::vec::IntoIter<NotifyItem>),
+}
+
+impl Iterator for NotifyBatchIter {
+    type Item = NotifyItem;
+
+    fn next(&mut self) -> Option<NotifyItem> {
+        match self {
+            NotifyBatchIter::One(it) => it.next(),
+            NotifyBatchIter::Many(it) => it.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            NotifyBatchIter::One(it) => it.size_hint(),
+            NotifyBatchIter::Many(it) => it.size_hint(),
+        }
+    }
+}
+
 /// One match travelling along the ring toward its subscription's agent node
 /// (the collecting optimization, §4.3.2).
 #[derive(Clone, Debug, PartialEq)]
@@ -64,16 +142,18 @@ pub enum PubSubMsg {
     Publish {
         /// Event id.
         id: EventId,
-        /// The event.
-        event: Event,
+        /// The event, shared across m-cast splits and downstream notify
+        /// items (cloning a split envelope bumps a refcount instead of
+        /// deep-copying the attribute vector).
+        event: Arc<Event>,
         /// Causal trace of the publishing operation ([`TraceId::NONE`]
         /// when observability is off).
         trace: TraceId,
     },
     /// Matches delivered to a subscriber (routed to the subscriber's key).
     Notification {
-        /// The batched matches (singleton without buffering).
-        items: Vec<NotifyItem>,
+        /// The batched matches (inline singleton without buffering).
+        items: NotifyBatch,
     },
     /// Ring-neighbor exchange of matches flowing toward range agents
     /// (one-hop direct messages, class `COLLECT`).

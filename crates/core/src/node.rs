@@ -11,7 +11,7 @@ use cbps_sim::{MatchEngineKind, SimDuration, SimTime, Stage, TraceId, TrafficCla
 
 use crate::config::{NotifyMode, Primitive, PubSubConfig};
 use crate::event::{Event, EventId};
-use crate::msg::{CollectItem, DeliveredNote, NotifyItem, PubSubMsg, PubSubTimer};
+use crate::msg::{CollectItem, DeliveredNote, NotifyBatch, NotifyItem, PubSubMsg, PubSubTimer};
 use crate::store::{StoredSub, SubscriptionStore};
 use crate::subscription::{SubId, Subscription};
 
@@ -106,6 +106,16 @@ impl PubSubNode {
     /// order (logically deduplicated).
     pub fn delivered(&self) -> &[DeliveredNote] {
         &self.delivered
+    }
+
+    /// Empties the delivered-notification log (and its dedup set) in
+    /// place, retaining allocated capacity. Long-running drivers drain the
+    /// log between measurement windows so it never grows unboundedly; the
+    /// allocation audit relies on the retained capacity to keep
+    /// steady-state deliveries heap-quiet.
+    pub fn clear_delivered(&mut self) {
+        self.delivered.clear();
+        self.delivered_dedup.clear();
     }
 
     /// Subscriptions issued by this node that have not been unsubscribed.
@@ -224,6 +234,10 @@ impl PubSubNode {
         svc.metrics()
             .histogram_mut("keys.per-publication")
             .record(ek.count());
+        // One shared allocation per publication, minted at the publisher:
+        // m-cast splits and per-match notify items all bump the refcount
+        // instead of deep-copying the event.
+        let event = Arc::new(event);
         self.propagate(
             &ek,
             TrafficClass::PUBLICATION,
@@ -302,6 +316,40 @@ impl PubSubNode {
         self.replicas.remove(&id);
     }
 
+    /// Grows the rendezvous-side hot-path buffers — the event-dedup window
+    /// and every matching scratch — to their steady-state bounds, so a
+    /// node that processes its first publication inside a measurement
+    /// window does not charge the window its cold-start allocations. The
+    /// same warming happens lazily on first use; the allocation-audit
+    /// harness calls this on every node after its warmup pass.
+    pub fn warm(&mut self) {
+        self.warm_event_dedup();
+        self.store.warm();
+        let need = self.store.len();
+        if self.match_buf.capacity() < need {
+            self.match_buf.reserve(need - self.match_buf.len());
+        }
+    }
+
+    /// Sizes the event-dedup window for its steady-state bound, so
+    /// insert/evict churn at the bound never reallocates. The set needs
+    /// twice the window bound — hashbrown resizes (and thus allocates)
+    /// instead of rehashing tombstones in place when the live count
+    /// exceeds half the growth threshold. Only [`PubSubNode::warm`] calls
+    /// this: ordinary runs grow the window incrementally and most nodes
+    /// never reach the bound, so front-loading the worst case on every
+    /// node would cost more than it saves.
+    fn warm_event_dedup(&mut self) {
+        if self.seen_events.capacity() < 2 * SEEN_EVENTS_CAP {
+            let extra = 2 * SEEN_EVENTS_CAP - self.seen_events.len();
+            self.seen_events.reserve(extra);
+        }
+        if self.seen_order.capacity() < SEEN_EVENTS_CAP + 1 {
+            let extra = SEEN_EVENTS_CAP + 1 - self.seen_order.len();
+            self.seen_order.reserve(extra);
+        }
+    }
+
     fn note_event_seen(&mut self, id: EventId) -> bool {
         if !self.seen_events.insert(id) {
             return false;
@@ -315,7 +363,13 @@ impl PubSubNode {
         true
     }
 
-    fn handle_publish(&mut self, id: EventId, event: Event, trace: TraceId, svc: &mut DynSvc<'_>) {
+    fn handle_publish(
+        &mut self,
+        id: EventId,
+        event: Arc<Event>,
+        trace: TraceId,
+        svc: &mut DynSvc<'_>,
+    ) {
         if !self.note_event_seen(id) {
             svc.metrics().add("publish.duplicate-delivery", 1);
             return;
@@ -325,9 +379,8 @@ impl PubSubNode {
         svc.metrics().add("matches", matches.len() as u64);
         svc.stage(trace, Stage::RendezvousMatch, TrafficClass::PUBLICATION);
         svc.obs_sample("rendezvous.fanout", matches.len() as u64);
-        // One shared allocation for every match of this event: each item
-        // clone below is a reference-count bump, not an event deep copy.
-        let event = Arc::new(event);
+        // The publisher minted one shared allocation for the event: each
+        // item clone below is a reference-count bump, not a deep copy.
         for (sub_id, stored) in matches.drain(..) {
             let item = NotifyItem {
                 sub_id,
@@ -342,7 +395,9 @@ impl PubSubNode {
                     svc.send(
                         stored.subscriber.key,
                         TrafficClass::NOTIFICATION,
-                        PubSubMsg::Notification { items: vec![item] },
+                        PubSubMsg::Notification {
+                            items: NotifyBatch::One(item),
+                        },
                         trace,
                     );
                 }
@@ -479,7 +534,9 @@ impl PubSubNode {
         svc.send(
             subscriber.key,
             TrafficClass::NOTIFICATION,
-            PubSubMsg::Notification { items },
+            PubSubMsg::Notification {
+                items: NotifyBatch::Many(items),
+            },
             envelope_trace,
         );
     }
@@ -545,7 +602,7 @@ impl PubSubNode {
     // Subscriber role.
     // ------------------------------------------------------------------
 
-    fn handle_notification(&mut self, items: Vec<NotifyItem>, svc: &mut DynSvc<'_>) {
+    fn handle_notification(&mut self, items: NotifyBatch, svc: &mut DynSvc<'_>) {
         let now = svc.now();
         let me = svc.me().idx;
         for item in items {

@@ -30,7 +30,7 @@
 //! bound. Match sets are identical to the counting index by construction
 //! and checked by the differential suites.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::event::Event;
 use crate::space::EventSpace;
@@ -79,7 +79,9 @@ pub struct SortedIndex {
     dead: Vec<bool>,
     free: Vec<u32>,
     by_id: HashMap<SubId, u32>,
-    segments: HashMap<(u32, u32), Segment>,
+    /// Ordered by `(dimension, span class)` so scans visit segments in a
+    /// deterministic order — `find_match_where`'s early exit depends on it.
+    segments: BTreeMap<(u32, u32), Segment>,
     staging: Vec<u32>,
     dead_rows: usize,
 }
@@ -108,7 +110,7 @@ impl SortedIndex {
             dead: Vec::new(),
             free: Vec::new(),
             by_id: HashMap::new(),
-            segments: HashMap::new(),
+            segments: BTreeMap::new(),
             staging: Vec::new(),
             dead_rows: 0,
         }
@@ -232,6 +234,73 @@ impl SortedIndex {
             }
         }
         out.sort_unstable();
+    }
+
+    /// Returns the first indexed subscription (in deterministic scan
+    /// order: segments by ascending dimension and descending span class,
+    /// then the staging tail) that matches `event` *and* satisfies `pred`,
+    /// without materializing the full match set.
+    ///
+    /// This is the covering table's group-search primitive: a lower-corner
+    /// query usually finds an acceptable group within the first few
+    /// candidates, so stopping there skips the full-enumeration plus sort
+    /// that [`SortedIndex::matches_into`] pays. Within each dimension the
+    /// broadest span classes are visited first because a covering
+    /// representative has, by construction, at least its covered
+    /// subscription's span; the unsorted staging tail — a linear scan with
+    /// no such pruning — is deferred until the segments come up empty,
+    /// which keeps the usual hit to a handful of probed candidates.
+    pub fn find_match_where(
+        &self,
+        event: &Event,
+        pred: &mut dyn FnMut(SubId) -> bool,
+    ) -> Option<SubId> {
+        for dim in 0..self.dims as u32 {
+            for (&(d, class), seg) in self.segments.range((dim, 0)..=(dim, u32::MAX)).rev() {
+                let v = event.value(d as usize);
+                let lo_min = if class >= 63 {
+                    0
+                } else {
+                    v.saturating_sub((1u64 << (class + 1)) - 2)
+                };
+                let skip = 1u64 << d;
+                for run in &seg.runs {
+                    // Endpoint guards dodge the binary search (and its
+                    // cache misses) for runs entirely above or below `v` —
+                    // the common case for the lower-corner probes this
+                    // method serves.
+                    let end = if run.len() == 0 || run.lo[0] > v {
+                        continue;
+                    } else if run.lo[run.len() - 1] <= v {
+                        run.len()
+                    } else {
+                        run.lo.partition_point(|&lo| lo <= v)
+                    };
+                    for j in (0..end).rev() {
+                        if run.lo[j] < lo_min {
+                            break;
+                        }
+                        if run.hi[j] < v {
+                            continue;
+                        }
+                        let row = run.row[j];
+                        if !self.dead[row as usize]
+                            && self.admits(row, event, skip)
+                            && pred(self.ids[row as usize])
+                        {
+                            return Some(self.ids[row as usize]);
+                        }
+                    }
+                }
+            }
+        }
+        for &row in &self.staging {
+            let r = row as usize;
+            if !self.dead[r] && self.admits(row, event, 0) && pred(self.ids[r]) {
+                return Some(self.ids[r]);
+            }
+        }
+        None
     }
 
     /// `true` iff the row's constraints (minus the dimensions in `skip`,

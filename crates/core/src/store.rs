@@ -6,7 +6,7 @@
 //! subscriptions per node" metric of Figures 6 and 8.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Arc;
 
 use cbps_overlay::{KeyRangeSet, Peer};
@@ -181,6 +181,57 @@ impl SubscriptionStore {
         true
     }
 
+    /// Inserts a batch of subscriptions at once, returning the number that
+    /// were fresh (not refreshes).
+    ///
+    /// Behaviourally identical to calling [`SubscriptionStore::insert`]
+    /// per item, but fresh subscriptions go through the covering table's
+    /// sort-based bulk build, which pays the group-search cost once per
+    /// distinct shape instead of once per subscription. Ids already stored
+    /// — or repeated within the batch — fall back to the sequential
+    /// refresh path.
+    pub fn insert_bulk(&mut self, items: Vec<(SubId, StoredSub)>, now: SimTime) -> usize {
+        self.purge_expired(now);
+        let mut fresh: Vec<(SubId, StoredSub)> = Vec::with_capacity(items.len());
+        let mut seen: HashSet<SubId> = HashSet::with_capacity(items.len());
+        let mut refreshes: Vec<(SubId, StoredSub)> = Vec::new();
+        for (id, stored) in items {
+            if self.meta.contains_key(&id) || !seen.insert(id) {
+                refreshes.push((id, stored));
+            } else {
+                fresh.push((id, stored));
+            }
+        }
+        for (id, stored) in &fresh {
+            if stored.expires != SimTime::MAX {
+                self.expiry.push(Reverse((stored.expires, *id)));
+            }
+        }
+        self.shrink_expiry_heap();
+        match &mut self.covering {
+            Some(table) => {
+                let refs: Vec<(SubId, &Subscription)> =
+                    fresh.iter().map(|(id, s)| (*id, &s.sub)).collect();
+                table.insert_bulk(&mut self.engine, &refs);
+            }
+            None => {
+                for (id, stored) in &fresh {
+                    self.engine.insert(*id, stored.sub.clone());
+                }
+            }
+        }
+        let inserted = fresh.len();
+        self.meta.reserve(fresh.len());
+        for (id, stored) in fresh {
+            self.meta.insert(id, Arc::new(stored));
+        }
+        self.peak = self.peak.max(self.meta.len());
+        for (id, stored) in refreshes {
+            self.insert(id, stored, now);
+        }
+        inserted
+    }
+
     /// Removes a subscription (unsubscription), returning its record.
     pub fn remove(&mut self, id: SubId) -> Option<StoredSub> {
         let rc = self.meta.remove(&id)?;
@@ -232,6 +283,22 @@ impl SubscriptionStore {
         let mut entries = std::mem::take(&mut self.expiry).into_vec();
         entries.retain(|&Reverse((t, id))| meta.get(&id).is_some_and(|s| s.expires == t));
         self.expiry = entries.into();
+    }
+
+    /// Grows every matching-path scratch buffer to its steady-state bound
+    /// (all of them are capped by the stored-subscription count) so
+    /// subsequent [`SubscriptionStore::match_event_into`] calls never
+    /// reallocate. Matching warms the same buffers incrementally; this
+    /// pre-faults a store that has not matched an event yet.
+    pub fn warm(&mut self) {
+        self.engine.warm();
+        if let Some(table) = &mut self.covering {
+            table.warm();
+        }
+        let need = self.meta.len();
+        if self.scratch.capacity() < need {
+            self.scratch.reserve(need - self.scratch.len());
+        }
     }
 
     /// Writes all live subscriptions matched by `event` into `out`
@@ -510,5 +577,97 @@ mod tests {
         );
         assert_eq!(st.len(), 1);
         assert_eq!(st.peak(), 2);
+    }
+
+    /// Bulk insertion is observationally identical to sequential
+    /// insertion: same logical/physical counts and same match sets, on a
+    /// random workload with heavy shape duplication, before and after
+    /// removing a slice of the population.
+    #[test]
+    fn bulk_insert_matches_sequential_build() {
+        use cbps_rng::Rng;
+        let s = EventSpace::new(vec![
+            AttributeDef::new("a", 40),
+            AttributeDef::new("b", 40),
+            AttributeDef::new("c", 40),
+        ]);
+        let random_sub = |rng: &mut Rng| loop {
+            let mut b = Subscription::builder(&s);
+            for name in ["a", "b", "c"] {
+                // Small domains + frequent wildcards force duplicate
+                // shapes, covering chains, and reverse absorptions.
+                if rng.gen_range(0u32..3) > 0 {
+                    let lo = rng.gen_range(0u64..40);
+                    let hi = rng.gen_range(lo..40);
+                    b = b.range(name, lo, hi).unwrap();
+                }
+            }
+            if let Ok(sub) = b.build() {
+                return sub;
+            }
+        };
+        for engine in [MatchEngineKind::Counting, MatchEngineKind::Sorted] {
+            let mut rng = Rng::seed_from_u64(0xb01d);
+            let items: Vec<(SubId, StoredSub)> = (0..600)
+                .map(|i| {
+                    let mut rec = stored(0, 0, SimTime::MAX);
+                    rec.sub = random_sub(&mut rng);
+                    (SubId(i), rec)
+                })
+                .collect();
+            let mut seq = SubscriptionStore::with_options(&s, engine, true);
+            for (id, rec) in items.clone() {
+                seq.insert(id, rec, SimTime::ZERO);
+            }
+            let mut bulk = SubscriptionStore::with_options(&s, engine, true);
+            assert_eq!(bulk.insert_bulk(items, SimTime::ZERO), 600);
+            let probe = |seq: &mut SubscriptionStore, bulk: &mut SubscriptionStore| {
+                assert_eq!(bulk.len(), seq.len());
+                assert_eq!(bulk.physical_len(), seq.physical_len());
+                let mut rng = Rng::seed_from_u64(0xeeee);
+                for case in 0..300 {
+                    let e = Event::new_unchecked((0..3).map(|_| rng.gen_range(0u64..40)).collect());
+                    assert_eq!(
+                        match_ids(bulk, &e, SimTime::ZERO),
+                        match_ids(seq, &e, SimTime::ZERO),
+                        "case {case}"
+                    );
+                }
+            };
+            probe(&mut seq, &mut bulk);
+            // Member bookkeeping must survive churn identically.
+            for i in (0..600).step_by(3) {
+                assert_eq!(
+                    bulk.remove(SubId(i)).is_some(),
+                    seq.remove(SubId(i)).is_some()
+                );
+            }
+            probe(&mut seq, &mut bulk);
+        }
+    }
+
+    /// Bulk insertion routes already-stored ids and within-batch repeats
+    /// through the refresh path instead of double-registering them.
+    #[test]
+    fn bulk_insert_refreshes_duplicates() {
+        let mut st = SubscriptionStore::new(&space());
+        st.insert(SubId(1), stored(0, 100, SimTime::MAX), SimTime::ZERO);
+        let fresh = st.insert_bulk(
+            vec![
+                (SubId(1), stored(0, 100, SimTime::from_secs(5))),
+                (SubId(2), stored(50, 60, SimTime::MAX)),
+                (SubId(2), stored(50, 60, SimTime::from_secs(9))),
+            ],
+            SimTime::ZERO,
+        );
+        assert_eq!(fresh, 1);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.get(SubId(1)).unwrap().expires, SimTime::from_secs(5));
+        assert_eq!(st.get(SubId(2)).unwrap().expires, SimTime::from_secs(9));
+        // Refreshed ids keep a single physical registration: both lapse
+        // cleanly.
+        st.purge_expired(SimTime::from_secs(10));
+        assert_eq!(st.len(), 0);
+        assert_eq!(st.physical_len(), 0);
     }
 }

@@ -226,6 +226,28 @@ impl<B: OverlayBackend> PubSubNetwork<B> {
         self.app(node).delivered()
     }
 
+    /// Drains `node`'s delivered-notification log in place, retaining
+    /// allocated capacity (see [`PubSubNode::clear_delivered`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn clear_delivered(&mut self, node: NodeIdx) {
+        B::app_mut(self.sim.node_mut(node)).clear_delivered();
+    }
+
+    /// Grows `node`'s hot-path buffers to their steady-state bounds (see
+    /// [`PubSubNode::warm`]). Measurement harnesses call this after their
+    /// warmup pass so cold-start growth is not charged to the measured
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of bounds.
+    pub fn warm_node(&mut self, node: NodeIdx) {
+        B::app_mut(self.sim.node_mut(node)).warm();
+    }
+
     /// A validated handle on one node, scoping the application operations
     /// to it: `net.node(3)?.subscribe(sub, None)?`.
     ///

@@ -226,7 +226,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
         }
         let payload = Arc::new(payload);
         let me = self.state.me();
-        let (local, bundles) = self.state.mcast_split(targets);
+        let (local, mut bundles) = self.state.mcast_split(targets);
         if !local.is_empty() {
             self.ctx.send_local(Envelope {
                 sender: me,
@@ -240,7 +240,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
                 },
             });
         }
-        for (peer, subset) in bundles {
+        for (peer, subset) in bundles.drain(..) {
             self.ctx.send(
                 peer.idx,
                 class,
@@ -272,8 +272,7 @@ impl<P: Clone, T, S: RouteTable> OverlaySvc<'_, '_, P, T, S> {
     ) {
         let space = self.space();
         let payload = Arc::new(payload);
-        let keys: Vec<Key> = targets.iter_keys(space).collect();
-        for key in keys {
+        for key in targets.iter_keys(space) {
             self.send_rc(key, class, Arc::clone(&payload), trace);
         }
     }

@@ -155,12 +155,12 @@ mod tests {
             let st = node.routing();
             assert_eq!(st.predecessor().unwrap(), ring.predecessor(me.key));
             assert_eq!(st.successor().unwrap(), ring.next_node(me.key));
-            for (i, f) in st.fingers().iter().enumerate() {
+            for (i, f) in st.fingers().enumerate() {
                 let expect = ring.successor(cfg.space.finger_target(me.key, i as u32));
                 if expect.key == me.key {
-                    assert_eq!(*f, None);
+                    assert_eq!(f, None);
                 } else {
-                    assert_eq!(*f, Some(expect), "finger {i} of node {idx}");
+                    assert_eq!(f, Some(expect), "finger {i} of node {idx}");
                 }
             }
         }

@@ -72,6 +72,7 @@ mod builder;
 mod cache;
 mod config;
 pub mod hash;
+mod inline;
 mod key;
 mod msg;
 mod node;
@@ -79,6 +80,7 @@ mod range;
 mod ring;
 mod route;
 pub mod routed;
+mod scratch;
 mod services;
 mod state;
 mod timer;
@@ -87,12 +89,14 @@ pub use app::{Delivery, OverlayApp, OverlaySvc};
 pub use builder::{assign_node_keys, build_stable};
 pub use cache::LocationCache;
 pub use config::OverlayConfig;
+pub use inline::InlineVec;
 pub use key::{Key, KeySpace};
 pub use msg::{take_payload, Envelope, OverlayMsg};
 pub use node::ChordNode;
-pub use range::{KeyRange, KeyRangeSet};
+pub use range::{KeyRange, KeyRangeSet, INLINE_SEGS};
 pub use ring::{Peer, RingView};
 pub use route::RouteTable;
+pub use scratch::{Bundles, PeerBuf};
 pub use services::OverlayServices;
 pub use state::RoutingState;
 pub use timer::OverlayTimer;

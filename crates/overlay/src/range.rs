@@ -9,11 +9,59 @@
 //!
 //! Internally a set is stored as sorted, disjoint, non-adjacent *linear*
 //! segments `[lo, hi]` (wrapping ranges are split in two), which turns all
-//! circular reasoning into ordinary interval algebra.
+//! circular reasoning into ordinary interval algebra. The segments live in
+//! an [`InlineVec`]: up to [`INLINE_SEGS`] segments are stored in place, so
+//! the common few-segment sets built on every m-cast hop never touch the
+//! heap. Wider sets spill into `Vec`s drawn from (and returned to) a
+//! per-thread free list, so even the spill path stops allocating once the
+//! pool is warm.
 
+use std::cell::RefCell;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
+use crate::inline::InlineVec;
 use crate::key::{Key, KeySpace};
+
+/// Number of segments a [`KeyRangeSet`] stores inline before spilling.
+pub const INLINE_SEGS: usize = 4;
+
+/// Per-thread free list of spilled segment buffers. `take`/`put` keep the
+/// steady state allocation-free: a set that grows past [`INLINE_SEGS`]
+/// segments borrows a recycled `Vec` and its `Drop` returns it.
+mod spill {
+    use super::RefCell;
+
+    /// Bound on pooled buffers (beyond this, drops free normally).
+    const POOL_CAP: usize = 32;
+    /// Buffers that grew past this many segments are not worth hoarding.
+    const RETAIN_CAP: usize = 4096;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<(u64, u64)>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn take(min_cap: usize) -> Vec<(u64, u64)> {
+        POOL.with(|pool| {
+            let mut v = pool.borrow_mut().pop().unwrap_or_default();
+            v.reserve(min_cap.max(super::INLINE_SEGS * 2));
+            v
+        })
+    }
+
+    pub(super) fn put(mut v: Vec<(u64, u64)>) {
+        if v.capacity() == 0 || v.capacity() > RETAIN_CAP {
+            return;
+        }
+        v.clear();
+        POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < POOL_CAP {
+                pool.push(v);
+            }
+        });
+    }
+}
 
 /// A circular interval of keys, walking clockwise from `start` to `end`,
 /// both inclusive.
@@ -98,7 +146,9 @@ impl fmt::Display for KeyRange {
 ///
 /// This is the value flowing through `SK`/`EK` mappings and the `m-cast`
 /// primitive. All operations keep the representation normalized (sorted,
-/// disjoint, non-adjacent linear segments).
+/// disjoint, non-adjacent linear segments). Sets of up to [`INLINE_SEGS`]
+/// segments are heap-free; wider sets borrow pooled spill storage (see the
+/// module docs).
 ///
 /// # Examples
 ///
@@ -112,10 +162,52 @@ impl fmt::Display for KeyRange {
 /// assert_eq!(set.count(), 6);
 /// assert_eq!(set.iter_keys(s).count(), 6);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Default)]
 pub struct KeyRangeSet {
     /// Sorted, disjoint, non-adjacent inclusive segments in linear space.
-    segments: Vec<(u64, u64)>,
+    segments: InlineVec<(u64, u64), INLINE_SEGS>,
+}
+
+impl Clone for KeyRangeSet {
+    fn clone(&self) -> Self {
+        let mut out = KeyRangeSet::new();
+        let segs = self.segments.as_slice();
+        if segs.len() > INLINE_SEGS {
+            let mut v = spill::take(segs.len());
+            v.extend_from_slice(segs);
+            out.segments = InlineVec::Heap(v);
+        } else {
+            for &seg in segs {
+                out.segments.push(seg);
+            }
+        }
+        out
+    }
+}
+
+impl Drop for KeyRangeSet {
+    fn drop(&mut self) {
+        if let Some(v) = self.segments.take_spill() {
+            spill::put(v);
+        }
+    }
+}
+
+/// Equality is over the key set; inline and spilled representations of the
+/// same segments compare equal (the representation is normalized, so
+/// segment-slice equality is set equality).
+impl PartialEq for KeyRangeSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.segments.as_slice() == other.segments.as_slice()
+    }
+}
+
+impl Eq for KeyRangeSet {}
+
+impl Hash for KeyRangeSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.segments.as_slice().hash(state);
+    }
 }
 
 impl KeyRangeSet {
@@ -140,9 +232,9 @@ impl KeyRangeSet {
 
     /// The set covering the entire ring.
     pub fn full(space: KeySpace) -> Self {
-        KeyRangeSet {
-            segments: vec![(0, space.max_value())],
-        }
+        let mut s = KeyRangeSet::new();
+        s.segments.push((0, space.max_value()));
+        s
     }
 
     /// `true` when the set holds no keys.
@@ -154,7 +246,11 @@ impl KeyRangeSet {
     /// Number of keys in the set.
     #[inline]
     pub fn count(&self) -> u64 {
-        self.segments.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+        self.segments
+            .as_slice()
+            .iter()
+            .map(|&(lo, hi)| hi - lo + 1)
+            .sum()
     }
 
     /// Number of disjoint linear segments (an implementation-level measure
@@ -164,11 +260,19 @@ impl KeyRangeSet {
         self.segments.len()
     }
 
+    /// `true` while the segments fit the inline buffer (diagnostics for
+    /// the allocation audit; spilled sets borrowed pooled storage).
+    #[inline]
+    pub fn is_inline(&self) -> bool {
+        self.segments.is_inline()
+    }
+
     /// `true` iff the set contains `key`.
     #[inline]
     pub fn contains(&self, key: Key) -> bool {
         let v = key.value();
         self.segments
+            .as_slice()
             .binary_search_by(|&(lo, hi)| {
                 if v < lo {
                     std::cmp::Ordering::Greater
@@ -200,7 +304,7 @@ impl KeyRangeSet {
 
     /// Union with another set.
     pub fn union_with(&mut self, other: &KeyRangeSet) {
-        for &(lo, hi) in &other.segments {
+        for &(lo, hi) in other.segments.as_slice() {
             self.insert_linear(lo, hi);
         }
     }
@@ -213,7 +317,7 @@ impl KeyRangeSet {
         let mut i = 0;
         let mut first = None;
         while i < self.segments.len() {
-            let (slo, shi) = self.segments[i];
+            let (slo, shi) = self.segments.as_slice()[i];
             // A segment interacts iff it overlaps or touches [lo, hi].
             let touches = slo <= hi.saturating_add(1) && lo <= shi.saturating_add(1);
             if touches {
@@ -231,8 +335,15 @@ impl KeyRangeSet {
         }
         let pos = match first {
             Some(p) => p,
-            None => self.segments.partition_point(|&(slo, _)| slo < new_lo),
+            None => self
+                .segments
+                .as_slice()
+                .partition_point(|&(slo, _)| slo < new_lo),
         };
+        // Spill through the pool rather than letting InlineVec allocate.
+        if self.segments.inline_is_full() {
+            self.segments.spill_to(spill::take(INLINE_SEGS * 2));
+        }
         self.segments.insert(pos, (new_lo, new_hi));
     }
 
@@ -245,21 +356,25 @@ impl KeyRangeSet {
         if space.distance_cw(a, b) == 0 {
             return self.clone();
         }
-        // Arc (a, b] in linear segments.
+        // Arc (a, b] in linear segments (at most two: it may wrap).
         let (av, bv) = (a.value(), b.value());
-        let mut arcs: Vec<(u64, u64)> = Vec::with_capacity(2);
+        let mut arcs = [(0u64, 0u64); 2];
+        let mut n_arcs = 0;
         if av < bv {
-            arcs.push((av + 1, bv));
+            arcs[0] = (av + 1, bv);
+            n_arcs = 1;
         } else {
             // Wraps: (a, max] and [0, b].
             if av < space.max_value() {
-                arcs.push((av + 1, space.max_value()));
+                arcs[0] = (av + 1, space.max_value());
+                n_arcs = 1;
             }
-            arcs.push((0, bv));
+            arcs[n_arcs] = (0, bv);
+            n_arcs += 1;
         }
         let mut out = KeyRangeSet::new();
-        for &(alo, ahi) in &arcs {
-            for &(slo, shi) in &self.segments {
+        for &(alo, ahi) in &arcs[..n_arcs] {
+            for &(slo, shi) in self.segments.as_slice() {
                 let lo = slo.max(alo);
                 let hi = shi.min(ahi);
                 if lo <= hi {
@@ -273,6 +388,7 @@ impl KeyRangeSet {
     /// Iterates over every key in the set in increasing linear order.
     pub fn iter_keys(&self, space: KeySpace) -> impl Iterator<Item = Key> + '_ {
         self.segments
+            .as_slice()
             .iter()
             .flat_map(move |&(lo, hi)| (lo..=hi).map(move |v| space.key(v)))
     }
@@ -280,21 +396,27 @@ impl KeyRangeSet {
     /// Iterates over the linear segments as circular [`KeyRange`]s.
     pub fn iter_ranges(&self, space: KeySpace) -> impl Iterator<Item = KeyRange> + '_ {
         self.segments
+            .as_slice()
             .iter()
             .map(move |&(lo, hi)| KeyRange::new(space.key(lo), space.key(hi)))
     }
 
     /// The smallest key (linear order), if the set is non-empty.
     pub fn min_key(&self, space: KeySpace) -> Option<Key> {
-        self.segments.first().map(|&(lo, _)| space.key(lo))
+        self.segments
+            .as_slice()
+            .first()
+            .map(|&(lo, _)| space.key(lo))
     }
 
     /// `true` iff the two sets share at least one key.
     pub fn intersects(&self, other: &KeyRangeSet) -> bool {
+        let a = self.segments.as_slice();
+        let b = other.segments.as_slice();
         let (mut i, mut j) = (0, 0);
-        while i < self.segments.len() && j < other.segments.len() {
-            let (alo, ahi) = self.segments[i];
-            let (blo, bhi) = other.segments[j];
+        while i < a.len() && j < b.len() {
+            let (alo, ahi) = a[i];
+            let (blo, bhi) = b[j];
             if alo.max(blo) <= ahi.min(bhi) {
                 return true;
             }
@@ -311,7 +433,7 @@ impl KeyRangeSet {
 impl fmt::Display for KeyRangeSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, &(lo, hi)) in self.segments.iter().enumerate() {
+        for (i, &(lo, hi)) in self.segments.as_slice().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -470,5 +592,59 @@ mod tests {
         assert_eq!(f.count(), 32);
         assert!(f.contains(s.key(0)));
         assert!(f.contains(s.key(31)));
+    }
+
+    /// Few-segment sets stay inline; crossing INLINE_SEGS spills and the
+    /// spilled set behaves identically (equality is representation-blind).
+    #[test]
+    fn spill_preserves_semantics_and_equality() {
+        let mut inline = KeyRangeSet::new();
+        for i in 0..INLINE_SEGS as u64 {
+            inline.insert_linear(i * 10, i * 10 + 2);
+        }
+        assert!(inline.is_inline());
+        let mut wide = inline.clone();
+        for i in INLINE_SEGS as u64..(INLINE_SEGS as u64 + 4) {
+            wide.insert_linear(i * 10, i * 10 + 2);
+        }
+        assert!(!wide.is_inline());
+        assert_eq!(wide.segment_count(), INLINE_SEGS + 4);
+        assert_eq!(wide.count(), (INLINE_SEGS as u64 + 4) * 3);
+        // Merging collapses the spilled set back down logically (the
+        // representation stays spilled; equality must not care).
+        let mut merged = KeyRangeSet::new();
+        merged.insert_linear(0, (INLINE_SEGS as u64 + 4) * 10 + 2);
+        let mut wide2 = wide.clone();
+        wide2.insert_linear(0, (INLINE_SEGS as u64 + 4) * 10 + 2);
+        assert_eq!(wide2.segment_count(), 1);
+        assert!(!wide2.is_inline());
+        assert_eq!(wide2, merged);
+        use std::collections::hash_map::DefaultHasher;
+        let h = |set: &KeyRangeSet| {
+            let mut hasher = DefaultHasher::new();
+            set.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(&wide2), h(&merged));
+    }
+
+    /// Drop returns spilled buffers to the thread-local pool; later spills
+    /// reuse them (observable via capacity retention).
+    #[test]
+    fn spill_pool_recycles_buffers() {
+        let make_wide = || {
+            let mut set = KeyRangeSet::new();
+            for i in 0..(INLINE_SEGS as u64 + 12) {
+                set.insert_linear(i * 10, i * 10 + 2);
+            }
+            set
+        };
+        // Warm the pool, then build/drop repeatedly: contents must be
+        // identical every round (a stale pooled buffer would corrupt).
+        let reference = make_wide();
+        for _ in 0..100 {
+            let set = make_wide();
+            assert_eq!(set, reference);
+        }
     }
 }

@@ -13,6 +13,7 @@
 use crate::key::{Key, KeySpace};
 use crate::range::KeyRangeSet;
 use crate::ring::Peer;
+use crate::scratch::Bundles;
 
 /// Per-node routing state of one structured overlay.
 ///
@@ -53,8 +54,10 @@ pub trait RouteTable {
     fn next_hop(&mut self, key: Key) -> Option<Peer>;
 
     /// The one-to-many split of Figure 4: the local share of `targets`
-    /// plus one disjoint bundle per relay peer.
-    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>);
+    /// plus one disjoint bundle per relay peer. The bundle list is pooled
+    /// scratch storage ([`Bundles`]) so steady-state splits stay off the
+    /// allocator.
+    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Bundles);
 
     /// Opportunistically records that `peer` exists (location caching).
     /// Substrates without opportunistic learning keep the default no-op.
@@ -88,7 +91,7 @@ impl RouteTable for crate::state::RoutingState {
     fn next_hop(&mut self, key: Key) -> Option<Peer> {
         crate::state::RoutingState::next_hop(self, key)
     }
-    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Bundles) {
         crate::state::RoutingState::mcast_split(self, targets)
     }
     fn learn(&mut self, peer: Peer) {

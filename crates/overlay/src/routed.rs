@@ -136,11 +136,11 @@ pub fn handle_mcast<S: RouteTable, A: OverlayApp>(
     if ttl_exceeded::<S, A>(state, hops, ctx) {
         return;
     }
-    let (local, bundles) = state.mcast_split(&targets);
+    let (local, mut bundles) = state.mcast_split(&targets);
     if !bundles.is_empty() {
         ctx.route_hop(trace, class);
     }
-    for (peer, subset) in bundles {
+    for (peer, subset) in bundles.drain(..) {
         send_body::<S, A>(
             state,
             ctx,

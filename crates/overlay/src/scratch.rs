@@ -1,0 +1,164 @@
+//! Thread-local scratch pools for the routing hot path.
+//!
+//! The m-cast split runs once per hop of every multicast message — on the
+//! figures workloads that is millions of calls — and naively needs two
+//! temporary vectors per call: the sorted boundary-peer list and the
+//! per-relay bundle list. Both are recycled here through small
+//! thread-local free lists, so a steady-state split performs no heap
+//! allocation at all (the bundle sets themselves are inline-first
+//! [`KeyRangeSet`]s whose rare spill buffers are pooled in
+//! [`crate::range`]).
+//!
+//! The types are safe plain wrappers around `Vec`: dropping one clears it
+//! (running the members' own recycling `Drop`s) and pushes the storage
+//! back onto the current thread's free list. Each simulator shard owns its
+//! nodes and runs them on one thread at a time, so thread-local pooling
+//! needs no synchronization.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::range::KeyRangeSet;
+use crate::ring::Peer;
+
+/// Buffers kept per pool per thread. Splits are not recursive, so in
+/// practice one or two buffers circulate; the cap only bounds pathological
+/// callers that leak many at once.
+const POOL_CAP: usize = 16;
+
+thread_local! {
+    static BUNDLES: RefCell<Vec<Vec<(Peer, KeyRangeSet)>>> = const { RefCell::new(Vec::new()) };
+    static PEERS: RefCell<Vec<Vec<Peer>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The per-relay bundles produced by a `mcast_split`: recycled `Vec`
+/// storage behind a `Deref` to `Vec<(Peer, KeyRangeSet)>`.
+///
+/// Consume it with `drain(..)` (or iterate by reference); dropping it —
+/// drained or not — returns the buffer to the thread's pool.
+#[derive(Debug, Default)]
+pub struct Bundles(Vec<(Peer, KeyRangeSet)>);
+
+impl Bundles {
+    /// An empty bundle list, reusing pooled storage when available.
+    pub fn take() -> Self {
+        Bundles(BUNDLES.with(|p| p.borrow_mut().pop()).unwrap_or_default())
+    }
+}
+
+impl Deref for Bundles {
+    type Target = Vec<(Peer, KeyRangeSet)>;
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl DerefMut for Bundles {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.0
+    }
+}
+
+impl Drop for Bundles {
+    fn drop(&mut self) {
+        // Clearing drops the member range sets, which recycle their own
+        // spill buffers; then the container itself goes back to the pool.
+        self.0.clear();
+        if self.0.capacity() == 0 {
+            return;
+        }
+        let v = std::mem::take(&mut self.0);
+        BUNDLES.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < POOL_CAP {
+                p.push(v);
+            }
+        });
+    }
+}
+
+/// A pooled scratch list of peers (the sorted boundary set of a split).
+#[derive(Debug, Default)]
+pub struct PeerBuf(Vec<Peer>);
+
+impl PeerBuf {
+    /// An empty peer list, reusing pooled storage when available.
+    pub fn take() -> Self {
+        PeerBuf(PEERS.with(|p| p.borrow_mut().pop()).unwrap_or_default())
+    }
+}
+
+impl Deref for PeerBuf {
+    type Target = Vec<Peer>;
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl DerefMut for PeerBuf {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.0
+    }
+}
+
+impl Drop for PeerBuf {
+    fn drop(&mut self) {
+        self.0.clear();
+        if self.0.capacity() == 0 {
+            return;
+        }
+        let v = std::mem::take(&mut self.0);
+        PEERS.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < POOL_CAP {
+                p.push(v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeySpace;
+
+    #[test]
+    fn bundles_recycle_storage() {
+        let space = KeySpace::new(5);
+        let peer = Peer {
+            idx: 3,
+            key: space.key(7),
+        };
+        let cap = {
+            let mut b = Bundles::take();
+            for _ in 0..10 {
+                b.push((peer, KeyRangeSet::full(space)));
+            }
+            let cap = b.capacity();
+            assert!(cap >= 10);
+            cap
+        }; // dropped → pooled
+        let b = Bundles::take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "storage was not recycled");
+    }
+
+    #[test]
+    fn peer_buf_recycles_storage() {
+        let space = KeySpace::new(5);
+        let peer = Peer {
+            idx: 0,
+            key: space.key(1),
+        };
+        let cap = {
+            let mut b = PeerBuf::take();
+            for _ in 0..20 {
+                b.push(peer);
+            }
+            b.capacity()
+        };
+        let b = PeerBuf::take();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), cap, "storage was not recycled");
+    }
+}

@@ -7,36 +7,53 @@ use crate::config::OverlayConfig;
 use crate::key::{Key, KeySpace};
 use crate::range::KeyRangeSet;
 use crate::ring::Peer;
+use crate::scratch::{Bundles, PeerBuf};
 
 /// The Chord routing state of one node.
 ///
 /// Pure data plus deterministic decision functions; all message handling
 /// lives in [`crate::node::ChordNode`]. Keeping the decisions here makes
 /// them unit-testable without a simulator.
+///
+/// The per-event working set is laid out struct-of-arrays: the finger
+/// table is a liveness bitmap plus parallel key/index arrays, so the
+/// next-hop and m-cast scans touch a few dense cache lines of raw `u64`
+/// keys instead of striding over `Option<Peer>` records. Cold
+/// configuration sits behind the hot fields.
 #[derive(Clone, Debug)]
 pub struct RoutingState {
-    cfg: OverlayConfig,
+    // --- hot: touched on every routed event ---
     me: Peer,
     pred: Option<Peer>,
+    /// Bit `i` set iff finger `i` is known (and is not ourselves).
+    finger_live: u64,
+    /// Finger target keys (raw key values), valid where the live bit is
+    /// set; entry `i` is the node covering `me.key + 2^i`.
+    finger_keys: Box<[u64]>,
+    /// Simulator indices parallel to `finger_keys`.
+    finger_idxs: Box<[u32]>,
     /// Successor list; `succs[0]` is the immediate successor. Empty on a
     /// single-node ring.
     succs: Vec<Peer>,
-    /// `m` finger entries; `fingers[i]` targets `me.key + 2^i`. `None` when
-    /// unknown or pointing at ourselves.
-    fingers: Vec<Option<Peer>>,
     cache: LocationCache,
+    // --- cold: configuration ---
+    cfg: OverlayConfig,
 }
 
 impl RoutingState {
     /// Fresh state for a node that has not joined a ring yet.
     pub fn new(cfg: OverlayConfig, me: Peer) -> Self {
+        let m = cfg.space.bits() as usize;
+        assert!(m <= 64, "finger liveness bitmap holds at most 64 entries");
         RoutingState {
-            cfg,
             me,
             pred: None,
+            finger_live: 0,
+            finger_keys: vec![0; m].into_boxed_slice(),
+            finger_idxs: vec![0; m].into_boxed_slice(),
             succs: Vec::new(),
-            fingers: vec![None; cfg.space.bits() as usize],
             cache: LocationCache::new(cfg.cache_capacity),
+            cfg,
         }
     }
 
@@ -70,9 +87,22 @@ impl RoutingState {
         &self.succs
     }
 
-    /// The finger table (entry `i` targets `me.key + 2^i`).
-    pub fn fingers(&self) -> &[Option<Peer>] {
-        &self.fingers
+    /// Finger entry `i` (targets `me.key + 2^i`); `None` when unknown or
+    /// pointing at ourselves.
+    pub fn finger(&self, i: usize) -> Option<Peer> {
+        assert!(i < self.finger_keys.len(), "finger index out of range");
+        if self.finger_live & (1u64 << i) == 0 {
+            return None;
+        }
+        Some(Peer {
+            idx: self.finger_idxs[i] as usize,
+            key: self.cfg.space.key(self.finger_keys[i]),
+        })
+    }
+
+    /// The finger table, entry by entry (entry `i` targets `me.key + 2^i`).
+    pub fn fingers(&self) -> impl Iterator<Item = Option<Peer>> + '_ {
+        (0..self.finger_keys.len()).map(|i| self.finger(i))
     }
 
     /// Number of entries currently in the location cache.
@@ -102,17 +132,20 @@ impl RoutingState {
     }
 
     /// Sets one finger entry (entries pointing at ourselves are stored as
-    /// `None`).
+    /// unknown).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn set_finger(&mut self, i: usize, peer: Peer) {
-        self.fingers[i] = if peer.key == self.me.key {
-            None
+        assert!(i < self.finger_keys.len(), "finger index out of range");
+        if peer.key == self.me.key {
+            self.finger_live &= !(1u64 << i);
         } else {
-            Some(peer)
-        };
+            self.finger_live |= 1u64 << i;
+            self.finger_keys[i] = peer.key.value();
+            self.finger_idxs[i] = peer.idx as u32;
+        }
     }
 
     /// Records that `peer` exists (location cache learning). Learning
@@ -133,9 +166,15 @@ impl RoutingState {
                 dead.push(p);
             }
         };
-        for f in self.fingers.iter().flatten() {
-            if f.idx == idx {
-                note(*f);
+        let mut live = self.finger_live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            if self.finger_idxs[i] as usize == idx {
+                note(Peer {
+                    idx,
+                    key: self.cfg.space.key(self.finger_keys[i]),
+                });
             }
         }
         for s in &self.succs {
@@ -161,9 +200,12 @@ impl RoutingState {
     /// successor-list entries, predecessor.
     pub fn forget(&mut self, peer: Peer) {
         self.cache.forget(peer.key);
-        for f in &mut self.fingers {
-            if *f == Some(peer) {
-                *f = None;
+        let mut live = self.finger_live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            if self.finger_keys[i] == peer.key.value() && self.finger_idxs[i] as usize == peer.idx {
+                self.finger_live &= !(1u64 << i);
             }
         }
         self.succs.retain(|p| *p != peer);
@@ -197,6 +239,24 @@ impl RoutingState {
         }
         let mut best: Option<Peer> = None;
         let mut best_dist = 0u64;
+        // Finger scan over the dense key array: only the chosen entry's
+        // index is materialized into a `Peer`.
+        let mut live = self.finger_live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            let fk = space.key(self.finger_keys[i]);
+            if space.in_arc_oo(fk, self.me.key, key) {
+                let d = space.distance_cw(self.me.key, fk);
+                if d > best_dist {
+                    best_dist = d;
+                    best = Some(Peer {
+                        idx: self.finger_idxs[i] as usize,
+                        key: fk,
+                    });
+                }
+            }
+        }
         let mut consider = |p: Peer| {
             if space.in_arc_oo(p.key, self.me.key, key) {
                 let d = space.distance_cw(self.me.key, p.key);
@@ -206,9 +266,6 @@ impl RoutingState {
                 }
             }
         };
-        for f in self.fingers.iter().flatten() {
-            consider(*f);
-        }
         for s in &self.succs {
             consider(*s);
         }
@@ -226,19 +283,28 @@ impl RoutingState {
     /// `f_l`. The arc `(me, f_1]` goes to the successor (it covers it
     /// entirely); each arc `(f_i, f_{i+1}]` goes to `f_i`, which recurses;
     /// the final arc `(pred, me]` is local. Bundles to the same node are
-    /// merged, so no node receives the message twice.
-    pub fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+    /// merged, so no node receives the message twice. All scratch storage
+    /// is pooled ([`crate::scratch`]): the steady-state split allocates
+    /// nothing.
+    pub fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Bundles) {
         let space = self.cfg.space;
+        let mut bundles = Bundles::take();
         let Some(succ) = self.successor() else {
             // Single-node ring: everything is local.
-            return (targets.clone(), Vec::new());
+            return (targets.clone(), bundles);
         };
 
         // Distinct boundary peers sorted clockwise from me.
-        let mut boundaries: Vec<Peer> = Vec::with_capacity(self.fingers.len() + 2);
+        let mut boundaries = PeerBuf::take();
         boundaries.push(succ);
-        for f in self.fingers.iter().flatten() {
-            boundaries.push(*f);
+        let mut live = self.finger_live;
+        while live != 0 {
+            let i = live.trailing_zeros() as usize;
+            live &= live - 1;
+            boundaries.push(Peer {
+                idx: self.finger_idxs[i] as usize,
+                key: space.key(self.finger_keys[i]),
+            });
         }
         if let Some(p) = self.pred {
             boundaries.push(p);
@@ -248,10 +314,9 @@ impl RoutingState {
         boundaries.dedup_by_key(|p| p.key);
 
         if boundaries.is_empty() {
-            return (targets.clone(), Vec::new());
+            return (targets.clone(), bundles);
         }
 
-        let mut bundles: Vec<(Peer, KeyRangeSet)> = Vec::new();
         let mut add = |peer: Peer, part: KeyRangeSet| {
             if part.is_empty() {
                 return;
@@ -358,6 +423,19 @@ mod tests {
     }
 
     #[test]
+    fn finger_accessors_mirror_soa_storage() {
+        let st = converged(&[1, 8, 14, 20, 27], 1);
+        let s = st.space();
+        // Fingers of 1 target 2,3,5,9,17 → successors 8,8,8,14,20.
+        let expect = [8u64, 8, 8, 14, 20];
+        for (i, f) in st.fingers().enumerate() {
+            assert_eq!(f.unwrap().key, s.key(expect[i]), "finger {i}");
+            assert_eq!(st.finger(i), f);
+        }
+        assert_eq!(st.fingers().count(), s.bits() as usize);
+    }
+
+    #[test]
     fn cache_entry_shortcuts_routing() {
         let space = KeySpace::new(5);
         let cfg = OverlayConfig::paper_default()
@@ -404,7 +482,7 @@ mod tests {
         };
         st.forget(dead);
         assert!(!st.successors().contains(&dead));
-        assert!(st.fingers().iter().all(|f| *f != Some(dead)));
+        assert!(st.fingers().all(|f| f != Some(dead)));
         // Successor list falls back to the next node.
         assert_eq!(st.successor().unwrap().key, s.key(20));
     }
@@ -423,7 +501,7 @@ mod tests {
         // The union of local + all bundles must be the full ring, disjoint.
         let mut total = local.count();
         let mut union = local.clone();
-        for (_, set) in &bundles {
+        for (_, set) in bundles.iter() {
             assert!(!union.intersects(set), "overlapping m-cast bundles");
             union.union_with(set);
             total += set.count();

@@ -114,9 +114,9 @@ fn join_integrates_new_node() {
     let new_ring = RingView::new(space, peers);
     let node = sim.node(idx);
     let mut correct = 0;
-    for (i, f) in node.routing().fingers().iter().enumerate() {
+    for (i, f) in node.routing().fingers().enumerate() {
         let expect = new_ring.successor(space.finger_target(key, i as u32));
-        if *f == Some(expect) || (f.is_none() && expect.key == key) {
+        if f == Some(expect) || (f.is_none() && expect.key == key) {
             correct += 1;
         }
     }

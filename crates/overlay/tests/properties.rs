@@ -234,7 +234,7 @@ fn mcast_split_is_exact_partition() {
         let (local, bundles) = st.mcast_split(&targets);
         let mut union = local.clone();
         let mut total = local.count();
-        for (peer, subset) in &bundles {
+        for (peer, subset) in bundles.iter() {
             assert!(
                 peer.key != st.me().key,
                 "case {case}: bundle addressed to self"

@@ -47,6 +47,10 @@ impl OverlayBackend for PastryBackend {
         node.app()
     }
 
+    fn app_mut(node: &mut Self::Node) -> &mut PubSubNode {
+        node.app_mut()
+    }
+
     fn me(node: &Self::Node) -> Peer {
         node.me()
     }

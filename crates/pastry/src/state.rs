@@ -1,7 +1,7 @@
 //! Per-node Pastry routing state: leaf set + prefix routing table, and the
 //! routing / multicast-split decisions built on them.
 
-use cbps_overlay::{Key, KeyRangeSet, KeySpace, Peer, RingView};
+use cbps_overlay::{Bundles, Key, KeyRangeSet, KeySpace, Peer, PeerBuf, RingView};
 
 /// Configuration of a Pastry overlay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,21 +228,22 @@ impl PastryState {
     /// boundary nodes: local = our arc; each remaining arc is relayed via
     /// the boundary node preceding it. Exactly-once and termination hold
     /// for the same reasons as on Chord.
-    pub fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+    pub fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Bundles) {
         let space = self.cfg.space;
+        let mut bundles = Bundles::take();
         let Some(succ) = self.successor() else {
-            return (targets.clone(), Vec::new());
+            return (targets.clone(), bundles);
         };
-        let mut boundaries: Vec<Peer> = self.known().collect();
+        let mut boundaries = PeerBuf::take();
+        boundaries.extend(self.known());
         boundaries.retain(|p| p.key != self.me.key);
         boundaries.sort_by_key(|p| space.distance_cw(self.me.key, p.key));
         boundaries.dedup_by_key(|p| p.key);
         if boundaries.is_empty() {
-            return (targets.clone(), Vec::new());
+            return (targets.clone(), bundles);
         }
         debug_assert_eq!(boundaries[0], succ, "successor is the nearest boundary");
 
-        let mut bundles: Vec<(Peer, KeyRangeSet)> = Vec::new();
         let mut add = |peer: Peer, part: KeyRangeSet| {
             if part.is_empty() {
                 return;
@@ -291,7 +292,7 @@ impl cbps_overlay::RouteTable for PastryState {
     fn next_hop(&mut self, key: Key) -> Option<Peer> {
         PastryState::next_hop(self, key)
     }
-    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Vec<(Peer, KeyRangeSet)>) {
+    fn mcast_split(&self, targets: &KeyRangeSet) -> (KeyRangeSet, Bundles) {
         PastryState::mcast_split(self, targets)
     }
     // Pastry's routing table is computed at convergence; no opportunistic
@@ -415,7 +416,7 @@ mod tests {
         let (local, bundles) = st.mcast_split(&targets);
         let mut union = local.clone();
         let mut total = local.count();
-        for (peer, set) in &bundles {
+        for (peer, set) in bundles.iter() {
             assert_ne!(peer.key, me.key);
             assert!(!union.intersects(set));
             union.union_with(set);

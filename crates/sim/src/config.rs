@@ -126,6 +126,44 @@ impl MatchEngineKind {
     }
 }
 
+/// Whether the in-flight event slab pool recycles freed slots
+/// (see [`crate::pool`]).
+///
+/// Both modes produce bit-identical runs — recycling only changes *where*
+/// in the slab an event payload lives, never the `(time, seq)` pop order —
+/// so this knob exists for the pooled-vs-fresh determinism gate and the
+/// allocation audit, mirroring [`SchedulerKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// Freed slots go on a free list and are reused: steady-state event
+    /// scheduling performs zero heap allocations. The default.
+    #[default]
+    Reuse,
+    /// Every insert appends a fresh slot (the slab compacts only when it
+    /// goes idle). The verification baseline: any observable difference
+    /// from `Reuse` would indicate a recycling bug.
+    Fresh,
+}
+
+impl PoolMode {
+    /// Parses `"reuse"` or `"fresh"` (as accepted by the CLI tools).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reuse" => Some(PoolMode::Reuse),
+            "fresh" => Some(PoolMode::Fresh),
+            _ => None,
+        }
+    }
+
+    /// The name [`PoolMode::parse`] accepts for this variant.
+    pub fn name(self) -> &'static str {
+        match self {
+            PoolMode::Reuse => "reuse",
+            PoolMode::Fresh => "fresh",
+        }
+    }
+}
+
 /// Top-level configuration for a [`Simulator`](crate::Simulator).
 ///
 /// # Examples
@@ -161,6 +199,10 @@ pub struct NetConfig {
     /// the delay model's [`DelayModel::min_delay`] (conservative parallel
     /// DES); requires a strictly positive minimum delay.
     pub shards: usize,
+    /// Slot-recycling policy of the in-flight event slab pool (reuse by
+    /// default). Purely an implementation knob: both modes produce
+    /// bit-identical runs.
+    pub pool: PoolMode,
 }
 
 impl NetConfig {
@@ -173,6 +215,7 @@ impl NetConfig {
             scheduler: SchedulerKind::default(),
             match_engine: MatchEngineKind::default(),
             shards: 1,
+            pool: PoolMode::default(),
         }
     }
 
@@ -211,6 +254,12 @@ impl NetConfig {
     /// Replaces the shard count (`0` is coerced to `1`).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Replaces the event-pool recycling policy.
+    pub fn with_pool(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -279,6 +328,17 @@ mod tests {
         assert_eq!(MatchEngineKind::parse("bogus"), None);
         let cfg = NetConfig::new(0).with_match_engine(MatchEngineKind::Sorted);
         assert_eq!(cfg.match_engine, MatchEngineKind::Sorted);
+    }
+
+    #[test]
+    fn pool_mode_parse_roundtrip() {
+        assert_eq!(NetConfig::default().pool, PoolMode::Reuse);
+        for mode in [PoolMode::Reuse, PoolMode::Fresh] {
+            assert_eq!(PoolMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(PoolMode::parse("bogus"), None);
+        let cfg = NetConfig::new(0).with_pool(PoolMode::Fresh);
+        assert_eq!(cfg.pool, PoolMode::Fresh);
     }
 
     #[test]

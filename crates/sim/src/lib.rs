@@ -55,13 +55,14 @@
 mod config;
 mod metrics;
 mod obs;
+mod pool;
 mod shard;
 mod sim;
 mod time;
 mod trace;
 pub mod wheel;
 
-pub use config::{DelayModel, MatchEngineKind, NetConfig, SchedulerKind};
+pub use config::{DelayModel, MatchEngineKind, NetConfig, PoolMode, SchedulerKind};
 pub use metrics::{Histogram, Metrics, TrafficClass};
 pub use obs::{
     LogHistogram, ObsMode, ObsSummary, Observability, Stage, StageRecord, TraceId, TraceLog,

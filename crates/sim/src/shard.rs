@@ -54,6 +54,7 @@ use cbps_rng::Rng;
 use crate::config::NetConfig;
 use crate::metrics::Metrics;
 use crate::obs::TraceId;
+use crate::pool::EventPool;
 use crate::sim::{
     key_time, pack, Action, Context, EventKind, EventQueue, Node, NodeIdx, SimParts, Simulator,
 };
@@ -74,7 +75,10 @@ struct ShardCore<N: Node> {
     /// Global index of `nodes[0]`.
     start: usize,
     nodes: Vec<N>,
-    queue: EventQueue<N::Msg, N::Timer>,
+    queue: EventQueue,
+    /// Slab pool holding this shard's queued event payloads; the queue
+    /// orders 8-byte handles into it (see [`crate::pool`]).
+    pool: EventPool<EventKind<N::Msg, N::Timer>>,
     /// The shard's local clock: time of the last event it processed.
     /// Always ≤ the global clock between runs.
     time: SimTime,
@@ -94,7 +98,15 @@ impl<N: Node> ShardCore<N> {
     fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Timer>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(pack(time, seq), kind);
+        let handle = self.pool.insert(kind);
+        self.queue.push(pack(time, seq), handle);
+    }
+
+    /// Pops the next event, checking its payload out of the pool.
+    #[inline]
+    fn pop_event(&mut self) -> Option<crate::sim::KeyedEvent<N::Msg, N::Timer>> {
+        let (key, handle) = self.queue.pop()?;
+        Some((key, self.pool.remove(handle)))
     }
 
     /// Smallest pending event time in this shard's queue, as microseconds
@@ -140,6 +152,19 @@ pub struct ShardedSimulator<N: Node> {
     slots: Vec<Mutex<Vec<TimedEvent<N>>>>,
     /// Fresh-origin broadcast mailboxes, same indexing as `slots`.
     fresh_slots: Vec<Mutex<Vec<(TraceId, SimTime)>>>,
+    /// Occupancy bitmap over `slots`: bit `src % 64` of word `dst *
+    /// occ_words + src / 64` is set when mailbox `(dst, src)` is non-empty.
+    /// Senders set the bit after filling the mailbox; the receiver swaps
+    /// its words to zero at drain time and locks only the flagged pairs —
+    /// so an `S`-shard run does not pay `S²` mutex acquisitions per epoch
+    /// when cross-shard traffic is sparse. The epoch barrier between flush
+    /// and drain orders the flag against the mailbox contents, so relaxed
+    /// atomics suffice.
+    occ: Vec<AtomicU64>,
+    /// Same, for the fresh-origin mailboxes.
+    fresh_occ: Vec<AtomicU64>,
+    /// Bitmap words per destination shard (`ceil(S / 64)`).
+    occ_words: usize,
     /// Events processed / queue peak inherited from the pre-conversion
     /// single-threaded simulator.
     events_base: u64,
@@ -192,6 +217,7 @@ impl<N: Node> ShardedSimulator<N> {
                 start: bounds[s],
                 nodes: shard_nodes,
                 queue: EventQueue::new(parts.config.scheduler),
+                pool: EventPool::new(parts.config.pool),
                 time: parts.time,
                 seq: 0,
                 rng: Rng::seed_from_u64(
@@ -224,6 +250,13 @@ impl<N: Node> ShardedSimulator<N> {
             fresh_slots: (0..s_count * s_count)
                 .map(|_| Mutex::new(Vec::new()))
                 .collect(),
+            occ: (0..s_count * s_count.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            fresh_occ: (0..s_count * s_count.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            occ_words: s_count.div_ceil(64),
             events_base: parts.events_processed,
             peak_base: parts.queue_peak,
             membership_dirty: false,
@@ -481,7 +514,7 @@ impl<N: Node> ShardedSimulator<N> {
         let mut kept: Vec<Vec<TimedEvent<N>>> = (0..s_count).map(|_| Vec::new()).collect();
         let mut moved: Vec<Vec<TimedEvent<N>>> = (0..s_count).map(|_| Vec::new()).collect();
         for (s, kept) in kept.iter_mut().enumerate() {
-            while let Some((key, kind)) = self.shards[s].queue.pop() {
+            while let Some((key, kind)) = self.shards[s].pop_event() {
                 let time = key_time(key);
                 let dst = self.route(&kind);
                 if dst == s {
@@ -573,6 +606,9 @@ where
             let config = &self.config;
             let slots = &self.slots;
             let fresh_slots = &self.fresh_slots;
+            let occ = &self.occ;
+            let fresh_occ = &self.fresh_occ;
+            let occ_words = self.occ_words;
             let mins = &mins;
             let barrier = &barrier;
             let chunk = self.chunk;
@@ -596,6 +632,9 @@ where
                             config,
                             slots,
                             fresh_slots,
+                            occ,
+                            fresh_occ,
+                            occ_words,
                             mins,
                             barrier,
                             until_us,
@@ -623,6 +662,9 @@ struct ShardWorker<'a, N: Node> {
     config: &'a NetConfig,
     slots: &'a [Mutex<Vec<TimedEvent<N>>>],
     fresh_slots: &'a [Mutex<Vec<(TraceId, SimTime)>>],
+    occ: &'a [AtomicU64],
+    fresh_occ: &'a [AtomicU64],
+    occ_words: usize,
     mins: &'a [AtomicU64],
     barrier: &'a Barrier,
     until_us: u64,
@@ -639,35 +681,45 @@ impl<N: Node> ShardWorker<'_, N> {
     /// barrier: learned trace origins first (so latency samples in this
     /// epoch anchor correctly), then cross-shard events, in source-shard
     /// order — which makes re-sequencing deterministic regardless of
-    /// thread scheduling.
+    /// thread scheduling. Only mailboxes flagged in the occupancy bitmaps
+    /// are locked; empty `(dst, src)` pairs cost one atomic word read per
+    /// 64 sources.
     fn drain_inbound(&mut self) {
-        for src in 0..self.s_count {
-            if src == self.my {
-                continue;
-            }
-            let mut v = self.fresh_slots[self.my * self.s_count + src]
-                .lock()
-                .expect("fresh-origin mailbox poisoned");
-            for (trace, at) in v.drain(..) {
-                self.metrics.obs_mut().add_origin(trace, at);
+        let base = self.my * self.occ_words;
+        for w in 0..self.occ_words {
+            let mut bits = self.fresh_occ[base + w].swap(0, Ordering::Relaxed);
+            while bits != 0 {
+                let src = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut v = self.fresh_slots[self.my * self.s_count + src]
+                    .lock()
+                    .expect("fresh-origin mailbox poisoned");
+                for (trace, at) in v.drain(..) {
+                    self.metrics.obs_mut().add_origin(trace, at);
+                }
             }
         }
-        for src in 0..self.s_count {
-            if src == self.my {
-                continue;
-            }
-            let mut v = self.slots[self.my * self.s_count + src]
-                .lock()
-                .expect("event mailbox poisoned");
-            for (time, kind) in v.drain(..) {
-                self.core.push_event(time, kind);
+        for w in 0..self.occ_words {
+            let mut bits = self.occ[base + w].swap(0, Ordering::Relaxed);
+            while bits != 0 {
+                let src = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut v = self.slots[self.my * self.s_count + src]
+                    .lock()
+                    .expect("event mailbox poisoned");
+                for (time, kind) in v.drain(..) {
+                    self.core.push_event(time, kind);
+                }
             }
         }
     }
 
     /// Flushes this epoch's outbound events and fresh origins into sibling
-    /// mailboxes (read by them only after the next barrier).
+    /// mailboxes (read by them only after the next barrier), flagging each
+    /// filled mailbox in the occupancy bitmaps.
     fn flush_outbound(&mut self) {
+        let my_word = self.my / 64;
+        let my_bit = 1u64 << (self.my % 64);
         for dst in 0..self.s_count {
             if dst == self.my || self.core.outbufs[dst].is_empty() {
                 continue;
@@ -676,6 +728,8 @@ impl<N: Node> ShardWorker<'_, N> {
                 .lock()
                 .expect("event mailbox poisoned");
             v.extend(self.core.outbufs[dst].drain(..));
+            drop(v);
+            self.occ[dst * self.occ_words + my_word].fetch_or(my_bit, Ordering::Relaxed);
         }
         let fresh = self.metrics.obs_mut().take_fresh_origins();
         if !fresh.is_empty() {
@@ -687,6 +741,8 @@ impl<N: Node> ShardWorker<'_, N> {
                     .lock()
                     .expect("fresh-origin mailbox poisoned");
                 v.extend(fresh.iter().copied());
+                drop(v);
+                self.fresh_occ[dst * self.occ_words + my_word].fetch_or(my_bit, Ordering::Relaxed);
             }
         }
     }
@@ -694,7 +750,7 @@ impl<N: Node> ShardWorker<'_, N> {
     /// Processes one local event; mirrors [`Simulator::step`] exactly
     /// (including the 1-in-64 queue-depth sample).
     fn step_one(&mut self) {
-        let Some((key, kind)) = self.core.queue.pop() else {
+        let Some((key, kind)) = self.core.pop_event() else {
             return;
         };
         let time = key_time(key);

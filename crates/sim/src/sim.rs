@@ -14,6 +14,7 @@ use cbps_rng::Rng;
 use crate::config::{NetConfig, SchedulerKind};
 use crate::metrics::{Metrics, TrafficClass};
 use crate::obs::{Stage, TraceId};
+use crate::pool::{EventPool, Handle};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{TraceEntry, TraceKind, Tracer};
 use crate::wheel::TimingWheel;
@@ -200,23 +201,23 @@ pub(crate) fn key_time(key: u128) -> SimTime {
     SimTime::from_micros((key >> 64) as u64)
 }
 
-pub(crate) struct Scheduled<M, T> {
+pub(crate) struct Scheduled {
     key: u128,
-    kind: EventKind<M, T>,
+    handle: Handle,
 }
 
-impl<M, T> PartialEq for Scheduled<M, T> {
+impl PartialEq for Scheduled {
     fn eq(&self, other: &Self) -> bool {
         self.key == other.key
     }
 }
-impl<M, T> Eq for Scheduled<M, T> {}
-impl<M, T> PartialOrd for Scheduled<M, T> {
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<M, T> Ord for Scheduled<M, T> {
+impl Ord for Scheduled {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
@@ -229,12 +230,16 @@ impl<M, T> Ord for Scheduled<M, T> {
 /// [`crate::wheel`]). Both pop in exactly the same `(time, seq)` order,
 /// so a run is bit-identical under either — [`SchedulerKind`] in
 /// [`NetConfig`] selects one for A/B comparison.
-pub(crate) enum EventQueue<M, T> {
-    Heap(BinaryHeap<Scheduled<M, T>>),
-    Wheel(Box<TimingWheel<EventKind<M, T>>>),
+///
+/// The queue orders 8-byte pool [`Handle`]s, not event payloads: payloads
+/// sit still in the owning engine's [`EventPool`] while their tickets are
+/// sifted and cascaded (see [`crate::pool`]).
+pub(crate) enum EventQueue {
+    Heap(BinaryHeap<Scheduled>),
+    Wheel(Box<TimingWheel<Handle>>),
 }
 
-impl<M, T> EventQueue<M, T> {
+impl EventQueue {
     pub(crate) fn new(kind: SchedulerKind) -> Self {
         match kind {
             // Pre-sized so steady-state simulation almost never regrows
@@ -245,17 +250,17 @@ impl<M, T> EventQueue<M, T> {
     }
 
     #[inline]
-    pub(crate) fn push(&mut self, key: u128, kind: EventKind<M, T>) {
+    pub(crate) fn push(&mut self, key: u128, handle: Handle) {
         match self {
-            EventQueue::Heap(q) => q.push(Scheduled { key, kind }),
-            EventQueue::Wheel(w) => w.push(key, kind),
+            EventQueue::Heap(q) => q.push(Scheduled { key, handle }),
+            EventQueue::Wheel(w) => w.push(key, handle),
         }
     }
 
     #[inline]
-    pub(crate) fn pop(&mut self) -> Option<(u128, EventKind<M, T>)> {
+    pub(crate) fn pop(&mut self) -> Option<(u128, Handle)> {
         match self {
-            EventQueue::Heap(q) => q.pop().map(|s| (s.key, s.kind)),
+            EventQueue::Heap(q) => q.pop().map(|s| (s.key, s.handle)),
             EventQueue::Wheel(w) => w.pop(),
         }
     }
@@ -332,7 +337,8 @@ pub(crate) struct SimParts<N: Node> {
 pub struct Simulator<N: Node> {
     nodes: Vec<N>,
     alive: Vec<bool>,
-    queue: EventQueue<N::Msg, N::Timer>,
+    queue: EventQueue,
+    pool: EventPool<EventKind<N::Msg, N::Timer>>,
     time: SimTime,
     seq: u64,
     config: NetConfig,
@@ -362,6 +368,7 @@ impl<N: Node> Simulator<N> {
             nodes: Vec::new(),
             alive: Vec::new(),
             queue: EventQueue::new(config.scheduler),
+            pool: EventPool::new(config.pool),
             time: SimTime::ZERO,
             seq: 0,
             config,
@@ -531,9 +538,10 @@ impl<N: Node> Simulator<N> {
     /// Processes a single queued event. Returns `false` when the queue is
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some((key, kind)) = self.queue.pop() else {
+        let Some((key, handle)) = self.queue.pop() else {
             return false;
         };
+        let kind = self.pool.remove(handle);
         let time = key_time(key);
         debug_assert!(time >= self.time, "event queue went backwards");
         self.time = time;
@@ -646,7 +654,8 @@ impl<N: Node> Simulator<N> {
     fn push_event(&mut self, time: SimTime, kind: EventKind<N::Msg, N::Timer>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(pack(time, seq), kind);
+        let handle = self.pool.insert(kind);
+        self.queue.push(pack(time, seq), handle);
     }
 
     fn apply_actions(&mut self, origin: NodeIdx, actions: &mut Vec<Action<N::Msg, N::Timer>>) {
@@ -698,8 +707,8 @@ impl<N: Node> Simulator<N> {
     /// order, preserving determinism when they are re-sequenced per shard).
     pub(crate) fn into_parts(mut self) -> SimParts<N> {
         let mut events = Vec::with_capacity(self.queue.len());
-        while let Some(ev) = self.queue.pop() {
-            events.push(ev);
+        while let Some((key, handle)) = self.queue.pop() {
+            events.push((key, self.pool.remove(handle)));
         }
         SimParts {
             nodes: self.nodes,

@@ -90,6 +90,16 @@ const LEVEL_BITS: u32 = 12;
 const LEVEL_SLOTS: usize = 1 << LEVEL_BITS;
 const LEVEL_MASK: u64 = (LEVEL_SLOTS - 1) as u64;
 
+/// Initial per-slot capacity. The refill scan only visits *occupied*
+/// slots, so an always-empty slot never receives recycled capacity from
+/// the drain path — the first push into it would allocate. As periodic
+/// timers drift across the 4096-slot rings that would be a thin but
+/// never-ending trickle of allocations; seeding every slot up front
+/// (~1 MiB per wheel at typical value sizes) keeps steady-state pushes
+/// allocation-free. Growth beyond the seed is recycled by the cascade
+/// buffer swaps.
+const SLOT_SEED: usize = 4;
+
 /// Time spans covered by one chunk / one L1 window / one L2 window, in µs.
 /// Exposed to the unit tests so horizon cases track the real geometry.
 #[cfg(test)]
@@ -243,12 +253,18 @@ impl<V> TimingWheel<V> {
     pub fn new() -> Self {
         TimingWheel {
             now_lane: VecDeque::new(),
-            batch: Vec::new(),
-            fine: (0..FINE_SLOTS).map(|_| Vec::new()).collect(),
+            batch: Vec::with_capacity(SLOT_SEED),
+            fine: (0..FINE_SLOTS)
+                .map(|_| Vec::with_capacity(SLOT_SEED))
+                .collect(),
             fine_occ: 0,
-            l1: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
+            l1: (0..LEVEL_SLOTS)
+                .map(|_| Vec::with_capacity(SLOT_SEED))
+                .collect(),
             l1_occ: Occupancy::new(LEVEL_SLOTS),
-            l2: (0..LEVEL_SLOTS).map(|_| Vec::new()).collect(),
+            l2: (0..LEVEL_SLOTS)
+                .map(|_| Vec::with_capacity(SLOT_SEED))
+                .collect(),
             l2_occ: Occupancy::new(LEVEL_SLOTS),
             far: BinaryHeap::new(),
             chunk: 0,

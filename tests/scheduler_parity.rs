@@ -88,6 +88,7 @@ fn run_report(kind: SchedulerKind, seed: u64) -> String {
             events,
             peak_queue_depth,
             obs: Some(ObsReport::distill(&obs, &peaks)),
+            alloc: None,
         }],
     };
     report.to_json()
