@@ -183,4 +183,27 @@ fi
 ./target/release/probe alloc --nodes 120 --seed 7 >/dev/null
 echo "==> pool smoke passed (tables and trace replay identical, steady state allocation-free)"
 
+# Build-pipeline smoke: the deployment build path must stay near-linear
+# and parallel construction must be behaviorally invisible. `probe scale`
+# sweeps 10^3 and 10^4 nodes under a counting allocator and a build-time
+# budget, checking per-node cost flatness (<= 2x across the sweep) and
+# serial-vs-4-worker routing-table parity at every point — it exits
+# non-zero on any drift. Then a quick-scale figures subset must render
+# byte-identical tables at --jobs 1 and --jobs 4: --jobs drives both the
+# sweep-point worker pool and the parallel node construction, so this is
+# the end-to-end serial-vs-parallel byte-diff.
+echo "==> build-pipeline smoke (probe scale, figures --jobs 1|4)"
+./target/release/probe scale --max-nodes 10000 --budget-secs 60 >/dev/null
+jobs_experiments="route fig6 mcast"
+for jobs in 1 4; do
+    # shellcheck disable=SC2086
+    ./target/release/figures --scale quick --jobs "$jobs" \
+        $jobs_experiments >"$smoke_dir/jobs$jobs.tables" 2>/dev/null
+done
+if ! diff -u "$smoke_dir/jobs1.tables" "$smoke_dir/jobs4.tables"; then
+    echo "FAIL: --jobs 1 and --jobs 4 render different tables" >&2
+    exit 1
+fi
+echo "==> build-pipeline smoke passed (near-linear build, parallel parity)"
+
 echo "==> tier-1 gate passed"

@@ -1,14 +1,20 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! figures [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
-//!         [--scheduler wheel|heap] [--shards N] [--match-engine counting|sorted]
-//!         [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]
+//! figures [--scale quick|paper|large] [--nodes N] [--overlay chord|pastry]
+//!         [--jobs N] [--scheduler wheel|heap] [--shards N]
+//!         [--match-engine counting|sorted] [--csv DIR] [--json FILE]
+//!         [--report FILE] [EXPERIMENT...]
 //! ```
 //!
 //! With no experiment names, runs everything. Names: route, keys, fig5,
 //! fig6, fig7, fig8, fig9a, fig9b, mcast, churn, all.
 //!
+//! `--scale large` runs the deployment-scale presets (10^5-node networks
+//! on the node-sweep experiments, paper op counts elsewhere); `--nodes N`
+//! overrides the per-experiment network size outright (up to 10^6). Both
+//! widen the key space automatically via `cbps::deployment_key_space` so
+//! every node still owns a distinct key.
 //! `--jobs N` farms independent sweep points out to `N` worker threads;
 //! each simulation stays single-threaded and deterministic, so the tables
 //! are byte-identical at any job count. `--scheduler wheel|heap` selects
@@ -62,11 +68,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--scale" => match args.next().as_deref() {
-                Some("quick") => scale = Scale::Quick,
-                Some("paper") => scale = Scale::Paper,
-                other => {
-                    eprintln!("--scale expects quick|paper, got {other:?}");
+            "--scale" => match args.next().as_deref().and_then(Scale::parse) {
+                Some(s) => scale = s,
+                None => {
+                    eprintln!("--scale expects quick|paper|large");
+                    std::process::exit(2);
+                }
+            },
+            "--nodes" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if (1..=runner::MAX_NODES).contains(&n) => runner::set_nodes_override(n),
+                _ => {
+                    eprintln!("--nodes expects an integer in 1..={}", runner::MAX_NODES);
                     std::process::exit(2);
                 }
             },
@@ -141,10 +153,10 @@ fn main() {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [--scale quick|paper] [--overlay chord|pastry] \
-                     [--jobs N] [--scheduler wheel|heap] [--shards N] \
-                     [--match-engine counting|sorted] [--pool reuse|fresh] [--csv DIR] \
-                     [--json FILE] [--report FILE] [EXPERIMENT...]\n\
+                    "usage: figures [--scale quick|paper|large] [--nodes N] \
+                     [--overlay chord|pastry] [--jobs N] [--scheduler wheel|heap] \
+                     [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh] \
+                     [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
                 );
@@ -221,10 +233,7 @@ fn main() {
     }
 
     let report = RunReport {
-        scale: match scale {
-            Scale::Quick => "quick".to_owned(),
-            Scale::Paper => "paper".to_owned(),
-        },
+        scale: scale.name().to_owned(),
         jobs: runner::jobs(),
         observability: runner::observability().name().to_owned(),
         scheduler: runner::scheduler().name().to_owned(),

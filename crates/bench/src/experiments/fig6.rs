@@ -22,7 +22,9 @@ use crate::table::{fmt_f, Table};
 fn ttls(scale: Scale) -> Vec<Option<u64>> {
     match scale {
         Scale::Quick => vec![Some(500), Some(2_500), Some(10_000), None],
-        Scale::Paper => vec![Some(2_500), Some(10_000), Some(25_000), Some(62_500), None],
+        Scale::Paper | Scale::Large => {
+            vec![Some(2_500), Some(10_000), Some(25_000), Some(62_500), None]
+        }
     }
 }
 
@@ -40,7 +42,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             let nodes = scale.nodes();
             let subs = match scale {
                 Scale::Quick => 4_000,
-                Scale::Paper => 25_000,
+                Scale::Paper | Scale::Large => 25_000,
             };
             let mut points = Vec::new();
             for ttl in ttls(scale) {

@@ -16,6 +16,9 @@ fn node_counts(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![50, 100, 200, 400],
         Scale::Paper => vec![100, 250, 500, 1000, 2500],
+        // Three decades: the paper's trend extended to the large-deployment
+        // regime (the last point crosses into a widened key space).
+        Scale::Large => vec![1000, 10_000, 100_000],
     }
 }
 

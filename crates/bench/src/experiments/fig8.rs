@@ -19,6 +19,8 @@ fn node_counts(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![100, 300, 800],
         Scale::Paper => vec![250, 500, 1000, 2500, 5000],
+        // The paper's memory trend at deployment scale.
+        Scale::Large => vec![1000, 10_000, 100_000],
     }
 }
 
@@ -35,7 +37,7 @@ pub fn run(scale: Scale) -> Vec<Table> {
             );
             let subs = match scale {
                 Scale::Quick => 4_000,
-                Scale::Paper => 25_000,
+                Scale::Paper | Scale::Large => 25_000,
             };
             let mut points = Vec::new();
             for n in node_counts(scale) {

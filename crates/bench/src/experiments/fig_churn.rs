@@ -24,11 +24,11 @@ use crate::table::{fmt_f, Table};
 fn run_one(replication: usize, crashes: usize, scale: Scale, seed: u64) -> (f64, u64, u64) {
     let n = match scale {
         Scale::Quick => 80,
-        Scale::Paper => 200,
+        Scale::Paper | Scale::Large => 200,
     };
     let subs = match scale {
         Scale::Quick => 150,
-        Scale::Paper => 500,
+        Scale::Paper | Scale::Large => 500,
     };
     let pubs = subs;
     let mut net = PubSubNetwork::builder()
@@ -128,7 +128,7 @@ pub fn run(scale: Scale) -> Table {
     );
     let crashes = match scale {
         Scale::Quick => 8,
-        Scale::Paper => 20,
+        Scale::Paper | Scale::Large => 20,
     };
     for replication in [0usize, 1, 2] {
         let (rate, transfer, promoted) = run_one(replication, crashes, scale, 951);

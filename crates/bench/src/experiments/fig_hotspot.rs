@@ -11,7 +11,7 @@
 //! (spreading wear across epochs) while the load *distribution* — and
 //! delivery semantics — stay intact.
 
-use cbps::MappingKind;
+use cbps::{MappingKind, OverlayBackend};
 
 use crate::runner::{paper_workload, run_trace, workload_gen, Scale};
 use crate::table::{fmt_f, Table};
@@ -25,14 +25,16 @@ pub fn run(scale: Scale) -> Table {
     let nodes = scale.nodes();
     let subs = match scale {
         Scale::Quick => 3_000,
-        Scale::Paper => 10_000,
+        Scale::Paper | Scale::Large => 10_000,
     };
+    let keys = cbps::deployment_key_space(nodes);
     // The selective attribute is dimension 0; rotate its keys a quarter
-    // ring further each epoch.
+    // ring further each epoch (2048 keys on the paper's 2^13 ring).
     for epoch in 0u64..4 {
-        let rotation = epoch * 2_048; // quarter of the 2^13 ring
+        let rotation = epoch * (keys.size() / 4);
         let pubsub = cbps::PubSubConfig::paper_default()
             .with_mapping(MappingKind::SelectiveAttribute)
+            .with_key_space(keys)
             .with_rotations(vec![rotation, 0, 0, 0]);
         let cfg = paper_workload(nodes, 1).with_counts(subs, 0);
         let mut gen = workload_gen(cfg, 961);
@@ -41,6 +43,7 @@ pub fn run(scale: Scale) -> Table {
             let mut net = cbps::PubSubNetworkBuilder::<B>::new()
                 .nodes(nodes)
                 .net_config(crate::runner::net_config(961))
+                .overlay(B::with_key_space(B::paper_default(), keys))
                 .pubsub(pubsub)
                 .observability(crate::runner::observability())
                 .build()

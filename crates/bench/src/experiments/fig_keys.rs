@@ -18,7 +18,7 @@ use crate::table::{fmt_f, Table};
 pub fn run(scale: Scale) -> Vec<Table> {
     let samples = match scale {
         Scale::Quick => 500,
-        Scale::Paper => 5_000,
+        Scale::Paper | Scale::Large => 5_000,
     };
     [0usize, 1]
         .into_iter()

@@ -100,7 +100,7 @@ pub fn run(scale: Scale) -> Table {
     );
     let n = match scale {
         Scale::Quick => 150,
-        Scale::Paper => 500,
+        Scale::Paper | Scale::Large => 500,
     };
     for width in [64u64, 256, 1024, 4096] {
         for how in ["m-cast", "per-key unicast", "successor walk"] {

@@ -28,7 +28,7 @@ struct Outcome {
 fn run_on<B: OverlayBackend>(kind: MappingKind, scale: Scale, seed: u64) -> Outcome {
     let nodes = match scale {
         Scale::Quick => 100,
-        Scale::Paper => 500,
+        Scale::Paper | Scale::Large => 500,
     };
     let subs = scale.ops(400);
     let pubs = scale.ops(800);

@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> Table {
     );
     let samples = match scale {
         Scale::Quick => 400,
-        Scale::Paper => 3_000,
+        Scale::Paper | Scale::Large => 3_000,
     };
     let space = EventSpace::paper_default();
     let keys = KeySpace::new(13);

@@ -22,11 +22,16 @@ fn node_counts(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Quick => vec![50, 100, 200],
         Scale::Paper => vec![100, 250, 500, 1000],
+        // The calibration trend carried into the deployment regime; the
+        // last point needs (and gets) a widened key space.
+        Scale::Large => vec![1000, 10_000, 100_000],
     }
 }
 
 fn mean_hops(n: usize, cache: usize, lookups_per_node: usize, seed: u64) -> f64 {
-    let cfg = OverlayConfig::paper_default().with_cache_capacity(cache);
+    let cfg = OverlayConfig::paper_default()
+        .with_space(cbps::deployment_key_space(n))
+        .with_cache_capacity(cache);
     let apps: Vec<ProbeApp> = (0..n).map(|_| ProbeApp::default()).collect();
     let (mut sim, _ring) = build_stable(crate::runner::net_config(seed), cfg, apps);
     let space = cfg.space;
@@ -77,7 +82,7 @@ pub fn run(scale: Scale) -> Table {
     );
     let lookups = match scale {
         Scale::Quick => 30,
-        Scale::Paper => 60,
+        Scale::Paper | Scale::Large => 60,
     };
     const CACHES: [usize; 4] = [0, 32, 96, 256];
     let mut points = Vec::new();

@@ -29,11 +29,11 @@ pub fn run(scale: Scale) -> Table {
     );
     let machines = match scale {
         Scale::Quick => 100,
-        Scale::Paper => 250,
+        Scale::Paper | Scale::Large => 250,
     };
     let subs = match scale {
         Scale::Quick => 3_000,
-        Scale::Paper => 10_000,
+        Scale::Paper | Scale::Large => 10_000,
     };
     for v in [1usize, 2, 4, 8] {
         let sim_nodes = machines * v;

@@ -131,8 +131,11 @@ macro_rules! with_backend {
 }
 
 /// Sets the worker-pool size used by [`parallel_map`] (clamped to >= 1).
+/// The same count drives the overlay builders' construction workers, so
+/// `--jobs N` parallelizes both sweep points and network build.
 pub fn set_jobs(n: usize) {
     JOBS.store(n.max(1), Ordering::Relaxed);
+    cbps_overlay::set_build_jobs(n.max(1));
 }
 
 /// The current worker-pool size.
@@ -352,24 +355,53 @@ where
         .collect()
 }
 
-/// Experiment scale: full paper parameters or a fast CI-friendly shrink.
+/// Node-count override applied on top of the scale default (0 = none).
+/// Set from `--nodes N`; capped at 10^6.
+static NODES_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The hard ceiling for `--nodes` (the ROADMAP's million-node target).
+pub const MAX_NODES: usize = 1_000_000;
+
+/// Overrides the node count every scale resolves to (0 clears the
+/// override; values are capped at [`MAX_NODES`]).
+pub fn set_nodes_override(n: usize) {
+    NODES_OVERRIDE.store(n.min(MAX_NODES), Ordering::Relaxed);
+}
+
+/// The current node-count override (0 = none).
+pub fn nodes_override() -> usize {
+    NODES_OVERRIDE.load(Ordering::Relaxed)
+}
+
+/// Experiment scale: full paper parameters, a fast CI-friendly shrink, or
+/// the large-deployment stress setting.
 ///
 /// Quick scale preserves every *shape* (who wins, crossovers) while keeping
-/// the whole figure suite in the minutes range.
+/// the whole figure suite in the minutes range. Large scale keeps the
+/// paper's per-node workload intensity but deploys 10^5 nodes (override
+/// with `--nodes` up to 10^6) on a ring widened by
+/// [`cbps::deployment_key_space`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Scale {
     /// Shrunk node counts and operation counts.
     Quick,
     /// The paper's §5.1 parameters.
     Paper,
+    /// 10^5 nodes (plus `--nodes` override), paper operation counts.
+    Large,
 }
 
 impl Scale {
-    /// Default node count (paper: 500).
+    /// Default node count (paper: 500), after the `--nodes` override.
     pub fn nodes(self) -> usize {
+        let n = nodes_override();
+        if n > 0 {
+            return n;
+        }
         match self {
             Scale::Quick => 150,
             Scale::Paper => 500,
+            Scale::Large => 100_000,
         }
     }
 
@@ -377,7 +409,26 @@ impl Scale {
     pub fn ops(self, paper: usize) -> usize {
         match self {
             Scale::Quick => (paper / 5).max(50),
-            Scale::Paper => paper,
+            Scale::Paper | Scale::Large => paper,
+        }
+    }
+
+    /// Parses a CLI scale name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "paper" => Some(Scale::Paper),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// The scale's name as used on the CLI and in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+            Scale::Large => "large",
         }
     }
 }
@@ -421,17 +472,21 @@ impl Deployment {
     /// Builds the network on substrate `B` with its paper-default overlay
     /// parameters. Workload, seeds and pub/sub configuration are
     /// substrate-independent, so the same deployment descriptor drives
-    /// every backend.
+    /// every backend. Node counts beyond the paper's 2^13 ring get a wider
+    /// key space via [`cbps::deployment_key_space`] (a no-op for every
+    /// paper/quick deployment, so recorded baselines are unchanged).
     pub fn build_on<B: OverlayBackend>(&self) -> PubSubNetwork<B> {
+        let keys = cbps::deployment_key_space(self.nodes);
         let pubsub = PubSubConfig::paper_default()
             .with_mapping(self.mapping)
             .with_primitive(self.primitive)
             .with_notify_mode(self.notify)
-            .with_discretization(self.discretization);
+            .with_discretization(self.discretization)
+            .with_key_space(keys);
         PubSubNetworkBuilder::<B>::new()
             .nodes(self.nodes)
             .net_config(net_config(self.seed))
-            .overlay(B::paper_default())
+            .overlay(B::with_key_space(B::paper_default(), keys))
             .pubsub(pubsub)
             .observability(observability())
             .build()
@@ -472,6 +527,7 @@ pub fn run_trace<B: OverlayBackend>(
     trace: &Trace,
     drain_secs: u64,
 ) -> RunStats {
+    net.reserve_workload(trace.sub_count());
     let outcome = trace.replay(net);
     let _ = outcome;
     net.run_until(trace.end_time() + SimDuration::from_secs(drain_secs));
@@ -541,9 +597,25 @@ mod tests {
 
     #[test]
     fn scales() {
+        // One test body: `--nodes` is process-global state, so the
+        // override assertions must not run concurrently with the
+        // default-value assertions.
         assert_eq!(Scale::Paper.nodes(), 500);
         assert_eq!(Scale::Quick.ops(1000), 200);
         assert_eq!(Scale::Quick.ops(100), 50);
+        assert_eq!(Scale::Large.nodes(), 100_000);
+        assert_eq!(Scale::Large.ops(1000), 1000);
+        for scale in [Scale::Quick, Scale::Paper, Scale::Large] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::parse("huge"), None);
+        set_nodes_override(1234);
+        assert_eq!(Scale::Quick.nodes(), 1234);
+        assert_eq!(Scale::Large.nodes(), 1234);
+        set_nodes_override(10 * MAX_NODES);
+        assert_eq!(nodes_override(), MAX_NODES);
+        set_nodes_override(0);
+        assert_eq!(Scale::Paper.nodes(), 500);
     }
 
     #[test]

@@ -199,9 +199,11 @@ pub fn run_trace(args: &Args) -> Outcome {
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
+    let keys = cbps::deployment_key_space(nodes);
     with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
+            .overlay(B::with_key_space(B::paper_default(), keys))
             .net_config(
                 NetConfig::new(seed)
                     .with_scheduler(scheduler)
@@ -215,7 +217,8 @@ pub fn run_trace(args: &Args) -> Outcome {
                     .with_primitive(primitive)
                     .with_notify_mode(notify)
                     .with_discretization(discretization)
-                    .with_replication(replication),
+                    .with_replication(replication)
+                    .with_key_space(keys),
             )
             .build()
             .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
@@ -309,9 +312,11 @@ pub fn stats(args: &Args) -> Outcome {
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
+    let keys = cbps::deployment_key_space(nodes);
     let record = with_backend!(B => {
         let mut net = PubSubNetworkBuilder::<B>::new()
             .nodes(nodes)
+            .overlay(B::with_key_space(B::paper_default(), keys))
             .net_config(
                 NetConfig::new(seed)
                     .with_scheduler(scheduler)
@@ -325,7 +330,8 @@ pub fn stats(args: &Args) -> Outcome {
                     .with_primitive(primitive)
                     .with_notify_mode(notify)
                     .with_discretization(discretization)
-                    .with_replication(replication),
+                    .with_replication(replication)
+                    .with_key_space(keys),
             )
             .observability(ObsMode::Full)
             .build()
@@ -381,10 +387,15 @@ pub fn ring(args: &Args) -> Outcome {
     let nodes: usize = args.get_or("nodes", 20)?;
     let seed: u64 = args.get_or("seed", 0)?;
     let inspect: usize = args.get_or("node", 0)?;
+    let keys = cbps::deployment_key_space(nodes);
     let net = PubSubNetwork::builder()
         .nodes(nodes)
         .net_config(NetConfig::new(seed))
-        .pubsub(PubSubConfig::paper_default())
+        .overlay(cbps::ChordBackend::with_key_space(
+            cbps::ChordBackend::paper_default(),
+            keys,
+        ))
+        .pubsub(PubSubConfig::paper_default().with_key_space(keys))
         .build()
         .map_err(|e| ArgError(format!("invalid configuration: {e}")))?;
     let ring = net.ring();
@@ -432,16 +443,34 @@ pub fn ring(args: &Args) -> Outcome {
 
 /// `cbps experiment`: run a named experiment from the bench harness.
 pub fn experiment(args: &Args) -> Outcome {
-    args.check_flags(&["scale", "jobs", "shards", "match-engine", "pool", "overlay"])?;
+    args.check_flags(&[
+        "scale",
+        "nodes",
+        "jobs",
+        "shards",
+        "match-engine",
+        "pool",
+        "overlay",
+    ])?;
     let name = args
         .positional()
         .get(1)
         .ok_or_else(|| ArgError("experiment needs a NAME".into()))?;
-    let scale = match args.get("scale").unwrap_or("quick") {
-        "quick" => cbps_bench::Scale::Quick,
-        "paper" => cbps_bench::Scale::Paper,
-        other => return Err(ArgError(format!("unknown scale {other:?}"))),
-    };
+    let raw_scale = args.get("scale").unwrap_or("quick");
+    let scale = cbps_bench::Scale::parse(raw_scale)
+        .ok_or_else(|| ArgError(format!("unknown scale {raw_scale:?}")))?;
+    if let Some(nodes) = args.get("nodes") {
+        let n: usize = nodes
+            .parse()
+            .map_err(|_| ArgError(format!("--nodes expects an integer, got {nodes:?}")))?;
+        if n == 0 || n > cbps_bench::runner::MAX_NODES {
+            return Err(ArgError(format!(
+                "--nodes must be in 1..={}",
+                cbps_bench::runner::MAX_NODES
+            )));
+        }
+        cbps_bench::runner::set_nodes_override(n);
+    }
     let jobs: usize = args.get_or("jobs", 1)?;
     if jobs == 0 {
         return Err(ArgError("--jobs must be at least 1".into()));

@@ -10,7 +10,7 @@
 //!                [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh]
 //! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
-//! cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
+//! cbps experiment NAME [--scale quick|paper|large] [--nodes N] [--overlay chord|pastry] [--jobs N]
 //!                [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh]
 //! ```
 
@@ -33,7 +33,7 @@ usage:
   cbps stats FILE [--out FILE] [run-trace deployment flags]
                  (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]
-  cbps experiment NAME [--scale quick|paper] [--overlay chord|pastry] [--jobs N]
+  cbps experiment NAME [--scale quick|paper|large] [--nodes N] [--overlay chord|pastry] [--jobs N]
                  [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh]
                  (NAME: route, keys, fig5 … or all)
 ";

@@ -58,6 +58,16 @@ pub trait OverlayBackend: fmt::Debug + Sized + 'static {
     /// The key space of a configuration (validated against the ak-mapping).
     fn key_space(cfg: &Self::Config) -> KeySpace;
 
+    /// The same configuration over a different key space. Used by the
+    /// deployment layer to widen the ring for node counts the paper's
+    /// 13-bit space cannot hold.
+    fn with_key_space(cfg: Self::Config, keys: KeySpace) -> Self::Config;
+
+    /// Pre-faults any lazily allocated substrate-level storage on a node
+    /// (e.g. the Chord location cache) so the next routing step performs no
+    /// heap allocation. Default: nothing to warm.
+    fn warm_overlay(_node: &mut Self::Node) {}
+
     /// How many replicas the substrate can place (bounds
     /// [`PubSubConfig::replication`]): the successor-list / leaf-set
     /// length.
@@ -119,6 +129,14 @@ impl OverlayBackend for ChordBackend {
 
     fn key_space(cfg: &OverlayConfig) -> KeySpace {
         cfg.space
+    }
+
+    fn with_key_space(cfg: OverlayConfig, keys: KeySpace) -> OverlayConfig {
+        cfg.with_space(keys)
+    }
+
+    fn warm_overlay(node: &mut Self::Node) {
+        node.routing_mut().warm();
     }
 
     fn replication_capacity(cfg: &OverlayConfig) -> usize {

@@ -202,6 +202,32 @@ impl Default for PubSubConfig {
     }
 }
 
+/// The ring key space a deployment of `nodes` nodes should run on.
+///
+/// The paper's 2^13 space is kept for every node count it can hold (all
+/// recorded baselines stay byte-identical); beyond 8192 nodes the space
+/// widens to the next power of two with at least 4 keys per node, keeping
+/// consistent-hashing collision retries rare while staying well under the
+/// 64-bit ring limit.
+///
+/// # Examples
+///
+/// ```
+/// use cbps::deployment_key_space;
+///
+/// assert_eq!(deployment_key_space(500).bits(), 13);
+/// assert_eq!(deployment_key_space(8192).bits(), 13);
+/// assert_eq!(deployment_key_space(100_000).bits(), 19);
+/// assert_eq!(deployment_key_space(1_000_000).bits(), 22);
+/// ```
+pub fn deployment_key_space(nodes: usize) -> KeySpace {
+    if nodes <= 1 << 13 {
+        return KeySpace::new(13);
+    }
+    let bits = 64 - ((nodes as u64) * 4 - 1).leading_zeros();
+    KeySpace::new(bits.min(63))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

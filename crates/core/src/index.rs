@@ -41,6 +41,10 @@ const BUCKETS: usize = 64;
 pub struct MatchIndex {
     /// Bucket width per dimension (`ceil(|Ω_i| / BUCKETS)`).
     widths: Vec<u64>,
+    /// Empty until the first insert: a fresh index is ~6 KB of bucket
+    /// vectors per node otherwise, which dominates deployment build
+    /// memory at large ring sizes where most stores never fill.
+    ///
     /// `per_dim[i][bucket]` = dense slots of subscriptions whose constraint
     /// on dimension `i` overlaps the bucket.
     per_dim: Vec<Vec<Vec<u32>>>,
@@ -82,9 +86,7 @@ impl MatchIndex {
                 .iter()
                 .map(|a| a.size().div_ceil(BUCKETS as u64).max(1))
                 .collect(),
-            per_dim: (0..space.dims())
-                .map(|_| vec![Vec::new(); BUCKETS])
-                .collect(),
+            per_dim: Vec::new(),
             slots: Vec::new(),
             free: Vec::new(),
             by_id: HashMap::new(),
@@ -128,6 +130,11 @@ impl MatchIndex {
                 (self.slots.len() - 1) as u32
             }
         };
+        if self.per_dim.is_empty() {
+            self.per_dim = (0..self.widths.len())
+                .map(|_| vec![Vec::new(); BUCKETS])
+                .collect();
+        }
         let mut positions = Vec::new();
         for (i, c) in sub.constraints().iter().enumerate() {
             if let Some(c) = c {
@@ -209,6 +216,10 @@ impl MatchIndex {
     /// call touches only the candidate slots.
     pub fn matches_into(&mut self, event: &Event, out: &mut Vec<SubId>) {
         out.clear();
+        if self.per_dim.is_empty() {
+            // Nothing was ever inserted; the bucket lists don't exist yet.
+            return;
+        }
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             // u32 wrapped: stale stamps could collide, so reset them all.

@@ -65,7 +65,7 @@ mod system;
 
 pub use backend::{BackendCtx, ChordBackend, ChordPubSub, OverlayBackend};
 pub use cbps_sim::MatchEngineKind;
-pub use config::{NotifyMode, Primitive, PubSubConfig};
+pub use config::{deployment_key_space, NotifyMode, Primitive, PubSubConfig};
 pub use engine::{AnyMatchEngine, MatchEngine};
 pub use error::{ConfigError, PubSubError};
 pub use event::{Event, EventId};

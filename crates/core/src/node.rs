@@ -316,6 +316,19 @@ impl PubSubNode {
         self.replicas.remove(&id);
     }
 
+    /// Pre-sizes the rendezvous-side containers for a bulk installation
+    /// of roughly `expected_stored` subscriptions (see
+    /// [`SubscriptionStore::reserve`]). Deployment builders call this
+    /// with a per-node estimate derived from the workload totals before
+    /// replaying a trace; behavior is identical with or without it.
+    pub fn reserve_workload(&mut self, expected_stored: usize) {
+        self.store.reserve(expected_stored);
+        if self.match_buf.capacity() < expected_stored {
+            self.match_buf
+                .reserve(expected_stored - self.match_buf.len());
+        }
+    }
+
     /// Grows the rendezvous-side hot-path buffers — the event-dedup window
     /// and every matching scratch — to their steady-state bounds, so a
     /// node that processes its first publication inside a measurement

@@ -285,6 +285,21 @@ impl SubscriptionStore {
         self.expiry = entries.into();
     }
 
+    /// Pre-sizes the store for a bulk installation of roughly `subs`
+    /// subscriptions, so installation pays one up-front reservation
+    /// instead of incremental growth reallocations. Only order-inert
+    /// containers are reserved (the expiry heap pops by value and the id
+    /// scratch is a plain vector), so stored state and match results are
+    /// byte-identical with or without the call.
+    pub fn reserve(&mut self, subs: usize) {
+        if self.expiry.capacity() < subs {
+            self.expiry.reserve(subs - self.expiry.len());
+        }
+        if self.scratch.capacity() < subs {
+            self.scratch.reserve(subs - self.scratch.len());
+        }
+    }
+
     /// Grows every matching-path scratch buffer to its steady-state bound
     /// (all of them are capped by the stored-subscription count) so
     /// subsequent [`SubscriptionStore::match_event_into`] calls never

@@ -245,7 +245,23 @@ impl<B: OverlayBackend> PubSubNetwork<B> {
     ///
     /// Panics if `node` is out of bounds.
     pub fn warm_node(&mut self, node: NodeIdx) {
-        B::app_mut(self.sim.node_mut(node)).warm();
+        let n = self.sim.node_mut(node);
+        B::app_mut(n).warm();
+        B::warm_overlay(n);
+    }
+
+    /// Pre-sizes every node's rendezvous-side containers for a bulk
+    /// installation of `subs` subscriptions total (see
+    /// [`PubSubNode::reserve_workload`]). Each subscription lands on one
+    /// rendezvous range split across a handful of nodes, so the per-node
+    /// estimate is `4 * subs / n`; over- or under-estimating only shifts
+    /// when growth happens, never what is stored or matched.
+    pub fn reserve_workload(&mut self, subs: usize) {
+        let n = self.len().max(1);
+        let per_node = (subs * 4).div_ceil(n).min(subs);
+        for node in 0..self.len() {
+            B::app_mut(self.sim.node_mut(node)).reserve_workload(per_node);
+        }
     }
 
     /// A validated handle on one node, scoping the application operations

@@ -9,6 +9,8 @@
 //! * incremental joins through [`crate::ChordNode::start_join`] plus
 //!   stabilization, exercised by the churn tests.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use cbps_sim::{NetConfig, SimTime, Simulator};
 
 use crate::app::OverlayApp;
@@ -19,6 +21,51 @@ use crate::node::ChordNode;
 use crate::ring::{Peer, RingView};
 use crate::state::RoutingState;
 use crate::timer::OverlayTimer;
+
+/// Worker threads used by the stable builders ([`build_stable`] and the
+/// Pastry equivalent) for converged-state construction. Construction output
+/// is a pure function of the ring table, so any job count produces
+/// identical networks; 1 (the default) builds inline with no threads.
+static BUILD_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the builder worker count (clamped to at least 1).
+pub fn set_build_jobs(jobs: usize) {
+    BUILD_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// Current builder worker count.
+pub fn build_jobs() -> usize {
+    BUILD_JOBS.load(Ordering::Relaxed).max(1)
+}
+
+/// Renders `node-{i}#{attempt}` into `buf` and returns the filled length.
+/// Byte-identical to `format!("node-{i}#{attempt}")`, so key placement (and
+/// with it every recorded table and fingerprint) is unchanged — but with no
+/// per-attempt heap allocation.
+fn render_node_name(buf: &mut [u8; 40], i: usize, attempt: u32) -> usize {
+    fn write_decimal(buf: &mut [u8], v: u64) -> usize {
+        let mut digits = [0u8; 20];
+        let mut v = v;
+        let mut n = 0;
+        loop {
+            digits[n] = b'0' + (v % 10) as u8;
+            v /= 10;
+            n += 1;
+            if v == 0 {
+                break;
+            }
+        }
+        for (k, d) in digits[..n].iter().rev().enumerate() {
+            buf[k] = *d;
+        }
+        n
+    }
+    buf[..5].copy_from_slice(b"node-");
+    let mut len = 5 + write_decimal(&mut buf[5..], i as u64);
+    buf[len] = b'#';
+    len += 1;
+    len + write_decimal(&mut buf[len..], u64::from(attempt))
+}
 
 /// Assigns distinct ring keys to `n` nodes by consistent hashing of their
 /// names, rehashing on collision (small key spaces collide readily: 500
@@ -31,10 +78,12 @@ pub fn assign_node_keys(cfg: &OverlayConfig, n: usize) -> Vec<Key> {
     );
     let mut used = std::collections::HashSet::with_capacity(n);
     let mut keys = Vec::with_capacity(n);
+    let mut name = [0u8; 40];
     for i in 0..n {
         let mut attempt = 0u32;
         let key = loop {
-            let candidate = key_of_bytes(cfg.space, format!("node-{i}#{attempt}").as_bytes());
+            let len = render_node_name(&mut name, i, attempt);
+            let candidate = key_of_bytes(cfg.space, &name[..len]);
             if used.insert(candidate) {
                 break candidate;
             }
@@ -43,6 +92,80 @@ pub fn assign_node_keys(cfg: &OverlayConfig, n: usize) -> Vec<Key> {
         keys.push(key);
     }
     keys
+}
+
+/// Runs `build_one(idx)` for `0..n` across [`build_jobs`] worker threads on
+/// contiguous index chunks and returns the results in index order. With one
+/// job (the default) this is a plain inline loop. Used by the stable
+/// builders for per-node converged state, which is a pure function of the
+/// shared ring table — so the output is identical at any job count.
+pub fn build_indexed<T, F>(n: usize, build_one: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = build_jobs().min(n).max(1);
+    if jobs == 1 {
+        return (0..n).map(build_one).collect();
+    }
+    let chunk = n.div_ceil(jobs);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let build_one = &build_one;
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(build_one).collect::<Vec<T>>())
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("builder worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Converged routing state for every node of `ring`, in node-index order.
+/// Neighbor lists come from ring adjacency and fingers from the batched
+/// [`RingView::finger_grid`], so the whole pass is O(n·m) with no per-node
+/// ring queries; construction fans out over [`build_jobs`] workers.
+pub fn build_routing_states(cfg: &OverlayConfig, ring: &RingView) -> Vec<RoutingState> {
+    let sorted = ring.peers();
+    let n = sorted.len();
+    let bits = cfg.space.bits() as usize;
+    let mut peer_of_idx = vec![
+        Peer {
+            idx: 0,
+            key: cfg.space.key(0),
+        };
+        n
+    ];
+    let mut pos_of_idx = vec![0u32; n];
+    for (pos, p) in sorted.iter().enumerate() {
+        peer_of_idx[p.idx] = *p;
+        pos_of_idx[p.idx] = pos as u32;
+    }
+    if n == 1 {
+        return vec![RoutingState::new(*cfg, peer_of_idx[0])];
+    }
+    let grid = ring.finger_grid();
+    let succ_count = cfg.succ_list_len.min(n - 1);
+    build_indexed(n, |idx| {
+        let me = peer_of_idx[idx];
+        let pos = pos_of_idx[idx] as usize;
+        let mut state = RoutingState::new(*cfg, me);
+        state.set_predecessor(Some(sorted[(pos + n - 1) % n]));
+        state.set_successor_slice((1..=succ_count).map(|k| sorted[(pos + k) % n]));
+        for i in 0..bits {
+            state.set_finger(i, sorted[grid.get(pos, i)]);
+        }
+        state
+    })
 }
 
 /// Builds a converged ring of `apps.len()` nodes and returns the simulator
@@ -67,19 +190,11 @@ pub fn build_stable<A: OverlayApp>(
         .enumerate()
         .map(|(idx, &key)| Peer { idx, key })
         .collect();
-    let ring = RingView::new(cfg.space, peers.clone());
+    let ring = RingView::new(cfg.space, peers);
 
+    let states = build_routing_states(&cfg, &ring);
     let mut sim = Simulator::new(net);
-    for (idx, app) in apps.into_iter().enumerate() {
-        let me = peers[idx];
-        let mut state = RoutingState::new(cfg, me);
-        if n > 1 {
-            state.set_predecessor(Some(ring.predecessor(me.key)));
-            state.set_successors(ring.successors_of(me.key, cfg.succ_list_len));
-            for (i, f) in ring.fingers_of(me.key).into_iter().enumerate() {
-                state.set_finger(i, f);
-            }
-        }
+    for (idx, (state, app)) in states.into_iter().zip(apps).enumerate() {
         let added = sim.add_node(ChordNode::new(state, app));
         debug_assert_eq!(added, idx);
     }

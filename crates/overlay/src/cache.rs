@@ -37,11 +37,24 @@ pub struct LocationCache {
 impl LocationCache {
     /// Creates a cache holding at most `capacity` entries. Zero disables
     /// caching entirely.
+    ///
+    /// The table itself is allocated on the first [`Self::learn`] (or by
+    /// [`Self::warm`]): a converged deployment builds one cache per node,
+    /// and most nodes in a large ring never see enough traffic to cache
+    /// anything, so eager tables would dominate build memory.
     pub fn new(capacity: usize) -> Self {
         LocationCache {
             capacity,
             clock: 0,
-            entries: HashMap::with_capacity(capacity.min(1024)),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Pre-faults the table to its steady-state capacity, so the next
+    /// `learn` performs no heap allocation. Idempotent.
+    pub fn warm(&mut self) {
+        if self.capacity > 0 && self.entries.capacity() == 0 {
+            self.entries.reserve(self.capacity.min(1024));
         }
     }
 
@@ -61,6 +74,7 @@ impl LocationCache {
         if self.capacity == 0 {
             return;
         }
+        self.warm();
         self.clock += 1;
         let clock = self.clock;
         if let Some(slot) = self.entries.get_mut(&peer.key) {

@@ -20,49 +20,36 @@ use crate::key::{Key, KeySpace};
 /// ```
 pub fn sha1(data: &[u8]) -> [u8; 20] {
     let mut h: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
-
-    // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
     let bit_len = (data.len() as u64).wrapping_mul(8);
-    let mut msg = data.to_vec();
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
 
-    let mut w = [0u32; 80];
-    for block in msg.chunks_exact(64) {
-        for (i, word) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    if data.len() <= 55 {
+        // One-block fast path: the message plus 0x80 plus the 8-byte length
+        // fits a single 64-byte block, so padding happens on the stack. Key
+        // assignment hashes short node names, which all land here.
+        let mut block = [0u8; 64];
+        block[..data.len()].copy_from_slice(data);
+        block[data.len()] = 0x80;
+        block[56..].copy_from_slice(&bit_len.to_be_bytes());
+        sha1_block(&mut h, &block);
+    } else {
+        // Pad: 0x80, zeros, then the 64-bit big-endian bit length.
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            sha1_block(&mut h, block.try_into().expect("exact 64-byte chunk"));
         }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        let tail = chunks.remainder();
+        let mut block = [0u8; 64];
+        block[..tail.len()].copy_from_slice(tail);
+        block[tail.len()] = 0x80;
+        if tail.len() <= 55 {
+            block[56..].copy_from_slice(&bit_len.to_be_bytes());
+            sha1_block(&mut h, &block);
+        } else {
+            sha1_block(&mut h, &block);
+            let mut last = [0u8; 64];
+            last[56..].copy_from_slice(&bit_len.to_be_bytes());
+            sha1_block(&mut h, &last);
         }
-        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | (!b & d), 0x5A827999),
-                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
-                _ => (b ^ c ^ d, 0xCA62C1D6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        h[0] = h[0].wrapping_add(a);
-        h[1] = h[1].wrapping_add(b);
-        h[2] = h[2].wrapping_add(c);
-        h[3] = h[3].wrapping_add(d);
-        h[4] = h[4].wrapping_add(e);
     }
 
     let mut out = [0u8; 20];
@@ -70,6 +57,42 @@ pub fn sha1(data: &[u8]) -> [u8; 20] {
         out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
     }
     out
+}
+
+/// One 64-byte block of the FIPS 180-1 compression function.
+fn sha1_block(h: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, word) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | (!b & d), 0x5A827999),
+            20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
 }
 
 /// Hashes arbitrary bytes onto the ring: the top 64 bits of SHA-1, reduced

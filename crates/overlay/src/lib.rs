@@ -86,7 +86,9 @@ mod state;
 mod timer;
 
 pub use app::{Delivery, OverlayApp, OverlaySvc};
-pub use builder::{assign_node_keys, build_stable};
+pub use builder::{
+    assign_node_keys, build_indexed, build_jobs, build_routing_states, build_stable, set_build_jobs,
+};
 pub use cache::LocationCache;
 pub use config::OverlayConfig;
 pub use inline::InlineVec;
@@ -94,7 +96,7 @@ pub use key::{Key, KeySpace};
 pub use msg::{take_payload, Envelope, OverlayMsg};
 pub use node::ChordNode;
 pub use range::{KeyRange, KeyRangeSet, INLINE_SEGS};
-pub use ring::{Peer, RingView};
+pub use ring::{FingerGrid, Peer, RingView};
 pub use route::RouteTable;
 pub use scratch::{Bundles, PeerBuf};
 pub use services::OverlayServices;

@@ -134,6 +134,39 @@ impl RingView {
             .collect()
     }
 
+    /// All n×m finger tables at once: `grid.get(pos, i)` is the sorted-table
+    /// position of `successor(k_pos + 2^i)`, where `pos` indexes
+    /// [`Self::peers`]. Derived in O(n·m) with one monotone pointer sweep
+    /// per level instead of n·m independent binary searches: for a fixed
+    /// distance d = 2^i the wrapped targets (nodes with k ≥ M−d) all land in
+    /// [0, d) and the rest ascend through [d, M), so visiting the wrapped
+    /// suffix first makes the whole target sequence non-decreasing.
+    pub fn finger_grid(&self) -> FingerGrid {
+        let n = self.peers.len();
+        let bits = self.space.bits() as usize;
+        let m = self.space.size();
+        let mut grid = vec![0u32; n * bits];
+        for i in 0..bits {
+            let d = 1u64 << i;
+            // First sorted position whose key wraps past the ring end.
+            let wrap_from = self.peers.partition_point(|p| p.key.value() < m - d);
+            let mut p = 0usize;
+            let mut fill = |grid: &mut [u32], pos: usize, target: u64| {
+                while p < n && self.peers[p].key.value() < target {
+                    p += 1;
+                }
+                grid[pos * bits + i] = if p == n { 0 } else { p as u32 };
+            };
+            for pos in wrap_from..n {
+                fill(&mut grid, pos, self.peers[pos].key.value() + d - m);
+            }
+            for pos in 0..wrap_from {
+                fill(&mut grid, pos, self.peers[pos].key.value() + d);
+            }
+        }
+        FingerGrid { bits, grid }
+    }
+
     /// Every distinct node covering at least one key of `targets`.
     pub fn covering_nodes(&self, targets: &KeyRangeSet) -> Vec<Peer> {
         let mut out: Vec<Peer> = Vec::new();
@@ -162,6 +195,22 @@ impl RingView {
         out.sort_by_key(|p| p.key);
         out.dedup();
         out
+    }
+}
+
+/// Dense n×m finger table from [`RingView::finger_grid`]: all nodes'
+/// fingers as sorted-table positions, row-major by node position.
+#[derive(Clone, Debug)]
+pub struct FingerGrid {
+    bits: usize,
+    grid: Vec<u32>,
+}
+
+impl FingerGrid {
+    /// Sorted-table position of finger `level` of the node at sorted
+    /// position `pos`.
+    pub fn get(&self, pos: usize, level: usize) -> usize {
+        self.grid[pos * self.bits + level] as usize
     }
 }
 
@@ -218,6 +267,39 @@ mod tests {
         // Targets 9, 10, 12, 16, 24 → successors 14, 14, 14, 20, 27.
         let keys: Vec<u64> = f.iter().map(|p| p.key.value()).collect();
         assert_eq!(keys, vec![14, 14, 14, 20, 27]);
+    }
+
+    #[test]
+    fn finger_grid_matches_per_node_fingers() {
+        let (s, r) = ring();
+        let grid = r.finger_grid();
+        for (pos, p) in r.peers().iter().enumerate() {
+            let expect = r.fingers_of(p.key);
+            for (i, &want) in expect.iter().enumerate() {
+                assert_eq!(r.peers()[grid.get(pos, i)], want, "node {pos} level {i}");
+            }
+        }
+        // Including rings containing the top-of-space key, where every
+        // finger target of that node wraps.
+        let top = RingView::new(
+            s,
+            vec![
+                Peer {
+                    idx: 0,
+                    key: s.key(31),
+                },
+                Peer {
+                    idx: 1,
+                    key: s.key(2),
+                },
+            ],
+        );
+        let g = top.finger_grid();
+        for (pos, p) in top.peers().iter().enumerate() {
+            for (i, &want) in top.fingers_of(p.key).iter().enumerate() {
+                assert_eq!(top.peers()[g.get(pos, i)], want, "top node {pos} level {i}");
+            }
+        }
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl RoutingState {
         self.succs = out;
     }
 
+    /// Bulk successor install for the stable builder: the sequence must
+    /// already be self-free, duplicate-free, clockwise-ordered and at most
+    /// the configured length (which ring-adjacency slices are by
+    /// construction), so no filtering pass or temporary is needed.
+    pub fn set_successor_slice(&mut self, succs: impl IntoIterator<Item = Peer>) {
+        self.succs.clear();
+        for p in succs {
+            debug_assert!(p.key != self.me.key, "successor slice contains self");
+            debug_assert!(!self.succs.contains(&p), "duplicate in successor slice");
+            debug_assert!(
+                self.succs.len() < self.cfg.succ_list_len,
+                "successor slice longer than the configured list"
+            );
+            self.succs.push(p);
+        }
+    }
+
+    /// Pre-faults lazily allocated routing storage (the location cache's
+    /// table) so a first `learn` after warmup does not allocate.
+    pub fn warm(&mut self) {
+        self.cache.warm();
+    }
+
     /// Sets one finger entry (entries pointing at ourselves are stored as
     /// unknown).
     ///

@@ -253,3 +253,91 @@ fn mcast_split_is_exact_partition() {
         }
     }
 }
+
+/// Minimal app for full-network deployment builds.
+#[derive(Default)]
+struct Null;
+
+impl cbps_overlay::OverlayApp for Null {
+    type Payload = u64;
+    type Timer = ();
+    fn on_deliver(
+        &mut self,
+        _payload: u64,
+        _delivery: cbps_overlay::Delivery,
+        _svc: &mut dyn cbps_overlay::OverlayServices<u64, ()>,
+    ) {
+    }
+}
+
+/// The batched deployment build path (`build_stable` with the shared
+/// sorted-key table and the O(n*m) finger grid) agrees with the per-node
+/// `RingView` oracle on every predecessor, successor list, and finger —
+/// at n = 10^4 in a widened key space, the regime `--scale large` runs
+/// in.
+#[test]
+fn large_ring_build_matches_oracle() {
+    let n = 10_000;
+    let space = KeySpace::new(16);
+    let cfg = OverlayConfig::paper_default().with_space(space);
+    let apps: Vec<Null> = (0..n).map(|_| Null).collect();
+    let (sim, ring) = cbps_overlay::build_stable(cbps_sim::NetConfig::new(9), cfg, apps);
+    assert_eq!(ring.len(), n);
+    for (idx, node) in sim.nodes() {
+        let me = node.me();
+        assert_eq!(me.idx, idx);
+        let st = node.routing();
+        assert_eq!(
+            st.predecessor().unwrap(),
+            ring.predecessor(me.key),
+            "predecessor of node {idx}"
+        );
+        assert_eq!(
+            st.successors(),
+            ring.successors_of(me.key, cfg.succ_list_len),
+            "successor list of node {idx}"
+        );
+        for (i, f) in st.fingers().enumerate() {
+            let expect = ring.successor(space.finger_target(me.key, i as u32));
+            if expect.key == me.key {
+                assert_eq!(f, None, "finger {i} of node {idx}");
+            } else {
+                assert_eq!(f, Some(expect), "finger {i} of node {idx}");
+            }
+        }
+    }
+}
+
+/// Parallel construction is indistinguishable from serial: the routing
+/// states produced at any worker count are identical, field for field.
+#[test]
+fn parallel_build_matches_serial() {
+    let space = KeySpace::new(14);
+    let cfg = OverlayConfig::paper_default().with_space(space);
+    let keys = cbps_overlay::assign_node_keys(&cfg, 3_000);
+    let peers: Vec<Peer> = keys
+        .into_iter()
+        .enumerate()
+        .map(|(idx, key)| Peer { idx, key })
+        .collect();
+    let ring = RingView::new(space, peers);
+    type StateDigest = (Option<Peer>, Vec<Peer>, Vec<Option<Peer>>);
+    let digest = |states: &[RoutingState]| -> Vec<StateDigest> {
+        states
+            .iter()
+            .map(|st| {
+                (
+                    st.predecessor(),
+                    st.successors().to_vec(),
+                    st.fingers().collect(),
+                )
+            })
+            .collect()
+    };
+    cbps_overlay::set_build_jobs(1);
+    let serial = cbps_overlay::build_routing_states(&cfg, &ring);
+    cbps_overlay::set_build_jobs(4);
+    let parallel = cbps_overlay::build_routing_states(&cfg, &ring);
+    cbps_overlay::set_build_jobs(1);
+    assert_eq!(digest(&serial), digest(&parallel));
+}

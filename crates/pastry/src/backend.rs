@@ -31,6 +31,10 @@ impl OverlayBackend for PastryBackend {
         cfg.space
     }
 
+    fn with_key_space(cfg: PastryConfig, keys: KeySpace) -> PastryConfig {
+        cfg.with_space(keys)
+    }
+
     fn replication_capacity(cfg: &PastryConfig) -> usize {
         cfg.leaf_len
     }

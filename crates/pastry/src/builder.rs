@@ -1,6 +1,6 @@
 //! Building static Pastry networks inside a simulator.
 
-use cbps_overlay::{assign_node_keys, OverlayApp, OverlayConfig, Peer, RingView};
+use cbps_overlay::{assign_node_keys, build_indexed, OverlayApp, OverlayConfig, Peer, RingView};
 use cbps_sim::{NetConfig, Simulator};
 
 use crate::node::PastryNode;
@@ -31,9 +31,11 @@ pub fn build_pastry_stable<A: OverlayApp>(
         .collect();
     let ring = RingView::new(cfg.space, peers.clone());
 
+    // Converged state is a pure function of the ring table, so it fans out
+    // over the overlay builder's worker pool (identical at any job count).
+    let states = build_indexed(n, |idx| PastryState::converged(cfg, peers[idx], &ring));
     let mut sim = Simulator::new(net);
-    for (idx, app) in apps.into_iter().enumerate() {
-        let state = PastryState::converged(cfg, peers[idx], &ring);
+    for (idx, (state, app)) in states.into_iter().zip(apps).enumerate() {
         let added = sim.add_node(PastryNode::new(state, app));
         debug_assert_eq!(added, idx);
     }

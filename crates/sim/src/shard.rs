@@ -47,7 +47,7 @@
 //! changed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Barrier, Mutex, OnceLock};
 
 use cbps_rng::Rng;
 
@@ -68,6 +68,10 @@ const SEED_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
 /// A routed event paired with its scheduled time — the currency of the
 /// cross-shard mailboxes and the queue rebuild.
 type TimedEvent<N> = (SimTime, EventKind<<N as Node>::Msg, <N as Node>::Timer>);
+
+/// One lazily allocated cross-shard mailbox: a pointer-sized empty word
+/// until the first sender materializes the mutex-plus-buffer.
+type LazySlot<T> = OnceLock<Box<Mutex<Vec<T>>>>;
 
 /// Per-shard state: a contiguous slice of the node universe plus the
 /// shard's own queue, clock, sequencer, RNG and perf counters.
@@ -148,10 +152,16 @@ pub struct ShardedSimulator<N: Node> {
     /// Reusable action buffer for driver upcalls.
     actions: Vec<Action<N::Msg, N::Timer>>,
     /// Cross-shard mailboxes, indexed `[dst * S + src]`. Only touched while
-    /// workers run; empty between runs (buffers retain capacity).
-    slots: Vec<Mutex<Vec<TimedEvent<N>>>>,
-    /// Fresh-origin broadcast mailboxes, same indexing as `slots`.
-    fresh_slots: Vec<Mutex<Vec<(TraceId, SimTime)>>>,
+    /// workers run; empty between runs (buffers retain capacity). Each
+    /// slot starts as an empty `OnceLock` — the mutex-plus-buffer is
+    /// heap-allocated by the first sender that uses the pair — so the
+    /// dense `S x S` matrix costs one pointer-sized word per never-used
+    /// pair instead of a full mutex-plus-`Vec`, and only pairs that
+    /// actually communicate ever materialize.
+    slots: Vec<LazySlot<TimedEvent<N>>>,
+    /// Fresh-origin broadcast mailboxes, same indexing (and same lazy
+    /// allocation) as `slots`.
+    fresh_slots: Vec<LazySlot<(TraceId, SimTime)>>,
     /// Occupancy bitmap over `slots`: bit `src % 64` of word `dst *
     /// occ_words + src / 64` is set when mailbox `(dst, src)` is non-empty.
     /// Senders set the bit after filling the mailbox; the receiver swaps
@@ -244,12 +254,8 @@ impl<N: Node> ShardedSimulator<N> {
             tracer: parts.tracer,
             driver_rng: parts.rng,
             actions: Vec::new(),
-            slots: (0..s_count * s_count)
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
-            fresh_slots: (0..s_count * s_count)
-                .map(|_| Mutex::new(Vec::new()))
-                .collect(),
+            slots: (0..s_count * s_count).map(|_| OnceLock::new()).collect(),
+            fresh_slots: (0..s_count * s_count).map(|_| OnceLock::new()).collect(),
             occ: (0..s_count * s_count.div_ceil(64))
                 .map(|_| AtomicU64::new(0))
                 .collect(),
@@ -660,8 +666,8 @@ struct ShardWorker<'a, N: Node> {
     tracer: &'a mut Tracer,
     alive: &'a [bool],
     config: &'a NetConfig,
-    slots: &'a [Mutex<Vec<TimedEvent<N>>>],
-    fresh_slots: &'a [Mutex<Vec<(TraceId, SimTime)>>],
+    slots: &'a [LazySlot<TimedEvent<N>>],
+    fresh_slots: &'a [LazySlot<(TraceId, SimTime)>],
     occ: &'a [AtomicU64],
     fresh_occ: &'a [AtomicU64],
     occ_words: usize,
@@ -692,6 +698,8 @@ impl<N: Node> ShardWorker<'_, N> {
                 let src = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let mut v = self.fresh_slots[self.my * self.s_count + src]
+                    .get()
+                    .expect("flagged fresh-origin mailbox was initialized by its sender")
                     .lock()
                     .expect("fresh-origin mailbox poisoned");
                 for (trace, at) in v.drain(..) {
@@ -705,6 +713,8 @@ impl<N: Node> ShardWorker<'_, N> {
                 let src = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
                 let mut v = self.slots[self.my * self.s_count + src]
+                    .get()
+                    .expect("flagged event mailbox was initialized by its sender")
                     .lock()
                     .expect("event mailbox poisoned");
                 for (time, kind) in v.drain(..) {
@@ -725,6 +735,7 @@ impl<N: Node> ShardWorker<'_, N> {
                 continue;
             }
             let mut v = self.slots[dst * self.s_count + self.my]
+                .get_or_init(Default::default)
                 .lock()
                 .expect("event mailbox poisoned");
             v.extend(self.core.outbufs[dst].drain(..));
@@ -738,6 +749,7 @@ impl<N: Node> ShardWorker<'_, N> {
                     continue;
                 }
                 let mut v = self.fresh_slots[dst * self.s_count + self.my]
+                    .get_or_init(Default::default)
                     .lock()
                     .expect("fresh-origin mailbox poisoned");
                 v.extend(fresh.iter().copied());

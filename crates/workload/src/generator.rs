@@ -319,7 +319,13 @@ impl WorkloadGen {
             } else {
                 let at = pub_times[pi];
                 pi += 1;
-                live.retain(|(expiry, _)| *expiry > at);
+                // Without TTLs every expiry is `SimTime::MAX`, so the
+                // retain is an identity scan — O(subs) per publication,
+                // quadratic over a trace. Skipping it leaves `live` and
+                // the RNG sequence untouched.
+                if self.cfg.sub_ttl.is_some() {
+                    live.retain(|(expiry, _)| *expiry > at);
+                }
                 let event = if !live.is_empty() && self.rng.f64() < self.cfg.matching_probability {
                     let seed = match streak.take() {
                         Some((sub, left)) if left > 0 => {
