@@ -206,4 +206,43 @@ if ! diff -u "$smoke_dir/jobs1.tables" "$smoke_dir/jobs4.tables"; then
 fi
 echo "==> build-pipeline smoke passed (near-linear build, parallel parity)"
 
+# Rendezvous A/B smoke: the adaptive rendezvous policy splits hot keys'
+# subscription populations across mirror arcs, which must be delivery-
+# transparent: on a Zipf flash-crowd trace, static and adaptive runs must
+# print the same delivered-set fingerprint at 1 and 4 shards, and the
+# adaptive run's full output (including its split/merge counters) must be
+# byte-identical across shard counts. `probe rendezvous` then checks the
+# load-flattening claim end-to-end — it exits non-zero unless adaptive
+# strictly lowers the max/mean node-load ratio with identical delivered
+# sets and shard-independent control decisions.
+echo "==> rendezvous A/B smoke (cbps --rendezvous static|adaptive, 1|4 shards)"
+./target/release/cbps gen-trace --out "$smoke_dir/zipf.trace" \
+    --nodes 100 --subs 300 --pubs 600 --selective 1 --flash-crowd 1200 \
+    --seed 9 >/dev/null
+for mode in static adaptive; do
+    for shards in 1 4; do
+        ./target/release/cbps run-trace "$smoke_dir/zipf.trace" --nodes 100 \
+            --seed 9 --mapping m3 --rendezvous "$mode" --shards "$shards" \
+            >"$smoke_dir/rdv-$mode-$shards.rt"
+        sed -n 's/^delivered-set fingerprint: //p' \
+            "$smoke_dir/rdv-$mode-$shards.rt" >"$smoke_dir/rdv-$mode-$shards.fp"
+    done
+done
+for f in rdv-static-4 rdv-adaptive-1 rdv-adaptive-4; do
+    if ! diff "$smoke_dir/rdv-static-1.fp" "$smoke_dir/$f.fp"; then
+        echo "FAIL: $f delivered a different notification set than rdv-static-1" >&2
+        exit 1
+    fi
+done
+if ! diff -u "$smoke_dir/rdv-adaptive-1.rt" "$smoke_dir/rdv-adaptive-4.rt"; then
+    echo "FAIL: adaptive rendezvous control decisions differ across shard counts" >&2
+    exit 1
+fi
+if ! grep -q "^rendezvous splits: [1-9]" "$smoke_dir/rdv-adaptive-1.rt"; then
+    echo "FAIL: flash crowd did not trip the adaptive split rule" >&2
+    exit 1
+fi
+./target/release/probe rendezvous --nodes 150 >/dev/null
+echo "==> rendezvous smoke passed (fingerprint parity, shard-deterministic splits, hotspot flattened)"
+
 echo "==> tier-1 gate passed"

@@ -28,7 +28,13 @@
 //! matching engine (default: counting); the engines return identical
 //! match sets — only matching cost and memory layout change — so tables
 //! are byte-identical either way, a third invariant ci.sh checks.
-//! `--overlay chord|pastry` selects the routing
+//! `--rendezvous static|adaptive` selects the rendezvous policy
+//! (default: static, the paper's stateless ak-mapping, which leaves every
+//! recorded baseline byte-identical); `adaptive` turns on online hot-key
+//! splitting — delivered sets stay identical (ci.sh A/B-checks the
+//! delivered-set fingerprint), but message counts and load balance
+//! change, so adaptive tables are not comparable against static
+//! baselines. `--overlay chord|pastry` selects the routing
 //! substrate the deployment-style experiments run on (default: chord;
 //! `route` and `churn` calibrate Chord-specific machinery and always run
 //! on Chord, and the `overlay` comparison always runs both). `--json FILE` and `--report FILE`
@@ -42,6 +48,7 @@
 use std::io::Write as _;
 use std::time::Instant;
 
+use cbps::RendezvousMode;
 use cbps_bench::experiments::{run_named, EXPERIMENT_NAMES};
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
 use cbps_bench::runner;
@@ -110,6 +117,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--rendezvous" => match args.next().as_deref().and_then(RendezvousMode::parse) {
+                Some(mode) => runner::set_rendezvous(mode),
+                None => {
+                    eprintln!("--rendezvous expects static|adaptive");
+                    std::process::exit(2);
+                }
+            },
             "--pool" => match args.next().as_deref().and_then(cbps_sim::PoolMode::parse) {
                 Some(mode) => runner::set_pool(mode),
                 None => {
@@ -156,6 +170,7 @@ fn main() {
                     "usage: figures [--scale quick|paper|large] [--nodes N] \
                      [--overlay chord|pastry] [--jobs N] [--scheduler wheel|heap] \
                      [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh] \
+                     [--rendezvous static|adaptive] \
                      [--csv DIR] [--json FILE] [--report FILE] [EXPERIMENT...]\n\
                      experiments: {} (default: all)",
                     EXPERIMENT_NAMES.join(", ")
@@ -192,7 +207,9 @@ fn main() {
         let (events, peak_queue_depth) = runner::perf_totals();
         let obs = runner::take_obs().map(|obs| {
             let hot = runner::take_hot_nodes();
-            ObsReport::distill(&obs, &hot)
+            let work = runner::take_node_work();
+            let (splits, merges) = runner::rendezvous_totals();
+            ObsReport::distill(&obs, &hot).with_load(&work, splits, merges)
         });
         records.push(ExperimentReport {
             name: name.clone(),
@@ -239,6 +256,7 @@ fn main() {
         scheduler: runner::scheduler().name().to_owned(),
         shards: runner::shards(),
         match_engine: runner::match_engine().name().to_owned(),
+        rendezvous: runner::rendezvous().name().to_owned(),
         overlay: runner::backend().name().to_owned(),
         experiments: records,
     };

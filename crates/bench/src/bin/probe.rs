@@ -12,6 +12,8 @@
 //!                                       heap-allocation audit
 //! probe scale [--max-nodes N] [--seed S] [--budget-secs T] [--json FILE]
 //!                                       build-pipeline scaling sweep
+//! probe rendezvous [--nodes N] [--seed S] [--json FILE]
+//!                                       static vs adaptive rendezvous A/B
 //! ```
 //!
 //! `probe sched` replays the same seeded mixed-horizon workload (zero-delay
@@ -52,6 +54,15 @@
 //! per node plus a serial-vs-4-worker routing-table parity check; it
 //! exits non-zero if per-node cost drifts more than 2x across the core
 //! sweep, if the tables differ, or if `--budget-secs` is exceeded.
+//! `probe rendezvous` replays one Zipf flash-crowd workload (mapping 3,
+//! one selective attribute, a mid-run burst of skewed publications) under
+//! the static and the adaptive rendezvous policy at 1 and 4 event-loop
+//! shards; it exits non-zero unless the delivered-set fingerprint is
+//! identical across all four runs, the adaptive policy's max/mean
+//! node-load ratio is strictly below the static policy's, at least one
+//! split fired, and the split/merge decisions are shard-independent;
+//! `--json FILE` records the A/B sweep (this is how `BENCH_pr10.json`
+//! was produced).
 //!
 //! Unlike `figures`, these numbers are wall-clock measurements of isolated
 //! structures: use them for before/after comparisons on one machine, not as
@@ -346,6 +357,7 @@ fn match_point(n: usize, seed: u64) -> Result<MatchPoint, String> {
                     expires: SimTime::MAX,
                     sk: sk.clone(),
                     trace: TraceId::NONE,
+                    subgroups: 0,
                 },
             )
         })
@@ -666,6 +678,169 @@ fn probe_shard(nodes: usize, seed: u64, json_out: Option<&str>) -> Result<(), St
     Ok(())
 }
 
+/// One (policy, shard-count) measurement of the Zipf flash-crowd workload.
+struct RendezvousPoint {
+    mode: cbps::RendezvousMode,
+    shards: usize,
+    fingerprint: u64,
+    delivered: u64,
+    max_mean: f64,
+    p99_mean: f64,
+    splits: u64,
+    merges: u64,
+    secs: f64,
+}
+
+/// Replays the fixed flash-crowd workload (mapping 3, one Zipf-selective
+/// attribute, a mid-run burst of skewed publications) under the given
+/// rendezvous policy and shard count.
+fn rendezvous_point(
+    nodes: usize,
+    seed: u64,
+    mode: cbps::RendezvousMode,
+    shards: usize,
+) -> RendezvousPoint {
+    use cbps_bench::report::LoadReport;
+    use cbps_bench::runner::{
+        self, delivered_fingerprint, paper_workload, run_trace, workload_gen, Deployment,
+    };
+
+    runner::set_shards(shards);
+    runner::set_rendezvous(mode);
+    let mut deployment = Deployment::new(nodes, seed);
+    deployment.mapping = cbps::MappingKind::SelectiveAttribute;
+    let cfg = paper_workload(nodes, 1)
+        .with_counts(nodes * 2, nodes * 4)
+        .with_flash_crowd(nodes * 8, 1.1);
+    let mut gen = workload_gen(cfg, seed);
+    let trace = gen.gen_trace();
+    let mut net = deployment.build_on::<cbps::ChordBackend>();
+    let started = Instant::now();
+    let stats = run_trace(&mut net, &trace, 300);
+    let secs = started.elapsed().as_secs_f64();
+    let (splits, merges) = net.rendezvous_counters();
+    let load = LoadReport::from_work(&net.rendezvous_work_counts(), splits, merges);
+    let (fingerprint, _) = delivered_fingerprint(&net);
+    RendezvousPoint {
+        mode,
+        shards,
+        fingerprint,
+        delivered: stats.delivered,
+        max_mean: load.map(|l| l.max_mean).unwrap_or(0.0),
+        p99_mean: load.map(|l| l.p99_mean).unwrap_or(0.0),
+        splits,
+        merges,
+        secs,
+    }
+}
+
+/// A/B-compares the static and the adaptive rendezvous policy on the
+/// Zipf flash-crowd workload, at 1 and 4 event-loop shards. Exits
+/// non-zero unless (a) every configuration delivers the byte-identical
+/// notification set, (b) the adaptive policy's max/mean node-load ratio
+/// is strictly below the static policy's, (c) the adaptive policy
+/// actually split at least once, and (d) its split/merge control
+/// decisions are identical across shard counts.
+fn probe_rendezvous(nodes: usize, seed: u64, json_out: Option<&str>) -> Result<(), String> {
+    use cbps::RendezvousMode;
+
+    println!("rendezvous probe: {nodes} nodes, seed {seed}, Zipf flash-crowd workload");
+    let mut points = Vec::new();
+    for &mode in &[RendezvousMode::Static, RendezvousMode::Adaptive] {
+        for &shards in &[1usize, 4] {
+            points.push(rendezvous_point(nodes, seed, mode, shards));
+        }
+    }
+    cbps_bench::runner::set_shards(1);
+    cbps_bench::runner::set_rendezvous(RendezvousMode::Static);
+
+    for p in &points {
+        println!(
+            "  {:<8} shards {}  max/mean {:>6.2}  p99/mean {:>5.2}  \
+             splits {:>2}  merges {:>2}  delivered {:>6}  fingerprint {:#018x}  ({:.2}s)",
+            p.mode.name(),
+            p.shards,
+            p.max_mean,
+            p.p99_mean,
+            p.splits,
+            p.merges,
+            p.delivered,
+            p.fingerprint,
+            p.secs,
+        );
+    }
+
+    if let Some(path) = json_out {
+        let mut doc = String::from("{\n  \"probe\": \"rendezvous\",\n");
+        doc.push_str(&format!("  \"nodes\": {nodes},\n  \"seed\": {seed},\n"));
+        doc.push_str("  \"results\": [\n");
+        for (i, p) in points.iter().enumerate() {
+            doc.push_str(&format!(
+                "    {{\"rendezvous\": \"{}\", \"shards\": {}, \"max_mean\": {:.3}, \
+                 \"p99_mean\": {:.3}, \"splits\": {}, \"merges\": {}, \"delivered\": {}, \
+                 \"fingerprint\": \"{:#018x}\", \"wall_secs\": {:.3}}}{}\n",
+                p.mode.name(),
+                p.shards,
+                p.max_mean,
+                p.p99_mean,
+                p.splits,
+                p.merges,
+                p.delivered,
+                p.fingerprint,
+                p.secs,
+                if i + 1 == points.len() { "" } else { "," },
+            ));
+        }
+        doc.push_str("  ]\n}\n");
+        std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  report written to {path}");
+    }
+
+    // (a) Delivery semantics must be policy- and shard-independent.
+    for p in &points[1..] {
+        if p.fingerprint != points[0].fingerprint || p.delivered != points[0].delivered {
+            return Err(format!(
+                "{} at {} shard(s) changed the delivered set: fingerprint {:#x} != {:#x} \
+                 (delivered {} vs {})",
+                p.mode.name(),
+                p.shards,
+                p.fingerprint,
+                points[0].fingerprint,
+                p.delivered,
+                points[0].delivered
+            ));
+        }
+    }
+    let stat = &points[0];
+    let adap = &points[2];
+    // (b) The whole point: the hot node's load ratio must drop.
+    if adap.max_mean >= stat.max_mean {
+        return Err(format!(
+            "adaptive rendezvous did not flatten the hotspot: max/mean {:.2} (adaptive) \
+             vs {:.2} (static)",
+            adap.max_mean, stat.max_mean
+        ));
+    }
+    // (c) The drop must come from actual control activity.
+    if adap.splits == 0 {
+        return Err("adaptive rendezvous took no split decision on the flash crowd".into());
+    }
+    // (d) Control decisions are deterministic across the engine's shard counts.
+    let adap4 = &points[3];
+    if (adap.splits, adap.merges) != (adap4.splits, adap4.merges) {
+        return Err(format!(
+            "split/merge control diverged across shard counts: {}/{} at 1 shard vs {}/{} at 4",
+            adap.splits, adap.merges, adap4.splits, adap4.merges
+        ));
+    }
+    println!(
+        "  adaptive flattens max/mean {:.2} -> {:.2} with identical delivered sets \
+         ({} splits, {} merges, shard-independent)",
+        stat.max_mean, adap.max_mean, adap.splits, adap.merges
+    );
+    Ok(())
+}
+
 /// Replays the fixed figures workload under the counting allocator and
 /// reports allocations per simulated event — once over the whole replay
 /// (cold buildup included) and once over a steady-state publication
@@ -786,6 +961,7 @@ fn probe_alloc(
             scheduler: "wheel".to_owned(),
             shards: 1,
             match_engine: "counting".to_owned(),
+            rendezvous: "static".to_owned(),
             overlay: "chord".to_owned(),
             experiments: vec![ExperimentReport {
                 name: "alloc-audit".to_owned(),
@@ -1022,7 +1198,8 @@ fn main() {
                  | probe overlay [--nodes N] [--seed S] \
                  | probe shard [--nodes N] [--seed S] [--json FILE] \
                  | probe alloc [--nodes N] [--seed S] [--pool reuse|fresh] [--json FILE] \
-                 | probe scale [--max-nodes N] [--seed S] [--budget-secs T] [--json FILE]";
+                 | probe scale [--max-nodes N] [--seed S] [--budget-secs T] [--json FILE] \
+                 | probe rendezvous [--nodes N] [--seed S] [--json FILE]";
     let outcome = match args.first().map(String::as_str) {
         Some("sched") => probe_sched(
             arg_value(&args, "--ops").unwrap_or(2_000_000) as usize,
@@ -1076,6 +1253,14 @@ fn main() {
         ),
         Some("shard") => probe_shard(
             arg_value(&args, "--nodes").unwrap_or(256) as usize,
+            arg_value(&args, "--seed").unwrap_or(7),
+            args.iter()
+                .position(|a| a == "--json")
+                .and_then(|i| args.get(i + 1))
+                .map(String::as_str),
+        ),
+        Some("rendezvous") => probe_rendezvous(
+            arg_value(&args, "--nodes").unwrap_or(150) as usize,
             arg_value(&args, "--seed").unwrap_or(7),
             args.iter()
                 .position(|a| a == "--json")

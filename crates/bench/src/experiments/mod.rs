@@ -34,7 +34,7 @@ pub fn run_all(scale: Scale) -> Vec<Table> {
     tables.push(fig9b::run(scale));
     tables.push(fig_mcast::run(scale));
     tables.push(fig_partial::run(scale));
-    tables.push(fig_hotspot::run(scale));
+    tables.extend(fig_hotspot::run(scale));
     tables.push(fig_vnodes::run(scale));
     tables.push(fig_overlay::run(scale));
     tables.push(fig_churn::run(scale));
@@ -55,7 +55,7 @@ pub fn run_named(name: &str, scale: Scale) -> Option<Vec<Table>> {
         "route" | "fig_route" => vec![fig_route::run(scale)],
         "mcast" | "fig_mcast" => vec![fig_mcast::run(scale)],
         "churn" | "fig_churn" => vec![fig_churn::run(scale)],
-        "hotspot" | "fig_hotspot" => vec![fig_hotspot::run(scale)],
+        "hotspot" | "fig_hotspot" => fig_hotspot::run(scale),
         "overlay" | "fig_overlay" => vec![fig_overlay::run(scale)],
         "partial" | "fig_partial" => vec![fig_partial::run(scale)],
         "vnodes" | "fig_vnodes" => vec![fig_vnodes::run(scale)],

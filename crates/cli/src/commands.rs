@@ -1,11 +1,11 @@
 //! The CLI subcommands.
 
 use cbps::{
-    EventSpace, MappingKind, NotifyMode, OverlayBackend, Primitive, PubSubConfig, PubSubNetwork,
-    PubSubNetworkBuilder,
+    EventSpace, MappingKind, NotifyMode, OverlayBackend as _, Primitive, PubSubConfig,
+    PubSubNetwork, PubSubNetworkBuilder, RendezvousMode,
 };
 use cbps_bench::report::{ExperimentReport, ObsReport, RunReport};
-use cbps_bench::runner::BackendKind;
+use cbps_bench::runner::{delivered_fingerprint, BackendKind};
 use cbps_bench::with_backend;
 use cbps_sim::{
     MatchEngineKind, NetConfig, ObsMode, PoolMode, SchedulerKind, SimDuration, TrafficClass,
@@ -21,35 +21,6 @@ fn parse_overlay(args: &Args) -> Result<BackendKind, ArgError> {
     BackendKind::parse(s).ok_or_else(|| ArgError(format!("unknown overlay {s:?} (chord|pastry)")))
 }
 
-/// An order- and overlay-independent fingerprint of the logically
-/// delivered set: FNV-1a over the sorted `(node, sub, event)` triples.
-/// Two runs deliver the same notifications iff the fingerprints match, so
-/// `cbps run-trace --overlay chord` vs `--overlay pastry` can be diffed on
-/// this one line.
-fn delivered_fingerprint<B: OverlayBackend>(net: &PubSubNetwork<B>) -> (u64, usize) {
-    let mut triples: Vec<(usize, u64, u64)> = Vec::new();
-    for node in 0..net.len() {
-        for n in net.delivered(node) {
-            triples.push((node, n.sub_id.0, n.event_id.0));
-        }
-    }
-    triples.sort_unstable();
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |v: u64| {
-        for byte in v.to_le_bytes() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
-        }
-    };
-    let count = triples.len();
-    for (node, sub, event) in triples {
-        mix(node as u64);
-        mix(sub);
-        mix(event);
-    }
-    (hash, count)
-}
-
 /// `cbps gen-trace`: generate a §5.1 workload trace file.
 pub fn gen_trace(args: &Args) -> Outcome {
     args.check_flags(&[
@@ -62,6 +33,8 @@ pub fn gen_trace(args: &Args) -> Outcome {
         "match",
         "streak",
         "ttl",
+        "flash-crowd",
+        "flash-alpha",
     ])?;
     let out = args
         .get("out")
@@ -81,6 +54,13 @@ pub fn gen_trace(args: &Args) -> Outcome {
                 .map_err(|_| ArgError(format!("bad --ttl {v:?}")))?,
         ),
     };
+    let flash_crowd: usize = args.get_or("flash-crowd", 0)?;
+    let flash_alpha: f64 = args.get_or("flash-alpha", 1.1)?;
+    if !(flash_alpha.is_finite() && flash_alpha > 0.0) {
+        return Err(ArgError(format!(
+            "--flash-alpha must be positive, got {flash_alpha}"
+        )));
+    }
 
     let space = EventSpace::paper_default();
     let cfg = WorkloadConfig::paper_default(nodes, space.dims())
@@ -88,6 +68,7 @@ pub fn gen_trace(args: &Args) -> Outcome {
         .with_counts(subs, pubs)
         .with_matching_probability(matching)
         .with_seed_streak(streak)
+        .with_flash_crowd(flash_crowd, flash_alpha)
         .with_sub_ttl(ttl.map(SimDuration::from_secs));
     let mut gen = WorkloadGen::new(space.clone(), cfg, seed);
     let trace = gen.gen_trace();
@@ -134,6 +115,11 @@ fn parse_pool(s: &str) -> Result<PoolMode, ArgError> {
     PoolMode::parse(s).ok_or_else(|| ArgError(format!("unknown pool mode {s:?} (reuse|fresh)")))
 }
 
+fn parse_rendezvous(s: &str) -> Result<RendezvousMode, ArgError> {
+    RendezvousMode::parse(s)
+        .ok_or_else(|| ArgError(format!("unknown rendezvous policy {s:?} (static|adaptive)")))
+}
+
 fn parse_notify(s: &str) -> Result<NotifyMode, ArgError> {
     if s == "immediate" {
         return Ok(NotifyMode::Immediate);
@@ -174,6 +160,7 @@ pub fn run_trace(args: &Args) -> Outcome {
         "shards",
         "match-engine",
         "pool",
+        "rendezvous",
         "overlay",
     ])?;
     let file = args
@@ -196,6 +183,7 @@ pub fn run_trace(args: &Args) -> Outcome {
     let shards: usize = args.get_or("shards", 1)?;
     let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
     let pool = parse_pool(args.get("pool").unwrap_or("reuse"))?;
+    let rendezvous = parse_rendezvous(args.get("rendezvous").unwrap_or("static"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
@@ -218,6 +206,7 @@ pub fn run_trace(args: &Args) -> Outcome {
                     .with_notify_mode(notify)
                     .with_discretization(discretization)
                     .with_replication(replication)
+                    .with_rendezvous(rendezvous)
                     .with_key_space(keys),
             )
             .build()
@@ -262,6 +251,10 @@ pub fn run_trace(args: &Args) -> Outcome {
         let max = peaks.iter().max().copied().unwrap_or(0);
         let avg = peaks.iter().sum::<usize>() as f64 / peaks.len().max(1) as f64;
         println!("stored subscriptions/node: max {max}, avg {avg:.1}");
+        if rendezvous == RendezvousMode::Adaptive {
+            let (splits, merges) = net.rendezvous_counters();
+            println!("rendezvous splits: {splits} merges: {merges}");
+        }
         let (fp, count) = delivered_fingerprint(&net);
         println!("delivered-set fingerprint: {fp:#018x} ({count} notifications)");
         let expected = outcome.oracle.expected().len();
@@ -286,6 +279,7 @@ pub fn stats(args: &Args) -> Outcome {
         "shards",
         "match-engine",
         "pool",
+        "rendezvous",
         "overlay",
         "out",
     ])?;
@@ -309,6 +303,7 @@ pub fn stats(args: &Args) -> Outcome {
     let shards: usize = args.get_or("shards", 1)?;
     let match_engine = parse_match_engine(args.get("match-engine").unwrap_or("counting"))?;
     let pool = parse_pool(args.get("pool").unwrap_or("reuse"))?;
+    let rendezvous = parse_rendezvous(args.get("rendezvous").unwrap_or("static"))?;
     let overlay = parse_overlay(args)?;
 
     cbps_bench::runner::set_backend(overlay);
@@ -331,6 +326,7 @@ pub fn stats(args: &Args) -> Outcome {
                     .with_notify_mode(notify)
                     .with_discretization(discretization)
                     .with_replication(replication)
+                    .with_rendezvous(rendezvous)
                     .with_key_space(keys),
             )
             .observability(ObsMode::Full)
@@ -347,6 +343,8 @@ pub fn stats(args: &Args) -> Outcome {
             .into_iter()
             .map(|p| p as u64)
             .collect();
+        let work = net.rendezvous_work_counts();
+        let (splits, merges) = net.rendezvous_counters();
         let sim = net.sim_mut();
         let events = sim.events_processed();
         let peak_queue_depth = sim.queue_peak() as u64;
@@ -356,7 +354,7 @@ pub fn stats(args: &Args) -> Outcome {
             wall_secs,
             events,
             peak_queue_depth,
-            obs: Some(ObsReport::distill(&obs, &peaks)),
+            obs: Some(ObsReport::distill(&obs, &peaks).with_load(&work, splits, merges)),
             alloc: None,
         }
     });
@@ -367,6 +365,7 @@ pub fn stats(args: &Args) -> Outcome {
         scheduler: scheduler.name().to_owned(),
         shards: shards.max(1),
         match_engine: match_engine.name().to_owned(),
+        rendezvous: rendezvous.name().to_owned(),
         overlay: overlay.name().to_owned(),
         experiments: vec![record],
     };

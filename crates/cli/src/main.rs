@@ -3,11 +3,13 @@
 //! ```text
 //! cbps gen-trace --out FILE [--subs N] [--pubs N] [--nodes N] [--seed S]
 //!                [--selective K] [--match P] [--ttl SECS] [--streak L]
+//!                [--flash-crowd N] [--flash-alpha A]
 //! cbps run-trace FILE [--nodes N] [--seed S] [--overlay chord|pastry]
 //!                [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
 //!                [--notify immediate|buffered:S|collecting:S]
 //!                [--discretization W] [--replication R] [--scheduler wheel|heap]
 //!                [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh]
+//!                [--rendezvous static|adaptive]
 //! cbps stats FILE [--out FILE] [run-trace deployment flags]
 //! cbps ring [--nodes N] [--seed S] [--node IDX]
 //! cbps experiment NAME [--scale quick|paper|large] [--nodes N] [--overlay chord|pastry] [--jobs N]
@@ -25,11 +27,13 @@ cbps — content-based pub/sub over structured overlays (ICDCS 2005 reproduction
 usage:
   cbps gen-trace --out FILE [--subs N] [--pubs N] [--nodes N] [--seed S]
                  [--selective K] [--match P] [--ttl SECS] [--streak L]
+                 [--flash-crowd N] [--flash-alpha A]
   cbps run-trace FILE [--nodes N] [--seed S] [--overlay chord|pastry]
                  [--mapping m1|m2|m3] [--primitive unicast|mcast|walk]
                  [--notify immediate|buffered:SECS|collecting:SECS]
                  [--discretization W] [--replication R] [--scheduler wheel|heap]
                  [--shards N] [--match-engine counting|sorted] [--pool reuse|fresh]
+                 [--rendezvous static|adaptive]
   cbps stats FILE [--out FILE] [run-trace deployment flags]
                  (replay with observability on; emit the cbps-report/v2 JSON)
   cbps ring [--nodes N] [--seed S] [--node IDX]

@@ -6,6 +6,7 @@ use cbps_overlay::KeySpace;
 use cbps_sim::SimDuration;
 
 use crate::mapping::{AkMapping, EventKeyChoice, MappingKind};
+use crate::rendezvous::{RendezvousMode, RendezvousParams, RendezvousPolicy};
 use crate::space::EventSpace;
 
 /// Which overlay primitive propagates subscriptions and publications to
@@ -87,6 +88,13 @@ pub struct PubSubConfig {
     ///
     /// [`SubscriptionStore`]: crate::SubscriptionStore
     pub covering: bool,
+    /// The dynamic rendezvous layer wrapping the mapping (the
+    /// `--rendezvous static|adaptive` knob). [`RendezvousMode::Static`]
+    /// — the default — bypasses it entirely, keeping every static-mode
+    /// run byte-identical to earlier releases; `Adaptive` splits hot
+    /// rendezvous arcs online without changing delivered sets (see
+    /// [`RendezvousPolicy`]).
+    pub rendezvous: RendezvousPolicy,
 }
 
 impl PubSubConfig {
@@ -105,6 +113,7 @@ impl PubSubConfig {
             default_ttl: None,
             lease_refresh: false,
             covering: true,
+            rendezvous: RendezvousPolicy::default(),
         }
     }
 
@@ -187,6 +196,23 @@ impl PubSubConfig {
     /// Enables or disables subscription covering at rendezvous nodes.
     pub fn with_covering(mut self, on: bool) -> Self {
         self.covering = on;
+        self
+    }
+
+    /// Sets the rendezvous mode (static = the paper's stateless mapping,
+    /// adaptive = online hotspot splitting) with default tuning.
+    pub fn with_rendezvous(mut self, mode: RendezvousMode) -> Self {
+        self.rendezvous = RendezvousPolicy::new(mode);
+        self
+    }
+
+    /// Sets the rendezvous mode with explicit tuning parameters.
+    pub fn with_rendezvous_params(
+        mut self,
+        mode: RendezvousMode,
+        params: RendezvousParams,
+    ) -> Self {
+        self.rendezvous = RendezvousPolicy::new(mode).with_params(params);
         self
     }
 

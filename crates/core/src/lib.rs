@@ -57,6 +57,7 @@ mod mapping;
 mod msg;
 mod node;
 mod oracle;
+mod rendezvous;
 mod sorted;
 mod space;
 mod store;
@@ -74,6 +75,10 @@ pub use mapping::{AkMapping, EventKeyChoice, MappingKind};
 pub use msg::{CollectItem, DeliveredNote, NotifyBatch, NotifyItem, PubSubMsg, PubSubTimer};
 pub use node::PubSubNode;
 pub use oracle::Oracle;
+pub use rendezvous::{
+    assign_group, ControlOutcome, LoadSample, RendezvousMode, RendezvousParams, RendezvousPolicy,
+    SplitEntry, SplitPhase, SweepKind, SweepOp,
+};
 pub use sorted::SortedIndex;
 pub use space::{AttributeDef, EventSpace};
 pub use store::{StoredSub, SubscriptionStore};

@@ -36,6 +36,14 @@ pub struct StoredSub {
     /// (always minted — ids are cheap; recording is what observability
     /// gates).
     pub trace: TraceId,
+    /// Bitmask of adaptive-rendezvous split slots whose mirror images this
+    /// record's `sk` includes (see [`RendezvousPolicy`]): bit `s` set
+    /// means the record participates in the live split entry occupying
+    /// slot `s`, so the merge sweeps can find (and re-home or release)
+    /// exactly the migrated copies. Always `0` under the static policy.
+    ///
+    /// [`RendezvousPolicy`]: crate::RendezvousPolicy
+    pub subgroups: u64,
 }
 
 /// The subscription store of one rendezvous node.
@@ -59,6 +67,7 @@ pub struct StoredSub {
 ///         expires: SimTime::from_secs(60),
 ///         sk: KeyRangeSet::of_key(keys, keys.key(3)),
 ///         trace: TraceId::NONE,
+///         subgroups: 0,
 ///     },
 ///     SimTime::ZERO,
 /// );
@@ -369,6 +378,7 @@ mod tests {
             expires,
             sk: KeyRangeSet::of_key(keys, keys.key(2)),
             trace: TraceId::NONE,
+            subgroups: 0,
         }
     }
 

@@ -116,6 +116,7 @@ fn engines_and_covering_match_the_oracle() {
                                 expires,
                                 sk: sk.clone(),
                                 trace: TraceId::NONE,
+                                subgroups: 0,
                             },
                             now,
                         );
@@ -203,6 +204,7 @@ fn covering_collapses_wide_streams() {
             expires: SimTime::MAX,
             sk: sk.clone(),
             trace: TraceId::NONE,
+            subgroups: 0,
         },
         SimTime::ZERO,
     );
@@ -221,6 +223,7 @@ fn covering_collapses_wide_streams() {
                 expires: SimTime::MAX,
                 sk: sk.clone(),
                 trace: TraceId::NONE,
+                subgroups: 0,
             },
             SimTime::ZERO,
         );

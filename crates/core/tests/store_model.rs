@@ -135,6 +135,7 @@ fn check_against_model(case: usize, engine: MatchEngineKind, covering: bool, ops
                     expires: expires_at.map(SimTime::from_secs).unwrap_or(SimTime::MAX),
                     sk: KeyRangeSet::of_key(keys, keys.key(2)),
                     trace: TraceId::NONE,
+                    subgroups: 0,
                 };
                 let fresh = store.insert(SubId(id), stored, SimTime::from_secs(clock));
                 model.purge(clock);

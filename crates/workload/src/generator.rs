@@ -55,6 +55,19 @@ pub struct WorkloadConfig {
     /// seeded from the same subscription for streaks of this mean length.
     /// 1 = independent draws.
     pub seed_streak: u64,
+    /// Number of extra flash-crowd publications injected as a mid-run
+    /// burst (0 = no burst). Burst events draw their selective-attribute
+    /// values from a Zipf distribution with exponent [`flash_alpha`],
+    /// concentrating load on the rendezvous nodes of the hot values. The
+    /// burst is appended after the base trace is generated, so the base
+    /// operation sequence for a given seed is identical with and without
+    /// it.
+    ///
+    /// [`flash_alpha`]: WorkloadConfig::flash_alpha
+    pub flash_crowd: usize,
+    /// Zipf exponent of the flash-crowd burst's attribute values. Higher
+    /// values concentrate the burst on fewer hot keys (default 1.1).
+    pub flash_alpha: f64,
     /// Time of the first operation.
     pub start: SimTime,
 }
@@ -77,6 +90,8 @@ impl WorkloadConfig {
             zipf_exponent: 0.5,
             wildcard_probability: 0.0,
             seed_streak: 1,
+            flash_crowd: 0,
+            flash_alpha: 1.1,
             start: SimTime::from_secs(1),
         }
     }
@@ -150,6 +165,21 @@ impl WorkloadConfig {
     pub fn with_seed_streak(mut self, streak: u64) -> Self {
         assert!(streak > 0, "streak length must be positive");
         self.seed_streak = streak;
+        self
+    }
+
+    /// Sets the flash-crowd burst size and Zipf exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive and finite.
+    pub fn with_flash_crowd(mut self, count: usize, alpha: f64) -> Self {
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "flash-crowd exponent {alpha} must be positive"
+        );
+        self.flash_crowd = count;
+        self.flash_alpha = alpha;
         self
     }
 }
@@ -352,6 +382,48 @@ impl WorkloadGen {
                 });
             }
         }
+
+        // Flash-crowd burst: appended after the base trace so the base
+        // RNG sequence — and therefore the base operations — are
+        // byte-identical for the same seed whether or not a burst is
+        // requested. `Trace::new` re-sorts by time, folding the burst
+        // into the middle of the run.
+        if self.cfg.flash_crowd > 0 {
+            let end = ops.last().map(|o| o.at).unwrap_or(self.cfg.start);
+            let span = end.saturating_since(self.cfg.start);
+            let mid = self.cfg.start + SimDuration::from_secs_f64(span.as_secs_f64() / 2.0);
+            let gap = SimDuration::from_millis(50);
+            // Zipf tables over each attribute's domain at the burst
+            // exponent; hot dimensions are the selective ones (falling
+            // back to dimension 0 when none is marked selective).
+            let hot: Vec<bool> = if self.cfg.selective.iter().any(|&s| s) {
+                self.cfg.selective.clone()
+            } else {
+                let mut v = vec![false; self.space.dims()];
+                v[0] = true;
+                v
+            };
+            let flash_zipfs: Vec<Option<Zipf>> = (0..self.space.dims())
+                .map(|i| hot[i].then(|| Zipf::new(self.space.attr(i).size(), self.cfg.flash_alpha)))
+                .collect();
+            let mut at = mid;
+            for _ in 0..self.cfg.flash_crowd {
+                let values = (0..self.space.dims())
+                    .map(|i| match &flash_zipfs[i] {
+                        Some(z) => z.sample(&mut self.rng) - 1,
+                        None => self.rng.gen_range(0..self.space.attr(i).size()),
+                    })
+                    .collect();
+                ops.push(Op {
+                    at,
+                    node: self.rng.gen_range(0..self.cfg.nodes),
+                    kind: OpKind::Publish {
+                        event: Event::new_unchecked(values),
+                    },
+                });
+                at += gap;
+            }
+        }
         Trace::new(ops)
     }
 }
@@ -492,6 +564,58 @@ mod tests {
             assert!(sub.constrained_count() >= 1);
         }
         assert!(wildcards > 100, "expected ≈ 200 wildcards, got {wildcards}");
+    }
+
+    #[test]
+    fn flash_crowd_extends_without_perturbing_base() {
+        let space = EventSpace::paper_default();
+        let base_cfg = WorkloadConfig::paper_default(20, 4)
+            .with_selective_attrs(1)
+            .with_counts(50, 100);
+        let base = WorkloadGen::new(space.clone(), base_cfg.clone(), 11).gen_trace();
+        let burst_cfg = base_cfg.with_flash_crowd(80, 1.1);
+        let burst = WorkloadGen::new(space, burst_cfg, 11).gen_trace();
+
+        assert_eq!(burst.pub_count(), base.pub_count() + 80);
+        assert_eq!(burst.sub_count(), base.sub_count());
+        // Every base op is present, unchanged, in the burst trace (the
+        // burst only adds publications).
+        let render = |t: &Trace| {
+            t.ops()
+                .iter()
+                .map(|o| format!("{o:?}"))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        let base_set = render(&base);
+        let burst_set = render(&burst);
+        assert!(base_set.is_subset(&burst_set));
+        // The burst lands mid-run, not at the tail.
+        let extra: Vec<_> = burst_set.difference(&base_set).collect();
+        assert_eq!(extra.len(), 80);
+        assert!(burst.end_time() <= base.end_time() + SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn flash_crowd_values_are_skewed() {
+        let space = EventSpace::paper_default();
+        let cfg = WorkloadConfig::paper_default(20, 4)
+            .with_selective_attrs(1)
+            .with_counts(10, 10)
+            .with_flash_crowd(300, 1.2);
+        let base = WorkloadGen::new(space.clone(), cfg.clone(), 3).gen_trace();
+        // Burst events concentrate dimension-0 values near zero compared
+        // with the uniform mean of ~500k.
+        let mut acc = 0u64;
+        let mut n = 0u64;
+        for op in base.ops() {
+            if let OpKind::Publish { event } = &op.kind {
+                acc += event.value(0);
+                n += 1;
+            }
+        }
+        let _ = space;
+        assert!(n >= 300);
+        assert!(acc / n < 250_000, "mean dim-0 value {}", acc / n);
     }
 
     #[test]

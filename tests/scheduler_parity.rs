@@ -78,6 +78,7 @@ fn run_report(kind: SchedulerKind, seed: u64) -> String {
         scheduler: "under-test".to_owned(),
         shards: 1,
         match_engine: "counting".to_owned(),
+        rendezvous: "static".to_owned(),
         overlay: "chord".to_owned(),
         experiments: vec![ExperimentReport {
             name: format!(
